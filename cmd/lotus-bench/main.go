@@ -1,0 +1,89 @@
+// Command lotus-bench regenerates the paper's tables and figures on the
+// simulated substrate and prints them in the paper's shape, with the
+// paper's reported values alongside for comparison.
+//
+// Usage:
+//
+//	lotus-bench                      # every experiment at full scale
+//	lotus-bench -experiment fig6     # one experiment
+//	lotus-bench -scale small         # fast pass
+//	lotus-bench -outdir results/     # additionally save each rendering
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"lotus/internal/experiments"
+)
+
+func main() {
+	var (
+		which  = flag.String("experiment", "all", "experiment id (table1..table4, fig2..fig6) or 'all'")
+		scale  = flag.String("scale", "full", "small or full")
+		outdir = flag.String("outdir", "", "directory to save renderings (optional)")
+	)
+	flag.Parse()
+
+	sc := experiments.Full
+	if *scale == "small" {
+		sc = experiments.Small
+	}
+
+	var list []experiments.Experiment
+	if *which == "all" {
+		list = experiments.All()
+	} else {
+		exp, ok := experiments.Lookup(*which)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "lotus-bench: unknown experiment %q; available:", *which)
+			for _, e := range experiments.All() {
+				fmt.Fprintf(os.Stderr, " %s", e.ID)
+			}
+			fmt.Fprintln(os.Stderr)
+			os.Exit(2)
+		}
+		list = []experiments.Experiment{exp}
+	}
+
+	if *outdir != "" {
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "lotus-bench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	for _, exp := range list {
+		fmt.Printf("=== %s — %s (scale=%s) ===\n", exp.ID, exp.Title, *scale)
+		start := time.Now()
+		res := exp.Run(sc)
+		out := res.Render()
+		fmt.Print(out)
+		fmt.Printf("[%s completed in %v]\n\n", exp.ID, time.Since(start).Round(time.Millisecond))
+		if *outdir != "" {
+			path := filepath.Join(*outdir, exp.ID+".txt")
+			if err := os.WriteFile(path, []byte(out), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "lotus-bench: write %s: %v\n", path, err)
+				os.Exit(1)
+			}
+		}
+		// Figure 2 additionally yields the Chrome Trace Viewer files.
+		if fig2, ok := res.(*experiments.Fig2Result); ok && *outdir != "" {
+			for kind, blob := range fig2.Traces {
+				path := filepath.Join(*outdir, fmt.Sprintf("fig2_%s_trace.json", kind))
+				if err := os.WriteFile(path, blob, 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "lotus-bench: write %s: %v\n", path, err)
+					os.Exit(1)
+				}
+			}
+		}
+	}
+	if *which == "all" {
+		fmt.Println(strings.Repeat("-", 60))
+		fmt.Println("all experiments regenerated; see EXPERIMENTS.md for paper-vs-measured notes")
+	}
+}

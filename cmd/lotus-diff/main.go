@@ -1,0 +1,53 @@
+// Command lotus-diff compares two LotusTrace logs — the before/after view
+// for judging an optimization (more workers, offline decode, a dispatch
+// policy change) at the same per-operation granularity LotusTrace measures.
+//
+// Usage:
+//
+//	lotus-diff -before base.lotustrace -after tuned.lotustrace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lotus/internal/core/trace"
+)
+
+func load(path string) (*trace.Analysis, map[string]string) {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lotus-diff: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	recs, meta, err := trace.ReadLogWithMeta(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lotus-diff: parse %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	return trace.Analyze(recs), meta
+}
+
+func main() {
+	var (
+		before = flag.String("before", "", "baseline LotusTrace log")
+		after  = flag.String("after", "", "comparison LotusTrace log")
+	)
+	flag.Parse()
+	if *before == "" || *after == "" {
+		fmt.Fprintln(os.Stderr, "lotus-diff: both -before and -after are required")
+		os.Exit(2)
+	}
+	ba, bm := load(*before)
+	aa, am := load(*after)
+	// Warn when the two runs are not directly comparable (different
+	// workload, dataset, or batch size).
+	for _, key := range []string{"workload", "samples", "batch"} {
+		if bm != nil && am != nil && bm[key] != am[key] {
+			fmt.Printf("warning: runs differ in %s (%q vs %q)\n", key, bm[key], am[key])
+		}
+	}
+	fmt.Print(trace.DiffAnalyses(ba, aa).Render())
+}

@@ -1,0 +1,47 @@
+// Command lotus-report renders a LotusTrace log as a single self-contained
+// HTML page: run summary, advisor findings, per-operation statistics,
+// wait/delay histograms, and an SVG timeline.
+//
+// Usage:
+//
+//	lotus-report -log run.lotustrace -out report.html
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lotus/internal/core/trace"
+)
+
+func main() {
+	var (
+		logPath = flag.String("log", "run.lotustrace", "LotusTrace log input")
+		outPath = flag.String("out", "report.html", "HTML output path")
+	)
+	flag.Parse()
+
+	f, err := os.Open(*logPath)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	recs, meta, err := trace.ReadLogWithMeta(f)
+	if err != nil {
+		fatal(fmt.Errorf("parse %s: %w", *logPath, err))
+	}
+	html, err := trace.BuildHTMLReport(recs, meta)
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*outPath, html, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d records, %d bytes)\n", *outPath, len(recs), len(html))
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "lotus-report: %v\n", err)
+	os.Exit(1)
+}

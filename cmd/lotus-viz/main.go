@@ -1,0 +1,79 @@
+// Command lotus-viz converts a LotusTrace log into a Chrome Trace Viewer
+// JSON file (chrome://tracing / perfetto), with preprocessing spans per
+// worker, wait/consume spans in the main process, and data-flow arrows from
+// each batch's preprocessing span to its consumption — the visualization of
+// the paper's Figure 2.
+//
+// Usage:
+//
+//	lotus-viz -log run.lotustrace -out viz.json            # coarse
+//	lotus-viz -log run.lotustrace -out viz.json -fine      # + per-op spans
+//	lotus-viz -log run.lotustrace -augment torch.json -out merged.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lotus/internal/core/trace"
+)
+
+func main() {
+	var (
+		logPath = flag.String("log", "run.lotustrace", "LotusTrace log input")
+		outPath = flag.String("out", "viz.json", "Chrome trace output path")
+		fine    = flag.Bool("fine", false, "include per-operation spans")
+		augment = flag.String("augment", "", "existing trace JSON to merge into (PyTorch-profiler format)")
+		ascii   = flag.Bool("ascii", false, "print a terminal Gantt chart instead of writing JSON")
+		width   = flag.Int("width", 100, "terminal chart width (with -ascii)")
+	)
+	flag.Parse()
+
+	f, err := os.Open(*logPath)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	recs, err := trace.ReadLog(f)
+	if err != nil {
+		fatal(fmt.Errorf("parse %s: %w", *logPath, err))
+	}
+
+	if *ascii {
+		fmt.Print(trace.RenderTimeline(recs, *width))
+		return
+	}
+
+	g := trace.Coarse
+	if *fine {
+		g = trace.Fine
+	}
+
+	var out []byte
+	if *augment != "" {
+		existing, err := os.ReadFile(*augment)
+		if err != nil {
+			fatal(err)
+		}
+		out, err = trace.AugmentChrome(existing, recs, g)
+		if err != nil {
+			fatal(err)
+		}
+	} else {
+		out, err = trace.ExportChrome(recs, g)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	if err := os.WriteFile(*outPath, out, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s (%d records, %d bytes); open chrome://tracing and load it\n",
+		*outPath, len(recs), len(out))
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "lotus-viz: %v\n", err)
+	os.Exit(1)
+}

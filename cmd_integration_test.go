@@ -1,0 +1,123 @@
+package lotus_test
+
+// End-to-end integration test of the command-line tools: build the real
+// binaries and push a trace through the whole flow —
+// lotus-run → lotus-viz (JSON + ascii) → lotus-advise → lotus-diff →
+// lotus-map. Skipped with -short.
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildTool compiles one command into dir and returns the binary path.
+func buildTool(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("build %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		// lotus-advise exits 3 on critical findings by design.
+		if ee, ok := err.(*exec.ExitError); ok && ee.ExitCode() == 3 && strings.Contains(bin, "advise") {
+			return string(out)
+		}
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func TestCLIEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped with -short")
+	}
+	dir := t.TempDir()
+
+	lotusRun := buildTool(t, dir, "lotus-run")
+	lotusViz := buildTool(t, dir, "lotus-viz")
+	lotusAdvise := buildTool(t, dir, "lotus-advise")
+	lotusDiff := buildTool(t, dir, "lotus-diff")
+
+	// 1. Trace a baseline and a tuned run.
+	baseLog := filepath.Join(dir, "base.lotustrace")
+	tunedLog := filepath.Join(dir, "tuned.lotustrace")
+	out := run(t, lotusRun, "-workload", "IC", "-samples", "512", "-batch", "64",
+		"-workers", "1", "-gpus", "2", "-log", baseLog)
+	if !strings.Contains(out, "Loader") {
+		t.Fatalf("lotus-run output missing op table:\n%s", out)
+	}
+	run(t, lotusRun, "-workload", "IC", "-samples", "512", "-batch", "64",
+		"-workers", "4", "-gpus", "2", "-log", tunedLog)
+
+	// 2. Visualize: Chrome JSON and terminal Gantt.
+	vizPath := filepath.Join(dir, "viz.json")
+	run(t, lotusViz, "-log", baseLog, "-out", vizPath, "-fine")
+	blob, err := os.ReadFile(vizPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(blob, &doc); err != nil {
+		t.Fatalf("viz output is not valid chrome trace JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("empty chrome trace")
+	}
+	ascii := run(t, lotusViz, "-log", baseLog, "-ascii", "-width", "80")
+	if !strings.Contains(ascii, "main") || !strings.Contains(ascii, "legend") {
+		t.Fatalf("ascii timeline broken:\n%s", ascii)
+	}
+
+	// 3. Advise on the preprocessing-bound baseline.
+	advice := run(t, lotusAdvise, "-log", baseLog)
+	if !strings.Contains(advice, "preprocessing-bound") {
+		t.Fatalf("advisor missed the bottleneck:\n%s", advice)
+	}
+
+	// 4. Diff baseline vs tuned.
+	diff := run(t, lotusDiff, "-before", baseLog, "-after", tunedLog)
+	if !strings.Contains(diff, "wall span") || !strings.Contains(diff, "Loader") {
+		t.Fatalf("diff output broken:\n%s", diff)
+	}
+}
+
+func TestCLIMapProducesLoadableMapping(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries; skipped with -short")
+	}
+	dir := t.TempDir()
+	lotusMap := buildTool(t, dir, "lotus-map")
+	mappingPath := filepath.Join(dir, "mapping_funcs.json")
+	out := run(t, lotusMap, "-workload", "IC", "-arch", "amd", "-out", mappingPath)
+	if !strings.Contains(out, "decode_mcu") {
+		t.Fatalf("mapping output missing decode path:\n%s", out)
+	}
+	blob, err := os.ReadFile(mappingPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m struct {
+		Arch string                       `json:"arch"`
+		Ops  map[string][]json.RawMessage `json:"ops"`
+	}
+	if err := json.Unmarshal(blob, &m); err != nil {
+		t.Fatalf("mapping JSON invalid: %v", err)
+	}
+	if m.Arch != "amd" || len(m.Ops["Loader"]) == 0 {
+		t.Fatalf("mapping content wrong: arch=%s loader=%d", m.Arch, len(m.Ops["Loader"]))
+	}
+}

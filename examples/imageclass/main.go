@@ -1,0 +1,70 @@
+// Image-classification characterization: the paper's § V-B/C analysis on
+// the simulated ImageNet pipeline — per-op statistics (Table II), per-batch
+// preprocessing variance (Figure 4), wait/delay distributions and
+// out-of-order arrivals (Figures 3 & 5) — in a few seconds of wall time
+// thanks to the virtual clock.
+//
+// Run: go run ./examples/imageclass
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"lotus"
+)
+
+func main() {
+	// The Table II configuration: batch 128, 1 GPU, 1 data loader.
+	fmt.Println("== per-operation statistics (Table II configuration) ==")
+	spec := lotus.ICWorkload(2048, 1)
+	a, stats := run(spec)
+	for _, op := range spec.OpOrder() {
+		st := a.OpStats()[op]
+		fmt.Printf("  %-22s avg=%-10v p90=%-10v <10ms=%5.1f%%  <100µs=%5.1f%%\n",
+			op, st.Mean.Round(10*time.Microsecond), st.P90.Round(10*time.Microsecond),
+			100*st.Under10ms, 100*st.Under100us)
+	}
+	fmt.Printf("epoch %v, GPU utilization %.1f%% -> preprocessing-bound\n\n",
+		stats.Elapsed.Round(time.Millisecond), 100*stats.GPUUtilization())
+
+	// Scaling up batch size raises per-batch variance (Figure 4).
+	fmt.Println("== per-batch preprocessing variance vs batch size (Figure 4) ==")
+	for _, bs := range []int{128, 256, 512, 1024} {
+		s := lotus.ICWorkload(bs*12, 2)
+		s.BatchSize, s.GPUs, s.NumWorkers = bs, 4, 4
+		av, _ := run(s)
+		fmt.Printf("  b=%-5d mean=%-12v std/mean=%5.1f%%  IQR=%v\n",
+			bs, distOf(av).Mean.Round(time.Millisecond),
+			100*distOf(av).StdOfMean, distOf(av).IQR.Round(time.Millisecond))
+	}
+
+	// Wait/delay and out-of-order arrivals with multiple loaders (Figs 3&5).
+	fmt.Println("\n== wait, delay, and out-of-order arrivals (b=512, 4 GPUs, 4 loaders) ==")
+	s := lotus.ICWorkload(512*10, 3)
+	s.BatchSize, s.GPUs, s.NumWorkers = 512, 4, 4
+	av, _ := run(s)
+	fmt.Printf("  batches waiting >500ms: %.1f%%\n", 100*av.WaitsOver(500*time.Millisecond))
+	fmt.Printf("  batches delayed >500ms: %.1f%%\n", 100*av.DelaysOver(500*time.Millisecond))
+	fmt.Printf("  out-of-order batches:   %v\n", av.OutOfOrderBatches())
+	for _, b := range av.Batches() {
+		if b.OutOfOrder() {
+			fmt.Printf("  e.g. batch %d was ready %v before the main process consumed it\n",
+				b.ID, b.Delay().Round(time.Millisecond))
+			break
+		}
+	}
+}
+
+func run(spec lotus.WorkloadSpec) (*lotus.Analysis, lotus.EpochStats) {
+	var buf bytes.Buffer
+	tracer := lotus.NewTracer(&buf)
+	stats, _, _ := spec.Run(tracer.Hooks())
+	_ = tracer.Flush()
+	return lotus.Analyze(lotus.MustReadLog(&buf)), stats
+}
+
+func distOf(a *lotus.Analysis) lotus.DistStats {
+	return lotus.ComputeDistStats(a.PreprocessTimes())
+}

@@ -1,0 +1,63 @@
+// The full optimization loop Lotus enables, end to end:
+//
+//  1. trace a baseline run (LotusTrace);
+//  2. diagnose it (the automated advisor);
+//  3. act on the diagnosis (autotune the worker count on trace signals);
+//  4. re-trace the tuned configuration;
+//  5. diff the two runs per operation.
+//
+// Run: go run ./examples/optimize
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"lotus"
+)
+
+func tracedRun(spec lotus.WorkloadSpec) (*lotus.Analysis, lotus.EpochStats) {
+	var buf bytes.Buffer
+	tracer := lotus.NewTracer(&buf)
+	stats, _, _ := spec.Run(tracer.Hooks())
+	_ = tracer.Flush()
+	return lotus.Analyze(lotus.MustReadLog(&buf)), stats
+}
+
+func main() {
+	base := lotus.ICWorkload(2048, 1)
+	base.BatchSize, base.GPUs, base.NumWorkers = 64, 4, 1
+
+	// 1. Baseline trace.
+	fmt.Println("== step 1: baseline (1 data loader) ==")
+	beforeAnalysis, beforeStats := tracedRun(base)
+	fmt.Printf("epoch %v, GPU utilization %.1f%%\n\n",
+		beforeStats.Elapsed.Round(time.Millisecond), 100*beforeStats.GPUUtilization())
+
+	// 2. Diagnose.
+	fmt.Println("== step 2: advisor findings ==")
+	findings := beforeAnalysis.Advise(lotus.AdvisorConfig{})
+	fmt.Print(lotus.FormatFindings(findings))
+
+	// 3. Act: the advisor says preprocessing-bound -> tune the workers.
+	fmt.Println("\n== step 3: autotune the worker count on trace signals ==")
+	result := lotus.Tune(base, lotus.TuneConfig{MinWorkers: 1, MaxWorkers: 16})
+	fmt.Print(result.String())
+
+	// 4. Re-trace the tuned configuration.
+	tuned := base
+	tuned.NumWorkers = result.Best.Workers
+	fmt.Printf("\n== step 4: re-trace with %d workers ==\n", tuned.NumWorkers)
+	afterAnalysis, afterStats := tracedRun(tuned)
+	fmt.Printf("epoch %v, GPU utilization %.1f%%\n", afterStats.Elapsed.Round(time.Millisecond),
+		100*afterStats.GPUUtilization())
+	fmt.Println(lotus.FormatFindings(afterAnalysis.Advise(lotus.AdvisorConfig{})))
+
+	// 5. Diff.
+	fmt.Println("== step 5: before/after diff ==")
+	fmt.Print(lotus.DiffAnalyses(beforeAnalysis, afterAnalysis).Render())
+
+	fmt.Println("\nterminal timeline of the tuned run:")
+	fmt.Print(lotus.RenderTimeline(afterAnalysis.Records, 100))
+}

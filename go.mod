@@ -1,0 +1,3 @@
+module lotus
+
+go 1.22

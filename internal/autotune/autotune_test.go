@@ -1,0 +1,118 @@
+package autotune
+
+import (
+	"strings"
+	"testing"
+
+	"lotus/internal/workloads"
+)
+
+func icSpec(samples int) workloads.Spec {
+	spec := workloads.ICSpec(samples, 1)
+	spec.BatchSize, spec.GPUs = 64, 4
+	return spec
+}
+
+func TestTuneScalesUpPreprocessingBoundPipeline(t *testing.T) {
+	res := Tune(icSpec(1280), Config{MinWorkers: 1, MaxWorkers: 16})
+	if res.Best.Workers < 4 {
+		t.Fatalf("IC is preprocessing-bound at 1 worker; tuner chose only %d\n%s", res.Best.Workers, res)
+	}
+	// The chosen config must be dramatically faster than the 1-worker run.
+	first := res.Steps[0]
+	if float64(res.Best.E2E) > 0.6*float64(first.E2E) {
+		t.Fatalf("tuned e2e %v vs 1-worker %v — insufficient improvement\n%s", res.Best.E2E, first.E2E, res)
+	}
+	if res.StopReason == "" {
+		t.Fatal("missing stop reason")
+	}
+}
+
+func TestTuneStopsEarlyWhenGPUBound(t *testing.T) {
+	// IS is GPU-bound even with few workers: the trace signals (high GPU
+	// utilization, no long waits) let the tuner stop without sweeping.
+	spec := workloads.ISSpec(32, 1)
+	res := Tune(spec, Config{MinWorkers: 2, MaxWorkers: 16})
+	if len(res.Steps) > 3 {
+		t.Fatalf("tuner evaluated %d configs for a GPU-bound pipeline; signals should stop it immediately\n%s",
+			len(res.Steps), res)
+	}
+	if res.Best.Workers > 4 {
+		t.Fatalf("GPU-bound pipeline needs few workers, tuner chose %d", res.Best.Workers)
+	}
+	if !strings.Contains(res.StopReason, "saturated") && !strings.Contains(res.StopReason, "stalls eliminated") {
+		t.Fatalf("stop reason should cite the trace signal, got %q", res.StopReason)
+	}
+}
+
+func TestTuneRespectsCPUBudget(t *testing.T) {
+	unbounded := Tune(icSpec(1280), Config{MinWorkers: 1, MaxWorkers: 16})
+	floor := unbounded.Steps[0].CPUSeconds // 1 worker = cheapest possible
+	if unbounded.Best.CPUSeconds <= floor {
+		t.Skipf("scaling did not raise CPU cost (%.1f vs %.1f); nothing to budget", unbounded.Best.CPUSeconds, floor)
+	}
+	// A budget between the 1-worker cost and the unbounded choice's cost
+	// must be honored.
+	budget := (floor + unbounded.Best.CPUSeconds) / 2
+	bounded := Tune(icSpec(1280), Config{MinWorkers: 1, MaxWorkers: 16, CPUBudgetSeconds: budget})
+	if bounded.Best.CPUSeconds > budget {
+		t.Fatalf("chosen config costs %.1fs CPU, budget %.1fs\n%s", bounded.Best.CPUSeconds, budget, bounded)
+	}
+
+	// An impossible budget falls back to the cheapest configuration and
+	// says so.
+	impossible := Tune(icSpec(1280), Config{MinWorkers: 2, MaxWorkers: 8, CPUBudgetSeconds: 0.001})
+	if !strings.Contains(impossible.StopReason, "no configuration met the CPU budget") {
+		t.Fatalf("impossible budget should be reported, got %q", impossible.StopReason)
+	}
+}
+
+func TestTunePrefersCheapestWithinTolerance(t *testing.T) {
+	res := Tune(icSpec(1280), Config{MinWorkers: 1, MaxWorkers: 16, Tolerance: 0.10})
+	// The best step must be the cheapest among steps within 10% of the
+	// fastest e2e.
+	var fastest float64
+	for _, s := range res.Steps {
+		if fastest == 0 || float64(s.E2E) < fastest {
+			fastest = float64(s.E2E)
+		}
+	}
+	for _, s := range res.Steps {
+		if float64(s.E2E) <= fastest*1.10 && s.CPUSeconds < res.Best.CPUSeconds-1e-9 {
+			t.Fatalf("step %d workers (%.1fs CPU) is within tolerance and cheaper than chosen %d (%.1fs)\n%s",
+				s.Workers, s.CPUSeconds, res.Best.Workers, res.Best.CPUSeconds, res)
+		}
+	}
+}
+
+func TestTuneRenderedTrajectory(t *testing.T) {
+	res := Tune(icSpec(640), Config{MinWorkers: 1, MaxWorkers: 8})
+	out := res.String()
+	if !strings.Contains(out, "workers") || !strings.Contains(out, "stopped:") {
+		t.Fatalf("rendering incomplete:\n%s", out)
+	}
+	if !strings.Contains(out, "*") {
+		t.Fatal("rendering should mark the chosen configuration")
+	}
+}
+
+func TestTuneDefaults(t *testing.T) {
+	cfg := Config{}.defaults()
+	if cfg.MinWorkers != 1 || cfg.MaxWorkers != 32 || cfg.Tolerance <= 0 || cfg.LongWait <= 0 {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+}
+
+func TestTunePrefetchKnob(t *testing.T) {
+	res := Tune(icSpec(640), Config{MinWorkers: 2, MaxWorkers: 8, TunePrefetch: true})
+	pfTried := map[int]bool{}
+	for _, s := range res.Steps {
+		pfTried[s.Prefetch] = true
+	}
+	if !pfTried[1] || !pfTried[4] {
+		t.Fatalf("prefetch candidates not evaluated: %v\n%s", pfTried, res)
+	}
+	if !strings.Contains(res.String(), "prefetch") {
+		t.Fatal("rendering missing prefetch column")
+	}
+}

@@ -1,0 +1,136 @@
+// Package clock provides the execution substrate shared by every simulated
+// component in the repository: a Clock under which concurrent "procs"
+// (workers, the main training loop, GPU devices) run, sleep, and synchronize.
+//
+// Two implementations exist:
+//
+//   - Real: procs are ordinary goroutines, Sleep is time.Sleep, and Now is
+//     time.Now. Used by the runnable examples and by instrumentation-overhead
+//     benchmarks, where wall-clock behaviour is the point.
+//
+//   - Sim: a deterministic cooperative virtual-time scheduler. Exactly one
+//     proc executes at a time; when it blocks (Sleep or Cond.Wait) the
+//     scheduler hands control to the next runnable proc, and advances virtual
+//     time only when nothing is runnable. Given the same program and seed the
+//     schedule is fully reproducible, and a multi-worker pipeline can be
+//     characterized on a single-core host in milliseconds of wall time.
+//
+// Pipeline, GPU, and profiler code is written once against these interfaces;
+// the mode is chosen by the caller.
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Epoch is the virtual-time origin used by the simulated clock. Using a fixed
+// origin keeps trace timestamps reproducible across runs.
+var Epoch = time.Date(2024, time.January, 1, 0, 0, 0, 0, time.UTC)
+
+// Proc is a handle held by each concurrently executing activity. All blocking
+// must go through the Proc (Sleep) or through a Cond created by the same
+// Clock; blocking on anything else stalls the simulated scheduler.
+type Proc interface {
+	// Name returns the name the proc was spawned with, e.g. "worker-3".
+	Name() string
+	// Now returns the current (real or virtual) time.
+	Now() time.Time
+	// Sleep blocks the proc for d. Negative or zero durations return
+	// immediately.
+	Sleep(d time.Duration)
+	// Go spawns a sibling proc. The spawned proc keeps the Clock's Run alive
+	// until it returns.
+	Go(name string, fn func(p Proc))
+}
+
+// Cond is a condition variable tied to a Clock. The usage pattern is the
+// classic one:
+//
+//	c.Lock()
+//	for !predicate() {
+//		c.Wait(p)
+//	}
+//	... mutate state ...
+//	c.Broadcast()
+//	c.Unlock()
+//
+// Wait must be called with the lock held; it atomically releases the lock,
+// blocks until a Broadcast, and reacquires it. Broadcast must be called with
+// the lock held. Procs must not call Sleep while holding a Cond lock.
+type Cond interface {
+	Lock()
+	Unlock()
+	Wait(p Proc)
+	Broadcast()
+}
+
+// Clock creates procs and synchronization primitives in either the real or
+// the simulated time domain.
+type Clock interface {
+	// Run spawns the root proc and blocks until it and every proc
+	// transitively spawned from it have returned.
+	Run(name string, fn func(p Proc))
+	// NewCond returns a condition variable usable by this Clock's procs.
+	NewCond() Cond
+}
+
+// ---------------------------------------------------------------------------
+// Real clock
+// ---------------------------------------------------------------------------
+
+// realClock implements Clock over the operating system scheduler.
+type realClock struct {
+	wg sync.WaitGroup
+}
+
+// NewReal returns a Clock whose procs are plain goroutines in real time.
+func NewReal() Clock { return &realClock{} }
+
+func (c *realClock) Run(name string, fn func(p Proc)) {
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		fn(&realProc{name: name, clk: c})
+	}()
+	c.wg.Wait()
+}
+
+func (c *realClock) NewCond() Cond {
+	rc := &realCond{}
+	rc.cond = sync.NewCond(&rc.mu)
+	return rc
+}
+
+// realCond wraps sync.Cond; Wait ignores the proc handle.
+type realCond struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+}
+
+func (c *realCond) Lock()      { c.mu.Lock() }
+func (c *realCond) Unlock()    { c.mu.Unlock() }
+func (c *realCond) Wait(Proc)  { c.cond.Wait() }
+func (c *realCond) Broadcast() { c.cond.Broadcast() }
+
+type realProc struct {
+	name string
+	clk  *realClock
+}
+
+func (p *realProc) Name() string   { return p.name }
+func (p *realProc) Now() time.Time { return time.Now() }
+
+func (p *realProc) Sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+func (p *realProc) Go(name string, fn func(p Proc)) {
+	p.clk.wg.Add(1)
+	go func() {
+		defer p.clk.wg.Done()
+		fn(&realProc{name: name, clk: p.clk})
+	}()
+}

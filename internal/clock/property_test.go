@@ -1,0 +1,130 @@
+package clock
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// scheduleFingerprint runs a randomized proc structure derived from the
+// inputs and returns the exact interleaving trace.
+func scheduleFingerprint(nProcs uint8, sleepSeed uint32) []string {
+	procs := int(nProcs%6) + 2
+	sim := NewSim()
+	var order []string
+	sim.Run("root", func(p Proc) {
+		for i := 0; i < procs; i++ {
+			i := i
+			p.Go(fmt.Sprintf("w%d", i), func(p Proc) {
+				s := sleepSeed
+				for step := 0; step < 5; step++ {
+					// Deterministic pseudo-random sleeps per proc/step.
+					s = s*1664525 + 1013904223 + uint32(i)
+					p.Sleep(time.Duration(s%5000) * time.Microsecond)
+					order = append(order, fmt.Sprintf("%s@%d:%d", p.Name(), step, sim.Elapsed()/time.Microsecond))
+				}
+			})
+		}
+	})
+	return order
+}
+
+// TestPropertySimScheduleDeterministic: identical programs produce identical
+// interleavings — the property every characterization experiment relies on.
+func TestPropertySimScheduleDeterministic(t *testing.T) {
+	if err := quick.Check(func(nProcs uint8, seed uint32) bool {
+		a := scheduleFingerprint(nProcs, seed)
+		b := scheduleFingerprint(nProcs, seed)
+		if len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyVirtualTimeMonotone: a proc never observes time going
+// backwards, and total elapsed equals the max deadline reached.
+func TestPropertyVirtualTimeMonotone(t *testing.T) {
+	if err := quick.Check(func(delays []uint16) bool {
+		if len(delays) == 0 {
+			return true
+		}
+		if len(delays) > 50 {
+			delays = delays[:50]
+		}
+		sim := NewSim()
+		ok := true
+		var total time.Duration
+		sim.Run("root", func(p Proc) {
+			prev := p.Now()
+			for _, d := range delays {
+				dur := time.Duration(d) * time.Microsecond
+				total += dur
+				p.Sleep(dur)
+				now := p.Now()
+				if now.Before(prev) {
+					ok = false
+				}
+				prev = now
+			}
+		})
+		return ok && sim.Elapsed() == total
+	}, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyQueuePreservesAllItems: for any producer/consumer structure,
+// every item is delivered exactly once in FIFO order per producer.
+func TestPropertyQueuePreservesAllItems(t *testing.T) {
+	if err := quick.Check(func(producers uint8, perProducer uint8) bool {
+		np := int(producers%4) + 1
+		n := int(perProducer%40) + 1
+		sim := NewSim()
+		q := NewQueue[[2]int](sim, 3)
+		got := map[int][]int{}
+		sim.Run("root", func(p Proc) {
+			done := 0
+			for pr := 0; pr < np; pr++ {
+				pr := pr
+				p.Go(fmt.Sprintf("prod%d", pr), func(p Proc) {
+					for i := 0; i < n; i++ {
+						p.Sleep(time.Duration((pr*7+i*13)%5) * time.Microsecond)
+						q.Put(p, [2]int{pr, i})
+					}
+				})
+			}
+			p.Go("consumer", func(p Proc) {
+				for done < np*n {
+					v, ok := q.Get(p)
+					if !ok {
+						return
+					}
+					got[v[0]] = append(got[v[0]], v[1])
+					done++
+				}
+			})
+		})
+		for pr := 0; pr < np; pr++ {
+			if len(got[pr]) != n {
+				return false
+			}
+			for i, v := range got[pr] {
+				if v != i {
+					return false // per-producer FIFO violated
+				}
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,77 @@
+package lotusmap
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"lotus/internal/hwsim"
+)
+
+// Attribution is the end product of combining LotusTrace and LotusMap: PMU
+// counters per preprocessing operation (Figure 6 e–h), plus whatever the
+// mapping could not place.
+type Attribution struct {
+	PerOp map[string]hwsim.Counters
+	// Unmapped accumulates rows whose symbol maps to no operation
+	// (background functions, filtered libraries).
+	Unmapped hwsim.Counters
+	// UnmappedSymbols lists those symbols for inspection.
+	UnmappedSymbols []string
+}
+
+// Attribute splits each function row of a full-run hardware profile across
+// the operations that map to it, weighting by the operations' LotusTrace
+// elapsed times (§ IV-B "Splitting Hardware Metrics"): a function shared by
+// Loader, RandomResizedCrop and ToTensor contributes to Loader in proportion
+// L/(L+RRC+TT).
+func Attribute(report *hwsim.Report, m *Mapping, opWeights map[string]float64) *Attribution {
+	att := &Attribution{PerOp: make(map[string]hwsim.Counters)}
+	for _, row := range report.Rows {
+		ops := m.OpsForSymbol(row.Symbol, row.Library)
+		if len(ops) == 0 {
+			att.Unmapped.Add(row.Counters)
+			att.UnmappedSymbols = append(att.UnmappedSymbols, row.Symbol)
+			continue
+		}
+		var total float64
+		for _, op := range ops {
+			total += opWeights[op]
+		}
+		for _, op := range ops {
+			share := 1.0 / float64(len(ops))
+			if total > 0 {
+				share = opWeights[op] / total
+			}
+			c := att.PerOp[op]
+			c.Add(row.Counters.Scale(share))
+			att.PerOp[op] = c
+		}
+	}
+	sort.Strings(att.UnmappedSymbols)
+	return att
+}
+
+// String renders per-op counters as an aligned table.
+func (a *Attribution) String() string {
+	var b strings.Builder
+	ops := make([]string, 0, len(a.PerOp))
+	for op := range a.PerOp {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	fmt.Fprintf(&b, "%-28s %12s %14s %14s %10s %10s %28s\n",
+		"operation", "cpu_time", "instructions", "uops_deliv", "fe_bound", "dram_bound", "topdown ret/bs/fe/be")
+	for _, op := range ops {
+		c := a.PerOp[op]
+		td := c.TopDown()
+		fmt.Fprintf(&b, "%-28s %12v %14.3g %14.3g %9.1f%% %9.1f%% %9s\n",
+			op, c.CPUTime.Round(1e6), c.Instructions, c.UopsDelivered,
+			100*c.FrontEndBoundFrac(), 100*c.DRAMBoundFrac(),
+			fmt.Sprintf("%.0f/%.0f/%.0f/%.0f%%", 100*td.Retiring, 100*td.BadSpeculation, 100*td.FrontEndBound, 100*td.BackEndBound))
+	}
+	if len(a.UnmappedSymbols) > 0 {
+		fmt.Fprintf(&b, "unmapped: %d symbols, cpu_time %v\n", len(a.UnmappedSymbols), a.Unmapped.CPUTime.Round(1e6))
+	}
+	return b.String()
+}

@@ -1,0 +1,428 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// OpStat summarizes one operation's per-application elapsed times — the
+// content of one Table II column.
+type OpStat struct {
+	Op    string
+	Count int
+	Total time.Duration
+	Mean  time.Duration
+	// Std is the population standard deviation of per-application times.
+	Std time.Duration
+	P90 time.Duration
+	// Under10ms / Under100us are the fractions of applications faster than
+	// the two thresholds the paper highlights (sampling-profiler blind
+	// spots).
+	Under10ms  float64
+	Under100us float64
+}
+
+// BatchInfo joins the per-batch records: the worker's preprocessing span,
+// the main process's wait, and the consumption marker.
+type BatchInfo struct {
+	ID        int
+	WorkerPID int
+	PreStart  time.Time
+	PreDur    time.Duration
+	WaitStart time.Time
+	WaitDur   time.Duration
+	ConsStart time.Time
+	ConsDur   time.Duration
+}
+
+// PreEnd is when the worker finished preprocessing the batch.
+func (b BatchInfo) PreEnd() time.Time { return b.PreStart.Add(b.PreDur) }
+
+// Delay is the time the preprocessed batch sat waiting before the main
+// process consumed it — the arrow length in Figure 2, and Figure 5(b)'s
+// metric.
+func (b BatchInfo) Delay() time.Duration {
+	d := b.ConsStart.Sub(b.PreEnd())
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// OutOfOrder reports whether the batch had already arrived when the main
+// process asked for it (logged with the 1 µs no-wait marker).
+func (b BatchInfo) OutOfOrder() bool { return b.WaitDur == NoWaitMarker }
+
+// Analysis holds parsed records plus the derived per-batch join.
+type Analysis struct {
+	Records []Record
+	batches []BatchInfo
+}
+
+// Analyze builds an Analysis over records.
+func Analyze(records []Record) *Analysis {
+	a := &Analysis{Records: records}
+	byID := map[int]*BatchInfo{}
+	order := []int{}
+	get := func(id int) *BatchInfo {
+		if b, ok := byID[id]; ok {
+			return b
+		}
+		b := &BatchInfo{ID: id}
+		byID[id] = b
+		order = append(order, id)
+		return b
+	}
+	for _, r := range records {
+		switch r.Kind {
+		case KindBatchPreprocessed:
+			b := get(r.BatchID)
+			b.WorkerPID = r.PID
+			b.PreStart, b.PreDur = r.Start, r.Dur
+		case KindBatchWait:
+			b := get(r.BatchID)
+			b.WaitStart, b.WaitDur = r.Start, r.Dur
+		case KindBatchConsumed:
+			b := get(r.BatchID)
+			b.ConsStart, b.ConsDur = r.Start, r.Dur
+		}
+	}
+	sort.Ints(order)
+	for _, id := range order {
+		a.batches = append(a.batches, *byID[id])
+	}
+	return a
+}
+
+// Batches returns the per-batch join, ordered by batch ID.
+func (a *Analysis) Batches() []BatchInfo { return a.batches }
+
+// OpStats computes Table II-style statistics per operation name, over
+// per-sample op records. Collation (logged per batch with SampleIndex -1)
+// is included under its own name.
+func (a *Analysis) OpStats() map[string]OpStat {
+	durs := map[string][]time.Duration{}
+	for _, r := range a.Records {
+		if r.Kind == KindOp {
+			durs[r.Op] = append(durs[r.Op], r.Dur)
+		}
+	}
+	out := make(map[string]OpStat, len(durs))
+	for op, ds := range durs {
+		out[op] = opStatFrom(op, ds)
+	}
+	return out
+}
+
+func opStatFrom(op string, ds []time.Duration) OpStat {
+	st := OpStat{Op: op, Count: len(ds)}
+	if len(ds) == 0 {
+		return st
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var under10, under100 int
+	var sumsq float64
+	for _, d := range sorted {
+		st.Total += d
+		sumsq += float64(d) * float64(d)
+		if d < 10*time.Millisecond {
+			under10++
+		}
+		if d < 100*time.Microsecond {
+			under100++
+		}
+	}
+	st.Mean = st.Total / time.Duration(len(sorted))
+	mean := float64(st.Mean)
+	if v := sumsq/float64(len(sorted)) - mean*mean; v > 0 {
+		st.Std = time.Duration(math.Sqrt(v))
+	}
+	st.P90 = Percentile(sorted, 0.90)
+	st.Under10ms = float64(under10) / float64(len(sorted))
+	st.Under100us = float64(under100) / float64(len(sorted))
+	return st
+}
+
+// Percentile returns the p-quantile (0..1) of an ascending-sorted slice
+// using nearest-rank interpolation.
+func Percentile(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo] + time.Duration(frac*float64(sorted[hi]-sorted[lo]))
+}
+
+// PreprocessTimes returns per-batch preprocessing durations ([T1]) in batch
+// order.
+func (a *Analysis) PreprocessTimes() []time.Duration {
+	out := make([]time.Duration, 0, len(a.batches))
+	for _, b := range a.batches {
+		if b.PreDur > 0 {
+			out = append(out, b.PreDur)
+		}
+	}
+	return out
+}
+
+// DistStats summarizes a duration sample: mean, standard deviation, and
+// inter-quartile range — the Figure 4 metrics.
+type DistStats struct {
+	N         int
+	Mean      time.Duration
+	Std       time.Duration
+	P25       time.Duration
+	Median    time.Duration
+	P75       time.Duration
+	IQR       time.Duration
+	Min, Max  time.Duration
+	StdOfMean float64 // Std/Mean, the paper's "stddev as % of average"
+}
+
+// ComputeDistStats summarizes durations.
+func ComputeDistStats(ds []time.Duration) DistStats {
+	st := DistStats{N: len(ds)}
+	if len(ds) == 0 {
+		return st
+	}
+	sorted := append([]time.Duration(nil), ds...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum, sumsq float64
+	for _, d := range sorted {
+		f := float64(d)
+		sum += f
+		sumsq += f * f
+	}
+	n := float64(len(sorted))
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	st.Mean = time.Duration(mean)
+	st.Std = time.Duration(math.Sqrt(variance))
+	st.P25 = Percentile(sorted, 0.25)
+	st.Median = Percentile(sorted, 0.50)
+	st.P75 = Percentile(sorted, 0.75)
+	st.IQR = st.P75 - st.P25
+	st.Min, st.Max = sorted[0], sorted[len(sorted)-1]
+	if mean > 0 {
+		st.StdOfMean = float64(st.Std) / mean
+	}
+	return st
+}
+
+// WaitsOver returns the fraction of batches whose main-process wait exceeded
+// d (Figure 5a).
+func (a *Analysis) WaitsOver(d time.Duration) float64 {
+	if len(a.batches) == 0 {
+		return 0
+	}
+	n := 0
+	for _, b := range a.batches {
+		if b.WaitDur > d {
+			n++
+		}
+	}
+	return float64(n) / float64(len(a.batches))
+}
+
+// DelaysOver returns the fraction of batches whose delay exceeded d
+// (Figure 5b).
+func (a *Analysis) DelaysOver(d time.Duration) float64 {
+	if len(a.batches) == 0 {
+		return 0
+	}
+	n := 0
+	for _, b := range a.batches {
+		if b.Delay() > d {
+			n++
+		}
+	}
+	return float64(n) / float64(len(a.batches))
+}
+
+// MaxDelay returns the largest batch delay.
+func (a *Analysis) MaxDelay() time.Duration {
+	var m time.Duration
+	for _, b := range a.batches {
+		if d := b.Delay(); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// OutOfOrderBatches lists batch IDs that arrived before they were wanted.
+func (a *Analysis) OutOfOrderBatches() []int {
+	var out []int
+	for _, b := range a.batches {
+		if b.OutOfOrder() {
+			out = append(out, b.ID)
+		}
+	}
+	return out
+}
+
+// TotalCPUSeconds sums worker preprocessing time ([T1] spans) — Figure 6(b)'s
+// top-line metric.
+func (a *Analysis) TotalCPUSeconds() float64 {
+	var total time.Duration
+	for _, b := range a.batches {
+		total += b.PreDur
+	}
+	return total.Seconds()
+}
+
+// WorkerUtilization reports each worker pid's busy fraction over the span
+// from the first to the last preprocessing activity, plus the imbalance
+// (max/min busy time). Uneven utilization indicates dispatch skew — the
+// effect the least-work policy addresses.
+type WorkerUtilization struct {
+	PerWorker map[int]float64
+	// Imbalance is busiest/least-busy (1.0 = perfectly even; 0 if fewer
+	// than two workers).
+	Imbalance float64
+}
+
+// WorkerUtilization computes per-worker busy fractions from preprocessing
+// spans.
+func (a *Analysis) WorkerUtilization() WorkerUtilization {
+	busy := map[int]time.Duration{}
+	var start, end time.Time
+	first := true
+	for _, b := range a.batches {
+		if b.PreDur <= 0 {
+			continue
+		}
+		busy[b.WorkerPID] += b.PreDur
+		if first || b.PreStart.Before(start) {
+			start = b.PreStart
+		}
+		if first || b.PreEnd().After(end) {
+			end = b.PreEnd()
+		}
+		first = false
+	}
+	out := WorkerUtilization{PerWorker: map[int]float64{}}
+	span := end.Sub(start)
+	if span <= 0 {
+		return out
+	}
+	var min, max time.Duration
+	firstW := true
+	for pid, d := range busy {
+		out.PerWorker[pid] = float64(d) / float64(span)
+		if firstW || d < min {
+			min = d
+		}
+		if firstW || d > max {
+			max = d
+		}
+		firstW = false
+	}
+	if len(busy) >= 2 && min > 0 {
+		out.Imbalance = float64(max) / float64(min)
+	}
+	return out
+}
+
+// OpCPUTime sums elapsed time per operation — the series of Figure 6(b) and
+// the weights LotusMap's metric splitting uses.
+func (a *Analysis) OpCPUTime() map[string]time.Duration {
+	out := map[string]time.Duration{}
+	for _, r := range a.Records {
+		if r.Kind == KindOp {
+			out[r.Op] += r.Dur
+		}
+	}
+	return out
+}
+
+// OpWeights normalizes OpCPUTime over a subset of operations; LotusMap uses
+// these to split a shared native function's counters across the Python ops
+// it serves (§ IV-B "Splitting Hardware Metrics").
+func (a *Analysis) OpWeights(ops []string) map[string]float64 {
+	times := a.OpCPUTime()
+	var total time.Duration
+	for _, op := range ops {
+		total += times[op]
+	}
+	out := make(map[string]float64, len(ops))
+	if total == 0 {
+		return out
+	}
+	for _, op := range ops {
+		out[op] = float64(times[op]) / float64(total)
+	}
+	return out
+}
+
+// FormatOpStats renders Table II's layout: Avg and P90 rows in ms, plus the
+// <10ms and <100µs percentage rows, over the given operation order.
+func FormatOpStats(stats map[string]OpStat, order []string) string {
+	var b strings.Builder
+	ms := func(d time.Duration) string { return fmt.Sprintf("%8.2f", float64(d)/float64(time.Millisecond)) }
+	pct := func(f float64) string { return fmt.Sprintf("%8.2f", 100*f) }
+	fmt.Fprintf(&b, "%-8s", "")
+	for _, op := range order {
+		fmt.Fprintf(&b, " %12s", abbreviateOp(op))
+	}
+	b.WriteString("\n")
+	rows := []struct {
+		name string
+		get  func(OpStat) string
+	}{
+		{"Avg", func(s OpStat) string { return ms(s.Mean) }},
+		{"P90", func(s OpStat) string { return ms(s.P90) }},
+		{"<10ms", func(s OpStat) string { return pct(s.Under10ms) }},
+		{"<100us", func(s OpStat) string { return pct(s.Under100us) }},
+	}
+	for _, row := range rows {
+		fmt.Fprintf(&b, "%-8s", row.name)
+		for _, op := range order {
+			fmt.Fprintf(&b, " %12s", row.get(stats[op]))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// abbreviateOp shortens transform names to the paper's column labels.
+func abbreviateOp(op string) string {
+	switch op {
+	case "RandomResizedCrop":
+		return "RRC"
+	case "RandomHorizontalFlip":
+		return "RHF"
+	case "ToTensor":
+		return "TT"
+	case "RandBalancedCrop":
+		return "RBC"
+	case "RandomFlip":
+		return "RF"
+	case "RandomBrightnessAugmentation":
+		return "RBA"
+	case "GaussianNoise":
+		return "GN"
+	case "Collate":
+		return "C(k)"
+	}
+	return op
+}

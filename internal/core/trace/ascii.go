@@ -1,0 +1,124 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// RenderTimeline draws the coarse trace as a terminal Gantt chart — one row
+// per process, batch spans drawn with their IDs — giving the Figure 2 view
+// without Chrome. width is the character budget for the time axis (min 40).
+//
+// Main-process rows show W (waiting) and C (consuming) markers; worker rows
+// show each batch's preprocessing span filled with its ID digits.
+func RenderTimeline(records []Record, width int) string {
+	if width < 40 {
+		width = 40
+	}
+	if len(records) == 0 {
+		return "(empty trace)\n"
+	}
+
+	// Time bounds.
+	var start, end time.Time
+	first := true
+	for _, r := range records {
+		if r.Kind == KindOp {
+			continue
+		}
+		if first || r.Start.Before(start) {
+			start = r.Start
+		}
+		if first || r.End().After(end) {
+			end = r.End()
+		}
+		first = false
+	}
+	if first || !end.After(start) {
+		return "(no batch records)\n"
+	}
+	span := end.Sub(start)
+	col := func(t time.Time) int {
+		c := int(int64(t.Sub(start)) * int64(width) / int64(span))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+
+	// Group rows by pid.
+	type row struct {
+		pid   int
+		main  bool
+		cells []byte
+	}
+	rows := map[int]*row{}
+	mainPID := mainPIDOf(records)
+	getRow := func(pid int) *row {
+		r, ok := rows[pid]
+		if !ok {
+			r = &row{pid: pid, main: pid == mainPID, cells: []byte(strings.Repeat(".", width))}
+			rows[pid] = r
+		}
+		return r
+	}
+
+	fill := func(r *row, from, to int, label string, pad byte) {
+		if to < from {
+			to = from
+		}
+		for c := from; c <= to && c < width; c++ {
+			r.cells[c] = pad
+		}
+		for i := 0; i < len(label) && from+i <= to && from+i < width; i++ {
+			r.cells[from+i] = label[i]
+		}
+	}
+
+	for _, r := range records {
+		switch r.Kind {
+		case KindBatchPreprocessed:
+			w := getRow(r.PID)
+			fill(w, col(r.Start), col(r.End()), fmt.Sprintf("%d", r.BatchID), '=')
+		case KindBatchWait:
+			if r.Dur > span/time.Duration(width) { // only visible waits
+				m := getRow(r.PID)
+				fill(m, col(r.Start), col(r.End()), "W", 'w')
+			}
+		case KindBatchConsumed:
+			m := getRow(r.PID)
+			c := col(r.Start)
+			m.cells[c] = 'C'
+		}
+	}
+
+	// Render: main first, then workers by pid.
+	pids := make([]int, 0, len(rows))
+	for pid := range rows {
+		pids = append(pids, pid)
+	}
+	sort.Slice(pids, func(i, j int) bool {
+		if (pids[i] == mainPID) != (pids[j] == mainPID) {
+			return pids[i] == mainPID
+		}
+		return pids[i] < pids[j]
+	})
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "timeline: %v total; %v per column\n", span.Round(time.Millisecond), (span / time.Duration(width)).Round(time.Microsecond))
+	for _, pid := range pids {
+		r := rows[pid]
+		name := fmt.Sprintf("worker %d", pid)
+		if r.main {
+			name = "main"
+		}
+		fmt.Fprintf(&b, "%-10s |%s|\n", name, r.cells)
+	}
+	b.WriteString("legend: ===batch spans (digits = batch id), w/W main waiting, C batch consumed\n")
+	return b.String()
+}

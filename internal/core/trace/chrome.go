@@ -1,0 +1,205 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"lotus/internal/clock"
+)
+
+// Granularity selects the visualization detail level (§ III-C).
+type Granularity int
+
+const (
+	// Coarse shows batch-level spans only.
+	Coarse Granularity = iota
+	// Fine adds the per-operation spans inside each worker row.
+	Fine
+)
+
+// chromeEvent is one entry in the Chrome Trace Viewer JSON array. Field
+// names follow the Trace Event Format the PyTorch profiler also emits.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Cat  string         `json:"cat,omitempty"`
+	TS   float64        `json:"ts"` // microseconds
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	ID   int            `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents []chromeEvent  `json:"traceEvents"`
+	Metadata    map[string]any `json:"otherData,omitempty"`
+}
+
+// mainPIDOf finds the pid that logged wait records (the main process).
+func mainPIDOf(records []Record) int {
+	for _, r := range records {
+		if r.Kind == KindBatchWait || r.Kind == KindBatchConsumed {
+			return r.PID
+		}
+	}
+	return 0
+}
+
+// BuildChromeEvents converts LotusTrace records to Chrome trace events.
+// LotusTrace events carry negative synthetic ids (-(batchID+1)) so they can
+// be merged with a PyTorch-profiler trace, whose ids are positive (§ III-C).
+func BuildChromeEvents(records []Record, g Granularity) []chromeEvent {
+	var events []chromeEvent
+	mainPID := mainPIDOf(records)
+
+	us := func(r Record) (float64, float64) {
+		return float64(r.Start.Sub(clock.Epoch).Nanoseconds()) / 1e3,
+			float64(r.Dur.Nanoseconds()) / 1e3
+	}
+
+	pids := map[int]bool{}
+	type flowEnd struct{ preEnd, consStart Record }
+	flows := map[int]*flowEnd{}
+
+	for _, r := range records {
+		pids[r.PID] = true
+		ts, dur := us(r)
+		switch r.Kind {
+		case KindOp:
+			if g == Fine {
+				events = append(events, chromeEvent{
+					Name: "S" + r.Op, Ph: "X", Cat: "preprocessing",
+					TS: ts, Dur: dur, PID: r.PID, TID: r.PID,
+					ID: -(r.BatchID + 1),
+					Args: map[string]any{
+						"batch":  r.BatchID,
+						"sample": r.SampleIndex,
+					},
+				})
+			}
+		case KindBatchPreprocessed:
+			events = append(events, chromeEvent{
+				Name: fmt.Sprintf("SBatchPreprocessed_%d", r.BatchID), Ph: "X", Cat: "batch",
+				TS: ts, Dur: dur, PID: r.PID, TID: r.PID, ID: -(r.BatchID + 1),
+			})
+			f := flows[r.BatchID]
+			if f == nil {
+				f = &flowEnd{}
+				flows[r.BatchID] = f
+			}
+			f.preEnd = r
+		case KindBatchWait:
+			events = append(events, chromeEvent{
+				Name: fmt.Sprintf("SBatchWait_%d", r.BatchID), Ph: "X", Cat: "batch",
+				TS: ts, Dur: dur, PID: r.PID, TID: r.PID, ID: -(r.BatchID + 1),
+			})
+		case KindBatchConsumed:
+			events = append(events, chromeEvent{
+				Name: fmt.Sprintf("SBatchConsumed_%d", r.BatchID), Ph: "X", Cat: "batch",
+				TS: ts, Dur: maxFloat(dur, 1), PID: r.PID, TID: r.PID, ID: -(r.BatchID + 1),
+			})
+			f := flows[r.BatchID]
+			if f == nil {
+				f = &flowEnd{}
+				flows[r.BatchID] = f
+			}
+			f.consStart = r
+		}
+	}
+
+	// Data-flow arrows: SBatchPreprocessed end (worker) -> SBatchConsumed
+	// start (main).
+	var flowIDs []int
+	for id := range flows {
+		flowIDs = append(flowIDs, id)
+	}
+	sort.Ints(flowIDs)
+	for _, id := range flowIDs {
+		f := flows[id]
+		if f.preEnd.Dur == 0 && f.preEnd.Start.IsZero() || f.consStart.Start.IsZero() {
+			continue
+		}
+		endTS := float64(f.preEnd.End().Sub(clock.Epoch).Nanoseconds()) / 1e3
+		consTS := float64(f.consStart.Start.Sub(clock.Epoch).Nanoseconds()) / 1e3
+		events = append(events,
+			chromeEvent{
+				Name: "batch_flow", Ph: "s", Cat: "dataflow",
+				TS: endTS, PID: f.preEnd.PID, TID: f.preEnd.PID, ID: -(id + 1),
+			},
+			chromeEvent{
+				Name: "batch_flow", Ph: "f", BP: "e", Cat: "dataflow",
+				TS: consTS, PID: f.consStart.PID, TID: f.consStart.PID, ID: -(id + 1),
+			},
+		)
+	}
+
+	// Process-name metadata rows.
+	var pidList []int
+	for pid := range pids {
+		pidList = append(pidList, pid)
+	}
+	sort.Ints(pidList)
+	for _, pid := range pidList {
+		name := fmt.Sprintf("DataLoader Worker (pid %d)", pid)
+		if pid == mainPID {
+			name = fmt.Sprintf("Main Process (pid %d)", pid)
+		}
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", PID: pid, TID: pid,
+			Args: map[string]any{"name": name},
+		})
+	}
+	return events
+}
+
+// ExportChrome renders records as a standalone Chrome Trace Viewer file.
+func ExportChrome(records []Record, g Granularity) ([]byte, error) {
+	tr := chromeTrace{
+		TraceEvents: BuildChromeEvents(records, g),
+		Metadata:    map[string]any{"generator": "lotustrace"},
+	}
+	return json.MarshalIndent(tr, "", " ")
+}
+
+// AugmentChrome merges LotusTrace events into an existing Chrome trace (for
+// example one produced by the PyTorch-profiler model), preserving the
+// original events. LotusTrace ids are negative, so they cannot collide with
+// the profiler's positive ids.
+func AugmentChrome(existing []byte, records []Record, g Granularity) ([]byte, error) {
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(existing, &doc); err != nil {
+		return nil, fmt.Errorf("trace: existing trace is not valid JSON: %w", err)
+	}
+	var events []json.RawMessage
+	if raw, ok := doc["traceEvents"]; ok {
+		if err := json.Unmarshal(raw, &events); err != nil {
+			return nil, fmt.Errorf("trace: traceEvents is not an array: %w", err)
+		}
+	}
+	for _, ev := range BuildChromeEvents(records, g) {
+		b, err := json.Marshal(ev)
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, b)
+	}
+	merged, err := json.Marshal(events)
+	if err != nil {
+		return nil, err
+	}
+	if doc == nil {
+		doc = map[string]json.RawMessage{}
+	}
+	doc["traceEvents"] = merged
+	return json.MarshalIndent(doc, "", " ")
+}
+
+func maxFloat(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

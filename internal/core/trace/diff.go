@@ -1,0 +1,142 @@
+package trace
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Diff compares two traced runs of the same pipeline — the
+// before-and-after view a practitioner needs when applying an optimization
+// the advisor suggested (more workers, offline decode, a different dispatch
+// policy).
+type Diff struct {
+	Ops []DiffRow
+	// Epoch-level deltas.
+	BatchesBefore, BatchesAfter       int
+	CPUSecondsBefore, CPUSecondsAfter float64
+	WallBefore, WallAfter             time.Duration
+	WaitFracBefore, WaitFracAfter     float64 // waits > 500ms
+	DelayFracBefore, DelayFracAfter   float64 // delays > 500ms
+	OOOBefore, OOOAfter               int
+}
+
+// DiffRow is one operation's before/after comparison.
+type DiffRow struct {
+	Op            string
+	Before, After OpStat
+	// Ratio is After.Mean / Before.Mean (0 when the op vanished).
+	Ratio float64
+	// Significant reports whether the mean shift clears a Welch two-sample
+	// test at ~95% (|t| > 2) — so per-op noise is not misread as an
+	// optimization effect.
+	Significant bool
+}
+
+// welchT computes the Welch two-sample t statistic for the two op stats.
+func welchT(a, b OpStat) float64 {
+	if a.Count < 2 || b.Count < 2 {
+		return 0
+	}
+	va := float64(a.Std) * float64(a.Std) / float64(a.Count)
+	vb := float64(b.Std) * float64(b.Std) / float64(b.Count)
+	den := math.Sqrt(va + vb)
+	if den == 0 {
+		if a.Mean == b.Mean {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (float64(b.Mean) - float64(a.Mean)) / den
+}
+
+// wallSpan estimates a run's duration from its records.
+func wallSpan(a *Analysis) time.Duration {
+	var start, end time.Time
+	first := true
+	for _, r := range a.Records {
+		if first || r.Start.Before(start) {
+			start = r.Start
+		}
+		if first || r.End().After(end) {
+			end = r.End()
+		}
+		first = false
+	}
+	if first {
+		return 0
+	}
+	return end.Sub(start)
+}
+
+// DiffAnalyses builds the comparison.
+func DiffAnalyses(before, after *Analysis) *Diff {
+	d := &Diff{
+		BatchesBefore:    len(before.Batches()),
+		BatchesAfter:     len(after.Batches()),
+		CPUSecondsBefore: before.TotalCPUSeconds(),
+		CPUSecondsAfter:  after.TotalCPUSeconds(),
+		WallBefore:       wallSpan(before),
+		WallAfter:        wallSpan(after),
+		WaitFracBefore:   before.WaitsOver(500 * time.Millisecond),
+		WaitFracAfter:    after.WaitsOver(500 * time.Millisecond),
+		DelayFracBefore:  before.DelaysOver(500 * time.Millisecond),
+		DelayFracAfter:   after.DelaysOver(500 * time.Millisecond),
+		OOOBefore:        len(before.OutOfOrderBatches()),
+		OOOAfter:         len(after.OutOfOrderBatches()),
+	}
+	bOps := before.OpStats()
+	aOps := after.OpStats()
+	names := map[string]bool{}
+	for op := range bOps {
+		names[op] = true
+	}
+	for op := range aOps {
+		names[op] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for op := range names {
+		sorted = append(sorted, op)
+	}
+	sort.Strings(sorted)
+	for _, op := range sorted {
+		row := DiffRow{Op: op, Before: bOps[op], After: aOps[op]}
+		if row.Before.Mean > 0 {
+			row.Ratio = float64(row.After.Mean) / float64(row.Before.Mean)
+		}
+		row.Significant = math.Abs(welchT(row.Before, row.After)) > 2
+		d.Ops = append(d.Ops, row)
+	}
+	return d
+}
+
+// Render prints the comparison table.
+func (d *Diff) Render() string {
+	var b strings.Builder
+	b.WriteString("trace diff (before -> after)\n\n")
+	fmt.Fprintf(&b, "%-28s %12s %12s %8s %5s\n", "operation (mean)", "before", "after", "ratio", "sig")
+	for _, row := range d.Ops {
+		ratio := "-"
+		if row.Ratio > 0 {
+			ratio = fmt.Sprintf("%.2fx", row.Ratio)
+		}
+		sig := ""
+		if row.Significant {
+			sig = "*"
+		}
+		fmt.Fprintf(&b, "%-28s %12v %12v %8s %5s\n", row.Op,
+			row.Before.Mean.Round(10*time.Microsecond), row.After.Mean.Round(10*time.Microsecond), ratio, sig)
+	}
+	fmt.Fprintf(&b, "\n%-28s %12v %12v", "wall span", d.WallBefore.Round(time.Millisecond), d.WallAfter.Round(time.Millisecond))
+	if d.WallBefore > 0 {
+		fmt.Fprintf(&b, " %7.2fx", float64(d.WallAfter)/float64(d.WallBefore))
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-28s %12.1f %12.1f\n", "cpu seconds", d.CPUSecondsBefore, d.CPUSecondsAfter)
+	fmt.Fprintf(&b, "%-28s %11.1f%% %11.1f%%\n", "waits > 500ms", 100*d.WaitFracBefore, 100*d.WaitFracAfter)
+	fmt.Fprintf(&b, "%-28s %11.1f%% %11.1f%%\n", "delays > 500ms", 100*d.DelayFracBefore, 100*d.DelayFracAfter)
+	fmt.Fprintf(&b, "%-28s %12d %12d\n", "out-of-order batches", d.OOOBefore, d.OOOAfter)
+	return b.String()
+}

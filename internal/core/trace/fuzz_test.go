@@ -1,0 +1,44 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseRecord: the parser must never panic and must round-trip every
+// record it accepts.
+func FuzzParseRecord(f *testing.F) {
+	f.Add("op,4001,3,17,RandomResizedCrop,1000000,1100")
+	f.Add("pre,4002,9,-1,,2000000,40000000")
+	f.Add("wait,4000,9,-1,,3000000,1000")
+	f.Add("cons,4000,9,-1,,4000000,0")
+	f.Add("")
+	f.Add("op,,,,,,")
+	f.Add("bogus,1,2,3,x,4,5")
+	f.Fuzz(func(t *testing.T, line string) {
+		rec, err := ParseRecord(line)
+		if err != nil {
+			return
+		}
+		// Accepted records must re-serialize to something that parses to the
+		// same value.
+		back, err := ParseRecord(rec.format())
+		if err != nil {
+			t.Fatalf("re-parse of %q failed: %v", rec.format(), err)
+		}
+		if back != rec {
+			t.Fatalf("round trip changed record: %+v vs %+v", back, rec)
+		}
+	})
+}
+
+// FuzzReadLog: arbitrary byte streams must never panic the log reader.
+func FuzzReadLog(f *testing.F) {
+	f.Add("# lotustrace v1 workload=IC\nop,1,0,5,Loader,1000,2000\n")
+	f.Add("\n\n#\n")
+	f.Add("op,1,0,5,Loader,1000")
+	f.Fuzz(func(t *testing.T, log string) {
+		_, _, _ = ReadLogWithMeta(strings.NewReader(log))
+		_, _ = ReadLog(strings.NewReader(log))
+	})
+}

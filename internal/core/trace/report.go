@@ -1,0 +1,288 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"html/template"
+	"sort"
+	"time"
+)
+
+// This file renders a traced run as a single self-contained HTML report:
+// run summary, advisor findings, per-operation statistics, wait/delay
+// histograms, and an SVG timeline with the worker→main structure of the
+// paper's Figure 2 — everything a practitioner needs from one run without
+// loading Chrome tracing.
+
+// reportData feeds the HTML template.
+type reportData struct {
+	Meta      []kv
+	Summary   []kv
+	Findings  []Finding
+	Ops       []opRow
+	WaitHist  []histBar
+	DelayHist []histBar
+	Timeline  template.HTML
+}
+
+type kv struct{ K, V string }
+
+type opRow struct {
+	Op                    string
+	Count                 int
+	Mean, P90, Total      string
+	Under10ms, Under100us string
+	Share                 float64 // CPU share 0..100 for the inline bar
+}
+
+type histBar struct {
+	Label string
+	Count int
+	Pct   float64
+}
+
+// BuildHTMLReport renders the report. meta may be nil.
+func BuildHTMLReport(records []Record, meta map[string]string) ([]byte, error) {
+	a := Analyze(records)
+	d := reportData{}
+
+	metaKeys := make([]string, 0, len(meta))
+	for k := range meta {
+		metaKeys = append(metaKeys, k)
+	}
+	sort.Strings(metaKeys)
+	for _, k := range metaKeys {
+		d.Meta = append(d.Meta, kv{k, meta[k]})
+	}
+
+	batches := a.Batches()
+	d.Summary = []kv{
+		{"batches", fmt.Sprint(len(batches))},
+		{"records", fmt.Sprint(len(records))},
+		{"wall span", wallSpan(a).Round(time.Millisecond).String()},
+		{"preprocessing CPU", fmt.Sprintf("%.2fs", a.TotalCPUSeconds())},
+		{"out-of-order batches", fmt.Sprint(len(a.OutOfOrderBatches()))},
+		{"waits > 500ms", fmt.Sprintf("%.1f%%", 100*a.WaitsOver(500*time.Millisecond))},
+		{"delays > 500ms", fmt.Sprintf("%.1f%%", 100*a.DelaysOver(500*time.Millisecond))},
+	}
+
+	d.Findings = a.Advise(AdvisorConfig{})
+
+	stats := a.OpStats()
+	var total time.Duration
+	for _, st := range stats {
+		total += st.Total
+	}
+	ops := make([]string, 0, len(stats))
+	for op := range stats {
+		ops = append(ops, op)
+	}
+	sort.Slice(ops, func(i, j int) bool { return stats[ops[i]].Total > stats[ops[j]].Total })
+	for _, op := range ops {
+		st := stats[op]
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(st.Total) / float64(total)
+		}
+		d.Ops = append(d.Ops, opRow{
+			Op:         op,
+			Count:      st.Count,
+			Mean:       st.Mean.Round(10 * time.Microsecond).String(),
+			P90:        st.P90.Round(10 * time.Microsecond).String(),
+			Total:      st.Total.Round(time.Millisecond).String(),
+			Under10ms:  fmt.Sprintf("%.1f%%", 100*st.Under10ms),
+			Under100us: fmt.Sprintf("%.1f%%", 100*st.Under100us),
+			Share:      share,
+		})
+	}
+
+	var waits, delays []time.Duration
+	for _, b := range batches {
+		waits = append(waits, b.WaitDur)
+		delays = append(delays, b.Delay())
+	}
+	d.WaitHist = histogram(waits)
+	d.DelayHist = histogram(delays)
+	d.Timeline = template.HTML(timelineSVG(records, 900))
+
+	var buf bytes.Buffer
+	if err := reportTemplate.Execute(&buf, d); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// histogram buckets durations into log-spaced bins.
+func histogram(ds []time.Duration) []histBar {
+	bins := []struct {
+		label string
+		upper time.Duration
+	}{
+		{"<1ms", time.Millisecond},
+		{"1–10ms", 10 * time.Millisecond},
+		{"10–100ms", 100 * time.Millisecond},
+		{"0.1–0.5s", 500 * time.Millisecond},
+		{"0.5–2s", 2 * time.Second},
+		{">2s", 1<<63 - 1},
+	}
+	counts := make([]int, len(bins))
+	for _, d := range ds {
+		for i, b := range bins {
+			if d < b.upper {
+				counts[i]++
+				break
+			}
+		}
+	}
+	maxN := 1
+	for _, n := range counts {
+		if n > maxN {
+			maxN = n
+		}
+	}
+	out := make([]histBar, len(bins))
+	for i, b := range bins {
+		out[i] = histBar{Label: b.label, Count: counts[i], Pct: 100 * float64(counts[i]) / float64(maxN)}
+	}
+	return out
+}
+
+// timelineSVG renders the coarse timeline as inline SVG.
+func timelineSVG(records []Record, width int) string {
+	var start, end time.Time
+	first := true
+	for _, r := range records {
+		if r.Kind == KindOp {
+			continue
+		}
+		if first || r.Start.Before(start) {
+			start = r.Start
+		}
+		if first || r.End().After(end) {
+			end = r.End()
+		}
+		first = false
+	}
+	if first || !end.After(start) {
+		return "<svg width='10' height='10'></svg>"
+	}
+	span := end.Sub(start)
+	x := func(t time.Time) float64 {
+		return float64(t.Sub(start)) / float64(span) * float64(width)
+	}
+
+	mainPID := mainPIDOf(records)
+	pids := map[int]bool{}
+	for _, r := range records {
+		if r.Kind != KindOp {
+			pids[r.PID] = true
+		}
+	}
+	order := make([]int, 0, len(pids))
+	for pid := range pids {
+		order = append(order, pid)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if (order[i] == mainPID) != (order[j] == mainPID) {
+			return order[i] == mainPID
+		}
+		return order[i] < order[j]
+	})
+	rowOf := map[int]int{}
+	for i, pid := range order {
+		rowOf[pid] = i
+	}
+	const rowH, pad = 22, 4
+	height := len(order)*rowH + 24
+
+	var b bytes.Buffer
+	fmt.Fprintf(&b, `<svg width="%d" height="%d" font-family="monospace" font-size="10">`, width+120, height)
+	for i, pid := range order {
+		name := fmt.Sprintf("worker %d", pid)
+		if pid == mainPID {
+			name = "main"
+		}
+		fmt.Fprintf(&b, `<text x="0" y="%d">%s</text>`, i*rowH+14, name)
+	}
+	esc := func(t time.Time) float64 { return 110 + x(t) }
+	for _, r := range records {
+		row, ok := rowOf[r.PID]
+		if !ok {
+			continue
+		}
+		y := row*rowH + pad
+		switch r.Kind {
+		case KindBatchPreprocessed:
+			w := x(r.End()) - x(r.Start)
+			if w < 1 {
+				w = 1
+			}
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="#4c78a8"><title>batch %d (%v)</title></rect>`,
+				esc(r.Start), y, w, rowH-2*pad, r.BatchID, r.Dur.Round(time.Millisecond))
+		case KindBatchWait:
+			if r.Dur <= NoWaitMarker {
+				continue
+			}
+			w := x(r.End()) - x(r.Start)
+			if w < 1 {
+				w = 1
+			}
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="#e45756" opacity="0.7"><title>wait for batch %d (%v)</title></rect>`,
+				esc(r.Start), y, w, rowH-2*pad, r.BatchID, r.Dur.Round(time.Millisecond))
+		case KindBatchConsumed:
+			fmt.Fprintf(&b, `<rect x="%.1f" y="%d" width="2" height="%d" fill="#54a24b"><title>batch %d consumed</title></rect>`,
+				esc(r.Start), y, rowH-2*pad, r.BatchID)
+		}
+	}
+	fmt.Fprintf(&b, `<text x="110" y="%d">0</text><text x="%d" y="%d" text-anchor="end">%v</text>`,
+		height-6, width+110, height-6, span.Round(time.Millisecond))
+	b.WriteString("</svg>")
+	return b.String()
+}
+
+var reportTemplate = template.Must(template.New("report").Parse(`<!DOCTYPE html>
+<html><head><meta charset="utf-8"><title>LotusTrace report</title>
+<style>
+body { font-family: -apple-system, sans-serif; margin: 2em auto; max-width: 1080px; color: #222; }
+h1 { font-size: 1.4em; } h2 { font-size: 1.1em; margin-top: 1.6em; }
+table { border-collapse: collapse; width: 100%; }
+th, td { text-align: left; padding: 4px 10px; border-bottom: 1px solid #e0e0e0; font-size: 0.9em; }
+.cards { display: flex; flex-wrap: wrap; gap: 10px; }
+.card { background: #f6f6f8; border-radius: 6px; padding: 8px 14px; }
+.card b { display: block; font-size: 1.1em; }
+.sev-critical { color: #b3261e; font-weight: 600; }
+.sev-warning { color: #9a6700; font-weight: 600; }
+.sev-info { color: #2f6fb7; }
+.bar { background: #4c78a8; height: 10px; display: inline-block; }
+.hist td { padding: 2px 10px; }
+.meta { color: #666; font-size: 0.85em; }
+</style></head><body>
+<h1>LotusTrace report</h1>
+{{if .Meta}}<p class="meta">{{range .Meta}}{{.K}}={{.V}} {{end}}</p>{{end}}
+
+<h2>Run summary</h2>
+<div class="cards">{{range .Summary}}<div class="card"><b>{{.V}}</b>{{.K}}</div>{{end}}</div>
+
+<h2>Advisor findings</h2>
+{{if .Findings}}<table>{{range .Findings}}
+<tr><td class="sev-{{.Severity}}">{{.Severity}}</td><td><b>{{.Rule}}</b></td><td>{{.Detail}}</td></tr>
+{{end}}</table>{{else}}<p>no findings: the pipeline looks healthy.</p>{{end}}
+
+<h2>Per-operation statistics</h2>
+<table><tr><th>operation</th><th>count</th><th>mean</th><th>p90</th><th>total</th><th>&lt;10ms</th><th>&lt;100µs</th><th>CPU share</th></tr>
+{{range .Ops}}<tr><td>{{.Op}}</td><td>{{.Count}}</td><td>{{.Mean}}</td><td>{{.P90}}</td><td>{{.Total}}</td>
+<td>{{.Under10ms}}</td><td>{{.Under100us}}</td>
+<td><span class="bar" style="width:{{printf "%.0f" .Share}}px"></span> {{printf "%.1f" .Share}}%</td></tr>{{end}}
+</table>
+
+<h2>Main-process wait times</h2>
+<table class="hist">{{range .WaitHist}}<tr><td>{{.Label}}</td><td><span class="bar" style="width:{{printf "%.0f" .Pct}}px"></span></td><td>{{.Count}}</td></tr>{{end}}</table>
+
+<h2>Batch delay times (preprocessed → consumed)</h2>
+<table class="hist">{{range .DelayHist}}<tr><td>{{.Label}}</td><td><span class="bar" style="width:{{printf "%.0f" .Pct}}px"></span></td><td>{{.Count}}</td></tr>{{end}}</table>
+
+<h2>Timeline</h2>
+<p class="meta">blue: batch preprocessing spans; red: main-process waits; green ticks: consumption.</p>
+{{.Timeline}}
+</body></html>
+`))

@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+)
+
+// WriteOpStatsCSV exports per-operation statistics in the column layout the
+// paper's analysis notebooks consume (preprocessing_time_stats.py produces
+// the same quantities). Ops appear in the given order; unknown names emit
+// zero rows so downstream plots keep consistent columns.
+func (a *Analysis) WriteOpStatsCSV(w io.Writer, order []string) error {
+	stats := a.OpStats()
+	cw := csv.NewWriter(w)
+	header := []string{"op", "count", "mean_ms", "std_ms", "p90_ms", "total_ms", "under_10ms_frac", "under_100us_frac"}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	ms := func(d time.Duration) string {
+		return strconv.FormatFloat(float64(d)/float64(time.Millisecond), 'f', 4, 64)
+	}
+	frac := func(f float64) string { return strconv.FormatFloat(f, 'f', 4, 64) }
+	for _, op := range order {
+		st := stats[op]
+		rec := []string{
+			op,
+			strconv.Itoa(st.Count),
+			ms(st.Mean), ms(st.Std), ms(st.P90), ms(st.Total),
+			frac(st.Under10ms), frac(st.Under100us),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadOpStatsCSV parses stats written by WriteOpStatsCSV back into OpStats
+// keyed by op name (P-quantiles and thresholds only; raw samples are gone).
+func ReadOpStatsCSV(r io.Reader) (map[string]OpStat, error) {
+	records, err := csv.NewReader(r).ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trace: bad op-stats CSV: %w", err)
+	}
+	if len(records) == 0 || records[0][0] != "op" {
+		return nil, fmt.Errorf("trace: missing op-stats header")
+	}
+	out := map[string]OpStat{}
+	for i, rec := range records[1:] {
+		if len(rec) != 8 {
+			return nil, fmt.Errorf("trace: op-stats row %d has %d fields", i+2, len(rec))
+		}
+		count, err := strconv.Atoi(rec[1])
+		if err != nil {
+			return nil, fmt.Errorf("trace: row %d count: %w", i+2, err)
+		}
+		fs := make([]float64, 6)
+		for j := range fs {
+			fs[j], err = strconv.ParseFloat(rec[2+j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("trace: row %d field %d: %w", i+2, 2+j, err)
+			}
+		}
+		msd := func(v float64) time.Duration { return time.Duration(v * float64(time.Millisecond)) }
+		out[rec[0]] = OpStat{
+			Op: rec[0], Count: count,
+			Mean: msd(fs[0]), Std: msd(fs[1]), P90: msd(fs[2]), Total: msd(fs[3]),
+			Under10ms: fs[4], Under100us: fs[5],
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,131 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Issue is one consistency violation found in a trace log.
+type Issue struct {
+	// Code identifies the invariant, e.g. "op-outside-batch".
+	Code string
+	// Detail carries the offending record's coordinates.
+	Detail string
+}
+
+func (i Issue) String() string { return fmt.Sprintf("%s: %s", i.Code, i.Detail) }
+
+// Validate checks the structural invariants a well-formed LotusTrace log
+// satisfies. It catches instrumentation bugs (hooks wired to the wrong
+// process, clock regressions, missing records) before analyses silently
+// produce nonsense. Checked invariants:
+//
+//   - no negative durations;
+//   - each batch has at most one preprocessing/wait/consumption record, and
+//     a consumption implies a preprocessing record;
+//   - a batch is consumed only after its preprocessing finished;
+//   - wait records come from one single pid (the main process), and
+//     preprocessing records never come from that pid;
+//   - per-sample op records fall inside their batch's preprocessing span
+//     (with tolerance for the per-log emission cost);
+//   - batch IDs are consumed in strictly increasing order.
+func Validate(records []Record) []Issue {
+	var issues []Issue
+	add := func(code, format string, args ...any) {
+		issues = append(issues, Issue{Code: code, Detail: fmt.Sprintf(format, args...)})
+	}
+
+	type batchState struct {
+		pre, wait, cons int
+		preStart        time.Time
+		preEnd          time.Time
+		consStart       time.Time
+		workerPID       int
+	}
+	batches := map[int]*batchState{}
+	get := func(id int) *batchState {
+		b, ok := batches[id]
+		if !ok {
+			b = &batchState{}
+			batches[id] = b
+		}
+		return b
+	}
+
+	mainPID := 0
+	var consOrder []int
+
+	for _, r := range records {
+		if r.Dur < 0 {
+			add("negative-duration", "%s record for batch %d has duration %v", r.Kind.tag(), r.BatchID, r.Dur)
+		}
+		switch r.Kind {
+		case KindBatchPreprocessed:
+			b := get(r.BatchID)
+			b.pre++
+			b.preStart, b.preEnd = r.Start, r.End()
+			b.workerPID = r.PID
+		case KindBatchWait:
+			b := get(r.BatchID)
+			b.wait++
+			if mainPID == 0 {
+				mainPID = r.PID
+			} else if r.PID != mainPID {
+				add("multiple-main-pids", "wait records from pids %d and %d", mainPID, r.PID)
+			}
+		case KindBatchConsumed:
+			b := get(r.BatchID)
+			b.cons++
+			b.consStart = r.Start
+			consOrder = append(consOrder, r.BatchID)
+		}
+	}
+
+	ids := make([]int, 0, len(batches))
+	for id := range batches {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		b := batches[id]
+		if b.pre > 1 || b.wait > 1 || b.cons > 1 {
+			add("duplicate-batch-records", "batch %d: pre=%d wait=%d cons=%d", id, b.pre, b.wait, b.cons)
+		}
+		if b.cons > 0 && b.pre == 0 {
+			add("consumed-without-preprocessing", "batch %d consumed but never preprocessed", id)
+		}
+		if b.cons > 0 && b.pre > 0 && b.consStart.Before(b.preEnd) {
+			add("consumed-before-ready", "batch %d consumed at %v, preprocessing ended %v",
+				id, b.consStart, b.preEnd)
+		}
+		if mainPID != 0 && b.pre > 0 && b.workerPID == mainPID {
+			add("worker-is-main", "batch %d preprocessed by the main pid %d", id, mainPID)
+		}
+	}
+
+	for i := 1; i < len(consOrder); i++ {
+		if consOrder[i] <= consOrder[i-1] {
+			add("out-of-order-consumption", "batch %d consumed after batch %d", consOrder[i], consOrder[i-1])
+		}
+	}
+
+	// Op records inside their batch's preprocessing span. Tolerance covers
+	// per-log emission cost charged between an op and its fetch-span close.
+	const tol = 5 * time.Millisecond
+	for _, r := range records {
+		if r.Kind != KindOp {
+			continue
+		}
+		b, ok := batches[r.BatchID]
+		if !ok || b.pre == 0 {
+			add("op-without-batch", "op %s references batch %d with no preprocessing span", r.Op, r.BatchID)
+			continue
+		}
+		if r.Start.Before(b.preStart.Add(-tol)) || r.End().After(b.preEnd.Add(tol)) {
+			add("op-outside-batch", "op %s of batch %d spans [%v, %v], batch spans [%v, %v]",
+				r.Op, r.BatchID, r.Start, r.End(), b.preStart, b.preEnd)
+		}
+	}
+	return issues
+}

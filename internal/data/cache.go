@@ -1,0 +1,102 @@
+package data
+
+import (
+	"sync"
+	"time"
+
+	"lotus/internal/rng"
+)
+
+// PageCache models the OS page cache in front of the remote dataset mount:
+// the first read of a file streams from storage, repeat reads within the
+// cache's capacity are nearly free. This is the mechanism behind the
+// caching optimizations the paper surveys (DataStalls' MinIO cache, Cachew,
+// FFCV): once the working set fits, later epochs stop paying the I/O cost.
+//
+// The model is LRU over whole files with a byte capacity, safe for
+// concurrent workers.
+type PageCache struct {
+	mu       sync.Mutex
+	capacity int64
+	used     int64
+	// entries maps file index -> size; order tracks LRU (front = oldest).
+	entries map[int]int64
+	order   []int
+	hits    int
+	misses  int
+	// HitLatency is the read cost served from memory.
+	HitLatency time.Duration
+}
+
+// NewPageCache creates a cache with the given byte capacity (0 disables
+// caching: everything misses).
+func NewPageCache(capacity int64) *PageCache {
+	return &PageCache{
+		capacity:   capacity,
+		entries:    make(map[int]int64),
+		HitLatency: 20 * time.Microsecond,
+	}
+}
+
+// Delay returns the read delay for file `index` of the given size under the
+// I/O model, recording the access. Hits cost HitLatency; misses pay the full
+// storage delay and install the file, evicting LRU entries as needed.
+func (c *PageCache) Delay(index, bytes int, m IOModel, r *rng.Stream) time.Duration {
+	if c == nil {
+		return m.ReadDelay(bytes, r)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[index]; ok {
+		c.hits++
+		c.touch(index)
+		return c.HitLatency
+	}
+	c.misses++
+	if c.capacity > 0 && int64(bytes) <= c.capacity {
+		for c.used+int64(bytes) > c.capacity && len(c.order) > 0 {
+			oldest := c.order[0]
+			c.order = c.order[1:]
+			c.used -= c.entries[oldest]
+			delete(c.entries, oldest)
+		}
+		c.entries[index] = int64(bytes)
+		c.order = append(c.order, index)
+		c.used += int64(bytes)
+	}
+	return m.ReadDelay(bytes, r)
+}
+
+// touch moves index to the MRU end.
+func (c *PageCache) touch(index int) {
+	for i, v := range c.order {
+		if v == index {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			c.order = append(c.order, index)
+			return
+		}
+	}
+}
+
+// Stats reports hits and misses so far.
+func (c *PageCache) Stats() (hits, misses int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// HitRate returns hits / (hits+misses).
+func (c *PageCache) HitRate() float64 {
+	h, m := c.Stats()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// Used reports the cached bytes.
+func (c *PageCache) Used() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.used
+}

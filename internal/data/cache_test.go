@@ -1,0 +1,73 @@
+package data
+
+import (
+	"testing"
+	"time"
+
+	"lotus/internal/rng"
+)
+
+func TestPageCacheHitsAreFast(t *testing.T) {
+	c := NewPageCache(1 << 20)
+	m := IOModel{BaseLatency: time.Millisecond, BandwidthMBps: 100}
+	miss := c.Delay(0, 100<<10, m, nil)
+	hit := c.Delay(0, 100<<10, m, nil)
+	if miss <= hit {
+		t.Fatalf("miss %v should exceed hit %v", miss, hit)
+	}
+	if hit != c.HitLatency {
+		t.Fatalf("hit delay %v, want %v", hit, c.HitLatency)
+	}
+	if h, ms := c.Stats(); h != 1 || ms != 1 {
+		t.Fatalf("stats (%d, %d)", h, ms)
+	}
+}
+
+func TestPageCacheLRUEviction(t *testing.T) {
+	c := NewPageCache(300)
+	m := IOModel{BaseLatency: time.Millisecond, BandwidthMBps: 100}
+	c.Delay(1, 100, m, nil)
+	c.Delay(2, 100, m, nil)
+	c.Delay(3, 100, m, nil) // cache now holds 1,2,3
+	c.Delay(1, 100, m, nil) // touch 1 -> LRU order 2,3,1
+	c.Delay(4, 100, m, nil) // evicts 2
+	if d := c.Delay(2, 100, m, nil); d == c.HitLatency {
+		t.Fatal("entry 2 should have been evicted")
+	}
+	if d := c.Delay(1, 100, m, nil); d != c.HitLatency {
+		t.Fatal("entry 1 should have survived (was touched)")
+	}
+	if c.Used() > 300 {
+		t.Fatalf("cache over capacity: %d", c.Used())
+	}
+}
+
+func TestPageCacheOversizedFileNeverCached(t *testing.T) {
+	c := NewPageCache(100)
+	m := IOModel{BaseLatency: time.Millisecond, BandwidthMBps: 100}
+	c.Delay(0, 1000, m, nil)
+	if d := c.Delay(0, 1000, m, nil); d == c.HitLatency {
+		t.Fatal("file larger than the cache must not be cached")
+	}
+	if c.Used() != 0 {
+		t.Fatalf("oversized file consumed capacity: %d", c.Used())
+	}
+}
+
+func TestPageCacheNilIsPassthrough(t *testing.T) {
+	var c *PageCache
+	m := IOModel{BaseLatency: time.Millisecond, BandwidthMBps: 100}
+	if d := c.Delay(0, 100<<10, m, rng.New(1, "x")); d < time.Millisecond {
+		t.Fatalf("nil cache should pass through to the IO model, got %v", d)
+	}
+}
+
+func TestPageCacheZeroCapacityAlwaysMisses(t *testing.T) {
+	c := NewPageCache(0)
+	m := IOModel{BaseLatency: time.Millisecond, BandwidthMBps: 100}
+	c.Delay(5, 100, m, nil)
+	c.Delay(5, 100, m, nil)
+	if c.HitRate() != 0 {
+		t.Fatalf("hit rate %v with zero capacity", c.HitRate())
+	}
+}

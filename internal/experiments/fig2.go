@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"lotus/internal/core/trace"
+	"lotus/internal/workloads"
+)
+
+// Fig2Result characterizes each pipeline's bottleneck from its coarse trace:
+// preprocessing-bound pipelines show long main-process waits and short batch
+// delays; GPU-bound pipelines show the opposite (paper Figure 2).
+type Fig2Result struct {
+	Rows []Fig2Row
+	// Traces holds the Chrome Trace Viewer JSON per pipeline (coarse).
+	Traces map[workloads.Kind][]byte
+}
+
+// Fig2Row is one pipeline's bottleneck summary.
+type Fig2Row struct {
+	Kind           workloads.Kind
+	Batches        int
+	GPUUtilization float64
+	MedianWait     time.Duration
+	MedianDelay    time.Duration
+	MaxDelay       time.Duration
+	GPUBatchTime   time.Duration
+	// PreprocessingBound is the verdict: waits dominate delays.
+	PreprocessingBound bool
+	// WorkersOverlap reports whether worker preprocessing spans overlap in
+	// time (parallel preprocessing visible in the trace); GPU-bound
+	// pipelines appear sequential (Takeaway 2).
+	WorkersOverlap bool
+}
+
+// RunFig2 runs IC with the Figure 2(a) configuration (b=1024, 4 GPUs, 4
+// loaders) and IS/OD with their defaults.
+func RunFig2(scale Scale) *Fig2Result {
+	ic := workloads.ICSpec(scale.samples(2048, 20480), 21)
+	ic.BatchSize, ic.NumWorkers, ic.GPUs = 1024, 4, 4
+	specs := []workloads.Spec{ic, workloads.ISSpec(scale.samples(48, 336), 22), workloads.ODSpec(scale.samples(96, 1200), 23)}
+
+	res := &Fig2Result{Traces: map[workloads.Kind][]byte{}}
+	for _, spec := range specs {
+		a, stats := tracedRun(spec)
+		row := Fig2Row{
+			Kind:         spec.Kind,
+			Batches:      stats.Batches,
+			GPUBatchTime: spec.GPU.BatchTime(spec.BatchSize, spec.GPUs),
+		}
+		row.GPUUtilization = stats.gpuUtil()
+		var waits, delays []time.Duration
+		for _, bi := range a.Batches() {
+			waits = append(waits, bi.WaitDur)
+			delays = append(delays, bi.Delay())
+		}
+		row.MedianWait = trace.ComputeDistStats(waits).Median
+		row.MedianDelay = trace.ComputeDistStats(delays).Median
+		row.MaxDelay = a.MaxDelay()
+		// The bottleneck verdict: a starved accelerator means preprocessing
+		// is the bottleneck. (Wait vs delay medians are misleading when
+		// synchronized workers deliver batches in waves: most batches then
+		// arrive "out of order" with 1µs wait markers even though the
+		// pipeline is thoroughly preprocessing-bound.)
+		row.PreprocessingBound = row.GPUUtilization < 0.5
+		row.WorkersOverlap = workersOverlap(a)
+		res.Rows = append(res.Rows, row)
+
+		if tr, err := trace.ExportChrome(a.Records, trace.Coarse); err == nil {
+			res.Traces[spec.Kind] = tr
+		}
+	}
+	return res
+}
+
+// workersOverlap detects whether any two preprocessing spans from different
+// workers overlap in time.
+func workersOverlap(a *trace.Analysis) bool {
+	bs := a.Batches()
+	for i := range bs {
+		for j := i + 1; j < len(bs); j++ {
+			if bs[i].WorkerPID == bs[j].WorkerPID {
+				continue
+			}
+			if bs[i].PreStart.Before(bs[j].PreEnd()) && bs[j].PreStart.Before(bs[i].PreEnd()) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Render prints the per-pipeline verdicts with the paper's observations.
+func (r *Fig2Result) Render() string {
+	var b strings.Builder
+	b.WriteString("FIGURE 2 — coarse-trace bottleneck characterization\n\n")
+	fmt.Fprintf(&b, "%-4s %8s %9s %12s %12s %12s %10s %8s %s\n",
+		"pipe", "batches", "gpu_util", "med_wait", "med_delay", "max_delay", "gpu_batch", "overlap", "verdict")
+	for _, row := range r.Rows {
+		verdict := "GPU-bound"
+		if row.PreprocessingBound {
+			verdict = "preprocessing-bound"
+		}
+		fmt.Fprintf(&b, "%-4s %8d %9s %12v %12v %12v %10v %8v %s\n",
+			row.Kind, row.Batches, pct(row.GPUUtilization),
+			row.MedianWait.Round(time.Millisecond), row.MedianDelay.Round(time.Millisecond),
+			row.MaxDelay.Round(time.Millisecond), row.GPUBatchTime.Round(time.Millisecond),
+			row.WorkersOverlap, verdict)
+	}
+	b.WriteString("\npaper: IC preprocessing-bound (small delays); IS delays ~10.9s vs 750ms GPU; OD delays ~1.64s vs 250ms GPU;\n")
+	b.WriteString("       GPU-bound pipelines' parallel preprocessing appears sequential (no overlap pressure)\n")
+	return b.String()
+}

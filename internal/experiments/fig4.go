@@ -1,0 +1,95 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"lotus/internal/core/trace"
+	"lotus/internal/workloads"
+)
+
+// Fig4Result reports per-batch preprocessing-time distributions across the
+// batch-size × GPU-count grid (paper Figure 4), plus the IS/OD variance
+// comparison from § V-C.
+type Fig4Result struct {
+	Configs []Fig4Config
+	// IQRRatio is IQR(b=1024)/IQR(b=128) averaged over GPU counts — the
+	// paper reports up to 6.9x.
+	IQRRatio float64
+	// StdOfMeanMin/Max bound stddev/mean across IC configs (paper:
+	// 5.48%–10.73%).
+	StdOfMeanMin, StdOfMeanMax float64
+	// ISStdOfMean / ODStdOfMean are the other pipelines' per-batch
+	// variability (paper: 15.47% and 66.8%).
+	ISStdOfMean, ODStdOfMean float64
+}
+
+// Fig4Config is one (batch size, GPUs) cell.
+type Fig4Config struct {
+	BatchSize, GPUs int
+	Stats           trace.DistStats
+}
+
+// RunFig4 sweeps b ∈ {128,256,512,1024} × g ∈ {1..4} with loaders = g.
+func RunFig4(scale Scale) *Fig4Result {
+	res := &Fig4Result{StdOfMeanMin: 1}
+	batchesPerConfig := 14
+	if scale == Full {
+		batchesPerConfig = 40
+	}
+	var iqrByGPU = map[int]map[int]time.Duration{}
+	for _, g := range []int{1, 2, 3, 4} {
+		iqrByGPU[g] = map[int]time.Duration{}
+		for _, bs := range []int{128, 256, 512, 1024} {
+			spec := workloads.ICSpec(bs*batchesPerConfig, 41)
+			spec.BatchSize, spec.GPUs, spec.NumWorkers = bs, g, g
+			a, _ := tracedRun(spec)
+			st := trace.ComputeDistStats(a.PreprocessTimes())
+			res.Configs = append(res.Configs, Fig4Config{BatchSize: bs, GPUs: g, Stats: st})
+			iqrByGPU[g][bs] = st.IQR
+			if st.StdOfMean < res.StdOfMeanMin {
+				res.StdOfMeanMin = st.StdOfMean
+			}
+			if st.StdOfMean > res.StdOfMeanMax {
+				res.StdOfMeanMax = st.StdOfMean
+			}
+		}
+	}
+	var ratioSum float64
+	var n int
+	for _, g := range []int{1, 2, 3, 4} {
+		if small := iqrByGPU[g][128]; small > 0 {
+			ratioSum += float64(iqrByGPU[g][1024]) / float64(small)
+			n++
+		}
+	}
+	if n > 0 {
+		res.IQRRatio = ratioSum / float64(n)
+	}
+
+	// IS and OD single-config variability.
+	isA, _ := tracedRun(workloads.ISSpec(scale.samples(64, 300), 42))
+	res.ISStdOfMean = trace.ComputeDistStats(isA.PreprocessTimes()).StdOfMean
+	odA, _ := tracedRun(workloads.ODSpec(scale.samples(128, 1500), 43))
+	res.ODStdOfMean = trace.ComputeDistStats(odA.PreprocessTimes()).StdOfMean
+	return res
+}
+
+// Render prints the per-config distribution table and the headline ratios.
+func (r *Fig4Result) Render() string {
+	var b strings.Builder
+	b.WriteString("FIGURE 4 — per-batch preprocessing time across configurations\n\n")
+	fmt.Fprintf(&b, "%6s %5s %10s %10s %10s %10s %10s %9s\n",
+		"batch", "gpus", "mean_ms", "std_ms", "p25_ms", "p75_ms", "iqr_ms", "std/mean")
+	for _, c := range r.Configs {
+		fmt.Fprintf(&b, "%6d %5d %10s %10s %10s %10s %10s %9s\n",
+			c.BatchSize, c.GPUs, ms(c.Stats.Mean), ms(c.Stats.Std),
+			ms(c.Stats.P25), ms(c.Stats.P75), ms(c.Stats.IQR), pct(c.Stats.StdOfMean))
+	}
+	fmt.Fprintf(&b, "\nIC std/mean range: %s – %s   (paper: 5.48%% – 10.73%%)\n", pct(r.StdOfMeanMin), pct(r.StdOfMeanMax))
+	fmt.Fprintf(&b, "IQR(b=1024)/IQR(b=128): %.1fx       (paper: up to 6.9x)\n", r.IQRRatio)
+	fmt.Fprintf(&b, "IS std/mean: %s                  (paper: 15.47%%)\n", pct(r.ISStdOfMean))
+	fmt.Fprintf(&b, "OD std/mean: %s                  (paper: 66.8%%)\n", pct(r.ODStdOfMean))
+	return b.String()
+}

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"lotus/internal/workloads"
+)
+
+// Fig5Result reports, for batch size 512 and varying GPU/loader counts, the
+// fractions of batches with main-process wait > 500 ms (Figure 5a) and with
+// delay > 500 ms (Figure 5b).
+type Fig5Result struct {
+	Rows []Fig5Row
+}
+
+// Fig5Row is one GPU-count configuration.
+type Fig5Row struct {
+	GPUs, Workers  int
+	Batches        int
+	WaitsOver500   float64
+	DelaysOver500  float64
+	OOOBatches     int
+	MaxGPUBatch    time.Duration
+	GPUStallsExist bool
+}
+
+// RunFig5 sweeps g ∈ {1..4} with workers = g at b = 512.
+func RunFig5(scale Scale) *Fig5Result {
+	res := &Fig5Result{}
+	batches := 8
+	if scale == Full {
+		batches = 30
+	}
+	for _, g := range []int{1, 2, 3, 4} {
+		spec := workloads.ICSpec(512*batches, 51)
+		spec.BatchSize, spec.GPUs, spec.NumWorkers = 512, g, g
+		a, stats := tracedRun(spec)
+		row := Fig5Row{
+			GPUs: g, Workers: g, Batches: stats.Batches,
+			WaitsOver500:  a.WaitsOver(500 * time.Millisecond),
+			DelaysOver500: a.DelaysOver(500 * time.Millisecond),
+			OOOBatches:    len(a.OutOfOrderBatches()),
+			MaxGPUBatch:   spec.GPU.BatchTime(512, g),
+		}
+		// Waits exceeding the GPU batch time mean the GPU stalled on
+		// preprocessing (§ V-C2).
+		row.GPUStallsExist = a.WaitsOver(row.MaxGPUBatch) > 0
+		res.Rows = append(res.Rows, row)
+	}
+	return res
+}
+
+// Render prints the two panels' series.
+func (r *Fig5Result) Render() string {
+	var b strings.Builder
+	b.WriteString("FIGURE 5 — wait and delay times at batch size 512\n\n")
+	fmt.Fprintf(&b, "%5s %8s %9s %13s %14s %6s %10s\n",
+		"gpus", "workers", "batches", "wait>500ms", "delay>500ms", "ooo", "gpu_stall")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%5d %8d %9d %13s %14s %6d %10v\n",
+			row.GPUs, row.Workers, row.Batches,
+			pct(row.WaitsOver500), pct(row.DelaysOver500), row.OOOBatches, row.GPUStallsExist)
+	}
+	b.WriteString("\npaper: (a) 30.84%–100% of batches wait >500ms — exceeding the max GPU batch time,\n")
+	b.WriteString("       so the GPU stalls on preprocessing; (b) with >1 data loader, 32.1%–61.6%\n")
+	b.WriteString("       of batches are delayed >500ms by out-of-order arrivals\n")
+	return b.String()
+}

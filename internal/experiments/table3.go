@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"time"
+
+	"lotus/internal/core/trace"
+	"lotus/internal/profilers"
+	"lotus/internal/workloads"
+)
+
+// Table3Result compares profiler wall-time and storage overheads on the IC
+// pipeline (b=512, 1 GPU, 1 data loader), on a "full" and a "small" dataset
+// (paper Table III; the small dataset exists because some tools OOM or
+// explode in storage on the full one).
+type Table3Result struct {
+	FullSamples, SmallSamples int
+	BaselineFull              time.Duration
+	BaselineSmall             time.Duration
+	Rows                      []Table3Row
+	// TorchOOMAtImageNetScale extrapolates the PyTorch profiler's in-memory
+	// buffering to the real ImageNet batch count (1.28M images / 512): the
+	// paper observes an OOM there. Our simulated "full" dataset is smaller,
+	// so the OOM is checked at the paper's scale.
+	TorchOOMAtImageNetScale bool
+	TorchMemAtImageNetScale int64
+}
+
+// Table3Row is one (profiler, dataset) measurement.
+type Table3Row struct {
+	Profiler string
+	Dataset  string // "full" or "small"
+	Outcome  profilers.RunOutcome
+}
+
+// paperTable3 records the paper's numbers for Render.
+var paperTable3 = []struct {
+	profiler, dataset string
+	overhead          string
+	storage           string
+}{
+	{"Lotus", "full", "~0%", "299.2MB"},
+	{"Scalene", "full", "96.1%", "2.5MB"},
+	{"py-spy", "full", "8%", "97.8MB"},
+	{"Lotus", "small", "~2%", "6.1MB"},
+	{"austin", "small", "3.2%", "6.8GB"},
+	{"PyTorch Profiler", "small", "86.4%", "30.3MB (OOM on full)"},
+}
+
+// table3Spec is the comparison workload.
+func table3Spec(samples int, seed int64) workloads.Spec {
+	spec := workloads.ICSpec(samples, seed)
+	spec.BatchSize, spec.GPUs, spec.NumWorkers = 512, 1, 1
+	return spec
+}
+
+// RunTable3 measures every profiler on both dataset sizes.
+func RunTable3(scale Scale) *Table3Result {
+	res := &Table3Result{
+		FullSamples:  scale.samples(4096, 25600),
+		SmallSamples: scale.samples(1024, 5120),
+	}
+
+	datasets := []struct {
+		name    string
+		samples int
+	}{
+		{"full", res.FullSamples},
+		{"small", res.SmallSamples},
+	}
+
+	for _, ds := range datasets {
+		// Baseline: no profiler.
+		baseStats, _, _ := table3Spec(ds.samples, 71).Run(nil)
+		base := baseStats.Elapsed
+		if ds.name == "full" {
+			res.BaselineFull = base
+		} else {
+			res.BaselineSmall = base
+		}
+
+		for _, p := range profilers.All() {
+			spec := table3Spec(ds.samples, 71)
+			var wall time.Duration
+			var lotusBytes int64
+			var batches int
+			if p.Instrumented {
+				var buf bytes.Buffer
+				tr := trace.NewTracer(&buf, trace.WithPerLogCost(p.PerLogCost))
+				stats, _, _ := spec.Run(tr.Hooks())
+				_ = tr.Flush()
+				wall = stats.Elapsed
+				lotusBytes = int64(buf.Len())
+				batches = stats.Batches
+			} else {
+				spec.WorkScale = p.WorkSlowdown
+				stats, _, _ := spec.Run(nil)
+				wall = stats.Elapsed
+				batches = stats.Batches
+			}
+			storage, peak, oom := p.Storage(wall, spec.NumWorkers+1, batches, lotusBytes)
+			res.Rows = append(res.Rows, Table3Row{
+				Profiler: p.Name,
+				Dataset:  ds.name,
+				Outcome: profilers.RunOutcome{
+					Profiler:     p.Name,
+					Wall:         wall,
+					OverheadFrac: float64(wall-base) / float64(base),
+					StorageBytes: storage,
+					PeakMemBytes: peak,
+					OOM:          oom,
+				},
+			})
+		}
+	}
+
+	// Extrapolate the PyTorch profiler's buffering to real-ImageNet scale.
+	for _, p := range profilers.All() {
+		if p.TraceBased {
+			imagenetBatches := 1_281_167 / 512
+			_, mem, oom := p.Storage(0, 1, imagenetBatches, 0)
+			res.TorchOOMAtImageNetScale = oom
+			res.TorchMemAtImageNetScale = mem
+		}
+	}
+	return res
+}
+
+// Row finds a measurement.
+func (r *Table3Result) Row(profiler, dataset string) (Table3Row, bool) {
+	for _, row := range r.Rows {
+		if row.Profiler == profiler && row.Dataset == dataset {
+			return row, true
+		}
+	}
+	return Table3Row{}, false
+}
+
+// Render prints the Table III layout with the paper's columns alongside.
+func (r *Table3Result) Render() string {
+	var b strings.Builder
+	b.WriteString("TABLE III — profiler overheads (IC, b=512, 1 GPU, 1 data loader)\n\n")
+	fmt.Fprintf(&b, "%-18s %-7s %10s %12s %6s   %s\n", "profiler", "dataset", "overhead", "storage", "oom", "paper")
+	for _, pref := range paperTable3 {
+		row, ok := r.Row(pref.profiler, pref.dataset)
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(&b, "%-18s %-7s %10s %12s %6v   %s / %s\n",
+			row.Profiler, row.Dataset, pct(row.Outcome.OverheadFrac),
+			fmtBytes(row.Outcome.StorageBytes), row.Outcome.OOM,
+			pref.overhead, pref.storage)
+	}
+	// The OOM claim: the PyTorch profiler buffers everything in memory; at
+	// the real ImageNet's batch count it exceeds the machine's 128 GiB.
+	fmt.Fprintf(&b, "\nPyTorch Profiler extrapolated to ImageNet scale (2502 batches): buffers %s, OOM=%v (paper: OOM)\n",
+		fmtBytes(r.TorchMemAtImageNetScale), r.TorchOOMAtImageNetScale)
+	// Storage scales linearly with dataset size / run length; our "full"
+	// dataset is a fraction of the real ImageNet's 1.28M images.
+	if r.FullSamples > 0 {
+		scale := 1281167.0 / float64(r.FullSamples)
+		if lotus, ok := r.Row("Lotus", "full"); ok {
+			fmt.Fprintf(&b, "Lotus storage extrapolated to ImageNet scale: %s (paper: 299.2MB)\n",
+				fmtBytes(int64(float64(lotus.Outcome.StorageBytes)*scale)))
+		}
+		if pyspy, ok := r.Row("py-spy", "full"); ok {
+			fmt.Fprintf(&b, "py-spy storage extrapolated to ImageNet scale: %s (paper: 97.8MB)\n",
+				fmtBytes(int64(float64(pyspy.Outcome.StorageBytes)*scale)))
+		}
+	}
+	return b.String()
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1fMB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1fKB", float64(n)/(1<<10))
+	}
+	return fmt.Sprintf("%dB", n)
+}

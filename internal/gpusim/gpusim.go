@@ -1,0 +1,117 @@
+// Package gpusim models the accelerator side of the training job: GPU
+// devices consuming preprocessed batches under torch.nn.DataParallel. The
+// model captures what the paper's wait/delay dynamics depend on — the main
+// process cannot consume the next batch until the previous iteration's
+// backward pass has synchronized — without simulating the model itself.
+package gpusim
+
+import (
+	"time"
+
+	"lotus/internal/clock"
+	"lotus/internal/pipeline"
+)
+
+// GPUConfig describes per-batch device time.
+type GPUConfig struct {
+	// PerSample is forward+backward compute time per sample on one device.
+	PerSample time.Duration
+	// PerBatch is the fixed per-iteration overhead (kernel launches,
+	// gradient all-reduce).
+	PerBatch time.Duration
+}
+
+// BatchTime returns the device-side time for n samples split over g GPUs
+// (DataParallel splits the batch; devices run in parallel).
+func (c GPUConfig) BatchTime(n, g int) time.Duration {
+	if g <= 0 {
+		g = 1
+	}
+	per := (n + g - 1) / g
+	return c.PerBatch + time.Duration(per)*c.PerSample
+}
+
+// Trainer drives one training epoch: consume batches in order, transfer to
+// devices, run the model, synchronize.
+type Trainer struct {
+	Loader *pipeline.DataLoader
+	GPUs   int
+	GPU    GPUConfig
+	// TransferGBps is host-to-device copy bandwidth (NVLink-ish default 10).
+	TransferGBps float64
+}
+
+// EpochStats summarizes one trained epoch.
+type EpochStats struct {
+	Batches      int
+	Elapsed      time.Duration
+	GPUBusy      time.Duration
+	GPUIdle      time.Duration
+	MainWaitTime time.Duration
+	OOOEvents    int
+}
+
+// GPUUtilization is busy / (busy + idle).
+func (s EpochStats) GPUUtilization() float64 {
+	total := s.GPUBusy + s.GPUIdle
+	if total == 0 {
+		return 0
+	}
+	return float64(s.GPUBusy) / float64(total)
+}
+
+// RunEpoch runs one epoch under the proc p (which must be the main proc of
+// the loader's clock). The loop mirrors the paper's Figure 1 flow: the main
+// process waits for the next preprocessed batch, transfers it, schedules the
+// device work, and blocks on the previous iteration's synchronization before
+// consuming another batch.
+func (t *Trainer) RunEpoch(p clock.Proc) EpochStats {
+	gbps := t.TransferGBps
+	if gbps <= 0 {
+		gbps = 10
+	}
+	gpus := t.GPUs
+	if gpus <= 0 {
+		gpus = 1
+	}
+
+	stats := EpochStats{}
+	start := p.Now()
+	gpuFreeAt := start
+	it := t.Loader.Start(p)
+	for {
+		// Backward-pass synchronization: the next iteration cannot start
+		// until the devices finish the previous one.
+		if now := p.Now(); gpuFreeAt.After(now) {
+			p.Sleep(gpuFreeAt.Sub(now))
+		}
+		waitStart := p.Now()
+		batch, ok := it.Next(p)
+		if !ok {
+			break
+		}
+		stats.MainWaitTime += p.Now().Sub(waitStart)
+		stats.Batches++
+
+		// Host-to-device transfer (the main process is busy during it).
+		if bytes := batch.Bytes(); bytes > 0 {
+			p.Sleep(time.Duration(float64(bytes) / (gbps * 1e9) * float64(time.Second)))
+		}
+
+		// Asynchronously scheduled device work.
+		now := p.Now()
+		if now.After(gpuFreeAt) {
+			stats.GPUIdle += now.Sub(gpuFreeAt)
+			gpuFreeAt = now
+		}
+		stats.GPUBusy += t.GPU.BatchTime(batch.Size(), gpus)
+		gpuFreeAt = gpuFreeAt.Add(t.GPU.BatchTime(batch.Size(), gpus))
+	}
+	// Epoch ends when the last batch finishes on the devices.
+	if now := p.Now(); gpuFreeAt.After(now) {
+		p.Sleep(gpuFreeAt.Sub(now))
+	}
+	stats.Elapsed = p.Now().Sub(start)
+	stats.OOOEvents = it.OOOEvents
+	return stats
+}

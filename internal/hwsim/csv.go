@@ -1,0 +1,107 @@
+package hwsim
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"lotus/internal/native"
+)
+
+// This file implements the CSV interchange format for function-granularity
+// profiles. The paper's workflow exports VTune's "Microarchitecture
+// Exploration" grid (grouped by Function) to CSV and feeds it to the
+// analysis notebooks; lotus-map and the attribution tools read and write the
+// same shape here.
+
+// csvHeader is the stable column set.
+var csvHeader = []string{
+	"function", "library", "samples",
+	"cpu_time_ns", "cycles", "instructions",
+	"uops_delivered", "front_end_bound_slots", "bad_speculation_slots",
+	"retiring_slots", "dram_bound_cycles", "l1_miss", "llc_miss",
+}
+
+// WriteCSV serializes the report rows.
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		c := row.Counters
+		rec := []string{
+			row.Symbol,
+			row.Library,
+			strconv.Itoa(row.Samples),
+			strconv.FormatInt(c.CPUTime.Nanoseconds(), 10),
+			strconv.FormatFloat(c.Cycles, 'g', -1, 64),
+			strconv.FormatFloat(c.Instructions, 'g', -1, 64),
+			strconv.FormatFloat(c.UopsDelivered, 'g', -1, 64),
+			strconv.FormatFloat(c.FrontEndBoundSlots, 'g', -1, 64),
+			strconv.FormatFloat(c.BadSpeculationSlots, 'g', -1, 64),
+			strconv.FormatFloat(c.RetiringSlots, 'g', -1, 64),
+			strconv.FormatFloat(c.DRAMBoundCycles, 'g', -1, 64),
+			strconv.FormatFloat(c.L1Miss, 'g', -1, 64),
+			strconv.FormatFloat(c.LLCMiss, 'g', -1, 64),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a report previously written by WriteCSV. The profiler name
+// and arch label what produced it.
+func ReadCSV(r io.Reader, profiler string, arch native.Arch) (*Report, error) {
+	cr := csv.NewReader(r)
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("hwsim: bad profile CSV: %w", err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("hwsim: empty profile CSV")
+	}
+	if len(records[0]) != len(csvHeader) || records[0][0] != "function" {
+		return nil, fmt.Errorf("hwsim: unexpected CSV header %v", records[0])
+	}
+	rep := &Report{Profiler: profiler, Arch: arch}
+	for i, rec := range records[1:] {
+		if len(rec) != len(csvHeader) {
+			return nil, fmt.Errorf("hwsim: row %d has %d fields, want %d", i+2, len(rec), len(csvHeader))
+		}
+		samples, err := strconv.Atoi(rec[2])
+		if err != nil {
+			return nil, fmt.Errorf("hwsim: row %d samples: %w", i+2, err)
+		}
+		fs := make([]float64, 10)
+		for j := range fs {
+			fs[j], err = strconv.ParseFloat(rec[3+j], 64)
+			if err != nil {
+				return nil, fmt.Errorf("hwsim: row %d field %s: %w", i+2, csvHeader[3+j], err)
+			}
+		}
+		rep.Rows = append(rep.Rows, FuncRow{
+			Symbol:  rec[0],
+			Library: rec[1],
+			Samples: samples,
+			Counters: Counters{
+				CPUTime:             time.Duration(fs[0]),
+				Cycles:              fs[1],
+				Instructions:        fs[2],
+				UopsDelivered:       fs[3],
+				FrontEndBoundSlots:  fs[4],
+				BadSpeculationSlots: fs[5],
+				RetiringSlots:       fs[6],
+				DRAMBoundCycles:     fs[7],
+				L1Miss:              fs[8],
+				LLCMiss:             fs[9],
+			},
+		})
+	}
+	return rep, nil
+}

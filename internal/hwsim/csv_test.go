@@ -1,0 +1,104 @@
+package hwsim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"lotus/internal/clock"
+	"lotus/internal/native"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	e := testEngine()
+	sess, _ := runKernels(e, []string{"decode_mcu", "memset"}, 1<<20, 40)
+	cfg := VTuneSampler(9)
+	cfg.NoiseProb = 0
+	rep := sess.Collect(cfg, DefaultModel(e.CPU()), "vtune")
+
+	var buf bytes.Buffer
+	if err := rep.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, "vtune", native.Intel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Rows) != len(rep.Rows) {
+		t.Fatalf("round trip %d rows, want %d", len(back.Rows), len(rep.Rows))
+	}
+	for i := range rep.Rows {
+		a, b := rep.Rows[i], back.Rows[i]
+		if a.Symbol != b.Symbol || a.Library != b.Library || a.Samples != b.Samples {
+			t.Fatalf("row %d identity mismatch: %+v vs %+v", i, a, b)
+		}
+		if a.Counters.CPUTime != b.Counters.CPUTime {
+			t.Fatalf("row %d cpu time %v vs %v", i, a.Counters.CPUTime, b.Counters.CPUTime)
+		}
+		if a.Counters.Instructions != b.Counters.Instructions ||
+			a.Counters.UopsDelivered != b.Counters.UopsDelivered ||
+			a.Counters.DRAMBoundCycles != b.Counters.DRAMBoundCycles {
+			t.Fatalf("row %d counters diverged", i)
+		}
+	}
+}
+
+func TestCSVRejectsGarbage(t *testing.T) {
+	for _, in := range []string{
+		"",
+		"not,a,header\n1,2,3\n",
+		"function,library,samples,cpu_time_ns,cycles,instructions,uops_delivered,front_end_bound_slots,dram_bound_cycles,l1_miss,llc_miss\nf,l,notanint,0,0,0,0,0,0,0,0\n",
+	} {
+		if _, err := ReadCSV(strings.NewReader(in), "x", native.Intel); err == nil {
+			t.Errorf("ReadCSV accepted %q", in)
+		}
+	}
+}
+
+func TestCSVEmptyReport(t *testing.T) {
+	rep := &Report{Profiler: "vtune", Arch: native.Intel}
+	var buf bytes.Buffer
+	if err := rep.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, "vtune", native.Intel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Rows) != 0 {
+		t.Fatalf("empty report round-tripped to %d rows", len(back.Rows))
+	}
+}
+
+func TestCSVPreservesAttributionResults(t *testing.T) {
+	// A report written to CSV and read back must drive attribution
+	// identically — the paper's workflow round-trips through VTune CSV.
+	e := testEngine()
+	rec := native.NewRecording()
+	e.Attach(rec)
+	th := &native.Thread{ID: 1, Cursor: clock.Epoch}
+	for i := 0; i < 30; i++ {
+		e.Exec(th, []native.Call{
+			{Kernel: "decode_mcu", Bytes: 1 << 20},
+			{Kernel: "ycc_rgb_convert", Bytes: 1 << 20},
+		})
+	}
+	e.Detach()
+	samples := NewSampler(VTuneSampler(3), DefaultModel(e.CPU())).
+		Run(rec, []TimeRange{{Start: clock.Epoch, End: th.Cursor}})
+	rep := BuildReport(samples, "vtune", native.Intel)
+
+	var buf bytes.Buffer
+	if err := rep.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf, "vtune", native.Intel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.TotalCPUTime() != rep.TotalCPUTime() {
+		t.Fatalf("total CPU time changed across CSV: %v vs %v", back.TotalCPUTime(), rep.TotalCPUTime())
+	}
+	_ = time.Now
+}

@@ -1,0 +1,21 @@
+package imaging
+
+import "testing"
+
+// FuzzDecodeSJPG: arbitrary payloads must never panic the decoder (decode
+// errors are fine); valid payloads must round-trip dimensions.
+func FuzzDecodeSJPG(f *testing.F) {
+	f.Add(EncodeSJPG(SynthesizeImage(24, 16, 1), 80))
+	f.Add(EncodeSJPGSubsampled(SynthesizeImage(17, 9, 2), 60, Sub420))
+	f.Add([]byte("SJPG"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		im, err := DecodeSJPG(data)
+		if err != nil {
+			return
+		}
+		if im.W <= 0 || im.H <= 0 || len(im.Pix) != im.W*im.H*3 {
+			t.Fatalf("decoder accepted inconsistent image %dx%d len=%d", im.W, im.H, len(im.Pix))
+		}
+	})
+}

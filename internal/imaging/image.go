@@ -1,0 +1,127 @@
+// Package imaging implements the real pixel-processing kernels behind the
+// preprocessing operations: a simplified JPEG-style codec (color conversion,
+// 8x8 DCT, quantization, zigzag run-length entropy coding), separable
+// bilinear resampling with coefficient precomputation, cropping, flipping,
+// brightness adjustment, and Gaussian noise — for both 2-D RGB images and
+// 3-D volumes.
+//
+// The algorithms are faithful simplifications of the libjpeg / Pillow code
+// paths the paper profiles, so that the relative costs of the preprocessing
+// operations (decode >> resample >> normalize >> flip) match the shape the
+// paper reports, and so the native-kernel layer has real work to attribute.
+package imaging
+
+import (
+	"fmt"
+
+	"lotus/internal/tensor"
+)
+
+// Image is an interleaved 8-bit RGB image, row-major: Pix[(y*W+x)*3+c].
+type Image struct {
+	W, H int
+	Pix  []uint8
+}
+
+// NewImage allocates a black image.
+func NewImage(w, h int) *Image {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("imaging: invalid dimensions %dx%d", w, h))
+	}
+	return &Image{W: w, H: h, Pix: make([]uint8, w*h*3)}
+}
+
+// At returns the pixel at (x, y).
+func (im *Image) At(x, y int) (r, g, b uint8) {
+	i := (y*im.W + x) * 3
+	return im.Pix[i], im.Pix[i+1], im.Pix[i+2]
+}
+
+// Set writes the pixel at (x, y).
+func (im *Image) Set(x, y int, r, g, b uint8) {
+	i := (y*im.W + x) * 3
+	im.Pix[i], im.Pix[i+1], im.Pix[i+2] = r, g, b
+}
+
+// Clone returns a deep copy.
+func (im *Image) Clone() *Image {
+	out := &Image{W: im.W, H: im.H, Pix: append([]uint8(nil), im.Pix...)}
+	return out
+}
+
+// Bytes returns the raw buffer size.
+func (im *Image) Bytes() int { return len(im.Pix) }
+
+// ToTensor converts to a [3, H, W] planar uint8 tensor (the layout the
+// ToTensor transform produces before scaling). The Pillow kernel doing this
+// unpack is ImagingUnpackRGB.
+func (im *Image) ToTensor() *tensor.Tensor {
+	t := tensor.Zeros(tensor.Uint8, 3, im.H, im.W)
+	plane := im.H * im.W
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			i := (y*im.W + x) * 3
+			j := y*im.W + x
+			t.U8[j] = im.Pix[i]
+			t.U8[plane+j] = im.Pix[i+1]
+			t.U8[2*plane+j] = im.Pix[i+2]
+		}
+	}
+	return t
+}
+
+// FromTensor converts a [3, H, W] uint8 tensor back to an interleaved image.
+func FromTensor(t *tensor.Tensor) *Image {
+	if len(t.Shape) != 3 || t.Shape[0] != 3 || t.Dtype != tensor.Uint8 {
+		panic(fmt.Sprintf("imaging: FromTensor needs [3,H,W] uint8, got %v", t))
+	}
+	h, w := t.Shape[1], t.Shape[2]
+	im := NewImage(w, h)
+	plane := h * w
+	for j := 0; j < plane; j++ {
+		im.Pix[j*3] = t.U8[j]
+		im.Pix[j*3+1] = t.U8[plane+j]
+		im.Pix[j*3+2] = t.U8[2*plane+j]
+	}
+	return im
+}
+
+// SynthesizeImage deterministically fills an image with structured content
+// (gradients plus texture) derived from a seed. Structured content compresses
+// like a natural photo, which keeps encoded-size vs pixel-count relationships
+// realistic for the synthetic datasets.
+func SynthesizeImage(w, h int, seed int64) *Image {
+	im := NewImage(w, h)
+	s := uint64(seed)*2862933555777941757 + 3037000493
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			// Smooth base gradients with a block texture overlaid.
+			base := (x*255/max(1, w-1) + y*255/max(1, h-1)) / 2
+			s = s*6364136223846793005 + 1442695040888963407
+			noise := int((s>>33)&15) - 8
+			blk := int((uint(x/16)*7+uint(y/16)*13)%32) - 16
+			r := clamp8(base + blk + noise)
+			g := clamp8(base - blk/2 + noise)
+			b := clamp8(255 - base + noise)
+			im.Set(x, y, r, g, b)
+		}
+	}
+	return im
+}
+
+func clamp8(v int) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,403 @@
+package imaging
+
+import (
+	"fmt"
+	"math"
+
+	"lotus/internal/rng"
+)
+
+// ResampleCoeffs holds the precomputed filter taps for one output axis —
+// the analogue of Pillow's precompute_coeffs, which Table I lists under
+// RandomResizedCrop on AMD.
+type ResampleCoeffs struct {
+	// Bounds[i] is the first source index contributing to output i.
+	Bounds []int
+	// Weights[i] are the taps applied starting at Bounds[i].
+	Weights [][]float64
+}
+
+// Filter selects the resampling kernel (Pillow's BILINEAR / BICUBIC).
+type Filter int
+
+const (
+	// Bilinear is the triangle filter torchvision's RandomResizedCrop uses
+	// by default.
+	Bilinear Filter = iota
+	// Bicubic is the Catmull-Rom-style cubic (a = -0.5), Pillow's BICUBIC.
+	Bicubic
+)
+
+// support returns the filter radius in source samples.
+func (f Filter) support() float64 {
+	if f == Bicubic {
+		return 2
+	}
+	return 1
+}
+
+// weight evaluates the filter kernel at distance d (in filter units).
+func (f Filter) weight(d float64) float64 {
+	d = math.Abs(d)
+	if f == Bicubic {
+		const a = -0.5
+		switch {
+		case d < 1:
+			return (a+2)*d*d*d - (a+3)*d*d + 1
+		case d < 2:
+			return a*d*d*d - 5*a*d*d + 8*a*d - 4*a
+		default:
+			return 0
+		}
+	}
+	if d < 1 {
+		return 1 - d
+	}
+	return 0
+}
+
+// PrecomputeCoeffs builds bilinear (triangle filter) coefficients for
+// resampling srcLen samples to dstLen.
+func PrecomputeCoeffs(srcLen, dstLen int) *ResampleCoeffs {
+	return PrecomputeCoeffsFilter(srcLen, dstLen, Bilinear)
+}
+
+// PrecomputeCoeffsFilter builds coefficients for the given filter.
+func PrecomputeCoeffsFilter(srcLen, dstLen int, f Filter) *ResampleCoeffs {
+	if srcLen <= 0 || dstLen <= 0 {
+		panic(fmt.Sprintf("imaging: invalid resample %d -> %d", srcLen, dstLen))
+	}
+	scale := float64(srcLen) / float64(dstLen)
+	filterScale := scale
+	if filterScale < 1 {
+		filterScale = 1
+	}
+	radius := f.support() * filterScale
+	rc := &ResampleCoeffs{
+		Bounds:  make([]int, dstLen),
+		Weights: make([][]float64, dstLen),
+	}
+	for i := 0; i < dstLen; i++ {
+		center := (float64(i) + 0.5) * scale
+		lo := int(math.Floor(center - radius))
+		if lo < 0 {
+			lo = 0
+		}
+		hi := int(math.Ceil(center + radius))
+		if hi > srcLen {
+			hi = srcLen
+		}
+		ws := make([]float64, hi-lo)
+		var sum float64
+		for j := lo; j < hi; j++ {
+			d := (float64(j) + 0.5 - center) / filterScale
+			w := f.weight(d)
+			ws[j-lo] = w
+			sum += w
+		}
+		if sum != 0 {
+			for k := range ws {
+				ws[k] /= sum
+			}
+		} else {
+			ws[0] = 1
+		}
+		rc.Bounds[i] = lo
+		rc.Weights[i] = ws
+	}
+	return rc
+}
+
+// Resize resamples the image to (w, h) with the separable bilinear filter,
+// horizontal pass first then vertical — Pillow's
+// ImagingResampleHorizontal_8bpc / ImagingResampleVertical_8bpc pair.
+func Resize(im *Image, w, h int) *Image {
+	return ResizeWith(im, w, h, Bilinear)
+}
+
+// ResizeWith resamples with an explicit filter (bicubic for OD-style
+// quality-sensitive resizing).
+func ResizeWith(im *Image, w, h int, f Filter) *Image {
+	if w == im.W && h == im.H {
+		return im.Clone()
+	}
+	hc := PrecomputeCoeffsFilter(im.W, w, f)
+	mid := resampleHorizontal(im, hc, w)
+	vc := PrecomputeCoeffsFilter(im.H, h, f)
+	return resampleVertical(mid, vc, h)
+}
+
+func resampleHorizontal(im *Image, rc *ResampleCoeffs, w int) *Image {
+	out := NewImage(w, im.H)
+	for y := 0; y < im.H; y++ {
+		row := im.Pix[y*im.W*3 : (y+1)*im.W*3]
+		orow := out.Pix[y*w*3 : (y+1)*w*3]
+		for x := 0; x < w; x++ {
+			lo := rc.Bounds[x]
+			ws := rc.Weights[x]
+			var r, g, b float64
+			for k, wgt := range ws {
+				i := (lo + k) * 3
+				r += wgt * float64(row[i])
+				g += wgt * float64(row[i+1])
+				b += wgt * float64(row[i+2])
+			}
+			orow[x*3] = clampF(r)
+			orow[x*3+1] = clampF(g)
+			orow[x*3+2] = clampF(b)
+		}
+	}
+	return out
+}
+
+func resampleVertical(im *Image, rc *ResampleCoeffs, h int) *Image {
+	out := NewImage(im.W, h)
+	for y := 0; y < h; y++ {
+		lo := rc.Bounds[y]
+		ws := rc.Weights[y]
+		for x := 0; x < im.W; x++ {
+			var r, g, b float64
+			for k, wgt := range ws {
+				i := ((lo+k)*im.W + x) * 3
+				r += wgt * float64(im.Pix[i])
+				g += wgt * float64(im.Pix[i+1])
+				b += wgt * float64(im.Pix[i+2])
+			}
+			j := (y*im.W + x) * 3
+			out.Pix[j] = clampF(r)
+			out.Pix[j+1] = clampF(g)
+			out.Pix[j+2] = clampF(b)
+		}
+	}
+	return out
+}
+
+// Crop extracts the rectangle [x0, x0+w) x [y0, y0+h). The rectangle must
+// lie inside the image.
+func Crop(im *Image, x0, y0, w, h int) *Image {
+	if x0 < 0 || y0 < 0 || x0+w > im.W || y0+h > im.H || w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("imaging: crop (%d,%d,%d,%d) outside %dx%d", x0, y0, w, h, im.W, im.H))
+	}
+	out := NewImage(w, h)
+	for y := 0; y < h; y++ {
+		src := im.Pix[((y0+y)*im.W+x0)*3 : ((y0+y)*im.W+x0+w)*3]
+		copy(out.Pix[y*w*3:(y+1)*w*3], src)
+	}
+	return out
+}
+
+// FlipHorizontal mirrors the image left-right.
+func FlipHorizontal(im *Image) *Image {
+	out := NewImage(im.W, im.H)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			r, g, b := im.At(x, y)
+			out.Set(im.W-1-x, y, r, g, b)
+		}
+	}
+	return out
+}
+
+// AdjustBrightness scales all channels by factor, clamping to [0, 255]
+// (the RandomBrightnessAugmentation kernel for 2-D inputs).
+func AdjustBrightness(im *Image, factor float64) *Image {
+	out := NewImage(im.W, im.H)
+	for i, v := range im.Pix {
+		out.Pix[i] = clampF(float64(v) * factor)
+	}
+	return out
+}
+
+// RandomResizedCropParams picks the crop geometry exactly as torchvision
+// does: sample area in [0.08, 1.0] of the source and aspect ratio in
+// [3/4, 4/3] up to 10 times; fall back to a center crop.
+func RandomResizedCropParams(w, h int, r *rng.Stream) (x0, y0, cw, ch int) {
+	area := float64(w * h)
+	for attempt := 0; attempt < 10; attempt++ {
+		target := area * r.Uniform(0.08, 1.0)
+		logRatio := r.Uniform(math.Log(3.0/4.0), math.Log(4.0/3.0))
+		ratio := math.Exp(logRatio)
+		cw = int(math.Round(math.Sqrt(target * ratio)))
+		ch = int(math.Round(math.Sqrt(target / ratio)))
+		if cw > 0 && ch > 0 && cw <= w && ch <= h {
+			x0 = r.Intn(w - cw + 1)
+			y0 = r.Intn(h - ch + 1)
+			return x0, y0, cw, ch
+		}
+	}
+	// Fallback: central crop of the largest inscribed square-ish region.
+	cw, ch = w, h
+	if cw > ch {
+		cw = ch
+	} else {
+		ch = cw
+	}
+	return (w - cw) / 2, (h - ch) / 2, cw, ch
+}
+
+// ---------------------------------------------------------------------------
+// 3-D volumes (the IS pipeline's kits19-like data)
+// ---------------------------------------------------------------------------
+
+// Volume is a single-channel float32 3-D volume, [D, H, W] row-major.
+type Volume struct {
+	D, H, W int
+	Vox     []float32
+}
+
+// NewVolume allocates a zero volume.
+func NewVolume(d, h, w int) *Volume {
+	if d <= 0 || h <= 0 || w <= 0 {
+		panic(fmt.Sprintf("imaging: invalid volume %dx%dx%d", d, h, w))
+	}
+	return &Volume{D: d, H: h, W: w, Vox: make([]float32, d*h*w)}
+}
+
+// SynthesizeVolume fills a volume with a deterministic blob pattern: a dim
+// background with a bright "foreground" ellipsoid, mimicking a CT scan with
+// a segmentation target, which RandBalancedCrop needs.
+func SynthesizeVolume(d, h, w int, seed int64) *Volume {
+	v := NewVolume(d, h, w)
+	s := rng.NewFromSeed(seed)
+	cx := s.Uniform(0.3, 0.7) * float64(w)
+	cy := s.Uniform(0.3, 0.7) * float64(h)
+	cz := s.Uniform(0.3, 0.7) * float64(d)
+	rad := s.Uniform(0.1, 0.25) * float64(minInt(d, minInt(h, w)))
+	for z := 0; z < d; z++ {
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				dx, dy, dz := float64(x)-cx, float64(y)-cy, float64(z)-cz
+				dist := math.Sqrt(dx*dx + dy*dy + dz*dz)
+				val := float32(20 + 5*math.Sin(float64(x+y+z)/7))
+				if dist < rad {
+					val = float32(200 - dist)
+				}
+				v.Vox[(z*h+y)*w+x] = val
+			}
+		}
+	}
+	return v
+}
+
+// Bytes returns the buffer size in bytes.
+func (v *Volume) Bytes() int { return len(v.Vox) * 4 }
+
+// CropVolume extracts a sub-volume.
+func CropVolume(v *Volume, z0, y0, x0, d, h, w int) *Volume {
+	if z0 < 0 || y0 < 0 || x0 < 0 || z0+d > v.D || y0+h > v.H || x0+w > v.W {
+		panic(fmt.Sprintf("imaging: volume crop out of range (%d,%d,%d %dx%dx%d) of %dx%dx%d",
+			z0, y0, x0, d, h, w, v.D, v.H, v.W))
+	}
+	out := NewVolume(d, h, w)
+	for z := 0; z < d; z++ {
+		for y := 0; y < h; y++ {
+			src := v.Vox[((z0+z)*v.H+(y0+y))*v.W+x0:]
+			copy(out.Vox[(z*h+y)*w:(z*h+y)*w+w], src[:w])
+		}
+	}
+	return out
+}
+
+// ForegroundCenter finds the centroid of voxels above the threshold, used by
+// RandBalancedCrop's foreground-aware sampling. ok is false when no voxel
+// exceeds the threshold.
+func (v *Volume) ForegroundCenter(threshold float32) (z, y, x int, ok bool) {
+	var sz, sy, sx, n int
+	for zz := 0; zz < v.D; zz++ {
+		for yy := 0; yy < v.H; yy++ {
+			base := (zz*v.H + yy) * v.W
+			for xx := 0; xx < v.W; xx++ {
+				if v.Vox[base+xx] > threshold {
+					sz += zz
+					sy += yy
+					sx += xx
+					n++
+				}
+			}
+		}
+	}
+	if n == 0 {
+		return 0, 0, 0, false
+	}
+	return sz / n, sy / n, sx / n, true
+}
+
+// FlipVolumeAxis reverses the volume along axis (0=D, 1=H, 2=W), in place,
+// and returns the receiver.
+func FlipVolumeAxis(v *Volume, axis int) *Volume {
+	switch axis {
+	case 0:
+		for z := 0; z < v.D/2; z++ {
+			a := v.Vox[z*v.H*v.W : (z+1)*v.H*v.W]
+			b := v.Vox[(v.D-1-z)*v.H*v.W : (v.D-z)*v.H*v.W]
+			for i := range a {
+				a[i], b[i] = b[i], a[i]
+			}
+		}
+	case 1:
+		for z := 0; z < v.D; z++ {
+			for y := 0; y < v.H/2; y++ {
+				a := v.Vox[(z*v.H+y)*v.W : (z*v.H+y+1)*v.W]
+				b := v.Vox[(z*v.H+v.H-1-y)*v.W : (z*v.H+v.H-y)*v.W]
+				for i := range a {
+					a[i], b[i] = b[i], a[i]
+				}
+			}
+		}
+	case 2:
+		for z := 0; z < v.D; z++ {
+			for y := 0; y < v.H; y++ {
+				row := v.Vox[(z*v.H+y)*v.W : (z*v.H+y+1)*v.W]
+				for i, j := 0, v.W-1; i < j; i, j = i+1, j-1 {
+					row[i], row[j] = row[j], row[i]
+				}
+			}
+		}
+	default:
+		panic(fmt.Sprintf("imaging: flip axis %d out of range", axis))
+	}
+	return v
+}
+
+// ScaleVolume multiplies every voxel by factor in place (brightness
+// augmentation for volumes) and returns the receiver.
+func ScaleVolume(v *Volume, factor float32) *Volume {
+	for i := range v.Vox {
+		v.Vox[i] *= factor
+	}
+	return v
+}
+
+// AddGaussianNoise adds N(0, stddev) noise voxel-wise in place and returns
+// the receiver.
+func AddGaussianNoise(v *Volume, stddev float64, r *rng.Stream) *Volume {
+	for i := range v.Vox {
+		v.Vox[i] += float32(r.Normal(0, stddev))
+	}
+	return v
+}
+
+// PSNR computes peak signal-to-noise ratio between two same-sized images, in
+// dB, used by the codec round-trip tests.
+func PSNR(a, b *Image) float64 {
+	if a.W != b.W || a.H != b.H {
+		panic("imaging: PSNR size mismatch")
+	}
+	var mse float64
+	for i := range a.Pix {
+		d := float64(a.Pix[i]) - float64(b.Pix[i])
+		mse += d * d
+	}
+	mse /= float64(len(a.Pix))
+	if mse == 0 {
+		return math.Inf(1)
+	}
+	return 10 * math.Log10(255*255/mse)
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

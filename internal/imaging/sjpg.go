@@ -1,0 +1,571 @@
+package imaging
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// This file implements SJPG, a simplified JPEG-style codec. It keeps the
+// real pipeline stages of baseline JPEG — RGB↔YCbCr color conversion, 8x8
+// block DCT, quality-scaled quantization, zigzag scan, DC differential
+// coding and AC zero-run-length coding with a varint entropy layer — while
+// dropping Huffman table optimization and chroma subsampling. The stage
+// structure mirrors libjpeg's, so the native-kernel layer can attribute
+// decode work to the same function inventory the paper observes
+// (decode_mcu, jpeg_idct_islow, ycc_rgb_convert, decompress_onepass, ...).
+
+const sjpgMagic = "SJPG"
+
+// Subsampling selects the chroma layout.
+type Subsampling int
+
+const (
+	// Sub444 stores chroma at full resolution.
+	Sub444 Subsampling = iota
+	// Sub420 stores chroma at half resolution in both axes (the common
+	// photographic JPEG layout); decode upsamples it back (libjpeg's
+	// sep_upsample stage).
+	Sub420
+)
+
+// Standard JPEG Annex K luminance and chrominance quantization tables.
+var lumaQuant = [64]int{
+	16, 11, 10, 16, 24, 40, 51, 61,
+	12, 12, 14, 19, 26, 58, 60, 55,
+	14, 13, 16, 24, 40, 57, 69, 56,
+	14, 17, 22, 29, 51, 87, 80, 62,
+	18, 22, 37, 56, 68, 109, 103, 77,
+	24, 35, 55, 64, 81, 104, 113, 92,
+	49, 64, 78, 87, 103, 121, 120, 101,
+	72, 92, 95, 98, 112, 100, 103, 99,
+}
+
+var chromaQuant = [64]int{
+	17, 18, 24, 47, 99, 99, 99, 99,
+	18, 21, 26, 66, 99, 99, 99, 99,
+	24, 26, 56, 99, 99, 99, 99, 99,
+	47, 66, 99, 99, 99, 99, 99, 99,
+	99, 99, 99, 99, 99, 99, 99, 99,
+	99, 99, 99, 99, 99, 99, 99, 99,
+	99, 99, 99, 99, 99, 99, 99, 99,
+	99, 99, 99, 99, 99, 99, 99, 99,
+}
+
+// zigzag maps scan position -> block index.
+var zigzag = [64]int{
+	0, 1, 8, 16, 9, 2, 3, 10,
+	17, 24, 32, 25, 18, 11, 4, 5,
+	12, 19, 26, 33, 40, 48, 41, 34,
+	27, 20, 13, 6, 7, 14, 21, 28,
+	35, 42, 49, 56, 57, 50, 43, 36,
+	29, 22, 15, 23, 30, 37, 44, 51,
+	58, 59, 52, 45, 38, 31, 39, 46,
+	53, 60, 61, 54, 47, 55, 62, 63,
+}
+
+// scaledQuant builds the quality-scaled quantization table, following the
+// libjpeg quality curve.
+func scaledQuant(base *[64]int, quality int) [64]int {
+	if quality < 1 {
+		quality = 1
+	}
+	if quality > 100 {
+		quality = 100
+	}
+	var scale int
+	if quality < 50 {
+		scale = 5000 / quality
+	} else {
+		scale = 200 - 2*quality
+	}
+	var out [64]int
+	for i, q := range base {
+		v := (q*scale + 50) / 100
+		if v < 1 {
+			v = 1
+		}
+		if v > 255 {
+			v = 255
+		}
+		out[i] = v
+	}
+	return out
+}
+
+// rgbToYCbCr converts one pixel using the JPEG (full-range) matrix.
+func rgbToYCbCr(r, g, b uint8) (y, cb, cr float64) {
+	fr, fg, fb := float64(r), float64(g), float64(b)
+	y = 0.299*fr + 0.587*fg + 0.114*fb
+	cb = 128 - 0.168736*fr - 0.331264*fg + 0.5*fb
+	cr = 128 + 0.5*fr - 0.418688*fg - 0.081312*fb
+	return
+}
+
+// yCbCrToRGB is the inverse conversion (libjpeg's ycc_rgb_convert).
+func yCbCrToRGB(y, cb, cr float64) (uint8, uint8, uint8) {
+	r := y + 1.402*(cr-128)
+	g := y - 0.344136*(cb-128) - 0.714136*(cr-128)
+	b := y + 1.772*(cb-128)
+	return clampF(r), clampF(g), clampF(b)
+}
+
+func clampF(v float64) uint8 {
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v + 0.5)
+}
+
+// fdct8x8 applies a separable 8-point DCT-II in place (libjpeg's
+// jpeg_fdct_islow counterpart).
+func fdct8x8(blk *[64]float64) {
+	var tmp [64]float64
+	for r := 0; r < 8; r++ {
+		dct8(blk[r*8:(r+1)*8], tmp[r*8:(r+1)*8])
+	}
+	var col, out [8]float64
+	for c := 0; c < 8; c++ {
+		for r := 0; r < 8; r++ {
+			col[r] = tmp[r*8+c]
+		}
+		dct8(col[:], out[:])
+		for r := 0; r < 8; r++ {
+			blk[r*8+c] = out[r]
+		}
+	}
+}
+
+// idct8x8 applies the inverse transform in place (jpeg_idct_islow).
+func idct8x8(blk *[64]float64) {
+	var tmp [64]float64
+	for r := 0; r < 8; r++ {
+		idct8(blk[r*8:(r+1)*8], tmp[r*8:(r+1)*8])
+	}
+	var col, out [8]float64
+	for c := 0; c < 8; c++ {
+		for r := 0; r < 8; r++ {
+			col[r] = tmp[r*8+c]
+		}
+		idct8(col[:], out[:])
+		for r := 0; r < 8; r++ {
+			blk[r*8+c] = out[r]
+		}
+	}
+}
+
+var dctCos [8][8]float64
+
+func init() {
+	for u := 0; u < 8; u++ {
+		for n := 0; n < 8; n++ {
+			dctCos[u][n] = math.Cos(float64(2*n+1) * float64(u) * math.Pi / 16)
+		}
+	}
+}
+
+func dct8(in, out []float64) {
+	for u := 0; u < 8; u++ {
+		var sum float64
+		for n := 0; n < 8; n++ {
+			sum += in[n] * dctCos[u][n]
+		}
+		c := 0.5
+		if u == 0 {
+			c = 0.5 / math.Sqrt2
+		}
+		out[u] = c * sum
+	}
+}
+
+func idct8(in, out []float64) {
+	for n := 0; n < 8; n++ {
+		sum := in[0] / math.Sqrt2
+		for u := 1; u < 8; u++ {
+			sum += in[u] * dctCos[u][n]
+		}
+		out[n] = sum / 2
+	}
+}
+
+// bitWriter is the varint entropy layer.
+type byteWriter struct{ buf []byte }
+
+func (w *byteWriter) writeUvarint(v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	w.buf = append(w.buf, tmp[:n]...)
+}
+
+func (w *byteWriter) writeVarint(v int64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(tmp[:], v)
+	w.buf = append(w.buf, tmp[:n]...)
+}
+
+type byteReader struct {
+	buf []byte
+	pos int
+}
+
+func (r *byteReader) readUvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		return 0, errors.New("sjpg: truncated uvarint")
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *byteReader) readVarint() (int64, error) {
+	v, n := binary.Varint(r.buf[r.pos:])
+	if n <= 0 {
+		return 0, errors.New("sjpg: truncated varint")
+	}
+	r.pos += n
+	return v, nil
+}
+
+const eobRun = 0xFF // end-of-block marker in the run field
+
+// EncodeSJPG compresses an image at the given quality (1–100) with 4:4:4
+// chroma.
+func EncodeSJPG(im *Image, quality int) []byte {
+	return EncodeSJPGSubsampled(im, quality, Sub444)
+}
+
+// EncodeSJPGSubsampled compresses with an explicit chroma layout.
+func EncodeSJPGSubsampled(im *Image, quality int, sub Subsampling) []byte {
+	w := &byteWriter{}
+	w.buf = append(w.buf, sjpgMagic...)
+	w.writeUvarint(uint64(im.W))
+	w.writeUvarint(uint64(im.H))
+	w.writeUvarint(uint64(quality))
+	w.writeUvarint(uint64(sub))
+
+	planes := colorConvertForward(im)
+	quants := [3][64]int{
+		scaledQuant(&lumaQuant, quality),
+		scaledQuant(&chromaQuant, quality),
+		scaledQuant(&chromaQuant, quality),
+	}
+
+	for ch := 0; ch < 3; ch++ {
+		plane, pw, ph := planes[ch], im.W, im.H
+		if sub == Sub420 && ch > 0 {
+			plane, pw, ph = downsample2x(plane, im.W, im.H)
+		}
+		encodePlane(w, plane, pw, ph, &quants[ch])
+	}
+	return w.buf
+}
+
+// encodePlane writes one plane's blocks (DC differential + AC runs).
+func encodePlane(w *byteWriter, plane []float64, pw, ph int, quant *[64]int) {
+	bw, bh := (pw+7)/8, (ph+7)/8
+	prevDC := int64(0)
+	for by := 0; by < bh; by++ {
+		for bx := 0; bx < bw; bx++ {
+			var blk [64]float64
+			loadBlock(&blk, plane, pw, ph, bx, by)
+			fdct8x8(&blk)
+			var q [64]int64
+			for i := 0; i < 64; i++ {
+				q[i] = int64(math.Round(blk[zigzag[i]] / float64(quant[zigzag[i]])))
+			}
+			// DC differential.
+			w.writeVarint(q[0] - prevDC)
+			prevDC = q[0]
+			// AC run-length: (zero-run, value) pairs, EOB terminator.
+			run := 0
+			for i := 1; i < 64; i++ {
+				if q[i] == 0 {
+					run++
+					continue
+				}
+				w.writeUvarint(uint64(run))
+				w.writeVarint(q[i])
+				run = 0
+			}
+			w.writeUvarint(eobRun)
+		}
+	}
+}
+
+// downsample2x halves a plane in both axes by box averaging (the encoder
+// side of 4:2:0).
+func downsample2x(plane []float64, w, h int) ([]float64, int, int) {
+	ow, oh := (w+1)/2, (h+1)/2
+	out := make([]float64, ow*oh)
+	for y := 0; y < oh; y++ {
+		for x := 0; x < ow; x++ {
+			var sum float64
+			var n int
+			for dy := 0; dy < 2; dy++ {
+				for dx := 0; dx < 2; dx++ {
+					sy, sx := y*2+dy, x*2+dx
+					if sy < h && sx < w {
+						sum += plane[sy*w+sx]
+						n++
+					}
+				}
+			}
+			out[y*ow+x] = sum / float64(n)
+		}
+	}
+	return out, ow, oh
+}
+
+// upsample2x doubles a plane in both axes by separable linear interpolation
+// (libjpeg's sep_upsample "fancy upsampling").
+func upsample2x(plane []float64, pw, ph, w, h int) []float64 {
+	out := make([]float64, w*h)
+	for y := 0; y < h; y++ {
+		sy := float64(y)/2 - 0.25
+		y0 := int(math.Floor(sy))
+		fy := sy - float64(y0)
+		y1 := y0 + 1
+		if y0 < 0 {
+			y0 = 0
+		}
+		if y1 > ph-1 {
+			y1 = ph - 1
+		}
+		if y0 > ph-1 {
+			y0 = ph - 1
+		}
+		for x := 0; x < w; x++ {
+			sx := float64(x)/2 - 0.25
+			x0 := int(math.Floor(sx))
+			fx := sx - float64(x0)
+			x1 := x0 + 1
+			if x0 < 0 {
+				x0 = 0
+			}
+			if x1 > pw-1 {
+				x1 = pw - 1
+			}
+			if x0 > pw-1 {
+				x0 = pw - 1
+			}
+			v00 := plane[y0*pw+x0]
+			v01 := plane[y0*pw+x1]
+			v10 := plane[y1*pw+x0]
+			v11 := plane[y1*pw+x1]
+			out[y*w+x] = (1-fy)*((1-fx)*v00+fx*v01) + fy*((1-fx)*v10+fx*v11)
+		}
+	}
+	return out
+}
+
+// SJPGDims parses just the header, returning the encoded dimensions.
+func SJPGDims(data []byte) (w, h int, err error) {
+	if len(data) < 4 || string(data[:4]) != sjpgMagic {
+		return 0, 0, errors.New("sjpg: bad magic")
+	}
+	r := &byteReader{buf: data, pos: 4}
+	wu, err := r.readUvarint()
+	if err != nil {
+		return 0, 0, err
+	}
+	hu, err := r.readUvarint()
+	if err != nil {
+		return 0, 0, err
+	}
+	return int(wu), int(hu), nil
+}
+
+// DecodeSJPG decompresses an SJPG payload. The decode path mirrors libjpeg's
+// stages: entropy decode (decode_mcu), dequantize + inverse DCT
+// (jpeg_idct_islow), color conversion (ycc_rgb_convert), assembled by the
+// decompress_onepass driver.
+func DecodeSJPG(data []byte) (*Image, error) {
+	if len(data) < 4 || string(data[:4]) != sjpgMagic {
+		return nil, errors.New("sjpg: bad magic")
+	}
+	r := &byteReader{buf: data, pos: 4}
+	wu, err := r.readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	hu, err := r.readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	qu, err := r.readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	su, err := r.readUvarint()
+	if err != nil {
+		return nil, err
+	}
+	width, height, quality := int(wu), int(hu), int(qu)
+	sub := Subsampling(su)
+	if width <= 0 || height <= 0 || width > 1<<16 || height > 1<<16 {
+		return nil, fmt.Errorf("sjpg: implausible dimensions %dx%d", width, height)
+	}
+	// Cap the total pixel count: a hostile header must not make the decoder
+	// allocate tens of gigabytes before the payload is even validated.
+	const maxPixels = 1 << 26 // 64 Mpix, ~8x a full-frame photo
+	if width*height > maxPixels {
+		return nil, fmt.Errorf("sjpg: image %dx%d exceeds the %d-pixel decode limit", width, height, maxPixels)
+	}
+	if sub != Sub444 && sub != Sub420 {
+		return nil, fmt.Errorf("sjpg: unknown subsampling %d", int(sub))
+	}
+
+	quants := [3][64]int{
+		scaledQuant(&lumaQuant, quality),
+		scaledQuant(&chromaQuant, quality),
+		scaledQuant(&chromaQuant, quality),
+	}
+	var planes [3][]float64
+	for ch := 0; ch < 3; ch++ {
+		pw, ph := width, height
+		if sub == Sub420 && ch > 0 {
+			pw, ph = (width+1)/2, (height+1)/2
+		}
+		plane := make([]float64, pw*ph)
+		if err := decodePlane(r, plane, pw, ph, &quants[ch]); err != nil {
+			return nil, err
+		}
+		if sub == Sub420 && ch > 0 {
+			plane = upsample2x(plane, pw, ph, width, height)
+		}
+		planes[ch] = plane
+	}
+	return colorConvertInverse(planes, width, height), nil
+}
+
+// decodePlane reads one plane's blocks (the decompress_onepass inner loop:
+// entropy decode, dequantize, inverse DCT).
+func decodePlane(r *byteReader, plane []float64, pw, ph int, quant *[64]int) error {
+	bw, bh := (pw+7)/8, (ph+7)/8
+	prevDC := int64(0)
+	for by := 0; by < bh; by++ {
+		for bx := 0; bx < bw; bx++ {
+			q, dc, err := decodeMCU(r, prevDC)
+			if err != nil {
+				return err
+			}
+			prevDC = dc
+			var blk [64]float64
+			for i := 0; i < 64; i++ {
+				blk[zigzag[i]] = float64(q[i]) * float64(quant[zigzag[i]])
+			}
+			idct8x8(&blk)
+			storeBlock(&blk, plane, pw, ph, bx, by)
+		}
+	}
+	return nil
+}
+
+// decodeMCU entropy-decodes one 8x8 block (the hottest decode function in
+// the paper's Table I).
+func decodeMCU(r *byteReader, prevDC int64) (q [64]int64, dc int64, err error) {
+	delta, err := r.readVarint()
+	if err != nil {
+		return q, 0, err
+	}
+	dc = prevDC + delta
+	q[0] = dc
+	i := 1
+	for i < 64 {
+		run, err := r.readUvarint()
+		if err != nil {
+			return q, 0, err
+		}
+		if run == eobRun {
+			return q, dc, nil
+		}
+		// Bound the run before any arithmetic: a hostile varint can exceed
+		// int range and wrap negative.
+		if run > 63 {
+			return q, 0, errors.New("sjpg: AC run overflows block")
+		}
+		i += int(run)
+		if i >= 64 {
+			return q, 0, errors.New("sjpg: AC run overflows block")
+		}
+		v, err := r.readVarint()
+		if err != nil {
+			return q, 0, err
+		}
+		q[i] = v
+		i++
+	}
+	// A full block must still be terminated by its EOB.
+	run, err := r.readUvarint()
+	if err != nil {
+		return q, 0, err
+	}
+	if run != eobRun {
+		return q, 0, errors.New("sjpg: missing EOB")
+	}
+	return q, dc, nil
+}
+
+// colorConvertForward produces the three YCbCr planes, level-shifted to be
+// centred on zero as the DCT expects.
+func colorConvertForward(im *Image) [3][]float64 {
+	n := im.W * im.H
+	var planes [3][]float64
+	for i := range planes {
+		planes[i] = make([]float64, n)
+	}
+	for i := 0; i < n; i++ {
+		y, cb, cr := rgbToYCbCr(im.Pix[i*3], im.Pix[i*3+1], im.Pix[i*3+2])
+		planes[0][i] = y - 128
+		planes[1][i] = cb - 128
+		planes[2][i] = cr - 128
+	}
+	return planes
+}
+
+func colorConvertInverse(planes [3][]float64, w, h int) *Image {
+	im := NewImage(w, h)
+	for i := 0; i < w*h; i++ {
+		r, g, b := yCbCrToRGB(planes[0][i]+128, planes[1][i]+128, planes[2][i]+128)
+		im.Pix[i*3], im.Pix[i*3+1], im.Pix[i*3+2] = r, g, b
+	}
+	return im
+}
+
+// loadBlock copies an 8x8 tile from a plane, replicating edge samples for
+// partial blocks (JPEG edge extension).
+func loadBlock(blk *[64]float64, plane []float64, w, h, bx, by int) {
+	for y := 0; y < 8; y++ {
+		sy := by*8 + y
+		if sy >= h {
+			sy = h - 1
+		}
+		for x := 0; x < 8; x++ {
+			sx := bx*8 + x
+			if sx >= w {
+				sx = w - 1
+			}
+			blk[y*8+x] = plane[sy*w+sx]
+		}
+	}
+}
+
+func storeBlock(blk *[64]float64, plane []float64, w, h, bx, by int) {
+	for y := 0; y < 8; y++ {
+		sy := by*8 + y
+		if sy >= h {
+			continue
+		}
+		for x := 0; x < 8; x++ {
+			sx := bx*8 + x
+			if sx >= w {
+				continue
+			}
+			plane[sy*w+sx] = blk[y*8+x]
+		}
+	}
+}

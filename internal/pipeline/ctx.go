@@ -1,0 +1,94 @@
+package pipeline
+
+import (
+	"time"
+
+	"lotus/internal/clock"
+	"lotus/internal/native"
+	"lotus/internal/rng"
+)
+
+// Mode selects how transforms execute.
+type Mode int
+
+const (
+	// Simulated: samples carry metadata only; work costs come from the
+	// native cost model and advance virtual time. All characterization
+	// experiments run simulated.
+	Simulated Mode = iota
+	// RealData: samples carry actual pixels; transforms run the real
+	// kernels from package imaging and elapsed time is genuine wall time.
+	RealData
+)
+
+// Ctx is the per-worker execution context threaded through transforms.
+type Ctx struct {
+	// Proc is the clock proc the worker runs under.
+	Proc clock.Proc
+	// Engine executes native kernel calls (may be nil in RealData mode).
+	Engine *native.Engine
+	// Thread is this worker's native timeline cursor.
+	Thread *native.Thread
+	// Mode selects simulated or real execution.
+	Mode Mode
+	// Seed is the run-level randomness root.
+	Seed int64
+	// WorkScale multiplies simulated work durations; profiler-overhead
+	// models (Table III) use it to represent sampling interference.
+	WorkScale float64
+	// MaterializeDim caps synthesized image/volume resolution in RealData
+	// mode.
+	MaterializeDim int
+
+	rngCache *rng.Stream
+}
+
+// Real reports whether transforms should manipulate actual payloads.
+func (c *Ctx) Real() bool { return c.Mode == RealData }
+
+// SampleRNG returns the deterministic randomness stream for one sample.
+// Derivation from (seed, index) — not from the worker — keeps a sample's
+// random transform decisions identical regardless of which worker processes
+// it or how many workers exist.
+func (c *Ctx) SampleRNG(index int) *rng.Stream {
+	return rng.New(c.Seed^int64(index)*2654435761, "sample")
+}
+
+// BatchRNG returns the deterministic stream for batch-level decisions.
+func (c *Ctx) BatchRNG(batchID int) *rng.Stream {
+	return rng.New(c.Seed^int64(batchID)*40503, "batch")
+}
+
+// Work executes native kernel calls in simulated mode: it aligns the native
+// timeline cursor with the clock, records the invocations (if a profiling
+// session is attached), and advances virtual time by the modeled duration.
+// In RealData mode it is a no-op — the caller performs the actual kernels
+// and real time elapses by itself.
+func (c *Ctx) Work(calls ...native.Call) {
+	if c.Mode == RealData || c.Engine == nil {
+		return
+	}
+	c.Thread.Cursor = c.Proc.Now()
+	d := c.Engine.Exec(c.Thread, calls)
+	if c.WorkScale > 0 && c.WorkScale != 1 {
+		d = time.Duration(float64(d) * c.WorkScale)
+	}
+	c.Proc.Sleep(d)
+}
+
+// IO advances time for a storage read. I/O wait is off-CPU, so it is not
+// recorded on the native timeline (a hardware profiler would not attribute
+// it to a user-space function).
+func (c *Ctx) IO(d time.Duration) {
+	if c.Mode == RealData {
+		// Real mode still models storage latency: the synthetic blobs live
+		// in memory, but a Loader that never waits would make every real
+		// pipeline preprocessing-bound in an unrepresentative way.
+		c.Proc.Sleep(d)
+		return
+	}
+	if c.WorkScale > 0 && c.WorkScale != 1 {
+		d = time.Duration(float64(d) * c.WorkScale)
+	}
+	c.Proc.Sleep(d)
+}

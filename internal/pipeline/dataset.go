@@ -1,0 +1,73 @@
+package pipeline
+
+import (
+	"lotus/internal/data"
+	"lotus/internal/tensor"
+)
+
+// Dataset is a map-style dataset: GetItem loads and preprocesses one sample
+// (the torch.utils.data.Dataset __getitem__ contract; transforms run inside
+// it, which is why the paper instruments Compose rather than the loader
+// loop).
+type Dataset interface {
+	Len() int
+	GetItem(ctx *Ctx, pid, batchID, index int) Sample
+}
+
+// ImageFolder adapts a synthetic image dataset plus a Compose chain — the
+// analogue of torchvision.datasets.ImageFolder with a transform argument.
+type ImageFolder struct {
+	Data      *data.ImageDataset
+	Transform *Compose
+}
+
+// NewImageFolder builds the dataset.
+func NewImageFolder(ds *data.ImageDataset, tf *Compose) *ImageFolder {
+	return &ImageFolder{Data: ds, Transform: tf}
+}
+
+func (f *ImageFolder) Len() int { return f.Data.Len() }
+
+func (f *ImageFolder) GetItem(ctx *Ctx, pid, batchID, index int) Sample {
+	rec := f.Data.Record(index)
+	s := Sample{
+		Index:     index,
+		Label:     rec.Label,
+		FileBytes: rec.FileBytes,
+		Seed:      rec.Seed,
+		Width:     rec.Width,
+		Height:    rec.Height,
+		Channels:  3,
+		Dtype:     tensor.Uint8,
+	}
+	return f.Transform.Apply(ctx, pid, batchID, s)
+}
+
+// VolumeFolder adapts a synthetic volume dataset plus a Compose chain (the
+// IS pipeline's custom Dataset subclass of Listing 2).
+type VolumeFolder struct {
+	Data      *data.VolumeDataset
+	Transform *Compose
+}
+
+// NewVolumeFolder builds the dataset.
+func NewVolumeFolder(ds *data.VolumeDataset, tf *Compose) *VolumeFolder {
+	return &VolumeFolder{Data: ds, Transform: tf}
+}
+
+func (f *VolumeFolder) Len() int { return f.Data.Len() }
+
+func (f *VolumeFolder) GetItem(ctx *Ctx, pid, batchID, index int) Sample {
+	rec := f.Data.Record(index)
+	s := Sample{
+		Index:     index,
+		FileBytes: rec.FileBytes,
+		Seed:      rec.Seed,
+		Depth:     rec.D,
+		Height:    rec.H,
+		Width:     rec.W,
+		Channels:  1,
+		Dtype:     tensor.Float32,
+	}
+	return f.Transform.Apply(ctx, pid, batchID, s)
+}

@@ -1,0 +1,446 @@
+package pipeline
+
+import (
+	"fmt"
+	"time"
+
+	"lotus/internal/data"
+	"lotus/internal/imaging"
+	"lotus/internal/native"
+	"lotus/internal/tensor"
+)
+
+// Transform is one preprocessing operation. Apply may mutate and return the
+// sample; Kernels declares the native functions the operation may execute —
+// the ground truth LotusMap's reconstruction is validated against (the
+// hardware-profiler simulation never sees it).
+type Transform interface {
+	// Name is the operation name as the framework level sees it, e.g.
+	// "RandomResizedCrop".
+	Name() string
+	// Apply runs the operation.
+	Apply(ctx *Ctx, s Sample) Sample
+	// Kernels lists the logical native-kernel names the op may invoke.
+	Kernels() []string
+}
+
+// Compose chains transforms, timing each application — the torchvision
+// Compose.__call__ instrumentation of Listing 3 ([T3]).
+type Compose struct {
+	Transforms []Transform
+	// Hooks receives per-op timing records; nil disables instrumentation.
+	Hooks *Hooks
+}
+
+// NewCompose chains the given transforms without instrumentation.
+func NewCompose(ts ...Transform) *Compose {
+	return &Compose{Transforms: ts}
+}
+
+// Apply runs every transform in order. pid and batchID flow into the op log
+// records so the analysis can associate operations with batches and worker
+// processes.
+func (c *Compose) Apply(ctx *Ctx, pid, batchID int, s Sample) Sample {
+	for _, t := range c.Transforms {
+		start := ctx.Proc.Now()
+		s = t.Apply(ctx, s)
+		if c.Hooks != nil && c.Hooks.OnOp != nil {
+			c.Hooks.OnOp(pid, batchID, s.Index, t.Name(), start, ctx.Proc.Now().Sub(start))
+			if c.Hooks.PerLogCost > 0 {
+				ctx.Proc.Sleep(c.Hooks.PerLogCost)
+			}
+		}
+	}
+	return s
+}
+
+// Names returns the transform names in order.
+func (c *Compose) Names() []string {
+	out := make([]string, len(c.Transforms))
+	for i, t := range c.Transforms {
+		out[i] = t.Name()
+	}
+	return out
+}
+
+// GroundTruth maps each transform name to its kernel set — the oracle the
+// LotusMap validation tests compare reconstructed mappings against.
+func (c *Compose) GroundTruth() map[string][]string {
+	out := make(map[string][]string, len(c.Transforms))
+	for _, t := range c.Transforms {
+		out[t.Name()] = append([]string(nil), t.Kernels()...)
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// Image transforms (IC / OD pipelines)
+// ---------------------------------------------------------------------------
+
+// Loader loads an encoded image from storage and decodes it — the paper's
+// "Loader" operation (ImageFolder's pil_loader: open + decode + convert to
+// RGB). Decode cost follows the libjpeg stage structure.
+type Loader struct {
+	// IO models the storage the dataset is mounted from.
+	IO data.IOModel
+	// Cache, when non-nil, models the OS page cache in front of the mount.
+	Cache *data.PageCache
+}
+
+func (l *Loader) Name() string { return "Loader" }
+
+func (l *Loader) Kernels() []string {
+	return []string{
+		"decode_mcu", "jpeg_fill_bit_buffer", "jpeg_idct_islow", "jpeg_idct_16x16",
+		"ycc_rgb_convert", "decompress_onepass", "ImagingUnpackRGB",
+		"memset", "memcpy", "calloc", "process_data_simple_main", "sep_upsample",
+		"pil_copy",
+	}
+}
+
+func (l *Loader) Apply(ctx *Ctx, s Sample) Sample {
+	r := ctx.SampleRNG(s.Index).Derive("loader")
+	ctx.IO(l.Cache.Delay(s.Index, s.FileBytes, l.IO, r))
+
+	raw := s.Width * s.Height * 3
+	if ctx.Real() {
+		// Decode a real SJPG payload synthesized at a capped resolution.
+		w, h := s.Width, s.Height
+		cap := ctx.MaterializeDim
+		if cap <= 0 {
+			cap = 256
+		}
+		for (w > cap || h > cap) && w > 32 && h > 32 {
+			w /= 2
+			h /= 2
+		}
+		// Photographic JPEGs are typically 4:2:0; decode exercises the
+		// chroma upsampling path (sep_upsample).
+		blob := imaging.EncodeSJPGSubsampled(imaging.SynthesizeImage(w, h, s.Seed), 85, imaging.Sub420)
+		im, err := imaging.DecodeSJPG(blob)
+		if err != nil {
+			panic(fmt.Sprintf("pipeline: synthesized blob failed to decode: %v", err))
+		}
+		s.Image = im
+		s.Width, s.Height = im.W, im.H
+		s.Channels, s.Dtype = 3, tensor.Uint8
+		return s
+	}
+
+	calls := []native.Call{
+		{Kernel: "decode_mcu", Bytes: s.FileBytes},
+		{Kernel: "jpeg_fill_bit_buffer", Bytes: s.FileBytes},
+	}
+	// A minority of images take the scaled-IDCT path for part of their
+	// blocks: the short-lived, inconsistently-captured kernel of § IV-B.
+	if s.Seed%4 == 0 {
+		calls = append(calls,
+			native.Call{Kernel: "jpeg_idct_islow", Bytes: raw * 7 / 8},
+			native.Call{Kernel: "jpeg_idct_16x16", Bytes: raw / 8},
+		)
+	} else {
+		calls = append(calls, native.Call{Kernel: "jpeg_idct_islow", Bytes: raw})
+	}
+	calls = append(calls,
+		native.Call{Kernel: "ycc_rgb_convert", Bytes: raw},
+		native.Call{Kernel: "decompress_onepass", Bytes: raw},
+		native.Call{Kernel: "ImagingUnpackRGB", Bytes: raw},
+		native.Call{Kernel: "memset", Bytes: raw},
+		native.Call{Kernel: "memcpy", Bytes: raw},
+	)
+	if ctx.Engine != nil {
+		switch ctx.Engine.Arch() {
+		case native.Intel:
+			calls = append(calls, native.Call{Kernel: "calloc", Bytes: raw})
+		case native.AMD:
+			calls = append(calls,
+				native.Call{Kernel: "process_data_simple_main", Bytes: raw},
+				native.Call{Kernel: "sep_upsample", Bytes: raw / 2},
+				native.Call{Kernel: "pil_copy", Bytes: raw},
+			)
+		}
+	}
+	ctx.Work(calls...)
+	s.Channels, s.Dtype = 3, tensor.Uint8
+	return s
+}
+
+// RawLoader loads a pre-decoded image from storage — the offline
+// preprocessing strategy of the paper's Takeaway 2: MLPerf's IS and OD
+// pipelines decode and convert the raw dataset to numpy *before* training so
+// the expensive decode never runs online. Storage reads get bigger (raw
+// pixels instead of compressed), but the CPU-side decode chain disappears.
+type RawLoader struct {
+	IO    data.IOModel
+	Cache *data.PageCache
+}
+
+func (l *RawLoader) Name() string { return "Loader" }
+
+func (l *RawLoader) Kernels() []string { return []string{"memcpy", "memset"} }
+
+func (l *RawLoader) Apply(ctx *Ctx, s Sample) Sample {
+	raw := s.Width * s.Height * 3
+	r := ctx.SampleRNG(s.Index).Derive("rawload")
+	ctx.IO(l.Cache.Delay(s.Index, raw, l.IO, r))
+	if ctx.Real() {
+		cap := ctx.MaterializeDim
+		if cap <= 0 {
+			cap = 256
+		}
+		w, h := s.Width, s.Height
+		for (w > cap || h > cap) && w > 32 && h > 32 {
+			w /= 2
+			h /= 2
+		}
+		s.Image = imaging.SynthesizeImage(w, h, s.Seed)
+		s.Width, s.Height = w, h
+	} else {
+		ctx.Work(
+			native.Call{Kernel: "memcpy", Bytes: raw},
+			native.Call{Kernel: "memset", Bytes: raw},
+		)
+	}
+	s.Channels, s.Dtype = 3, tensor.Uint8
+	return s
+}
+
+// RandomResizedCrop crops a random area/aspect region and resamples it to
+// Size x Size, exactly following torchvision's parameter sampling.
+type RandomResizedCrop struct {
+	Size int
+}
+
+func (t *RandomResizedCrop) Name() string { return "RandomResizedCrop" }
+
+func (t *RandomResizedCrop) Kernels() []string {
+	return []string{
+		"ImagingCrop", "ImagingResampleHorizontal_8bpc", "ImagingResampleVertical_8bpc",
+		"precompute_coeffs", "memmove", "int_free", "memcpy",
+	}
+}
+
+func (t *RandomResizedCrop) Apply(ctx *Ctx, s Sample) Sample {
+	r := ctx.SampleRNG(s.Index).Derive("rrc")
+	x0, y0, cw, ch := imaging.RandomResizedCropParams(s.Width, s.Height, r)
+	if ctx.Real() {
+		im := imaging.Crop(s.Image, x0, y0, cw, ch)
+		s.Image = imaging.Resize(im, t.Size, t.Size)
+	} else {
+		cropBytes := cw * ch * 3
+		midBytes := t.Size * ch * 3 // after horizontal pass
+		outBytes := t.Size * t.Size * 3
+		calls := []native.Call{
+			{Kernel: "ImagingCrop", Bytes: cropBytes},
+			{Kernel: "ImagingResampleHorizontal_8bpc", Bytes: cropBytes + midBytes},
+			{Kernel: "ImagingResampleVertical_8bpc", Bytes: midBytes + outBytes},
+		}
+		if ctx.Engine != nil {
+			switch ctx.Engine.Arch() {
+			case native.Intel:
+				calls = append(calls,
+					native.Call{Kernel: "memmove", Bytes: outBytes},
+					native.Call{Kernel: "int_free", Bytes: 4096},
+				)
+			case native.AMD:
+				calls = append(calls,
+					native.Call{Kernel: "precompute_coeffs", Bytes: 2 * (cw + ch)},
+					native.Call{Kernel: "memcpy", Bytes: outBytes},
+				)
+			}
+		}
+		ctx.Work(calls...)
+	}
+	s.Width, s.Height = t.Size, t.Size
+	return s
+}
+
+// Resize resamples to a fixed size without cropping (the OD pipeline's
+// variant of RandomResizedCrop).
+type Resize struct {
+	W, H int
+}
+
+func (t *Resize) Name() string { return "Resize" }
+
+func (t *Resize) Kernels() []string {
+	return []string{"ImagingResampleHorizontal_8bpc", "ImagingResampleVertical_8bpc", "precompute_coeffs", "memmove", "int_free", "memcpy"}
+}
+
+func (t *Resize) Apply(ctx *Ctx, s Sample) Sample {
+	if ctx.Real() {
+		s.Image = imaging.Resize(s.Image, t.W, t.H)
+	} else {
+		inBytes := s.Width * s.Height * 3
+		midBytes := t.W * s.Height * 3
+		outBytes := t.W * t.H * 3
+		calls := []native.Call{
+			{Kernel: "ImagingResampleHorizontal_8bpc", Bytes: inBytes + midBytes},
+			{Kernel: "ImagingResampleVertical_8bpc", Bytes: midBytes + outBytes},
+		}
+		if ctx.Engine != nil {
+			switch ctx.Engine.Arch() {
+			case native.Intel:
+				calls = append(calls,
+					native.Call{Kernel: "memmove", Bytes: outBytes},
+					native.Call{Kernel: "int_free", Bytes: 4096},
+				)
+			case native.AMD:
+				calls = append(calls,
+					native.Call{Kernel: "precompute_coeffs", Bytes: 2 * (s.Width + s.Height)},
+					native.Call{Kernel: "memcpy", Bytes: outBytes},
+				)
+			}
+		}
+		ctx.Work(calls...)
+	}
+	s.Width, s.Height = t.W, t.H
+	return s
+}
+
+// RandomHorizontalFlip mirrors the image with probability P (default 0.5).
+// It is the paper's canonical sub-100µs operation: when the coin lands
+// tails the op does nothing at all.
+type RandomHorizontalFlip struct {
+	P float64
+}
+
+func (t *RandomHorizontalFlip) Name() string { return "RandomHorizontalFlip" }
+
+func (t *RandomHorizontalFlip) Kernels() []string {
+	return []string{"ImagingFlipLeftRight", "memcpy"}
+}
+
+func (t *RandomHorizontalFlip) Apply(ctx *Ctx, s Sample) Sample {
+	p := t.P
+	if p == 0 {
+		p = 0.5
+	}
+	r := ctx.SampleRNG(s.Index).Derive("rhf")
+	if !r.Bool(p) {
+		return s
+	}
+	if ctx.Real() {
+		s.Image = imaging.FlipHorizontal(s.Image)
+	} else {
+		raw := s.Width * s.Height * 3
+		ctx.Work(
+			native.Call{Kernel: "ImagingFlipLeftRight", Bytes: raw},
+			native.Call{Kernel: "memcpy", Bytes: raw},
+		)
+	}
+	return s
+}
+
+// ToTensor converts the PIL-style image to a [3,H,W] float32 tensor scaled
+// to [0,1], as torchvision's ToTensor does.
+type ToTensor struct{}
+
+func (t *ToTensor) Name() string { return "ToTensor" }
+
+func (t *ToTensor) Kernels() []string {
+	return []string{"ImagingUnpackRGB", "convert_u8_f32", "memcpy"}
+}
+
+func (t *ToTensor) Apply(ctx *Ctx, s Sample) Sample {
+	u8Bytes := s.Width * s.Height * 3
+	f32Bytes := u8Bytes * 4
+	if ctx.Real() {
+		s.Tensor = s.Image.ToTensor().ToFloat32()
+		s.Image = nil
+	} else {
+		ctx.Work(
+			native.Call{Kernel: "ImagingUnpackRGB", Bytes: u8Bytes},
+			native.Call{Kernel: "convert_u8_f32", Bytes: u8Bytes + f32Bytes/4},
+			native.Call{Kernel: "memcpy", Bytes: u8Bytes},
+		)
+	}
+	s.Dtype = tensor.Float32
+	return s
+}
+
+// Normalize applies per-channel (x-mean)/std to the float tensor.
+type Normalize struct {
+	Mean, Std []float32
+}
+
+func (t *Normalize) Name() string { return "Normalize" }
+
+func (t *Normalize) Kernels() []string { return []string{"normalize_f32"} }
+
+func (t *Normalize) Apply(ctx *Ctx, s Sample) Sample {
+	if ctx.Real() {
+		s.Tensor.Normalize(t.Mean, t.Std)
+	} else {
+		ctx.Work(native.Call{Kernel: "normalize_f32", Bytes: s.RawBytes()})
+	}
+	return s
+}
+
+// Collate stacks k samples into a batch tensor (DataLoader's default
+// collate_fn). It is logged as the C(k) operation of Table II.
+type Collate struct{}
+
+func (t *Collate) Name() string { return "Collate" }
+
+func (t *Collate) Kernels() []string { return []string{"cat_serial_kernel", "memcpy"} }
+
+// Run collates samples into the batch payload. Collation is a batch-level
+// op, so it does not implement Transform.Apply.
+func (t *Collate) Run(ctx *Ctx, samples []Sample) *tensor.Tensor {
+	if len(samples) == 0 {
+		panic("pipeline: collate of empty batch")
+	}
+	if ctx.Real() {
+		ts := make([]*tensor.Tensor, len(samples))
+		for i, s := range samples {
+			ts[i] = s.Tensor
+		}
+		return tensor.Stack(ts)
+	}
+	total := 0
+	for _, s := range samples {
+		total += s.RawBytes()
+	}
+	ctx.Work(
+		native.Call{Kernel: "cat_serial_kernel", Bytes: total},
+		native.Call{Kernel: "memcpy", Bytes: total},
+	)
+	first := samples[0]
+	shape := []int{len(samples), first.Channels}
+	if first.Depth > 0 {
+		shape = append(shape, first.Depth)
+	}
+	shape = append(shape, first.Height, first.Width)
+	return tensor.Meta(first.Dtype, shape...)
+}
+
+// CollateN adapts Collate to the Transform interface so LotusMap can
+// profile collation in isolation: applying it collates N copies of the
+// input sample (the batch-level work for a batch of N).
+type CollateN struct {
+	N int
+}
+
+func (c *CollateN) Name() string { return "Collate" }
+
+func (c *CollateN) Kernels() []string { return (&Collate{}).Kernels() }
+
+func (c *CollateN) Apply(ctx *Ctx, s Sample) Sample {
+	n := c.N
+	if n <= 0 {
+		n = 2
+	}
+	samples := make([]Sample, n)
+	for i := range samples {
+		samples[i] = s
+	}
+	(&Collate{}).Run(ctx, samples)
+	return s
+}
+
+// PinCost models copying a batch into page-locked memory in the main
+// process (pin_memory=True), at roughly 5 GB/s.
+func PinCost(bytes int) time.Duration {
+	return time.Duration(float64(bytes) / 5e9 * float64(time.Second))
+}

@@ -1,0 +1,52 @@
+package profilers
+
+import "time"
+
+// RunOutcome summarizes what attaching a profiler to a run produced — the
+// Table III columns.
+type RunOutcome struct {
+	Profiler string
+	// Wall is the instrumented run's duration.
+	Wall time.Duration
+	// OverheadFrac is (Wall - baseline) / baseline.
+	OverheadFrac float64
+	// StorageBytes is the output volume on disk.
+	StorageBytes int64
+	// PeakMemBytes is the tool's buffered state (trace-based tools).
+	PeakMemBytes int64
+	// OOM reports whether buffering exceeded the machine's memory.
+	OOM bool
+}
+
+// SampleCount estimates how many samples a sampling profiler collects over a
+// run of the given wall time observing the given number of processes.
+func (p Profiler) SampleCount(wall time.Duration, procs int) int64 {
+	if p.SampleInterval <= 0 {
+		return 0
+	}
+	if !p.SeesWorkers {
+		procs = 1
+	}
+	if procs < 1 {
+		procs = 1
+	}
+	return int64(wall/p.SampleInterval) * int64(procs)
+}
+
+// Storage computes the output volume and memory footprint for a run.
+// lotusBytes supplies the measured tracer output for instrumented tools
+// (which is exact, not modeled); batches feeds trace-based event counts.
+func (p Profiler) Storage(wall time.Duration, procs, batches int, lotusBytes int64) (storage, peakMem int64, oom bool) {
+	switch {
+	case p.Instrumented:
+		return lotusBytes, 0, false
+	case p.TraceBased:
+		events := int64(batches) * int64(p.EventsPerBatch)
+		storage = events * int64(p.DiskBytesPerEvent)
+		peakMem = events * int64(p.MemBytesPerEvent)
+		return storage, peakMem, p.RAMLimit > 0 && peakMem > p.RAMLimit
+	default: // sampling
+		storage = p.FixedOutputBytes + p.SampleCount(wall, procs)*int64(p.BytesPerSample)
+		return storage, 0, false
+	}
+}

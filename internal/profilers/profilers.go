@@ -1,0 +1,179 @@
+// Package profilers models the alternative profiling tools the paper
+// compares LotusTrace against (Table III overheads, Table IV functionality):
+// the sampling profilers Scalene, py-spy, and austin, and the trace-based
+// PyTorch profiler.
+//
+// Each tool is described by its *mechanism* — sampling interval, whether it
+// runs in-process, what it can observe, how its output scales — rather than
+// by its result numbers. Wall-time and storage overheads then fall out of
+// running the instrumented pipeline under the mechanism's cost model, and
+// the Table IV functionality matrix is derived from what the mechanism can
+// see (a sampler with no batch markers cannot report per-batch times, a
+// main-process-only tracer cannot see the workers, and so on).
+//
+// Interference slowdown factors (the fraction a tool's presence stretches
+// the workload) are taken from the paper's measurements, since they depend
+// on implementation details our simulation does not model (signal delivery,
+// GIL contention, allocation interception).
+package profilers
+
+import (
+	"time"
+)
+
+// Profiler describes one tool's mechanism.
+type Profiler struct {
+	Name string
+
+	// --- interference model ---
+	// WorkSlowdown stretches all pipeline work multiplicatively while the
+	// tool is attached (1.0 = free).
+	WorkSlowdown float64
+	// PerLogCost is the cost of emitting one instrumentation record
+	// (instrumented tracers only).
+	PerLogCost time.Duration
+
+	// --- mechanism ---
+	// SampleInterval > 0 marks a sampling profiler with that period.
+	SampleInterval time.Duration
+	// Instrumented marks LotusTrace-style explicit instrumentation.
+	Instrumented bool
+	// TraceBased marks PyTorch-profiler-style exhaustive op tracing.
+	TraceBased bool
+
+	// --- visibility ---
+	// SeesWorkers: observes DataLoader worker processes (not just main).
+	SeesWorkers bool
+	// SeesOpLabels: output rows carry preprocessing-operation names rather
+	// than raw lines/frames (the __call__ labeling problem of § IV-A).
+	SeesOpLabels bool
+	// HasBatchMarkers: output delimits batch boundaries.
+	HasBatchMarkers bool
+	// CapturesMainWait: observes the main process's blocking wait for a
+	// batch.
+	CapturesMainWait bool
+	// CapturesFlow: correlates producer (worker) and consumer (main) events
+	// for the same batch — required for delay analysis and data-flow
+	// visualization.
+	CapturesFlow bool
+
+	// --- output model ---
+	// BytesPerSample is the log growth per captured sample (sampling
+	// profilers; austin dumps whole stacks, py-spy aggregates more).
+	BytesPerSample int
+	// FixedOutputBytes is flat output size (Scalene's per-line summary).
+	FixedOutputBytes int64
+	// EventsPerBatch and DiskBytesPerEvent model trace-based output volume.
+	EventsPerBatch    int
+	DiskBytesPerEvent int
+	// MemBytesPerEvent models in-memory buffering (the PyTorch profiler
+	// holds everything until program exit); RAMLimit is the machine's
+	// memory. Exceeding it is an OOM failure.
+	MemBytesPerEvent int
+	RAMLimit         int64
+}
+
+// Capability is one Table IV row.
+type Capability struct {
+	Epoch, Batch, Async, Wait, Delay bool
+}
+
+// Functionality derives the Table IV row from the mechanism.
+func (p Profiler) Functionality() Capability {
+	return Capability{
+		// Per-epoch, per-operation elapsed times need op labels on output
+		// covering the processes where preprocessing runs.
+		Epoch: p.SeesOpLabels && p.SeesWorkers,
+		// Per-batch times need batch boundary markers.
+		Batch: p.HasBatchMarkers,
+		// The asynchronous main↔worker data-flow needs both sides plus
+		// correlation.
+		Async: p.SeesWorkers && p.CapturesFlow,
+		Wait:  p.CapturesMainWait,
+		// Delay (preprocessed→consumed) needs the producer timestamp and
+		// the consumer timestamp for the same batch.
+		Delay: p.CapturesFlow && p.HasBatchMarkers,
+	}
+}
+
+// Lotus returns the LotusTrace mechanism. perLogCost is the modeled cost of
+// one record emission (§ III-B measures ~200µs on the paper's setup for the
+// full logging path; the pure formatting cost is far smaller).
+func Lotus(perLogCost time.Duration) Profiler {
+	return Profiler{
+		Name:             "Lotus",
+		WorkSlowdown:     1.0,
+		PerLogCost:       perLogCost,
+		Instrumented:     true,
+		SeesWorkers:      true,
+		SeesOpLabels:     true,
+		HasBatchMarkers:  true,
+		CapturesMainWait: true,
+		CapturesFlow:     true,
+	}
+}
+
+// Scalene: in-process sampling CPU+GPU+memory profiler; line granularity
+// (no op labels), 10 ms CPU sampling, heavy allocation interception. Its
+// compact per-line summary output is nearly constant-size.
+func Scalene() Profiler {
+	return Profiler{
+		Name:             "Scalene",
+		WorkSlowdown:     1.961, // paper Table III: 96.1% wall overhead
+		SampleInterval:   10 * time.Millisecond,
+		SeesWorkers:      true,
+		SeesOpLabels:     false,
+		FixedOutputBytes: int64(2.5e6),
+	}
+}
+
+// PySpy: out-of-process sampler at 10 ms; sees all processes and labels
+// frames (but frames show __call__, not the transform — it still aggregates
+// per-epoch op time within ~1%, § VI-B), no batch markers.
+func PySpy() Profiler {
+	return Profiler{
+		Name:           "py-spy",
+		WorkSlowdown:   1.08, // paper: 8%
+		SampleInterval: 10 * time.Millisecond,
+		SeesWorkers:    true,
+		SeesOpLabels:   true,
+		BytesPerSample: 90,
+	}
+}
+
+// Austin: frame-stack sampler at 100 µs; dumps the full stack per sample,
+// hence the 1000x storage blow-up of § VI-B.
+func Austin() Profiler {
+	return Profiler{
+		Name:           "austin",
+		WorkSlowdown:   1.032, // paper: 3.2%
+		SampleInterval: 100 * time.Microsecond,
+		SeesWorkers:    true,
+		SeesOpLabels:   true,
+		BytesPerSample: 4800,
+	}
+}
+
+// TorchProfiler: the built-in trace-based profiler: records every operator
+// event in the main process (workers invisible — Figure 1's blue box),
+// captures the main process's DataLoader wait span, buffers events in
+// memory until exit.
+func TorchProfiler() Profiler {
+	return Profiler{
+		Name:              "PyTorch Profiler",
+		WorkSlowdown:      1.864, // paper: 86.4%
+		TraceBased:        true,
+		SeesWorkers:       false,
+		SeesOpLabels:      false,
+		CapturesMainWait:  true,
+		EventsPerBatch:    1500,
+		DiskBytesPerEvent: 400,
+		MemBytesPerEvent:  50 << 10,
+		RAMLimit:          128 << 30, // the c4130's 128 GiB
+	}
+}
+
+// All returns the comparison set in the paper's Table III/IV order.
+func All() []Profiler {
+	return []Profiler{Lotus(30 * time.Microsecond), Scalene(), PySpy(), Austin(), TorchProfiler()}
+}

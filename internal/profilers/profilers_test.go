@@ -1,0 +1,109 @@
+package profilers
+
+import (
+	"testing"
+	"time"
+)
+
+func TestFunctionalityMatrixMatchesTableIV(t *testing.T) {
+	want := map[string]Capability{
+		"Lotus":            {Epoch: true, Batch: true, Async: true, Wait: true, Delay: true},
+		"Scalene":          {},
+		"py-spy":           {Epoch: true},
+		"austin":           {Epoch: true},
+		"PyTorch Profiler": {Wait: true},
+	}
+	for _, p := range All() {
+		got := p.Functionality()
+		w, ok := want[p.Name]
+		if !ok {
+			t.Fatalf("unexpected profiler %q", p.Name)
+		}
+		if got != w {
+			t.Errorf("%s functionality = %+v, want %+v (Table IV)", p.Name, got, w)
+		}
+	}
+}
+
+func TestSampleCountScalesWithRateAndProcs(t *testing.T) {
+	ps := PySpy()
+	// 100 s at 10 ms over 3 procs -> 30000 samples.
+	if got := ps.SampleCount(100*time.Second, 3); got != 30000 {
+		t.Fatalf("SampleCount = %d", got)
+	}
+	au := Austin()
+	if au.SampleCount(time.Second, 1) != 10000 {
+		t.Fatalf("austin samples = %d", au.SampleCount(time.Second, 1))
+	}
+	// Non-sampling tools collect no samples.
+	if Lotus(0).SampleCount(time.Hour, 4) != 0 {
+		t.Fatal("instrumented tool should not sample")
+	}
+	// A main-only tool ignores worker procs.
+	tp := TorchProfiler()
+	tp.SampleInterval = 10 * time.Millisecond // hypothetical
+	if tp.SampleCount(time.Second, 8) != 100 {
+		t.Fatal("main-only tool should count one proc")
+	}
+}
+
+func TestAustinStorageDwarfsPySpy(t *testing.T) {
+	wall := 10 * time.Minute
+	auStorage, _, _ := Austin().Storage(wall, 2, 0, 0)
+	psStorage, _, _ := PySpy().Storage(wall, 2, 0, 0)
+	if auStorage < 500*psStorage {
+		t.Fatalf("austin storage %d should be ~1000x py-spy %d (§ VI-B)", auStorage, psStorage)
+	}
+}
+
+func TestScaleneStorageIsFlat(t *testing.T) {
+	s := Scalene()
+	short, _, _ := s.Storage(time.Minute, 2, 0, 0)
+	long, _, _ := s.Storage(10*time.Hour, 2, 0, 0)
+	if short != long {
+		t.Fatalf("scalene output should be duration-independent: %d vs %d", short, long)
+	}
+	if short != int64(2.5e6) {
+		t.Fatalf("scalene output %d", short)
+	}
+}
+
+func TestTorchProfilerOOMOnLargeRuns(t *testing.T) {
+	tp := TorchProfiler()
+	// Full ImageNet at b=512: 2502 batches. 2502*1500 events * 50KB >> 128 GiB.
+	_, mem, oom := tp.Storage(0, 1, 2502, 0)
+	if !oom {
+		t.Fatalf("full-ImageNet-scale run should OOM (buffered %d bytes)", mem)
+	}
+	// ImageNet-small at b=512: 51 batches — fits.
+	storage, mem, oom := tp.Storage(0, 1, 51, 0)
+	if oom {
+		t.Fatalf("small run should not OOM (buffered %d)", mem)
+	}
+	if storage <= 0 {
+		t.Fatal("trace-based run should produce output")
+	}
+}
+
+func TestLotusStoragePassesThroughMeasurement(t *testing.T) {
+	storage, _, oom := Lotus(0).Storage(time.Hour, 8, 1000, 299_200_000)
+	if storage != 299_200_000 || oom {
+		t.Fatalf("lotus storage = %d oom=%v", storage, oom)
+	}
+}
+
+func TestInterferenceFactorsOrdering(t *testing.T) {
+	// The paper's overhead ordering: Scalene ~ PyTorch profiler >> py-spy >
+	// austin > Lotus.
+	sc, tp, ps, au := Scalene(), TorchProfiler(), PySpy(), Austin()
+	lo := Lotus(30 * time.Microsecond)
+	if !(sc.WorkSlowdown > ps.WorkSlowdown && tp.WorkSlowdown > ps.WorkSlowdown) {
+		t.Fatal("heavy tools should slow more than py-spy")
+	}
+	if !(ps.WorkSlowdown > au.WorkSlowdown && au.WorkSlowdown > lo.WorkSlowdown) {
+		t.Fatal("austin should sit between py-spy and Lotus")
+	}
+	if lo.WorkSlowdown != 1.0 {
+		t.Fatal("Lotus adds no multiplicative slowdown; its cost is per log record")
+	}
+}
