@@ -18,6 +18,7 @@ import (
 	"lotus/internal/hwsim"
 	"lotus/internal/imaging"
 	"lotus/internal/native"
+	"lotus/internal/pipeline"
 )
 
 // --- one benchmark per paper artifact ---
@@ -76,6 +77,7 @@ func BenchmarkTracedEpochOverhead(b *testing.B) {
 }
 
 func BenchmarkUntracedEpoch(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		spec := lotus.ICWorkload(512, 1)
 		spec.Run(nil)
@@ -120,17 +122,21 @@ func BenchmarkSJPGDecode(b *testing.B) {
 	im := imaging.SynthesizeImage(224, 224, 1)
 	blob := imaging.EncodeSJPG(im, 85)
 	b.SetBytes(int64(len(blob)))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := imaging.DecodeSJPG(blob); err != nil {
+		out, err := imaging.DecodeSJPG(blob)
+		if err != nil {
 			b.Fatal(err)
 		}
+		out.Release()
 	}
 }
 
 func BenchmarkSJPGEncode(b *testing.B) {
 	im := imaging.SynthesizeImage(224, 224, 1)
 	b.SetBytes(int64(im.Bytes()))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		imaging.EncodeSJPG(im, 85)
@@ -140,10 +146,57 @@ func BenchmarkSJPGEncode(b *testing.B) {
 func BenchmarkBilinearResize(b *testing.B) {
 	im := imaging.SynthesizeImage(512, 512, 2)
 	b.SetBytes(int64(im.Bytes()))
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		imaging.Resize(im, 224, 224)
+		imaging.Resize(im, 224, 224).Release()
 	}
+}
+
+func BenchmarkFlipHorizontal(b *testing.B) {
+	im := imaging.SynthesizeImage(224, 224, 3)
+	b.SetBytes(int64(im.Bytes()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		imaging.FlipHorizontal(im).Release()
+	}
+}
+
+func BenchmarkCrop(b *testing.B) {
+	im := imaging.SynthesizeImage(512, 512, 4)
+	b.SetBytes(int64(224 * 224 * 3))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		imaging.Crop(im, 96, 96, 224, 224).Release()
+	}
+}
+
+// BenchmarkComposeICSample pushes one full IC sample through Compose in real
+// mode — decode, RandomResizedCrop, flip, tensor conversion, normalize on
+// actual pixels — the per-sample cost a real-data DataLoader worker pays.
+// The loader's I/O model is zeroed so the pixel path is what is measured.
+func BenchmarkComposeICSample(b *testing.B) {
+	compose := pipeline.NewCompose(
+		&pipeline.Loader{},
+		&pipeline.RandomResizedCrop{Size: 224},
+		&pipeline.RandomHorizontalFlip{},
+		&pipeline.ToTensor{},
+		&pipeline.Normalize{Mean: []float32{0.485, 0.456, 0.406}, Std: []float32{0.229, 0.224, 0.225}},
+	)
+	b.ReportAllocs()
+	clock.NewReal().Run("bench", func(p clock.Proc) {
+		ctx := &pipeline.Ctx{Proc: p, Mode: pipeline.RealData, Seed: 1, MaterializeDim: 256}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s := pipeline.Sample{Index: i, Seed: int64(i), Width: 500, Height: 375, FileBytes: 111 << 10, Channels: 3}
+			s = compose.Apply(ctx, 4001, 0, s)
+			if s.Tensor == nil {
+				b.Fatal("compose produced no tensor")
+			}
+		}
+	})
 }
 
 func BenchmarkNativeExec(b *testing.B) {

@@ -3,7 +3,6 @@ package clock
 import (
 	"container/heap"
 	"fmt"
-	"sort"
 	"strings"
 	"sync"
 	"time"
@@ -53,7 +52,9 @@ type Sim struct {
 	now      time.Duration // virtual time since Epoch
 	seq      int           // next proc sequence number
 	current  *simProc      // proc holding the execution token, nil when idle
-	runnable []*simProc    // FIFO of procs ready to run
+	runnable []*simProc    // FIFO of procs ready to run (valid from rhead)
+	rhead    int           // index of the FIFO's front element
+	due      []*simProc    // scratch for procs waking at the same instant
 	sleepers sleepHeap
 	waiting  int        // procs parked in Cond.Wait
 	live     int        // procs not yet done
@@ -163,9 +164,25 @@ func (s *Sim) scheduleLocked() {
 		return
 	}
 	for {
-		if len(s.runnable) > 0 {
-			p := s.runnable[0]
-			s.runnable = s.runnable[1:]
+		if s.rhead < len(s.runnable) {
+			p := s.runnable[s.rhead]
+			s.runnable[s.rhead] = nil
+			s.rhead++
+			if s.rhead == len(s.runnable) {
+				// FIFO drained: rewind so pushes reuse the backing array
+				// instead of growing it forever.
+				s.runnable = s.runnable[:0]
+				s.rhead = 0
+			} else if s.rhead >= 64 && s.rhead*2 >= len(s.runnable) {
+				// Mostly-consumed FIFO that never fully drains: compact so
+				// the dead prefix is reclaimed.
+				n := copy(s.runnable, s.runnable[s.rhead:])
+				for i := n; i < len(s.runnable); i++ {
+					s.runnable[i] = nil
+				}
+				s.runnable = s.runnable[:n]
+				s.rhead = 0
+			}
 			p.state = stateRunning
 			s.current = p
 			s.switches++
@@ -180,15 +197,23 @@ func (s *Sim) scheduleLocked() {
 				s.now = t
 				s.advances++
 			}
-			var due []*simProc
+			due := s.due[:0]
 			for s.sleepers.Len() > 0 && s.sleepers[0].deadline <= s.now {
 				due = append(due, heap.Pop(&s.sleepers).(*simProc))
 			}
-			sort.Slice(due, func(i, j int) bool { return due[i].seq < due[j].seq })
+			// Insertion sort by spawn order: due batches are small, and
+			// unlike sort.Slice this does not allocate in the scheduler's
+			// hottest loop.
+			for i := 1; i < len(due); i++ {
+				for j := i; j > 0 && due[j-1].seq > due[j].seq; j-- {
+					due[j-1], due[j] = due[j], due[j-1]
+				}
+			}
 			for _, p := range due {
 				p.state = stateRunnable
 				s.runnable = append(s.runnable, p)
 			}
+			s.due = due[:0]
 			continue
 		}
 		if s.live == 0 {

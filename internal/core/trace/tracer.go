@@ -2,7 +2,6 @@ package trace
 
 import (
 	"bufio"
-	"fmt"
 	"io"
 	"sort"
 	"strings"
@@ -21,6 +20,9 @@ type Tracer struct {
 	w       *bufio.Writer
 	records int
 	bytes   int64
+	// scratch is the per-tracer formatting buffer, reused under mu so record
+	// emission performs zero heap allocations.
+	scratch []byte
 	// perLogCost is propagated into the Hooks so the pipeline charges each
 	// record's emission cost to the emitting proc.
 	perLogCost time.Duration
@@ -55,28 +57,34 @@ func (t *Tracer) WriteMeta(meta map[string]string) {
 		panic("trace: WriteMeta after records were emitted")
 	}
 	keys := make([]string, 0, len(meta))
+	size := len("# lotustrace v1") + 1
 	for k := range meta {
 		keys = append(keys, k)
+		size += 1 + len(k) + 1 + len(meta[k])
 	}
 	sort.Strings(keys)
 	var b strings.Builder
+	b.Grow(size)
 	b.WriteString("# lotustrace v1")
 	for _, k := range keys {
-		fmt.Fprintf(&b, " %s=%s", k, meta[k])
+		b.WriteByte(' ')
+		b.WriteString(k)
+		b.WriteByte('=')
+		b.WriteString(meta[k])
 	}
-	b.WriteString("\n")
+	b.WriteByte('\n')
 	n, _ := t.w.WriteString(b.String())
 	t.bytes += int64(n)
 }
 
 func (t *Tracer) emit(r Record) {
-	line := r.format()
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	n, _ := t.w.WriteString(line)
-	m, _ := t.w.WriteString("\n")
+	t.scratch = r.appendFormat(t.scratch[:0])
+	t.scratch = append(t.scratch, '\n')
+	n, _ := t.w.Write(t.scratch)
 	t.records++
-	t.bytes += int64(n + m)
+	t.bytes += int64(n)
 }
 
 // Hooks returns the pipeline instrumentation callbacks that feed this

@@ -58,14 +58,40 @@ func (im *Image) Bytes() int { return len(im.Pix) }
 func (im *Image) ToTensor() *tensor.Tensor {
 	t := tensor.Zeros(tensor.Uint8, 3, im.H, im.W)
 	plane := im.H * im.W
-	for y := 0; y < im.H; y++ {
-		for x := 0; x < im.W; x++ {
-			i := (y*im.W + x) * 3
-			j := y*im.W + x
-			t.U8[j] = im.Pix[i]
-			t.U8[plane+j] = im.Pix[i+1]
-			t.U8[2*plane+j] = im.Pix[i+2]
-		}
+	r, g, b := t.U8[:plane], t.U8[plane:2*plane], t.U8[2*plane:]
+	p := im.Pix
+	for j := 0; j < plane; j++ {
+		r[j] = p[j*3]
+		g[j] = p[j*3+1]
+		b[j] = p[j*3+2]
+	}
+	return t
+}
+
+// u8ToF32 is the uint8 -> [0,1] float32 conversion table. Indexing it is
+// what keeps ToFloat32Tensor bit-identical to ToTensor().ToFloat32(): both
+// compute float32(v)/255 — one ahead of time, one per pixel.
+var u8ToF32 [256]float32
+
+func init() {
+	for i := range u8ToF32 {
+		u8ToF32[i] = float32(i) / 255
+	}
+}
+
+// ToFloat32Tensor converts directly to the [3, H, W] float32 tensor that
+// ToTensor().ToFloat32() would produce, without materializing the
+// intermediate planar uint8 tensor — the fused unpack+convert the real
+// ToTensor transform runs per sample.
+func (im *Image) ToFloat32Tensor() *tensor.Tensor {
+	t := tensor.Zeros(tensor.Float32, 3, im.H, im.W)
+	plane := im.H * im.W
+	r, g, b := t.F32[:plane], t.F32[plane:2*plane], t.F32[2*plane:]
+	p := im.Pix
+	for j := 0; j < plane; j++ {
+		r[j] = u8ToF32[p[j*3]]
+		g[j] = u8ToF32[p[j*3+1]]
+		b[j] = u8ToF32[p[j*3+2]]
 	}
 	return t
 }
@@ -91,19 +117,22 @@ func FromTensor(t *tensor.Tensor) *Image {
 // like a natural photo, which keeps encoded-size vs pixel-count relationships
 // realistic for the synthetic datasets.
 func SynthesizeImage(w, h int, seed int64) *Image {
-	im := NewImage(w, h)
+	// Pooled: every pixel is written below, so the undefined initial
+	// contents never leak. Callers on the hot path Release the image.
+	im := GetImage(w, h)
 	s := uint64(seed)*2862933555777941757 + 3037000493
 	for y := 0; y < h; y++ {
+		row := im.Pix[y*w*3 : (y+1)*w*3]
+		ybase := y * 255 / max(1, h-1)
 		for x := 0; x < w; x++ {
 			// Smooth base gradients with a block texture overlaid.
-			base := (x*255/max(1, w-1) + y*255/max(1, h-1)) / 2
+			base := (x*255/max(1, w-1) + ybase) / 2
 			s = s*6364136223846793005 + 1442695040888963407
 			noise := int((s>>33)&15) - 8
 			blk := int((uint(x/16)*7+uint(y/16)*13)%32) - 16
-			r := clamp8(base + blk + noise)
-			g := clamp8(base - blk/2 + noise)
-			b := clamp8(255 - base + noise)
-			im.Set(x, y, r, g, b)
+			row[x*3] = clamp8(base + blk + noise)
+			row[x*3+1] = clamp8(base - blk/2 + noise)
+			row[x*3+2] = clamp8(255 - base + noise)
 		}
 	}
 	return im

@@ -113,15 +113,17 @@ func TestSJPGRejectsGarbage(t *testing.T) {
 }
 
 func TestDCTInverse(t *testing.T) {
-	var blk, orig [64]float64
+	var blk, orig [64]int32
 	for i := range blk {
-		blk[i] = float64((i*37)%251) - 128
+		blk[i] = int32((i*37)%251) - 128
 		orig[i] = blk[i]
 	}
 	fdct8x8(&blk)
 	idct8x8(&blk)
 	for i := range blk {
-		if math.Abs(blk[i]-orig[i]) > 1e-6 {
+		// Fixed-point forward+inverse round trip: each pass rounds once,
+		// so samples may move by one intensity level but no more.
+		if absInt(int(blk[i])-int(orig[i])) > 1 {
 			t.Fatalf("DCT not invertible at %d: %v vs %v", i, blk[i], orig[i])
 		}
 	}
@@ -166,15 +168,18 @@ func TestResizeDownUpApproximation(t *testing.T) {
 func TestPrecomputeCoeffsNormalized(t *testing.T) {
 	for _, c := range []struct{ src, dst int }{{100, 50}, {50, 100}, {224, 224}, {7, 3}} {
 		rc := PrecomputeCoeffs(c.src, c.dst)
-		for i, ws := range rc.Weights {
-			var sum float64
+		for i := 0; i < c.dst; i++ {
+			ws := rc.TapsFor(i)
+			var sum int64
 			for _, w := range ws {
-				sum += w
+				sum += int64(w)
 			}
-			if math.Abs(sum-1) > 1e-9 {
-				t.Fatalf("%d->%d: weights at %d sum to %v", c.src, c.dst, i, sum)
+			// Each tap is rounded independently after normalization, so the
+			// fixed-point sum may drift from 1.0 by up to half an ulp per tap.
+			if d := sum - coeffOne; d > int64(len(ws)) || d < -int64(len(ws)) {
+				t.Fatalf("%d->%d: taps at %d sum to %d (want ~%d)", c.src, c.dst, i, sum, int64(coeffOne))
 			}
-			if rc.Bounds[i] < 0 || rc.Bounds[i]+len(ws) > c.src {
+			if rc.Bounds[i] < 0 || int(rc.Bounds[i])+len(ws) > c.src {
 				t.Fatalf("%d->%d: taps at %d out of range", c.src, c.dst, i)
 			}
 		}
@@ -356,38 +361,39 @@ func TestSJPG420ChromaFidelityBelow444(t *testing.T) {
 func TestUpsampleDownsampleApproxIdentity(t *testing.T) {
 	// Down then up on a smooth plane stays close.
 	w, h := 40, 30
-	plane := make([]float64, w*h)
+	plane := make([]int32, w*h)
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
-			plane[y*w+x] = float64(x + y)
+			plane[y*w+x] = int32(x + y)
 		}
 	}
 	down, dw, dh := downsample2x(plane, w, h)
 	up := upsample2x(down, dw, dh, w, h)
-	var worst float64
+	var worst int
 	for i := range plane {
-		if d := math.Abs(up[i] - plane[i]); d > worst {
+		if d := absInt(int(up[i]) - int(plane[i])); d > worst {
 			worst = d
 		}
 	}
-	if worst > 2.0 {
-		t.Fatalf("down/up max error %.2f on a linear ramp", worst)
+	if worst > 2 {
+		t.Fatalf("down/up max error %d on a linear ramp", worst)
 	}
 }
 
 func TestBicubicCoeffsNormalizedAndWider(t *testing.T) {
 	bl := PrecomputeCoeffsFilter(100, 50, Bilinear)
 	bc := PrecomputeCoeffsFilter(100, 50, Bicubic)
-	for i := range bc.Weights {
-		var sum float64
-		for _, w := range bc.Weights[i] {
-			sum += w
+	for i := 0; i < 50; i++ {
+		ws := bc.TapsFor(i)
+		var sum int64
+		for _, w := range ws {
+			sum += int64(w)
 		}
-		if math.Abs(sum-1) > 1e-9 {
-			t.Fatalf("bicubic weights at %d sum to %v", i, sum)
+		if d := sum - coeffOne; d > int64(len(ws)) || d < -int64(len(ws)) {
+			t.Fatalf("bicubic taps at %d sum to %d (want ~%d)", i, sum, int64(coeffOne))
 		}
-		if len(bc.Weights[i]) <= len(bl.Weights[i]) {
-			t.Fatalf("bicubic taps (%d) should exceed bilinear (%d)", len(bc.Weights[i]), len(bl.Weights[i]))
+		if len(ws) <= len(bl.TapsFor(i)) {
+			t.Fatalf("bicubic taps (%d) should exceed bilinear (%d)", len(ws), len(bl.TapsFor(i)))
 		}
 	}
 }

@@ -1,20 +1,58 @@
 package imaging
 
 import (
+	"container/list"
 	"fmt"
 	"math"
+	"sync"
 
 	"lotus/internal/rng"
 )
 
+// Fixed-point resampling, following Pillow's 8bpc scheme
+// (ImagingResampleHorizontal_8bpc): filter taps are precomputed as int32
+// values scaled by 1<<coeffPrecision, each output sample accumulates
+// tap*pixel products into an int32 with a single pre-added rounding half,
+// and the final shift-and-clip produces the byte. Two bits of headroom are
+// reserved because cubic filters have negative lobes (per-window tap sums
+// can exceed 1.0).
+const (
+	coeffPrecision = 32 - 8 - 2
+	coeffOne       = 1 << coeffPrecision
+	coeffHalf      = 1 << (coeffPrecision - 1)
+)
+
 // ResampleCoeffs holds the precomputed filter taps for one output axis —
 // the analogue of Pillow's precompute_coeffs, which Table I lists under
-// RandomResizedCrop on AMD.
+// RandomResizedCrop on AMD. Taps is a flat [dstLen * KSize] fixed-point
+// buffer (KSize-strided, zero-padded) rather than a jagged [][]float64 so
+// a whole axis's coefficients live in two contiguous allocations.
 type ResampleCoeffs struct {
+	// KSize is the tap stride: the maximum taps any output sample uses.
+	KSize int
 	// Bounds[i] is the first source index contributing to output i.
-	Bounds []int
-	// Weights[i] are the taps applied starting at Bounds[i].
-	Weights [][]float64
+	Bounds []int32
+	// Counts[i] is the number of taps output i actually uses (edge windows
+	// are narrower than KSize).
+	Counts []int32
+	// Taps holds KSize fixed-point taps per output, scaled by coeffOne.
+	Taps []int32
+	// NonNeg reports that every tap is >= 0 (true for box/triangle filters,
+	// false for cubics with negative lobes). Non-negative taps allow the
+	// two-lane packed accumulation fast path: two channel accumulators share
+	// one uint64 because no intermediate sum can go negative or carry across
+	// the 32-bit lane boundary.
+	NonNeg bool
+	// TapsP mirrors Taps for the packed fast path: each tap appears three
+	// times (once per interleaved channel slot) pre-widened to uint64, so
+	// the horizontal inner loop indexes taps and packed pixels with the
+	// same stride and the bounds checks fold away. Nil unless NonNeg.
+	TapsP []uint64
+}
+
+// TapsFor returns output sample i's taps (Counts[i] live entries).
+func (rc *ResampleCoeffs) TapsFor(i int) []int32 {
+	return rc.Taps[i*rc.KSize : i*rc.KSize+int(rc.Counts[i])]
 }
 
 // Filter selects the resampling kernel (Pillow's BILINEAR / BICUBIC).
@@ -62,7 +100,10 @@ func PrecomputeCoeffs(srcLen, dstLen int) *ResampleCoeffs {
 	return PrecomputeCoeffsFilter(srcLen, dstLen, Bilinear)
 }
 
-// PrecomputeCoeffsFilter builds coefficients for the given filter.
+// PrecomputeCoeffsFilter builds coefficients for the given filter. Most
+// callers should prefer CachedCoeffs: training pipelines resize every
+// sample to the same output geometry, so the table is almost always
+// already built.
 func PrecomputeCoeffsFilter(srcLen, dstLen int, f Filter) *ResampleCoeffs {
 	if srcLen <= 0 || dstLen <= 0 {
 		panic(fmt.Sprintf("imaging: invalid resample %d -> %d", srcLen, dstLen))
@@ -73,10 +114,15 @@ func PrecomputeCoeffsFilter(srcLen, dstLen int, f Filter) *ResampleCoeffs {
 		filterScale = 1
 	}
 	radius := f.support() * filterScale
+	ksize := int(math.Ceil(radius))*2 + 1
 	rc := &ResampleCoeffs{
-		Bounds:  make([]int, dstLen),
-		Weights: make([][]float64, dstLen),
+		KSize:  ksize,
+		Bounds: make([]int32, dstLen),
+		Counts: make([]int32, dstLen),
+		Taps:   make([]int32, dstLen*ksize),
 	}
+	ws := make([]float64, ksize)
+	rc.NonNeg = true
 	for i := 0; i < dstLen; i++ {
 		center := (float64(i) + 0.5) * scale
 		lo := int(math.Floor(center - radius))
@@ -87,125 +133,586 @@ func PrecomputeCoeffsFilter(srcLen, dstLen int, f Filter) *ResampleCoeffs {
 		if hi > srcLen {
 			hi = srcLen
 		}
-		ws := make([]float64, hi-lo)
+		n := hi - lo
 		var sum float64
-		for j := lo; j < hi; j++ {
-			d := (float64(j) + 0.5 - center) / filterScale
+		for j := 0; j < n; j++ {
+			d := (float64(lo+j) + 0.5 - center) / filterScale
 			w := f.weight(d)
-			ws[j-lo] = w
+			ws[j] = w
 			sum += w
 		}
+		taps := rc.Taps[i*ksize : (i+1)*ksize]
 		if sum != 0 {
-			for k := range ws {
-				ws[k] /= sum
+			for j := 0; j < n; j++ {
+				taps[j] = int32(math.Round(ws[j] / sum * coeffOne))
+				if taps[j] < 0 {
+					rc.NonNeg = false
+				}
 			}
 		} else {
-			ws[0] = 1
+			taps[0] = coeffOne
 		}
-		rc.Bounds[i] = lo
-		rc.Weights[i] = ws
+		rc.Bounds[i] = int32(lo)
+		rc.Counts[i] = int32(n)
+	}
+	if rc.NonNeg {
+		rc.TapsP = make([]uint64, len(rc.Taps)*3)
+		for i, t := range rc.Taps {
+			ut := uint64(uint32(t))
+			rc.TapsP[i*3] = ut
+			rc.TapsP[i*3+1] = ut
+			rc.TapsP[i*3+2] = ut
+		}
 	}
 	return rc
 }
 
+// ---------------------------------------------------------------------------
+// Coefficient cache
+// ---------------------------------------------------------------------------
+
+// coeffKey identifies one precomputed coefficient table.
+type coeffKey struct {
+	src, dst int
+	f        Filter
+}
+
+type coeffEntry struct {
+	key coeffKey
+	rc  *ResampleCoeffs
+}
+
+// coeffLRU is a small LRU cache of coefficient tables. RandomResizedCrop
+// resizes every sample to the same output size, so steady-state training
+// hits the cache on the vertical axis always and on the horizontal axis
+// whenever a crop width repeats. Entries are immutable once built and may
+// be shared across goroutines.
+type coeffLRU struct {
+	mu           sync.Mutex
+	cap          int
+	m            map[coeffKey]*list.Element
+	ll           *list.List
+	hits, misses uint64
+}
+
+var coeffCache = &coeffLRU{cap: 128, m: make(map[coeffKey]*list.Element), ll: list.New()}
+
+func (c *coeffLRU) get(k coeffKey) *ResampleCoeffs {
+	c.mu.Lock()
+	if el, ok := c.m[k]; ok {
+		c.ll.MoveToFront(el)
+		rc := el.Value.(*coeffEntry).rc
+		c.hits++
+		c.mu.Unlock()
+		return rc
+	}
+	c.misses++
+	c.mu.Unlock()
+
+	// Build outside the lock: tables are deterministic, so a racing build
+	// of the same key produces an identical (wasted but harmless) table.
+	rc := PrecomputeCoeffsFilter(k.src, k.dst, k.f)
+
+	c.mu.Lock()
+	if el, ok := c.m[k]; ok {
+		// Lost the race; keep the incumbent so all holders share one table.
+		rc = el.Value.(*coeffEntry).rc
+	} else {
+		c.m[k] = c.ll.PushFront(&coeffEntry{key: k, rc: rc})
+		for c.ll.Len() > c.cap {
+			oldest := c.ll.Back()
+			c.ll.Remove(oldest)
+			delete(c.m, oldest.Value.(*coeffEntry).key)
+		}
+	}
+	c.mu.Unlock()
+	return rc
+}
+
+// CachedCoeffs returns the (possibly cached) coefficient table for
+// resampling srcLen samples to dstLen with the given filter. The result is
+// shared and must not be mutated.
+func CachedCoeffs(srcLen, dstLen int, f Filter) *ResampleCoeffs {
+	return coeffCache.get(coeffKey{src: srcLen, dst: dstLen, f: f})
+}
+
+// CoeffCacheStats reports cumulative coefficient-cache hits and misses.
+func CoeffCacheStats() (hits, misses uint64) {
+	coeffCache.mu.Lock()
+	defer coeffCache.mu.Unlock()
+	return coeffCache.hits, coeffCache.misses
+}
+
+// ---------------------------------------------------------------------------
+// Resampling
+// ---------------------------------------------------------------------------
+
 // Resize resamples the image to (w, h) with the separable bilinear filter,
 // horizontal pass first then vertical — Pillow's
 // ImagingResampleHorizontal_8bpc / ImagingResampleVertical_8bpc pair.
+// The result is pooled; the caller may Release it when done.
 func Resize(im *Image, w, h int) *Image {
 	return ResizeWith(im, w, h, Bilinear)
 }
 
 // ResizeWith resamples with an explicit filter (bicubic for OD-style
-// quality-sensitive resizing).
+// quality-sensitive resizing). The result is pooled.
 func ResizeWith(im *Image, w, h int, f Filter) *Image {
-	if w == im.W && h == im.H {
-		return im.Clone()
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("imaging: invalid resize %dx%d", w, h))
 	}
-	hc := PrecomputeCoeffsFilter(im.W, w, f)
-	mid := resampleHorizontal(im, hc, w)
-	vc := PrecomputeCoeffsFilter(im.H, h, f)
-	return resampleVertical(mid, vc, h)
+	switch {
+	case w == im.W && h == im.H:
+		out := GetImage(w, h)
+		copy(out.Pix, im.Pix)
+		return out
+	case h == im.H:
+		out := GetImage(w, h)
+		resampleHorizontalInto(out, im, CachedCoeffs(im.W, w, f))
+		return out
+	case w == im.W:
+		out := GetImage(w, h)
+		resampleVerticalInto(out, im, CachedCoeffs(im.H, h, f))
+		return out
+	}
+	mid := GetImage(w, im.H)
+	resampleHorizontalInto(mid, im, CachedCoeffs(im.W, w, f))
+	out := GetImage(w, h)
+	resampleVerticalInto(out, mid, CachedCoeffs(im.H, h, f))
+	mid.Release()
+	return out
 }
 
-func resampleHorizontal(im *Image, rc *ResampleCoeffs, w int) *Image {
-	out := NewImage(w, im.H)
-	for y := 0; y < im.H; y++ {
-		row := im.Pix[y*im.W*3 : (y+1)*im.W*3]
-		orow := out.Pix[y*w*3 : (y+1)*w*3]
+// clip8 shifts a fixed-point accumulator down to pixel range.
+func clip8(v int32) uint8 {
+	v >>= coeffPrecision
+	if v < 0 {
+		return 0
+	}
+	if v > 255 {
+		return 255
+	}
+	return uint8(v)
+}
+
+// packedHalf seeds both lanes of a packed accumulator with the rounding
+// half. Lane layout: low 32 bits hold one channel's sum, high 32 bits the
+// other's. With non-negative taps each lane stays below 2^31 (sum of taps is
+// coeffOne = 2^22, pixel values <= 255, plus the 2^21 half), so lanes never
+// carry into each other and each reads back as a non-negative int32.
+const packedHalf = uint64(coeffHalf) | uint64(coeffHalf)<<32
+
+// packable reports whether the packed clamp-free fast path is valid: taps
+// must be non-negative, and the window must be narrow enough that per-tap
+// rounding slop (up to 0.5 each) cannot push a saturated window past 255
+// after the shift — 255*(KSize/2) + coeffHalf must stay under coeffOne.
+func (rc *ResampleCoeffs) packable() bool {
+	return rc.NonNeg && rc.KSize <= 4096
+}
+
+func resampleHorizontalInto(dst, src *Image, rc *ResampleCoeffs) {
+	if rc.packable() {
+		resampleHorizontalPacked(dst, src, rc)
+		return
+	}
+	w := dst.W
+	for y := 0; y < src.H; y++ {
+		row := src.Pix[y*src.W*3 : (y+1)*src.W*3]
+		orow := dst.Pix[y*w*3 : (y+1)*w*3]
 		for x := 0; x < w; x++ {
-			lo := rc.Bounds[x]
-			ws := rc.Weights[x]
-			var r, g, b float64
-			for k, wgt := range ws {
-				i := (lo + k) * 3
-				r += wgt * float64(row[i])
-				g += wgt * float64(row[i+1])
-				b += wgt * float64(row[i+2])
+			base := x * rc.KSize
+			n := int(rc.Counts[x])
+			si := int(rc.Bounds[x]) * 3
+			r, g, b := int32(coeffHalf), int32(coeffHalf), int32(coeffHalf)
+			for k := 0; k < n; k++ {
+				t := rc.Taps[base+k]
+				r += t * int32(row[si])
+				g += t * int32(row[si+1])
+				b += t * int32(row[si+2])
+				si += 3
 			}
-			orow[x*3] = clampF(r)
-			orow[x*3+1] = clampF(g)
-			orow[x*3+2] = clampF(b)
+			o := x * 3
+			orow[o] = clip8(r)
+			orow[o+1] = clip8(g)
+			orow[o+2] = clip8(b)
 		}
 	}
-	return out
 }
 
-func resampleVertical(im *Image, rc *ResampleCoeffs, h int) *Image {
-	out := NewImage(im.W, h)
-	for y := 0; y < h; y++ {
-		lo := rc.Bounds[y]
-		ws := rc.Weights[y]
-		for x := 0; x < im.W; x++ {
-			var r, g, b float64
-			for k, wgt := range ws {
-				i := ((lo+k)*im.W + x) * 3
-				r += wgt * float64(im.Pix[i])
-				g += wgt * float64(im.Pix[i+1])
-				b += wgt * float64(im.Pix[i+2])
+// resampleHorizontalPacked is the non-negative-taps fast path. Horizontal
+// taps are identical for every image row, so two consecutive rows ride in
+// the two lanes of one uint64 per channel: each tap costs three multiplies
+// for six channel samples instead of six. Because normalized non-negative
+// taps sum to coeffOne (within rounding that cannot push a 255 pixel past
+// 255 after the shift), the lane values are already in 0..255 and the store
+// needs no clamp.
+func resampleHorizontalPacked(dst, src *Image, rc *ResampleCoeffs) {
+	w, sw := dst.W, src.W
+	buf := getU64(6 * sw)
+	pp, pq := buf[:3*sw], buf[3*sw:]
+	y := 0
+	// Main loop: four source rows per pass (two lane pairs), so the
+	// coefficient loads, loop control, and output bookkeeping are shared by
+	// four output pixels per channel.
+	for ; y+3 < src.H; y += 4 {
+		rowA := src.Pix[y*sw*3 : (y+1)*sw*3]
+		rowB := src.Pix[(y+1)*sw*3 : (y+2)*sw*3]
+		rowC := src.Pix[(y+2)*sw*3 : (y+3)*sw*3]
+		rowD := src.Pix[(y+3)*sw*3 : (y+4)*sw*3]
+		rowB = rowB[:len(rowA)]
+		rowC = rowC[:len(rowA)]
+		rowD = rowD[:len(rowA)]
+		ppr := pp[:len(rowA)]
+		pqr := pq[:len(rowA)]
+		for i, v := range rowA {
+			ppr[i] = uint64(v) | uint64(rowB[i])<<32
+			pqr[i] = uint64(rowC[i]) | uint64(rowD[i])<<32
+		}
+		oA := dst.Pix[y*w*3 : (y+1)*w*3]
+		oB := dst.Pix[(y+1)*w*3 : (y+2)*w*3]
+		oC := dst.Pix[(y+2)*w*3 : (y+3)*w*3]
+		oD := dst.Pix[(y+3)*w*3 : (y+4)*w*3]
+		for x := 0; x < w; x++ {
+			m := int(rc.Counts[x]) * 3
+			base3 := x * rc.KSize * 3
+			j := int(rc.Bounds[x]) * 3
+			ps := pp[j : j+m]
+			qs := pq[j : j+m]
+			tx := rc.TapsP[base3 : base3+m]
+			ra, ga, ba := packedHalf, packedHalf, packedHalf
+			rb, gb, bb := packedHalf, packedHalf, packedHalf
+			jj := 0
+			for ; jj+5 < m; jj += 6 {
+				ut0, ut1 := tx[jj], tx[jj+3]
+				ra += ut0*ps[jj] + ut1*ps[jj+3]
+				ga += ut0*ps[jj+1] + ut1*ps[jj+4]
+				ba += ut0*ps[jj+2] + ut1*ps[jj+5]
+				rb += ut0*qs[jj] + ut1*qs[jj+3]
+				gb += ut0*qs[jj+1] + ut1*qs[jj+4]
+				bb += ut0*qs[jj+2] + ut1*qs[jj+5]
 			}
-			j := (y*im.W + x) * 3
-			out.Pix[j] = clampF(r)
-			out.Pix[j+1] = clampF(g)
-			out.Pix[j+2] = clampF(b)
+			if jj < m {
+				ut := tx[jj]
+				ra += ut * ps[jj]
+				ga += ut * ps[jj+1]
+				ba += ut * ps[jj+2]
+				rb += ut * qs[jj]
+				gb += ut * qs[jj+1]
+				bb += ut * qs[jj+2]
+			}
+			o := x * 3
+			oA[o] = uint8(ra >> coeffPrecision)
+			oA[o+1] = uint8(ga >> coeffPrecision)
+			oA[o+2] = uint8(ba >> coeffPrecision)
+			oB[o] = uint8(ra >> (32 + coeffPrecision))
+			oB[o+1] = uint8(ga >> (32 + coeffPrecision))
+			oB[o+2] = uint8(ba >> (32 + coeffPrecision))
+			oC[o] = uint8(rb >> coeffPrecision)
+			oC[o+1] = uint8(gb >> coeffPrecision)
+			oC[o+2] = uint8(bb >> coeffPrecision)
+			oD[o] = uint8(rb >> (32 + coeffPrecision))
+			oD[o+1] = uint8(gb >> (32 + coeffPrecision))
+			oD[o+2] = uint8(bb >> (32 + coeffPrecision))
 		}
 	}
-	return out
+	for ; y+1 < src.H; y += 2 {
+		row0 := src.Pix[y*sw*3 : (y+1)*sw*3]
+		row1 := src.Pix[(y+1)*sw*3 : (y+2)*sw*3]
+		// The packed buffer keeps the source's interleaved channel layout,
+		// so the repack is one flat unit-stride pass and the tap loop below
+		// walks a single sequential stream.
+		row1 = row1[:len(row0)]
+		ppr := pp[:len(row0)]
+		for i, v := range row0 {
+			ppr[i] = uint64(v) | uint64(row1[i])<<32
+		}
+		orow0 := dst.Pix[y*w*3 : (y+1)*w*3]
+		orow1 := dst.Pix[(y+1)*w*3 : (y+2)*w*3]
+		for x := 0; x < w; x++ {
+			m := int(rc.Counts[x]) * 3
+			base3 := x * rc.KSize * 3
+			j := int(rc.Bounds[x]) * 3
+			// ps and tx share the length m, so every index below is
+			// provably in bounds and the checks vanish.
+			ps := pp[j : j+m]
+			tx := rc.TapsP[base3 : base3+m]
+			r2, g2, b2 := packedHalf, packedHalf, packedHalf
+			jj := 0
+			for ; jj+5 < m; jj += 6 {
+				ut0, ut1 := tx[jj], tx[jj+3]
+				r2 += ut0*ps[jj] + ut1*ps[jj+3]
+				g2 += ut0*ps[jj+1] + ut1*ps[jj+4]
+				b2 += ut0*ps[jj+2] + ut1*ps[jj+5]
+			}
+			if jj < m {
+				ut := tx[jj]
+				r2 += ut * ps[jj]
+				g2 += ut * ps[jj+1]
+				b2 += ut * ps[jj+2]
+			}
+			o := x * 3
+			orow0[o] = uint8(r2 >> coeffPrecision)
+			orow0[o+1] = uint8(g2 >> coeffPrecision)
+			orow0[o+2] = uint8(b2 >> coeffPrecision)
+			orow1[o] = uint8(r2 >> (32 + coeffPrecision))
+			orow1[o+1] = uint8(g2 >> (32 + coeffPrecision))
+			orow1[o+2] = uint8(b2 >> (32 + coeffPrecision))
+		}
+	}
+	if y < src.H {
+		// Odd trailing row: plain scalar accumulation, still clamp-free.
+		row := src.Pix[y*sw*3 : (y+1)*sw*3]
+		orow := dst.Pix[y*w*3 : (y+1)*w*3]
+		for x := 0; x < w; x++ {
+			base := x * rc.KSize
+			taps := rc.Taps[base : base+int(rc.Counts[x])]
+			si := int(rc.Bounds[x]) * 3
+			r, g, b := int32(coeffHalf), int32(coeffHalf), int32(coeffHalf)
+			for _, t := range taps {
+				r += t * int32(row[si])
+				g += t * int32(row[si+1])
+				b += t * int32(row[si+2])
+				si += 3
+			}
+			o := x * 3
+			orow[o] = uint8(uint32(r) >> coeffPrecision)
+			orow[o+1] = uint8(uint32(g) >> coeffPrecision)
+			orow[o+2] = uint8(uint32(b) >> coeffPrecision)
+		}
+	}
+	putU64(buf)
 }
+
+func resampleVerticalInto(dst, src *Image, rc *ResampleCoeffs) {
+	if rc.packable() {
+		resampleVerticalPacked(dst, src, rc)
+		return
+	}
+	w3 := src.W * 3
+	acc := getI32(w3)
+	for y := 0; y < dst.H; y++ {
+		for i := range acc {
+			acc[i] = coeffHalf
+		}
+		base := y * rc.KSize
+		n := int(rc.Counts[y])
+		lo := int(rc.Bounds[y])
+		for k := 0; k < n; k++ {
+			t := rc.Taps[base+k]
+			if t == 0 {
+				continue
+			}
+			row := src.Pix[(lo+k)*w3 : (lo+k+1)*w3]
+			for i, v := range row {
+				acc[i] += t * int32(v)
+			}
+		}
+		orow := dst.Pix[y*w3 : (y+1)*w3]
+		for i, v := range acc {
+			orow[i] = clip8(v)
+		}
+	}
+	putI32(acc)
+}
+
+// vertRegTaps bounds the tap-window width the register-accumulating
+// vertical fast path handles (a stack array of row slices); wider windows
+// (downscales past ~15x) fall back to the accumulator-array variant.
+const vertRegTaps = 32
+
+// resampleVerticalPacked is the non-negative-taps fast path for the vertical
+// pass: adjacent bytes ride two per uint64 (vertical taps are shared across
+// columns), and four columns are accumulated in registers while walking the
+// tap rows in lockstep, so there is no accumulator array to read-modify-
+// write and the store is clamp-free for the same tap-sum reason as the
+// horizontal path.
+func resampleVerticalPacked(dst, src *Image, rc *ResampleCoeffs) {
+	if rc.KSize > vertRegTaps {
+		resampleVerticalAccum(dst, src, rc)
+		return
+	}
+	w3 := src.W * 3
+	var rows [vertRegTaps][]uint8
+	var uts [vertRegTaps]uint64
+	for y := 0; y < dst.H; y++ {
+		base := y * rc.KSize
+		n := int(rc.Counts[y])
+		lo := int(rc.Bounds[y])
+		for k := 0; k < n; k++ {
+			rows[k] = src.Pix[(lo+k)*w3 : (lo+k+1)*w3]
+			uts[k] = uint64(uint32(rc.Taps[base+k]))
+		}
+		orow := dst.Pix[y*w3 : (y+1)*w3]
+		j := 0
+		for ; j+3 < w3; j += 4 {
+			a0, a1 := packedHalf, packedHalf
+			for k := 0; k < n; k++ {
+				r := rows[k]
+				ut := uts[k]
+				a0 += ut * (uint64(r[j]) | uint64(r[j+1])<<32)
+				a1 += ut * (uint64(r[j+2]) | uint64(r[j+3])<<32)
+			}
+			orow[j] = uint8(a0 >> coeffPrecision)
+			orow[j+1] = uint8(a0 >> (32 + coeffPrecision))
+			orow[j+2] = uint8(a1 >> coeffPrecision)
+			orow[j+3] = uint8(a1 >> (32 + coeffPrecision))
+		}
+		for ; j < w3; j++ {
+			a := uint64(coeffHalf)
+			for k := 0; k < n; k++ {
+				a += uts[k] * uint64(rows[k][j])
+			}
+			orow[j] = uint8(a >> coeffPrecision)
+		}
+	}
+}
+
+// resampleVerticalAccum is the accumulator-array variant of the packed
+// vertical pass, used when the tap window exceeds vertRegTaps.
+func resampleVerticalAccum(dst, src *Image, rc *ResampleCoeffs) {
+	w3 := src.W * 3
+	half := w3 / 2
+	odd := w3&1 == 1
+	acc := getU64(half)
+	for y := 0; y < dst.H; y++ {
+		for i := range acc {
+			acc[i] = packedHalf
+		}
+		accOdd := int32(coeffHalf)
+		base := y * rc.KSize
+		n := int(rc.Counts[y])
+		lo := int(rc.Bounds[y])
+		for k := 0; k < n; k++ {
+			t := rc.Taps[base+k]
+			if t == 0 {
+				continue
+			}
+			ut := uint64(uint32(t))
+			row := src.Pix[(lo+k)*w3 : (lo+k+1)*w3]
+			if odd {
+				accOdd += t * int32(row[w3-1])
+			}
+			j := 0
+			for i := range acc {
+				acc[i] += ut * (uint64(row[j]) | uint64(row[j+1])<<32)
+				j += 2
+			}
+		}
+		orow := dst.Pix[y*w3 : (y+1)*w3]
+		for i, v := range acc {
+			j := i * 2
+			orow[j] = uint8(v >> coeffPrecision)
+			orow[j+1] = uint8(v >> (32 + coeffPrecision))
+		}
+		if odd {
+			orow[w3-1] = uint8(uint32(accOdd) >> coeffPrecision)
+		}
+	}
+	putU64(acc)
+}
+
+// ---------------------------------------------------------------------------
+// Crop / flip / brightness
+// ---------------------------------------------------------------------------
 
 // Crop extracts the rectangle [x0, x0+w) x [y0, y0+h). The rectangle must
-// lie inside the image.
+// lie inside the image. The result is pooled; Release it when done.
 func Crop(im *Image, x0, y0, w, h int) *Image {
 	if x0 < 0 || y0 < 0 || x0+w > im.W || y0+h > im.H || w <= 0 || h <= 0 {
 		panic(fmt.Sprintf("imaging: crop (%d,%d,%d,%d) outside %dx%d", x0, y0, w, h, im.W, im.H))
 	}
-	out := NewImage(w, h)
-	for y := 0; y < h; y++ {
-		src := im.Pix[((y0+y)*im.W+x0)*3 : ((y0+y)*im.W+x0+w)*3]
-		copy(out.Pix[y*w*3:(y+1)*w*3], src)
-	}
+	out := GetImage(w, h)
+	CropInto(out, im, x0, y0)
 	return out
 }
 
-// FlipHorizontal mirrors the image left-right.
+// CropInto fills dst with the dst.W x dst.H rectangle of im anchored at
+// (x0, y0). dst must not alias im.
+func CropInto(dst, im *Image, x0, y0 int) {
+	w, h := dst.W, dst.H
+	if x0 < 0 || y0 < 0 || x0+w > im.W || y0+h > im.H {
+		panic(fmt.Sprintf("imaging: crop (%d,%d,%d,%d) outside %dx%d", x0, y0, w, h, im.W, im.H))
+	}
+	for y := 0; y < h; y++ {
+		src := im.Pix[((y0+y)*im.W+x0)*3 : ((y0+y)*im.W+x0+w)*3]
+		copy(dst.Pix[y*w*3:(y+1)*w*3], src)
+	}
+}
+
+// FlipHorizontal mirrors the image left-right into a new pooled image,
+// swapping whole 3-byte pixels row-wise over the raw Pix slices
+// (ImagingFlipLeftRight works the same way — no per-pixel At/Set calls).
 func FlipHorizontal(im *Image) *Image {
-	out := NewImage(im.W, im.H)
+	out := GetImage(im.W, im.H)
+	w3 := im.W * 3
 	for y := 0; y < im.H; y++ {
-		for x := 0; x < im.W; x++ {
-			r, g, b := im.At(x, y)
-			out.Set(im.W-1-x, y, r, g, b)
+		row := im.Pix[y*w3 : (y+1)*w3]
+		orow := out.Pix[y*w3 : (y+1)*w3]
+		for x, j := 0, w3-3; x < w3; x, j = x+3, j-3 {
+			orow[j] = row[x]
+			orow[j+1] = row[x+1]
+			orow[j+2] = row[x+2]
 		}
 	}
 	return out
 }
 
+// FlipHorizontalInPlace mirrors the image left-right in place and returns
+// the receiver — the zero-allocation variant the pipeline uses when it owns
+// the sample's image.
+func FlipHorizontalInPlace(im *Image) *Image {
+	w3 := im.W * 3
+	for y := 0; y < im.H; y++ {
+		row := im.Pix[y*w3 : (y+1)*w3]
+		for i, j := 0, w3-3; i < j; i, j = i+3, j-3 {
+			row[i], row[j] = row[j], row[i]
+			row[i+1], row[j+1] = row[j+1], row[i+1]
+			row[i+2], row[j+2] = row[j+2], row[i+2]
+		}
+	}
+	return im
+}
+
+// brightnessScale converts a brightness factor to 16.16 fixed point.
+func brightnessScale(factor float64) int32 {
+	s := math.Round(factor * 65536)
+	if s < 0 {
+		s = 0
+	}
+	if s > math.MaxInt32 {
+		s = math.MaxInt32
+	}
+	return int32(s)
+}
+
 // AdjustBrightness scales all channels by factor, clamping to [0, 255]
-// (the RandomBrightnessAugmentation kernel for 2-D inputs).
+// (the RandomBrightnessAugmentation kernel for 2-D inputs). The result is
+// pooled.
 func AdjustBrightness(im *Image, factor float64) *Image {
-	out := NewImage(im.W, im.H)
+	out := GetImage(im.W, im.H)
+	scale := brightnessScale(factor)
 	for i, v := range im.Pix {
-		out.Pix[i] = clampF(float64(v) * factor)
+		out.Pix[i] = scaleClamp8(v, scale)
 	}
 	return out
+}
+
+// AdjustBrightnessInPlace scales all channels by factor in place and
+// returns the receiver.
+func AdjustBrightnessInPlace(im *Image, factor float64) *Image {
+	scale := brightnessScale(factor)
+	for i, v := range im.Pix {
+		im.Pix[i] = scaleClamp8(v, scale)
+	}
+	return im
+}
+
+func scaleClamp8(v uint8, scale int32) uint8 {
+	s := (int64(v)*int64(scale) + 32768) >> 16
+	if s > 255 {
+		return 255
+	}
+	return uint8(s)
 }
 
 // RandomResizedCropParams picks the crop geometry exactly as torchvision
@@ -255,9 +762,10 @@ func NewVolume(d, h, w int) *Volume {
 
 // SynthesizeVolume fills a volume with a deterministic blob pattern: a dim
 // background with a bright "foreground" ellipsoid, mimicking a CT scan with
-// a segmentation target, which RandBalancedCrop needs.
+// a segmentation target, which RandBalancedCrop needs. The result is
+// pooled.
 func SynthesizeVolume(d, h, w int, seed int64) *Volume {
-	v := NewVolume(d, h, w)
+	v := GetVolume(d, h, w)
 	s := rng.NewFromSeed(seed)
 	cx := s.Uniform(0.3, 0.7) * float64(w)
 	cy := s.Uniform(0.3, 0.7) * float64(h)
@@ -282,13 +790,14 @@ func SynthesizeVolume(d, h, w int, seed int64) *Volume {
 // Bytes returns the buffer size in bytes.
 func (v *Volume) Bytes() int { return len(v.Vox) * 4 }
 
-// CropVolume extracts a sub-volume.
+// CropVolume extracts a sub-volume. The result is pooled; Release it when
+// done.
 func CropVolume(v *Volume, z0, y0, x0, d, h, w int) *Volume {
 	if z0 < 0 || y0 < 0 || x0 < 0 || z0+d > v.D || y0+h > v.H || x0+w > v.W {
 		panic(fmt.Sprintf("imaging: volume crop out of range (%d,%d,%d %dx%dx%d) of %dx%dx%d",
 			z0, y0, x0, d, h, w, v.D, v.H, v.W))
 	}
-	out := NewVolume(d, h, w)
+	out := GetVolume(d, h, w)
 	for z := 0; z < d; z++ {
 		for y := 0; y < h; y++ {
 			src := v.Vox[((z0+z)*v.H+(y0+y))*v.W+x0:]

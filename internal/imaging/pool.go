@@ -1,0 +1,151 @@
+package imaging
+
+import "sync"
+
+// Buffer pooling for the real-mode hot path. A preprocessing worker churns
+// through one Image (or Volume) per transform per sample; allocating each
+// from the heap made allocation the dominant cost of the pipeline, exactly
+// the overhead tf.data-style input pipelines eliminate with buffer reuse.
+// Every pooled object has explicit ownership: whoever obtains a buffer from
+// Get* (directly or via an operation that documents a pooled result) is
+// responsible for calling Release exactly once, after which the buffer must
+// not be touched. Release is optional — an unreleased buffer is simply
+// garbage-collected — so external callers that ignore pooling stay correct.
+
+var (
+	imagePool  sync.Pool // *Image (Pix detached)
+	volumePool sync.Pool // *Volume (Vox detached)
+	pixPool    sync.Pool // *[]uint8
+	voxPool    sync.Pool // *[]float32
+	i32Pool    sync.Pool // *[]int32
+	u64Pool    sync.Pool // *[]uint64
+)
+
+// roundUpPow2 rounds n up to the next power of two so buffers recycle
+// across the slightly-varying geometries RandomResizedCrop produces.
+func roundUpPow2(n int) int {
+	c := 64
+	for c < n {
+		c <<= 1
+	}
+	return c
+}
+
+func getPix(n int) []uint8 {
+	if p, _ := pixPool.Get().(*[]uint8); p != nil && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]uint8, n, roundUpPow2(n))
+}
+
+func putPix(p []uint8) {
+	if cap(p) == 0 {
+		return
+	}
+	p = p[:0]
+	pixPool.Put(&p)
+}
+
+func getVox(n int) []float32 {
+	if p, _ := voxPool.Get().(*[]float32); p != nil && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]float32, n, roundUpPow2(n))
+}
+
+func putVox(p []float32) {
+	if cap(p) == 0 {
+		return
+	}
+	p = p[:0]
+	voxPool.Put(&p)
+}
+
+// getI32 returns an int32 scratch buffer with undefined contents (the codec
+// plane and resample accumulator pool).
+func getI32(n int) []int32 {
+	if p, _ := i32Pool.Get().(*[]int32); p != nil && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]int32, n, roundUpPow2(n))
+}
+
+func putI32(p []int32) {
+	if cap(p) == 0 {
+		return
+	}
+	p = p[:0]
+	i32Pool.Put(&p)
+}
+
+// getU64 returns a uint64 scratch buffer with undefined contents (the
+// packed-lane resample accumulators).
+func getU64(n int) []uint64 {
+	if p, _ := u64Pool.Get().(*[]uint64); p != nil && cap(*p) >= n {
+		return (*p)[:n]
+	}
+	return make([]uint64, n, roundUpPow2(n))
+}
+
+func putU64(p []uint64) {
+	if cap(p) == 0 {
+		return
+	}
+	p = p[:0]
+	u64Pool.Put(&p)
+}
+
+// GetImage returns a pooled w x h image. Unlike NewImage, the pixel contents
+// are undefined; callers must overwrite every pixel. Release it when done.
+func GetImage(w, h int) *Image {
+	if w <= 0 || h <= 0 {
+		panic("imaging: invalid pooled image dimensions")
+	}
+	im, _ := imagePool.Get().(*Image)
+	if im == nil {
+		im = &Image{}
+	}
+	im.W, im.H = w, h
+	im.Pix = getPix(w * h * 3)
+	return im
+}
+
+// Release returns the image's buffer to the pool. The image (and any slice
+// of its Pix) must not be used afterwards. Releasing twice or releasing an
+// image that never held pixels is a no-op, so defensive calls are safe.
+func (im *Image) Release() {
+	if im == nil || im.Pix == nil {
+		return
+	}
+	putPix(im.Pix)
+	im.Pix = nil
+	im.W, im.H = 0, 0
+	imagePool.Put(im)
+}
+
+// GetVolume returns a pooled d x h x w volume with undefined voxel contents.
+// Release it when done.
+func GetVolume(d, h, w int) *Volume {
+	if d <= 0 || h <= 0 || w <= 0 {
+		panic("imaging: invalid pooled volume dimensions")
+	}
+	v, _ := volumePool.Get().(*Volume)
+	if v == nil {
+		v = &Volume{}
+	}
+	v.D, v.H, v.W = d, h, w
+	v.Vox = getVox(d * h * w)
+	return v
+}
+
+// Release returns the volume's buffer to the pool. The volume must not be
+// used afterwards. Double-release is a no-op.
+func (v *Volume) Release() {
+	if v == nil || v.Vox == nil {
+		return
+	}
+	putVox(v.Vox)
+	v.Vox = nil
+	v.D, v.H, v.W = 0, 0, 0
+	volumePool.Put(v)
+}

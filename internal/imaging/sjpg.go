@@ -15,6 +15,12 @@ import (
 // structure mirrors libjpeg's, so the native-kernel layer can attribute
 // decode work to the same function inventory the paper observes
 // (decode_mcu, jpeg_idct_islow, ycc_rgb_convert, decompress_onepass, ...).
+//
+// All pixel arithmetic is int32 fixed point, like the libraries the paper
+// profiles: color conversion uses 16-bit scaled coefficients (jccolor.c /
+// jdcolor.c), the inverse DCT is the Loeffler/islow integer butterfly with
+// CONST_BITS=13 and PASS1_BITS=2 (jidctint.c), and plane buffers are flat
+// pooled []int32 — no per-plane heap allocation per decode.
 
 const sjpgMagic = "SJPG"
 
@@ -31,7 +37,7 @@ const (
 )
 
 // Standard JPEG Annex K luminance and chrominance quantization tables.
-var lumaQuant = [64]int{
+var lumaQuant = [64]int32{
 	16, 11, 10, 16, 24, 40, 51, 61,
 	12, 12, 14, 19, 26, 58, 60, 55,
 	14, 13, 16, 24, 40, 57, 69, 56,
@@ -42,7 +48,7 @@ var lumaQuant = [64]int{
 	72, 92, 95, 98, 112, 100, 103, 99,
 }
 
-var chromaQuant = [64]int{
+var chromaQuant = [64]int32{
 	17, 18, 24, 47, 99, 99, 99, 99,
 	18, 21, 26, 66, 99, 99, 99, 99,
 	24, 26, 56, 99, 99, 99, 99, 99,
@@ -67,20 +73,20 @@ var zigzag = [64]int{
 
 // scaledQuant builds the quality-scaled quantization table, following the
 // libjpeg quality curve.
-func scaledQuant(base *[64]int, quality int) [64]int {
+func scaledQuant(base *[64]int32, quality int) [64]int32 {
 	if quality < 1 {
 		quality = 1
 	}
 	if quality > 100 {
 		quality = 100
 	}
-	var scale int
+	var scale int32
 	if quality < 50 {
-		scale = 5000 / quality
+		scale = int32(5000 / quality)
 	} else {
-		scale = 200 - 2*quality
+		scale = int32(200 - 2*quality)
 	}
-	var out [64]int
+	var out [64]int32
 	for i, q := range base {
 		v := (q*scale + 50) / 100
 		if v < 1 {
@@ -94,117 +100,244 @@ func scaledQuant(base *[64]int, quality int) [64]int {
 	return out
 }
 
-// rgbToYCbCr converts one pixel using the JPEG (full-range) matrix.
-func rgbToYCbCr(r, g, b uint8) (y, cb, cr float64) {
-	fr, fg, fb := float64(r), float64(g), float64(b)
-	y = 0.299*fr + 0.587*fg + 0.114*fb
-	cb = 128 - 0.168736*fr - 0.331264*fg + 0.5*fb
-	cr = 128 + 0.5*fr - 0.418688*fg - 0.081312*fb
+// ---------------------------------------------------------------------------
+// Color conversion (16-bit fixed point, jccolor.c / jdcolor.c)
+// ---------------------------------------------------------------------------
+
+const (
+	fixBits = 16
+	fixHalf = 1 << (fixBits - 1)
+)
+
+// rgbToYCbCr converts one pixel using the JPEG (full-range) matrix in
+// 16.16 fixed point: y in [0, 255], cb and cr centred on 128. The scaled
+// coefficient rows each sum to exactly 1<<16, so neutral grays convert
+// without drift.
+func rgbToYCbCr(r, g, b uint8) (y, cb, cr int32) {
+	fr, fg, fb := int32(r), int32(g), int32(b)
+	y = (19595*fr + 38470*fg + 7471*fb + fixHalf) >> fixBits
+	cb = 128 + ((-11059*fr - 21709*fg + 32768*fb + fixHalf) >> fixBits)
+	cr = 128 + ((32768*fr - 27439*fg - 5329*fb + fixHalf) >> fixBits)
 	return
 }
 
 // yCbCrToRGB is the inverse conversion (libjpeg's ycc_rgb_convert).
-func yCbCrToRGB(y, cb, cr float64) (uint8, uint8, uint8) {
-	r := y + 1.402*(cr-128)
-	g := y - 0.344136*(cb-128) - 0.714136*(cr-128)
-	b := y + 1.772*(cb-128)
-	return clampF(r), clampF(g), clampF(b)
+func yCbCrToRGB(y, cb, cr int32) (uint8, uint8, uint8) {
+	cb -= 128
+	cr -= 128
+	r := y + ((91881*cr + fixHalf) >> fixBits)
+	g := y - ((22554*cb + 46802*cr + fixHalf) >> fixBits)
+	b := y + ((116130*cb + fixHalf) >> fixBits)
+	return clampU8(r), clampU8(g), clampU8(b)
 }
 
-func clampF(v float64) uint8 {
+func clampU8(v int32) uint8 {
 	if v < 0 {
 		return 0
 	}
 	if v > 255 {
 		return 255
 	}
-	return uint8(v + 0.5)
+	return uint8(v)
 }
 
-// fdct8x8 applies a separable 8-point DCT-II in place (libjpeg's
-// jpeg_fdct_islow counterpart).
-func fdct8x8(blk *[64]float64) {
-	var tmp [64]float64
-	for r := 0; r < 8; r++ {
-		dct8(blk[r*8:(r+1)*8], tmp[r*8:(r+1)*8])
-	}
-	var col, out [8]float64
-	for c := 0; c < 8; c++ {
-		for r := 0; r < 8; r++ {
-			col[r] = tmp[r*8+c]
-		}
-		dct8(col[:], out[:])
-		for r := 0; r < 8; r++ {
-			blk[r*8+c] = out[r]
-		}
-	}
-}
+// ---------------------------------------------------------------------------
+// Forward DCT (int32 fixed point)
+// ---------------------------------------------------------------------------
 
-// idct8x8 applies the inverse transform in place (jpeg_idct_islow).
-func idct8x8(blk *[64]float64) {
-	var tmp [64]float64
-	for r := 0; r < 8; r++ {
-		idct8(blk[r*8:(r+1)*8], tmp[r*8:(r+1)*8])
-	}
-	var col, out [8]float64
-	for c := 0; c < 8; c++ {
-		for r := 0; r < 8; r++ {
-			col[r] = tmp[r*8+c]
-		}
-		idct8(col[:], out[:])
-		for r := 0; r < 8; r++ {
-			blk[r*8+c] = out[r]
-		}
-	}
-}
+const (
+	constBits = 13
+	pass1Bits = 2
+)
 
-var dctCos [8][8]float64
+// fdctTab[u][n] = round(c(u) * cos((2n+1)uπ/16) << constBits): the DCT-II
+// basis with the orthonormal scale factor folded in.
+var fdctTab [8][8]int32
 
 func init() {
 	for u := 0; u < 8; u++ {
-		for n := 0; n < 8; n++ {
-			dctCos[u][n] = math.Cos(float64(2*n+1) * float64(u) * math.Pi / 16)
-		}
-	}
-}
-
-func dct8(in, out []float64) {
-	for u := 0; u < 8; u++ {
-		var sum float64
-		for n := 0; n < 8; n++ {
-			sum += in[n] * dctCos[u][n]
-		}
 		c := 0.5
 		if u == 0 {
 			c = 0.5 / math.Sqrt2
 		}
-		out[u] = c * sum
-	}
-}
-
-func idct8(in, out []float64) {
-	for n := 0; n < 8; n++ {
-		sum := in[0] / math.Sqrt2
-		for u := 1; u < 8; u++ {
-			sum += in[u] * dctCos[u][n]
+		for n := 0; n < 8; n++ {
+			fdctTab[u][n] = int32(math.Round(c * math.Cos(float64(2*n+1)*float64(u)*math.Pi/16) * (1 << constBits)))
 		}
-		out[n] = sum / 2
 	}
 }
 
-// bitWriter is the varint entropy layer.
+// fdct8x8 applies a separable 8-point DCT-II in place on a level-shifted
+// block (values in roughly ±1024), producing natural-scale coefficients —
+// the jpeg_fdct_islow counterpart. The first pass keeps pass1Bits extra
+// fractional bits so the second pass's rounding does not accumulate.
+func fdct8x8(blk *[64]int32) {
+	var tmp [64]int32
+	const r1 = 1 << (constBits - pass1Bits - 1)
+	for r := 0; r < 8; r++ {
+		in := blk[r*8 : r*8+8 : r*8+8]
+		for u := 0; u < 8; u++ {
+			t := &fdctTab[u]
+			sum := in[0]*t[0] + in[1]*t[1] + in[2]*t[2] + in[3]*t[3] +
+				in[4]*t[4] + in[5]*t[5] + in[6]*t[6] + in[7]*t[7]
+			tmp[r*8+u] = (sum + r1) >> (constBits - pass1Bits)
+		}
+	}
+	const r2 = 1 << (constBits + pass1Bits - 1)
+	for c := 0; c < 8; c++ {
+		for u := 0; u < 8; u++ {
+			t := &fdctTab[u]
+			sum := tmp[c]*t[0] + tmp[8+c]*t[1] + tmp[16+c]*t[2] + tmp[24+c]*t[3] +
+				tmp[32+c]*t[4] + tmp[40+c]*t[5] + tmp[48+c]*t[6] + tmp[56+c]*t[7]
+			blk[u*8+c] = (sum + r2) >> (constBits + pass1Bits)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Inverse DCT: the Loeffler-Ligtenberg-Moshovitz butterfly used by
+// jpeg_idct_islow, in int32 fixed point
+// ---------------------------------------------------------------------------
+
+const (
+	fix0298631336 = 2446  // FIX(0.298631336)
+	fix0390180644 = 3196  // FIX(0.390180644)
+	fix0541196100 = 4433  // FIX(0.541196100)
+	fix0765366865 = 6270  // FIX(0.765366865)
+	fix0899976223 = 7373  // FIX(0.899976223)
+	fix1175875602 = 9633  // FIX(1.175875602)
+	fix1501321110 = 12299 // FIX(1.501321110)
+	fix1847759065 = 15137 // FIX(1.847759065)
+	fix1961570560 = 16069 // FIX(1.961570560)
+	fix2053119869 = 16819 // FIX(2.053119869)
+	fix2562915447 = 20995 // FIX(2.562915447)
+	fix3072711026 = 25172 // FIX(3.072711026)
+)
+
+// dequantClamp bounds dequantized coefficients. Valid streams never exceed
+// ~1200 (the DCT of a ±128 block tops out near 1024 plus half a quant
+// step); the clamp only defends the int32 butterfly's headroom against
+// hostile varint payloads.
+const dequantClamp = 2048
+
+// idct8x8 applies the inverse transform in place (jpeg_idct_islow): 12
+// multiplies per 1-D butterfly instead of 64 for the naive dot-product
+// form, with an all-zero-AC row shortcut — after quantization most rows
+// are DC-only, which is exactly the case libjpeg special-cases.
+func idct8x8(blk *[64]int32) {
+	var ws [64]int32
+
+	// Pass 1: rows, output scaled up by 1<<pass1Bits.
+	for r := 0; r < 8; r++ {
+		in := blk[r*8 : r*8+8 : r*8+8]
+		if in[1]|in[2]|in[3]|in[4]|in[5]|in[6]|in[7] == 0 {
+			dc := in[0] << pass1Bits
+			o := ws[r*8 : r*8+8 : r*8+8]
+			o[0], o[1], o[2], o[3] = dc, dc, dc, dc
+			o[4], o[5], o[6], o[7] = dc, dc, dc, dc
+			continue
+		}
+
+		// Even part.
+		z2, z3 := in[2], in[6]
+		z1 := (z2 + z3) * fix0541196100
+		tmp2 := z1 - z3*fix1847759065
+		tmp3 := z1 + z2*fix0765366865
+		z2, z3 = in[0], in[4]
+		tmp0 := (z2 + z3) << constBits
+		tmp1 := (z2 - z3) << constBits
+		t10, t13 := tmp0+tmp3, tmp0-tmp3
+		t11, t12 := tmp1+tmp2, tmp1-tmp2
+
+		// Odd part.
+		tmp0, tmp1, tmp2, tmp3 = in[7], in[5], in[3], in[1]
+		z1 = tmp0 + tmp3
+		z2 = tmp1 + tmp2
+		z3 = tmp0 + tmp2
+		z4 := tmp1 + tmp3
+		z5 := (z3 + z4) * fix1175875602
+		tmp0 *= fix0298631336
+		tmp1 *= fix2053119869
+		tmp2 *= fix3072711026
+		tmp3 *= fix1501321110
+		z1 *= -fix0899976223
+		z2 *= -fix2562915447
+		z3 = z3*-fix1961570560 + z5
+		z4 = z4*-fix0390180644 + z5
+		tmp0 += z1 + z3
+		tmp1 += z2 + z4
+		tmp2 += z2 + z3
+		tmp3 += z1 + z4
+
+		const rnd = 1 << (constBits - pass1Bits - 1)
+		o := ws[r*8 : r*8+8 : r*8+8]
+		o[0] = (t10 + tmp3 + rnd) >> (constBits - pass1Bits)
+		o[7] = (t10 - tmp3 + rnd) >> (constBits - pass1Bits)
+		o[1] = (t11 + tmp2 + rnd) >> (constBits - pass1Bits)
+		o[6] = (t11 - tmp2 + rnd) >> (constBits - pass1Bits)
+		o[2] = (t12 + tmp1 + rnd) >> (constBits - pass1Bits)
+		o[5] = (t12 - tmp1 + rnd) >> (constBits - pass1Bits)
+		o[3] = (t13 + tmp0 + rnd) >> (constBits - pass1Bits)
+		o[4] = (t13 - tmp0 + rnd) >> (constBits - pass1Bits)
+	}
+
+	// Pass 2: columns, final descale folds in the 1/8 IDCT normalization
+	// (the +3 in the shift).
+	for c := 0; c < 8; c++ {
+		z2, z3 := ws[16+c], ws[48+c]
+		z1 := (z2 + z3) * fix0541196100
+		tmp2 := z1 - z3*fix1847759065
+		tmp3 := z1 + z2*fix0765366865
+		z2, z3 = ws[c], ws[32+c]
+		tmp0 := (z2 + z3) << constBits
+		tmp1 := (z2 - z3) << constBits
+		t10, t13 := tmp0+tmp3, tmp0-tmp3
+		t11, t12 := tmp1+tmp2, tmp1-tmp2
+
+		tmp0, tmp1, tmp2, tmp3 = ws[56+c], ws[40+c], ws[24+c], ws[8+c]
+		z1 = tmp0 + tmp3
+		z2 = tmp1 + tmp2
+		z3 = tmp0 + tmp2
+		z4 := tmp1 + tmp3
+		z5 := (z3 + z4) * fix1175875602
+		tmp0 *= fix0298631336
+		tmp1 *= fix2053119869
+		tmp2 *= fix3072711026
+		tmp3 *= fix1501321110
+		z1 *= -fix0899976223
+		z2 *= -fix2562915447
+		z3 = z3*-fix1961570560 + z5
+		z4 = z4*-fix0390180644 + z5
+		tmp0 += z1 + z3
+		tmp1 += z2 + z4
+		tmp2 += z2 + z3
+		tmp3 += z1 + z4
+
+		const shift = constBits + pass1Bits + 3
+		const rnd = 1 << (shift - 1)
+		blk[c] = (t10 + tmp3 + rnd) >> shift
+		blk[56+c] = (t10 - tmp3 + rnd) >> shift
+		blk[8+c] = (t11 + tmp2 + rnd) >> shift
+		blk[48+c] = (t11 - tmp2 + rnd) >> shift
+		blk[16+c] = (t12 + tmp1 + rnd) >> shift
+		blk[40+c] = (t12 - tmp1 + rnd) >> shift
+		blk[24+c] = (t13 + tmp0 + rnd) >> shift
+		blk[32+c] = (t13 - tmp0 + rnd) >> shift
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Entropy layer
+// ---------------------------------------------------------------------------
+
+// byteWriter is the varint entropy layer.
 type byteWriter struct{ buf []byte }
 
 func (w *byteWriter) writeUvarint(v uint64) {
-	var tmp [binary.MaxVarintLen64]byte
-	n := binary.PutUvarint(tmp[:], v)
-	w.buf = append(w.buf, tmp[:n]...)
+	w.buf = binary.AppendUvarint(w.buf, v)
 }
 
 func (w *byteWriter) writeVarint(v int64) {
-	var tmp [binary.MaxVarintLen64]byte
-	n := binary.PutVarint(tmp[:], v)
-	w.buf = append(w.buf, tmp[:n]...)
+	w.buf = binary.AppendVarint(w.buf, v)
 }
 
 type byteReader struct {
@@ -232,6 +365,10 @@ func (r *byteReader) readVarint() (int64, error) {
 
 const eobRun = 0xFF // end-of-block marker in the run field
 
+// ---------------------------------------------------------------------------
+// Encoder
+// ---------------------------------------------------------------------------
+
 // EncodeSJPG compresses an image at the given quality (1–100) with 4:4:4
 // chroma.
 func EncodeSJPG(im *Image, quality int) []byte {
@@ -240,7 +377,9 @@ func EncodeSJPG(im *Image, quality int) []byte {
 
 // EncodeSJPGSubsampled compresses with an explicit chroma layout.
 func EncodeSJPGSubsampled(im *Image, quality int, sub Subsampling) []byte {
-	w := &byteWriter{}
+	// Pre-size for the common photographic case (~1 byte/px at q=85) so
+	// the entropy buffer grows at most once.
+	w := &byteWriter{buf: make([]byte, 0, 64+im.W*im.H)}
 	w.buf = append(w.buf, sjpgMagic...)
 	w.writeUvarint(uint64(im.W))
 	w.writeUvarint(uint64(im.H))
@@ -248,7 +387,7 @@ func EncodeSJPGSubsampled(im *Image, quality int, sub Subsampling) []byte {
 	w.writeUvarint(uint64(sub))
 
 	planes := colorConvertForward(im)
-	quants := [3][64]int{
+	quants := [3][64]int32{
 		scaledQuant(&lumaQuant, quality),
 		scaledQuant(&chromaQuant, quality),
 		scaledQuant(&chromaQuant, quality),
@@ -257,38 +396,50 @@ func EncodeSJPGSubsampled(im *Image, quality int, sub Subsampling) []byte {
 	for ch := 0; ch < 3; ch++ {
 		plane, pw, ph := planes[ch], im.W, im.H
 		if sub == Sub420 && ch > 0 {
-			plane, pw, ph = downsample2x(plane, im.W, im.H)
+			ds, dw, dh := downsample2x(plane, im.W, im.H)
+			encodePlane(w, ds, dw, dh, &quants[ch])
+			putI32(ds)
+			continue
 		}
 		encodePlane(w, plane, pw, ph, &quants[ch])
+	}
+	for _, p := range planes {
+		putI32(p)
 	}
 	return w.buf
 }
 
+// roundDiv divides rounding half away from zero, matching math.Round of
+// the floating-point quotient.
+func roundDiv(v, q int32) int32 {
+	if v >= 0 {
+		return (v + q/2) / q
+	}
+	return -((-v + q/2) / q)
+}
+
 // encodePlane writes one plane's blocks (DC differential + AC runs).
-func encodePlane(w *byteWriter, plane []float64, pw, ph int, quant *[64]int) {
+func encodePlane(w *byteWriter, plane []int32, pw, ph int, quant *[64]int32) {
 	bw, bh := (pw+7)/8, (ph+7)/8
 	prevDC := int64(0)
+	var blk [64]int32
 	for by := 0; by < bh; by++ {
 		for bx := 0; bx < bw; bx++ {
-			var blk [64]float64
 			loadBlock(&blk, plane, pw, ph, bx, by)
 			fdct8x8(&blk)
-			var q [64]int64
-			for i := 0; i < 64; i++ {
-				q[i] = int64(math.Round(blk[zigzag[i]] / float64(quant[zigzag[i]])))
-			}
-			// DC differential.
-			w.writeVarint(q[0] - prevDC)
-			prevDC = q[0]
+			dc := int64(roundDiv(blk[0], quant[0]))
+			w.writeVarint(dc - prevDC)
+			prevDC = dc
 			// AC run-length: (zero-run, value) pairs, EOB terminator.
 			run := 0
 			for i := 1; i < 64; i++ {
-				if q[i] == 0 {
+				q := roundDiv(blk[zigzag[i]], quant[zigzag[i]])
+				if q == 0 {
 					run++
 					continue
 				}
 				w.writeUvarint(uint64(run))
-				w.writeVarint(q[i])
+				w.writeVarint(int64(q))
 				run = 0
 			}
 			w.writeUvarint(eobRun)
@@ -297,14 +448,13 @@ func encodePlane(w *byteWriter, plane []float64, pw, ph int, quant *[64]int) {
 }
 
 // downsample2x halves a plane in both axes by box averaging (the encoder
-// side of 4:2:0).
-func downsample2x(plane []float64, w, h int) ([]float64, int, int) {
+// side of 4:2:0). The result is pooled; the caller releases it.
+func downsample2x(plane []int32, w, h int) ([]int32, int, int) {
 	ow, oh := (w+1)/2, (h+1)/2
-	out := make([]float64, ow*oh)
+	out := getI32(ow * oh)
 	for y := 0; y < oh; y++ {
 		for x := 0; x < ow; x++ {
-			var sum float64
-			var n int
+			var sum, n int32
 			for dy := 0; dy < 2; dy++ {
 				for dx := 0; dx < 2; dx++ {
 					sy, sx := y*2+dy, x*2+dx
@@ -314,20 +464,22 @@ func downsample2x(plane []float64, w, h int) ([]float64, int, int) {
 					}
 				}
 			}
-			out[y*ow+x] = sum / float64(n)
+			out[y*ow+x] = roundDiv(sum, n)
 		}
 	}
 	return out, ow, oh
 }
 
 // upsample2x doubles a plane in both axes by separable linear interpolation
-// (libjpeg's sep_upsample "fancy upsampling").
-func upsample2x(plane []float64, pw, ph, w, h int) []float64 {
-	out := make([]float64, w*h)
+// (libjpeg's sep_upsample "fancy upsampling") with 2-bit fractional
+// positions: samples sit at quarter offsets, so the four bilinear weights
+// are sixteenths. The result is pooled; the caller releases it.
+func upsample2x(plane []int32, pw, ph, w, h int) []int32 {
+	out := getI32(w * h)
 	for y := 0; y < h; y++ {
-		sy := float64(y)/2 - 0.25
-		y0 := int(math.Floor(sy))
-		fy := sy - float64(y0)
+		sy4 := 2*y - 1 // source y in quarter units: y/2 - 0.25
+		y0 := sy4 >> 2
+		fy := int32(sy4 - y0*4)
 		y1 := y0 + 1
 		if y0 < 0 {
 			y0 = 0
@@ -338,10 +490,13 @@ func upsample2x(plane []float64, pw, ph, w, h int) []float64 {
 		if y0 > ph-1 {
 			y0 = ph - 1
 		}
+		row0 := plane[y0*pw : (y0+1)*pw]
+		row1 := plane[y1*pw : (y1+1)*pw]
+		orow := out[y*w : (y+1)*w]
 		for x := 0; x < w; x++ {
-			sx := float64(x)/2 - 0.25
-			x0 := int(math.Floor(sx))
-			fx := sx - float64(x0)
+			sx4 := 2*x - 1
+			x0 := sx4 >> 2
+			fx := int32(sx4 - x0*4)
 			x1 := x0 + 1
 			if x0 < 0 {
 				x0 = 0
@@ -352,15 +507,17 @@ func upsample2x(plane []float64, pw, ph, w, h int) []float64 {
 			if x0 > pw-1 {
 				x0 = pw - 1
 			}
-			v00 := plane[y0*pw+x0]
-			v01 := plane[y0*pw+x1]
-			v10 := plane[y1*pw+x0]
-			v11 := plane[y1*pw+x1]
-			out[y*w+x] = (1-fy)*((1-fx)*v00+fx*v01) + fy*((1-fx)*v10+fx*v11)
+			top := (4-fx)*row0[x0] + fx*row0[x1]
+			bot := (4-fx)*row1[x0] + fx*row1[x1]
+			orow[x] = ((4-fy)*top + fy*bot + 8) >> 4
 		}
 	}
 	return out
 }
+
+// ---------------------------------------------------------------------------
+// Decoder
+// ---------------------------------------------------------------------------
 
 // SJPGDims parses just the header, returning the encoded dimensions.
 func SJPGDims(data []byte) (w, h int, err error) {
@@ -382,7 +539,8 @@ func SJPGDims(data []byte) (w, h int, err error) {
 // DecodeSJPG decompresses an SJPG payload. The decode path mirrors libjpeg's
 // stages: entropy decode (decode_mcu), dequantize + inverse DCT
 // (jpeg_idct_islow), color conversion (ycc_rgb_convert), assembled by the
-// decompress_onepass driver.
+// decompress_onepass driver. The returned image is pooled; callers may
+// Release it when finished with the pixels.
 func DecodeSJPG(data []byte) (*Image, error) {
 	if len(data) < 4 || string(data[:4]) != sjpgMagic {
 		return nil, errors.New("sjpg: bad magic")
@@ -419,44 +577,60 @@ func DecodeSJPG(data []byte) (*Image, error) {
 		return nil, fmt.Errorf("sjpg: unknown subsampling %d", int(sub))
 	}
 
-	quants := [3][64]int{
+	quants := [3][64]int32{
 		scaledQuant(&lumaQuant, quality),
 		scaledQuant(&chromaQuant, quality),
 		scaledQuant(&chromaQuant, quality),
 	}
-	var planes [3][]float64
+	var planes [3][]int32
+	release := func() {
+		for _, p := range planes {
+			if p != nil {
+				putI32(p)
+			}
+		}
+	}
 	for ch := 0; ch < 3; ch++ {
 		pw, ph := width, height
 		if sub == Sub420 && ch > 0 {
 			pw, ph = (width+1)/2, (height+1)/2
 		}
-		plane := make([]float64, pw*ph)
+		plane := getI32(pw * ph)
 		if err := decodePlane(r, plane, pw, ph, &quants[ch]); err != nil {
+			putI32(plane)
+			release()
 			return nil, err
 		}
 		if sub == Sub420 && ch > 0 {
-			plane = upsample2x(plane, pw, ph, width, height)
+			full := upsample2x(plane, pw, ph, width, height)
+			putI32(plane)
+			plane = full
 		}
 		planes[ch] = plane
 	}
-	return colorConvertInverse(planes, width, height), nil
+	im := colorConvertInverse(&planes, width, height)
+	release()
+	return im, nil
 }
 
 // decodePlane reads one plane's blocks (the decompress_onepass inner loop:
 // entropy decode, dequantize, inverse DCT).
-func decodePlane(r *byteReader, plane []float64, pw, ph int, quant *[64]int) error {
+func decodePlane(r *byteReader, plane []int32, pw, ph int, quant *[64]int32) error {
 	bw, bh := (pw+7)/8, (ph+7)/8
 	prevDC := int64(0)
+	var blk [64]int32
 	for by := 0; by < bh; by++ {
 		for bx := 0; bx < bw; bx++ {
-			q, dc, err := decodeMCU(r, prevDC)
+			nz, dc, err := decodeMCU(&blk, r, prevDC, quant)
 			if err != nil {
 				return err
 			}
 			prevDC = dc
-			var blk [64]float64
-			for i := 0; i < 64; i++ {
-				blk[zigzag[i]] = float64(q[i]) * float64(quant[zigzag[i]])
+			if nz <= 1 {
+				// DC-only block: the IDCT of a lone DC coefficient is a
+				// flat block at dc/8 (libjpeg's dcval shortcut).
+				storeBlockConst((blk[0]+4)>>3, plane, pw, ph, bx, by)
+				continue
 			}
 			idct8x8(&blk)
 			storeBlock(&blk, plane, pw, ph, bx, by)
@@ -465,80 +639,117 @@ func decodePlane(r *byteReader, plane []float64, pw, ph int, quant *[64]int) err
 	return nil
 }
 
-// decodeMCU entropy-decodes one 8x8 block (the hottest decode function in
-// the paper's Table I).
-func decodeMCU(r *byteReader, prevDC int64) (q [64]int64, dc int64, err error) {
+// dequant scales an entropy-decoded coefficient by its quant step and
+// clamps it to the butterfly's safe input range.
+func dequant(v int64, q int32) int32 {
+	v *= int64(q)
+	if v > dequantClamp {
+		return dequantClamp
+	}
+	if v < -dequantClamp {
+		return -dequantClamp
+	}
+	return int32(v)
+}
+
+// decodeMCU entropy-decodes and dequantizes one 8x8 block into blk in
+// natural order (the hottest decode function in the paper's Table I). It
+// returns the number of nonzero coefficients so DC-only blocks can skip
+// the IDCT entirely.
+func decodeMCU(blk *[64]int32, r *byteReader, prevDC int64, quant *[64]int32) (nz int, dc int64, err error) {
+	*blk = [64]int32{}
 	delta, err := r.readVarint()
 	if err != nil {
-		return q, 0, err
+		return 0, 0, err
 	}
 	dc = prevDC + delta
-	q[0] = dc
+	blk[0] = dequant(dc, quant[0])
+	nz = 1
 	i := 1
 	for i < 64 {
 		run, err := r.readUvarint()
 		if err != nil {
-			return q, 0, err
+			return 0, 0, err
 		}
 		if run == eobRun {
-			return q, dc, nil
+			return nz, dc, nil
 		}
 		// Bound the run before any arithmetic: a hostile varint can exceed
 		// int range and wrap negative.
 		if run > 63 {
-			return q, 0, errors.New("sjpg: AC run overflows block")
+			return 0, 0, errors.New("sjpg: AC run overflows block")
 		}
 		i += int(run)
 		if i >= 64 {
-			return q, 0, errors.New("sjpg: AC run overflows block")
+			return 0, 0, errors.New("sjpg: AC run overflows block")
 		}
 		v, err := r.readVarint()
 		if err != nil {
-			return q, 0, err
+			return 0, 0, err
 		}
-		q[i] = v
+		zz := zigzag[i]
+		blk[zz] = dequant(v, quant[zz])
+		nz++
 		i++
 	}
 	// A full block must still be terminated by its EOB.
 	run, err := r.readUvarint()
 	if err != nil {
-		return q, 0, err
+		return 0, 0, err
 	}
 	if run != eobRun {
-		return q, 0, errors.New("sjpg: missing EOB")
+		return 0, 0, errors.New("sjpg: missing EOB")
 	}
-	return q, dc, nil
+	return nz, dc, nil
 }
 
 // colorConvertForward produces the three YCbCr planes, level-shifted to be
-// centred on zero as the DCT expects.
-func colorConvertForward(im *Image) [3][]float64 {
+// centred on zero as the DCT expects. Planes are pooled; the caller
+// releases them.
+func colorConvertForward(im *Image) [3][]int32 {
 	n := im.W * im.H
-	var planes [3][]float64
+	var planes [3][]int32
 	for i := range planes {
-		planes[i] = make([]float64, n)
+		planes[i] = getI32(n)
 	}
+	p := im.Pix
+	py, pcb, pcr := planes[0], planes[1], planes[2]
 	for i := 0; i < n; i++ {
-		y, cb, cr := rgbToYCbCr(im.Pix[i*3], im.Pix[i*3+1], im.Pix[i*3+2])
-		planes[0][i] = y - 128
-		planes[1][i] = cb - 128
-		planes[2][i] = cr - 128
+		y, cb, cr := rgbToYCbCr(p[i*3], p[i*3+1], p[i*3+2])
+		py[i] = y - 128
+		pcb[i] = cb - 128
+		pcr[i] = cr - 128
 	}
 	return planes
 }
 
-func colorConvertInverse(planes [3][]float64, w, h int) *Image {
-	im := NewImage(w, h)
+func colorConvertInverse(planes *[3][]int32, w, h int) *Image {
+	im := GetImage(w, h)
+	py, pcb, pcr := planes[0], planes[1], planes[2]
+	pix := im.Pix
 	for i := 0; i < w*h; i++ {
-		r, g, b := yCbCrToRGB(planes[0][i]+128, planes[1][i]+128, planes[2][i]+128)
-		im.Pix[i*3], im.Pix[i*3+1], im.Pix[i*3+2] = r, g, b
+		r, g, b := yCbCrToRGB(py[i]+128, pcb[i]+128, pcr[i]+128)
+		pix[i*3], pix[i*3+1], pix[i*3+2] = r, g, b
 	}
 	return im
 }
 
+// storeClamp bounds reconstructed samples: valid streams stay within
+// ±~300 of zero, so the clamp only protects the color-convert multiplies
+// from hostile-stream overflow.
+func storeClamp(v int32) int32 {
+	if v > 1023 {
+		return 1023
+	}
+	if v < -1024 {
+		return -1024
+	}
+	return v
+}
+
 // loadBlock copies an 8x8 tile from a plane, replicating edge samples for
 // partial blocks (JPEG edge extension).
-func loadBlock(blk *[64]float64, plane []float64, w, h, bx, by int) {
+func loadBlock(blk *[64]int32, plane []int32, w, h, bx, by int) {
 	for y := 0; y < 8; y++ {
 		sy := by*8 + y
 		if sy >= h {
@@ -554,7 +765,7 @@ func loadBlock(blk *[64]float64, plane []float64, w, h, bx, by int) {
 	}
 }
 
-func storeBlock(blk *[64]float64, plane []float64, w, h, bx, by int) {
+func storeBlock(blk *[64]int32, plane []int32, w, h, bx, by int) {
 	for y := 0; y < 8; y++ {
 		sy := by*8 + y
 		if sy >= h {
@@ -565,7 +776,24 @@ func storeBlock(blk *[64]float64, plane []float64, w, h, bx, by int) {
 			if sx >= w {
 				continue
 			}
-			plane[sy*w+sx] = blk[y*8+x]
+			plane[sy*w+sx] = storeClamp(blk[y*8+x])
+		}
+	}
+}
+
+func storeBlockConst(v int32, plane []int32, w, h, bx, by int) {
+	v = storeClamp(v)
+	for y := 0; y < 8; y++ {
+		sy := by*8 + y
+		if sy >= h {
+			continue
+		}
+		for x := 0; x < 8; x++ {
+			sx := bx*8 + x
+			if sx >= w {
+				continue
+			}
+			plane[sy*w+sx] = v
 		}
 	}
 }

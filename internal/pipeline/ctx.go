@@ -40,7 +40,13 @@ type Ctx struct {
 	// mode.
 	MaterializeDim int
 
-	rngCache *rng.Stream
+	// rngSample and rngOp are per-worker scratch generators reused by OpRNG.
+	// math/rand's source is ~5 KB; building one per sample per op used to be
+	// the largest heap cost of a simulated epoch.
+	rngSample *rng.Stream
+	rngOp     *rng.Stream
+	// callScratch is the reusable kernel-call buffer handed out by Calls.
+	callScratch []native.Call
 }
 
 // Real reports whether transforms should manipulate actual payloads.
@@ -59,12 +65,48 @@ func (c *Ctx) BatchRNG(batchID int) *rng.Stream {
 	return rng.New(c.Seed^int64(batchID)*40503, "batch")
 }
 
+// OpRNG returns the stream SampleRNG(index).Derive(name) would — the same
+// seed derivation, so every historical random sequence is preserved —
+// without allocating either generator. The returned stream aliases worker
+// scratch state: it is valid until the next OpRNG call on this Ctx, which
+// matches how transforms use it (draw parameters, then discard). A Ctx is
+// per-worker and workers are single-threaded, so there is no sharing.
+func (c *Ctx) OpRNG(index int, name string) *rng.Stream {
+	if c.rngSample == nil {
+		c.rngSample = rng.NewFromSeed(0)
+		c.rngOp = rng.NewFromSeed(0)
+	}
+	c.rngSample.Reseed(c.Seed^int64(index)*2654435761, "sample")
+	return c.rngSample.DeriveInto(c.rngOp, name)
+}
+
+// Calls returns the worker's reusable kernel-call scratch buffer, emptied.
+// Build the op's call list with append and execute it with WorkCalls; the
+// buffer is retained across ops, so steady-state simulated transforms issue
+// no allocations at all.
+func (c *Ctx) Calls() []native.Call {
+	if c.callScratch == nil {
+		c.callScratch = make([]native.Call, 0, 16)
+	}
+	return c.callScratch[:0]
+}
+
 // Work executes native kernel calls in simulated mode: it aligns the native
 // timeline cursor with the clock, records the invocations (if a profiling
 // session is attached), and advances virtual time by the modeled duration.
 // In RealData mode it is a no-op — the caller performs the actual kernels
 // and real time elapses by itself.
 func (c *Ctx) Work(calls ...native.Call) {
+	c.WorkCalls(calls)
+}
+
+// WorkCalls is Work for a call list built in the Calls scratch buffer. The
+// (possibly grown) buffer is adopted back into the Ctx for the next op —
+// the engine records invocations by value and never retains the slice.
+func (c *Ctx) WorkCalls(calls []native.Call) {
+	if cap(calls) > cap(c.callScratch) {
+		c.callScratch = calls[:0]
+	}
 	if c.Mode == RealData || c.Engine == nil {
 		return
 	}

@@ -99,7 +99,7 @@ func (l *Loader) Kernels() []string {
 }
 
 func (l *Loader) Apply(ctx *Ctx, s Sample) Sample {
-	r := ctx.SampleRNG(s.Index).Derive("loader")
+	r := ctx.OpRNG(s.Index, "loader")
 	ctx.IO(l.Cache.Delay(s.Index, s.FileBytes, l.IO, r))
 
 	raw := s.Width * s.Height * 3
@@ -116,7 +116,9 @@ func (l *Loader) Apply(ctx *Ctx, s Sample) Sample {
 		}
 		// Photographic JPEGs are typically 4:2:0; decode exercises the
 		// chroma upsampling path (sep_upsample).
-		blob := imaging.EncodeSJPGSubsampled(imaging.SynthesizeImage(w, h, s.Seed), 85, imaging.Sub420)
+		src := imaging.SynthesizeImage(w, h, s.Seed)
+		blob := imaging.EncodeSJPGSubsampled(src, 85, imaging.Sub420)
+		src.Release()
 		im, err := imaging.DecodeSJPG(blob)
 		if err != nil {
 			panic(fmt.Sprintf("pipeline: synthesized blob failed to decode: %v", err))
@@ -127,10 +129,10 @@ func (l *Loader) Apply(ctx *Ctx, s Sample) Sample {
 		return s
 	}
 
-	calls := []native.Call{
-		{Kernel: "decode_mcu", Bytes: s.FileBytes},
-		{Kernel: "jpeg_fill_bit_buffer", Bytes: s.FileBytes},
-	}
+	calls := append(ctx.Calls(),
+		native.Call{Kernel: "decode_mcu", Bytes: s.FileBytes},
+		native.Call{Kernel: "jpeg_fill_bit_buffer", Bytes: s.FileBytes},
+	)
 	// A minority of images take the scaled-IDCT path for part of their
 	// blocks: the short-lived, inconsistently-captured kernel of § IV-B.
 	if s.Seed%4 == 0 {
@@ -160,7 +162,7 @@ func (l *Loader) Apply(ctx *Ctx, s Sample) Sample {
 			)
 		}
 	}
-	ctx.Work(calls...)
+	ctx.WorkCalls(calls)
 	s.Channels, s.Dtype = 3, tensor.Uint8
 	return s
 }
@@ -181,7 +183,7 @@ func (l *RawLoader) Kernels() []string { return []string{"memcpy", "memset"} }
 
 func (l *RawLoader) Apply(ctx *Ctx, s Sample) Sample {
 	raw := s.Width * s.Height * 3
-	r := ctx.SampleRNG(s.Index).Derive("rawload")
+	r := ctx.OpRNG(s.Index, "rawload")
 	ctx.IO(l.Cache.Delay(s.Index, raw, l.IO, r))
 	if ctx.Real() {
 		cap := ctx.MaterializeDim
@@ -196,10 +198,10 @@ func (l *RawLoader) Apply(ctx *Ctx, s Sample) Sample {
 		s.Image = imaging.SynthesizeImage(w, h, s.Seed)
 		s.Width, s.Height = w, h
 	} else {
-		ctx.Work(
+		ctx.WorkCalls(append(ctx.Calls(),
 			native.Call{Kernel: "memcpy", Bytes: raw},
 			native.Call{Kernel: "memset", Bytes: raw},
-		)
+		))
 	}
 	s.Channels, s.Dtype = 3, tensor.Uint8
 	return s
@@ -221,20 +223,22 @@ func (t *RandomResizedCrop) Kernels() []string {
 }
 
 func (t *RandomResizedCrop) Apply(ctx *Ctx, s Sample) Sample {
-	r := ctx.SampleRNG(s.Index).Derive("rrc")
+	r := ctx.OpRNG(s.Index, "rrc")
 	x0, y0, cw, ch := imaging.RandomResizedCropParams(s.Width, s.Height, r)
 	if ctx.Real() {
-		im := imaging.Crop(s.Image, x0, y0, cw, ch)
-		s.Image = imaging.Resize(im, t.Size, t.Size)
+		crop := imaging.Crop(s.Image, x0, y0, cw, ch)
+		s.Image.Release()
+		s.Image = imaging.Resize(crop, t.Size, t.Size)
+		crop.Release()
 	} else {
 		cropBytes := cw * ch * 3
 		midBytes := t.Size * ch * 3 // after horizontal pass
 		outBytes := t.Size * t.Size * 3
-		calls := []native.Call{
-			{Kernel: "ImagingCrop", Bytes: cropBytes},
-			{Kernel: "ImagingResampleHorizontal_8bpc", Bytes: cropBytes + midBytes},
-			{Kernel: "ImagingResampleVertical_8bpc", Bytes: midBytes + outBytes},
-		}
+		calls := append(ctx.Calls(),
+			native.Call{Kernel: "ImagingCrop", Bytes: cropBytes},
+			native.Call{Kernel: "ImagingResampleHorizontal_8bpc", Bytes: cropBytes + midBytes},
+			native.Call{Kernel: "ImagingResampleVertical_8bpc", Bytes: midBytes + outBytes},
+		)
 		if ctx.Engine != nil {
 			switch ctx.Engine.Arch() {
 			case native.Intel:
@@ -249,7 +253,7 @@ func (t *RandomResizedCrop) Apply(ctx *Ctx, s Sample) Sample {
 				)
 			}
 		}
-		ctx.Work(calls...)
+		ctx.WorkCalls(calls)
 	}
 	s.Width, s.Height = t.Size, t.Size
 	return s
@@ -269,15 +273,17 @@ func (t *Resize) Kernels() []string {
 
 func (t *Resize) Apply(ctx *Ctx, s Sample) Sample {
 	if ctx.Real() {
-		s.Image = imaging.Resize(s.Image, t.W, t.H)
+		old := s.Image
+		s.Image = imaging.Resize(old, t.W, t.H)
+		old.Release()
 	} else {
 		inBytes := s.Width * s.Height * 3
 		midBytes := t.W * s.Height * 3
 		outBytes := t.W * t.H * 3
-		calls := []native.Call{
-			{Kernel: "ImagingResampleHorizontal_8bpc", Bytes: inBytes + midBytes},
-			{Kernel: "ImagingResampleVertical_8bpc", Bytes: midBytes + outBytes},
-		}
+		calls := append(ctx.Calls(),
+			native.Call{Kernel: "ImagingResampleHorizontal_8bpc", Bytes: inBytes + midBytes},
+			native.Call{Kernel: "ImagingResampleVertical_8bpc", Bytes: midBytes + outBytes},
+		)
 		if ctx.Engine != nil {
 			switch ctx.Engine.Arch() {
 			case native.Intel:
@@ -292,7 +298,7 @@ func (t *Resize) Apply(ctx *Ctx, s Sample) Sample {
 				)
 			}
 		}
-		ctx.Work(calls...)
+		ctx.WorkCalls(calls)
 	}
 	s.Width, s.Height = t.W, t.H
 	return s
@@ -316,18 +322,20 @@ func (t *RandomHorizontalFlip) Apply(ctx *Ctx, s Sample) Sample {
 	if p == 0 {
 		p = 0.5
 	}
-	r := ctx.SampleRNG(s.Index).Derive("rhf")
+	r := ctx.OpRNG(s.Index, "rhf")
 	if !r.Bool(p) {
 		return s
 	}
 	if ctx.Real() {
-		s.Image = imaging.FlipHorizontal(s.Image)
+		// In place: the mirrored image replaces the sample's payload, so
+		// there is no reason to materialize a second buffer.
+		imaging.FlipHorizontalInPlace(s.Image)
 	} else {
 		raw := s.Width * s.Height * 3
-		ctx.Work(
+		ctx.WorkCalls(append(ctx.Calls(),
 			native.Call{Kernel: "ImagingFlipLeftRight", Bytes: raw},
 			native.Call{Kernel: "memcpy", Bytes: raw},
-		)
+		))
 	}
 	return s
 }
@@ -346,14 +354,18 @@ func (t *ToTensor) Apply(ctx *Ctx, s Sample) Sample {
 	u8Bytes := s.Width * s.Height * 3
 	f32Bytes := u8Bytes * 4
 	if ctx.Real() {
-		s.Tensor = s.Image.ToTensor().ToFloat32()
+		// Fused unpack+convert: produces the float32 planar tensor directly
+		// (bit-identical to ToTensor().ToFloat32()) and retires the sample's
+		// pooled image.
+		s.Tensor = s.Image.ToFloat32Tensor()
+		s.Image.Release()
 		s.Image = nil
 	} else {
-		ctx.Work(
+		ctx.WorkCalls(append(ctx.Calls(),
 			native.Call{Kernel: "ImagingUnpackRGB", Bytes: u8Bytes},
 			native.Call{Kernel: "convert_u8_f32", Bytes: u8Bytes + f32Bytes/4},
 			native.Call{Kernel: "memcpy", Bytes: u8Bytes},
-		)
+		))
 	}
 	s.Dtype = tensor.Float32
 	return s
@@ -372,7 +384,7 @@ func (t *Normalize) Apply(ctx *Ctx, s Sample) Sample {
 	if ctx.Real() {
 		s.Tensor.Normalize(t.Mean, t.Std)
 	} else {
-		ctx.Work(native.Call{Kernel: "normalize_f32", Bytes: s.RawBytes()})
+		ctx.WorkCalls(append(ctx.Calls(), native.Call{Kernel: "normalize_f32", Bytes: s.RawBytes()}))
 	}
 	return s
 }
@@ -402,10 +414,10 @@ func (t *Collate) Run(ctx *Ctx, samples []Sample) *tensor.Tensor {
 	for _, s := range samples {
 		total += s.RawBytes()
 	}
-	ctx.Work(
+	ctx.WorkCalls(append(ctx.Calls(),
 		native.Call{Kernel: "cat_serial_kernel", Bytes: total},
 		native.Call{Kernel: "memcpy", Bytes: total},
-	)
+	))
 	first := samples[0]
 	shape := []int{len(samples), first.Channels}
 	if first.Depth > 0 {

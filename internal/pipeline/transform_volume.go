@@ -21,7 +21,7 @@ func (l *VolumeLoader) Kernels() []string {
 }
 
 func (l *VolumeLoader) Apply(ctx *Ctx, s Sample) Sample {
-	r := ctx.SampleRNG(s.Index).Derive("vload")
+	r := ctx.OpRNG(s.Index, "vload")
 	ctx.IO(l.Cache.Delay(s.Index, s.FileBytes, l.IO, r))
 	raw := s.Depth * s.Height * s.Width * 4
 	if ctx.Real() {
@@ -36,11 +36,11 @@ func (l *VolumeLoader) Apply(ctx *Ctx, s Sample) Sample {
 		s.Volume = imaging.SynthesizeVolume(d, h, w, s.Seed)
 		s.Depth, s.Height, s.Width = d, h, w
 	} else {
-		ctx.Work(
+		ctx.WorkCalls(append(ctx.Calls(),
 			native.Call{Kernel: "npy_parse", Bytes: raw},
 			native.Call{Kernel: "memcpy", Bytes: raw},
 			native.Call{Kernel: "memset", Bytes: raw},
-		)
+		))
 	}
 	s.Channels, s.Dtype = 1, tensor.Float32
 	return s
@@ -67,7 +67,7 @@ func (t *RandBalancedCrop) Kernels() []string {
 }
 
 func (t *RandBalancedCrop) Apply(ctx *Ctx, s Sample) Sample {
-	r := ctx.SampleRNG(s.Index).Derive("rbc")
+	r := ctx.OpRNG(s.Index, "rbc")
 	attempts := t.MaxAttempts
 	if attempts <= 0 {
 		attempts = 8
@@ -101,10 +101,12 @@ func (t *RandBalancedCrop) Apply(ctx *Ctx, s Sample) Sample {
 			y0 = r.Intn(s.Height - h + 1)
 			x0 = r.Intn(s.Width - w + 1)
 		}
-		s.Volume = imaging.CropVolume(s.Volume, z0, y0, x0, d, h, w)
+		old := s.Volume
+		s.Volume = imaging.CropVolume(old, z0, y0, x0, d, h, w)
+		old.Release()
 		s.Depth, s.Height, s.Width = d, h, w
 	} else {
-		var calls []native.Call
+		calls := ctx.Calls()
 		if foreground {
 			for i := 0; i < tries; i++ {
 				calls = append(calls, native.Call{Kernel: "argwhere_f32", Bytes: raw})
@@ -114,7 +116,7 @@ func (t *RandBalancedCrop) Apply(ctx *Ctx, s Sample) Sample {
 			native.Call{Kernel: "crop_copy_3d", Bytes: outBytes},
 			native.Call{Kernel: "memcpy", Bytes: outBytes},
 		)
-		ctx.Work(calls...)
+		ctx.WorkCalls(calls)
 		s.Depth, s.Height, s.Width = t.Patch[0], t.Patch[1], t.Patch[2]
 	}
 	return s
@@ -135,7 +137,7 @@ func (t *RandomFlip) Apply(ctx *Ctx, s Sample) Sample {
 	if p == 0 {
 		p = 1.0 / 3
 	}
-	r := ctx.SampleRNG(s.Index).Derive("rf")
+	r := ctx.OpRNG(s.Index, "rf")
 	raw := s.Depth * s.Height * s.Width * 4
 	for axis := 0; axis < 3; axis++ {
 		if !r.Bool(p) {
@@ -144,7 +146,7 @@ func (t *RandomFlip) Apply(ctx *Ctx, s Sample) Sample {
 		if ctx.Real() {
 			imaging.FlipVolumeAxis(s.Volume, axis)
 		} else {
-			ctx.Work(native.Call{Kernel: "flip_3d", Bytes: raw})
+			ctx.WorkCalls(append(ctx.Calls(), native.Call{Kernel: "flip_3d", Bytes: raw}))
 		}
 	}
 	return s
@@ -160,11 +162,13 @@ func (t *Cast) Kernels() []string { return []string{"cast_f32_u8"} }
 func (t *Cast) Apply(ctx *Ctx, s Sample) Sample {
 	if ctx.Real() {
 		vol := s.Volume
-		tt := tensor.FromF32(vol.Vox, vol.D, vol.H, vol.W).ToUint8()
-		s.Tensor = tt
+		// ToUint8 copies into a fresh tensor, so the pooled voxel buffer can
+		// be retired immediately.
+		s.Tensor = tensor.FromF32(vol.Vox, vol.D, vol.H, vol.W).ToUint8()
+		vol.Release()
 		s.Volume = nil
 	} else {
-		ctx.Work(native.Call{Kernel: "cast_f32_u8", Bytes: s.RawBytes()})
+		ctx.WorkCalls(append(ctx.Calls(), native.Call{Kernel: "cast_f32_u8", Bytes: s.RawBytes()}))
 	}
 	s.Dtype = tensor.Uint8
 	return s
@@ -186,7 +190,7 @@ func (t *RandomBrightnessAugmentation) Apply(ctx *Ctx, s Sample) Sample {
 	if p == 0 {
 		p = 0.1
 	}
-	r := ctx.SampleRNG(s.Index).Derive("rba")
+	r := ctx.OpRNG(s.Index, "rba")
 	if !r.Bool(p) {
 		return s
 	}
@@ -202,7 +206,7 @@ func (t *RandomBrightnessAugmentation) Apply(ctx *Ctx, s Sample) Sample {
 	} else {
 		// Scaling runs in float regardless of the stored dtype (numpy
 		// upcasts), so cost follows element count at 4 bytes each.
-		ctx.Work(native.Call{Kernel: "scale_f32", Bytes: s.elems() * 4})
+		ctx.WorkCalls(append(ctx.Calls(), native.Call{Kernel: "scale_f32", Bytes: s.elems() * 4}))
 	}
 	return s
 }
@@ -222,7 +226,7 @@ func (t *GaussianNoise) Apply(ctx *Ctx, s Sample) Sample {
 	if p == 0 {
 		p = 0.1
 	}
-	r := ctx.SampleRNG(s.Index).Derive("gn")
+	r := ctx.OpRNG(s.Index, "gn")
 	if !r.Bool(p) {
 		return s
 	}
@@ -237,10 +241,10 @@ func (t *GaussianNoise) Apply(ctx *Ctx, s Sample) Sample {
 	} else {
 		// One normal draw per element, independent of the stored dtype.
 		f32 := s.elems() * 4
-		ctx.Work(
+		ctx.WorkCalls(append(ctx.Calls(),
 			native.Call{Kernel: "gaussian_noise_f32", Bytes: f32},
 			native.Call{Kernel: "box_muller", Bytes: f32 / 2},
-		)
+		))
 	}
 	return s
 }

@@ -7,7 +7,6 @@
 package rng
 
 import (
-	"hash/fnv"
 	"math"
 	"math/rand"
 )
@@ -18,11 +17,23 @@ type Stream struct {
 	r *rand.Rand
 }
 
+// nameHash is FNV-64a over the component name, inlined so that deriving a
+// stream never allocates a hasher. It matches hash/fnv's Sum64 exactly,
+// which keeps every historical stream sequence (and therefore every golden
+// experiment output) byte-identical.
+func nameHash(name string) int64 {
+	const offset64, prime64 = uint64(14695981039346656037), uint64(1099511628211)
+	h := offset64
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= prime64
+	}
+	return int64(h)
+}
+
 // New derives a stream from a root seed and a component name.
 func New(seed int64, name string) *Stream {
-	h := fnv.New64a()
-	_, _ = h.Write([]byte(name))
-	return &Stream{r: rand.New(rand.NewSource(seed ^ int64(h.Sum64())))}
+	return &Stream{r: rand.New(rand.NewSource(seed ^ nameHash(name)))}
 }
 
 // NewFromSeed returns a stream seeded directly.
@@ -34,6 +45,22 @@ func NewFromSeed(seed int64) *Stream {
 // sequence is independent of how much the parent has been consumed.
 func (s *Stream) Derive(name string) *Stream {
 	return New(s.r.Int63(), name)
+}
+
+// Reseed resets the stream in place to exactly the state New(seed, name)
+// would create, without allocating. Hot paths (one stream per sample per
+// op) keep a scratch Stream and reseed it instead of building a fresh
+// generator — math/rand's source is ~5 KB, which used to dominate the
+// simulated epoch's heap churn.
+func (s *Stream) Reseed(seed int64, name string) {
+	s.r.Seed(seed ^ nameHash(name))
+}
+
+// DeriveInto reseeds child to the state Derive(name) would return, consuming
+// one value from s exactly as Derive does.
+func (s *Stream) DeriveInto(child *Stream, name string) *Stream {
+	child.Reseed(s.r.Int63(), name)
+	return child
 }
 
 // Float64 returns a uniform value in [0, 1).

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# bench.sh — run the four headline microbenchmarks behind the PR's
+# performance claims and capture benchstat-ready output plus a JSON summary.
+#
+# Usage: scripts/bench.sh [outfile.json]
+# The raw `go test -bench` output (6 repetitions, suitable for feeding to
+# benchstat old.txt new.txt) is written next to the JSON as <outfile>.txt.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT_JSON="${1:-BENCH_PR1.json}"
+OUT_TXT="${OUT_JSON%.json}.txt"
+
+BENCHES='BenchmarkBilinearResize|BenchmarkSJPGDecode|BenchmarkUntracedEpoch|BenchmarkTracerEmit'
+
+echo "running: $BENCHES (6 reps, -benchmem) ..."
+go test -run '^$' -bench "$BENCHES" -benchmem -count=6 . | tee "$OUT_TXT"
+
+# Summarize medians into JSON (portable awk, no gawk extensions).
+awk '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    if (!(name in seen)) { seen[name] = 1; order[++n_names] = name }
+    ns[name] = ns[name] " " $3
+    for (i = 4; i <= NF; i++) {
+        if ($(i+1) == "B/op")      bop[name]    = bop[name] " " $i
+        if ($(i+1) == "allocs/op") allocs[name] = allocs[name] " " $i
+    }
+}
+function median(s,   a, n, i, j, t) {
+    n = split(s, a, " ")
+    for (i = 2; i <= n; i++) {
+        t = a[i] + 0
+        for (j = i - 1; j >= 1 && a[j] + 0 > t; j--) a[j+1] = a[j]
+        a[j+1] = t
+    }
+    if (n % 2) return a[(n+1)/2]
+    return (a[n/2] + a[n/2+1]) / 2
+}
+END {
+    printf "{\n"
+    for (i = 1; i <= n_names; i++) {
+        name = order[i]
+        printf "  \"%s\": {\"ns_op\": %s, \"B_op\": %s, \"allocs_op\": %s}%s\n", \
+            name, median(ns[name]), median(bop[name]), median(allocs[name]), \
+            (i < n_names ? "," : "")
+    }
+    printf "}\n"
+}' "$OUT_TXT" > "$OUT_JSON"
+
+echo "summary written to $OUT_JSON (raw benchstat input: $OUT_TXT)"
