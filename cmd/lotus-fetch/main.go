@@ -1,0 +1,86 @@
+// Command lotus-fetch is the reference client for lotus-serve: it joins as
+// one rank of a world, pulls N epochs of its shard, and reports end-to-end
+// throughput plus a per-batch arrival-latency histogram.
+//
+// Usage:
+//
+//	lotus-fetch -addr localhost:9317 -epochs 2 -rank 0 -world 2
+//
+// Transient failures (refused connections, resets, mid-stream EOF) are
+// retried with exponential backoff by reconnecting and re-requesting the
+// failed epoch; fatal server errors abort.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"lotus/internal/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "localhost:9317", "server wire address")
+		epochs  = flag.Int("epochs", 2, "epochs to stream")
+		rank    = flag.Int("rank", 0, "this client's shard rank")
+		world   = flag.Int("world", 1, "total shard count")
+		name    = flag.String("name", "", "session label in server metrics")
+		retries = flag.Int("retries", 4, "reconnect attempts per epoch on transient failures")
+		backoff = flag.Duration("backoff", 50*time.Millisecond, "retry backoff base (doubles per attempt)")
+		quiet   = flag.Bool("quiet", false, "suppress per-epoch progress lines")
+	)
+	flag.Parse()
+
+	client := serve.NewClient(serve.ClientConfig{
+		Addr:        *addr,
+		Rank:        *rank,
+		World:       *world,
+		Name:        *name,
+		Retries:     *retries,
+		BackoffBase: *backoff,
+		OnRetry: func(epoch, attempt int, err error) {
+			log.Printf("lotus-fetch: epoch %d attempt %d failed (%v), retrying", epoch, attempt, err)
+		},
+	})
+	defer client.Close()
+
+	if err := client.Connect(); err != nil {
+		fmt.Fprintf(os.Stderr, "lotus-fetch: connect %s: %v\n", *addr, err)
+		os.Exit(1)
+	}
+	ack, _ := client.Ack()
+	modeName := "sim"
+	if ack.Mode == 1 {
+		modeName = "real"
+	}
+	fmt.Printf("lotus-fetch: %s workload %s (%s): %d samples, batch %d; shard %d/%d -> %d of %d batches/epoch\n",
+		*addr, ack.Workload, modeName, ack.DatasetLen, ack.BatchSize,
+		*rank, *world, ack.ShardBatches, ack.PlanBatches)
+
+	epochBatches := 0
+	curEpoch := -1
+	onBatch := func(b *serve.Batch, payload []byte) {
+		if b.Epoch != curEpoch {
+			if curEpoch >= 0 && !*quiet {
+				fmt.Printf("lotus-fetch: epoch %d: %d batches\n", curEpoch, epochBatches)
+			}
+			curEpoch, epochBatches = b.Epoch, 0
+		}
+		epochBatches++
+	}
+	stats, err := client.Run(*epochs, onBatch)
+	if curEpoch >= 0 && !*quiet {
+		fmt.Printf("lotus-fetch: epoch %d: %d batches\n", curEpoch, epochBatches)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lotus-fetch: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("lotus-fetch: %d epochs, %d batches, %.1f MB in %v (%.1f batches/sec, %d retries)\n",
+		stats.Epochs, stats.Batches, float64(stats.Bytes)/(1<<20),
+		stats.Elapsed.Round(time.Millisecond), stats.BatchesPerSec(), stats.Retries)
+	fmt.Println(stats.Hist.String())
+}

@@ -1,0 +1,111 @@
+// Command lotus-serve runs the disaggregated preprocessing service: one
+// workload pipeline served over TCP to any number of lotus-fetch (or custom)
+// clients, with live observability on an HTTP sidecar.
+//
+// Usage:
+//
+//	lotus-serve -workload IC -samples 5120 -addr :9317 -http :9318
+//
+// Clients handshake with a rank/world pair and receive disjoint shards of
+// every epoch's batch plan; /metrics and /trace expose live throughput and a
+// Chrome-Trace view of the serving pipeline while it runs. SIGINT/SIGTERM
+// starts a graceful drain (in-flight epochs finish, bounded by -drain).
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lotus/internal/native"
+	"lotus/internal/pipeline"
+	"lotus/internal/serve"
+	"lotus/internal/workloads"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":9317", "wire protocol listen address")
+		httpAddr = flag.String("http", ":9318", "observability sidecar address (empty = disabled)")
+		workload = flag.String("workload", "IC", "pipeline: IC, IS, or OD")
+		samples  = flag.Int("samples", 5120, "dataset size")
+		batch    = flag.Int("batch", 0, "batch size (0 = workload default)")
+		workers  = flag.Int("workers", 0, "DataLoader workers (0 = workload default)")
+		prefetch = flag.Int("prefetch", 0, "DataLoader prefetch factor (0 = default)")
+		queue    = flag.Int("queue", 4, "per-session server prefetch queue depth in batches")
+		mode     = flag.String("mode", "sim", "preprocessing mode: sim (meta tensors) or real (pixel payloads)")
+		seed     = flag.Int64("seed", 1, "randomness root")
+		arch     = flag.String("arch", "intel", "simulated CPU vendor: intel or amd")
+		matDim   = flag.Int("materialize-dim", 96, "real mode: synthesized image resolution cap")
+		ring     = flag.Int("ring", 16384, "live trace ring capacity in records")
+		drain    = flag.Duration("drain", 15*time.Second, "graceful drain budget on SIGINT/SIGTERM")
+	)
+	flag.Parse()
+
+	var spec workloads.Spec
+	switch workloads.Kind(*workload) {
+	case workloads.IC:
+		spec = workloads.ICSpec(*samples, *seed)
+	case workloads.IS:
+		spec = workloads.ISSpec(*samples, *seed)
+	case workloads.OD:
+		spec = workloads.ODSpec(*samples, *seed)
+	default:
+		fmt.Fprintf(os.Stderr, "lotus-serve: unknown workload %q (want IC, IS, or OD)\n", *workload)
+		os.Exit(2)
+	}
+	if *batch > 0 {
+		spec.BatchSize = *batch
+	}
+	if *workers > 0 {
+		spec.NumWorkers = *workers
+	}
+	if *prefetch > 0 {
+		spec.Prefetch = *prefetch
+	}
+	if *arch == "amd" {
+		spec.Arch = native.AMD
+	}
+
+	pmode := pipeline.Simulated
+	switch *mode {
+	case "sim":
+	case "real":
+		pmode = pipeline.RealData
+	default:
+		fmt.Fprintf(os.Stderr, "lotus-serve: unknown mode %q (want sim or real)\n", *mode)
+		os.Exit(2)
+	}
+
+	srv := serve.New(serve.Config{
+		Spec:           spec,
+		Mode:           pmode,
+		Prefetch:       *queue,
+		MaterializeDim: *matDim,
+		RingSize:       *ring,
+		Logf:           log.Printf,
+	})
+	if err := srv.Start(*addr, *httpAddr); err != nil {
+		fmt.Fprintf(os.Stderr, "lotus-serve: %v\n", err)
+		os.Exit(1)
+	}
+	if h := srv.HTTPAddr(); h != "" {
+		log.Printf("lotus-serve: observability on http://%s (/healthz /metrics /trace)", h)
+	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	log.Printf("lotus-serve: draining (budget %v)", *drain)
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("lotus-serve: drain budget exhausted, sessions aborted: %v", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"sync"
+	"time"
+
+	"lotus/internal/pipeline"
+)
+
+// Ring is a bounded, concurrency-safe in-memory recorder of the most recent
+// LotusTrace records. Where Tracer streams formatted records to a writer and
+// keeps nothing, Ring keeps the records themselves (dropping the oldest once
+// full), which is what live observability needs: the preprocessing service's
+// /trace endpoint snapshots a Ring and exports it as Chrome Trace JSON while
+// the pipeline is still running.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []Record
+	next  int   // write position
+	full  bool  // buf has wrapped at least once
+	total int64 // records ever added
+}
+
+// NewRing returns a ring keeping the most recent capacity records
+// (capacity <= 0 is treated as 1).
+func NewRing(capacity int) *Ring {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]Record, capacity)}
+}
+
+// Add records one entry, evicting the oldest if the ring is full.
+func (r *Ring) Add(rec Record) {
+	r.mu.Lock()
+	r.buf[r.next] = rec
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+		r.full = true
+	}
+	r.total++
+	r.mu.Unlock()
+}
+
+// Snapshot returns the retained records, oldest first. The slice is a copy.
+func (r *Ring) Snapshot() []Record {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !r.full {
+		return append([]Record(nil), r.buf[:r.next]...)
+	}
+	out := make([]Record, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}
+
+// Total reports how many records have ever been added (including evicted
+// ones).
+func (r *Ring) Total() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// Len reports how many records are currently retained.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.full {
+		return len(r.buf)
+	}
+	return r.next
+}
+
+// Hooks returns pipeline instrumentation callbacks that record into the
+// ring — the in-memory analogue of Tracer.Hooks.
+func (r *Ring) Hooks() *pipeline.Hooks {
+	return &pipeline.Hooks{
+		OnOp: func(pid, batchID, sampleIndex int, op string, start time.Time, dur time.Duration) {
+			r.Add(Record{Kind: KindOp, PID: pid, BatchID: batchID, SampleIndex: sampleIndex, Op: op, Start: start, Dur: dur})
+		},
+		OnBatchPreprocessed: func(pid, batchID int, start time.Time, dur time.Duration) {
+			r.Add(Record{Kind: KindBatchPreprocessed, PID: pid, BatchID: batchID, SampleIndex: -1, Start: start, Dur: dur})
+		},
+		OnBatchWait: func(pid, batchID int, start time.Time, dur time.Duration) {
+			r.Add(Record{Kind: KindBatchWait, PID: pid, BatchID: batchID, SampleIndex: -1, Start: start, Dur: dur})
+		},
+		OnBatchConsumed: func(pid, batchID int, start time.Time, dur time.Duration) {
+			r.Add(Record{Kind: KindBatchConsumed, PID: pid, BatchID: batchID, SampleIndex: -1, Start: start, Dur: dur})
+		},
+	}
+}

@@ -1,6 +1,7 @@
 package data
 
 import (
+	"container/list"
 	"sync"
 	"time"
 
@@ -14,18 +15,29 @@ import (
 // FFCV): once the working set fits, later epochs stop paying the I/O cost.
 //
 // The model is LRU over whole files with a byte capacity, safe for
-// concurrent workers.
+// concurrent workers. Recency is an intrusive doubly-linked list keyed by
+// the entries map, so every operation — hit, install, evict — is O(1);
+// the earlier []int recency slice made each hit an O(n) scan, which
+// dominated once the working set reached page-cache scale.
 type PageCache struct {
 	mu       sync.Mutex
 	capacity int64
 	used     int64
-	// entries maps file index -> size; order tracks LRU (front = oldest).
-	entries map[int]int64
-	order   []int
+	// entries maps file index -> its node in lru; lru orders recency
+	// (front = least recently used, back = most recently used) and its
+	// element values are *cacheEntry.
+	entries map[int]*list.Element
+	lru     *list.List
 	hits    int
 	misses  int
 	// HitLatency is the read cost served from memory.
 	HitLatency time.Duration
+}
+
+// cacheEntry is the lru element payload.
+type cacheEntry struct {
+	index int
+	bytes int64
 }
 
 // NewPageCache creates a cache with the given byte capacity (0 disables
@@ -33,7 +45,8 @@ type PageCache struct {
 func NewPageCache(capacity int64) *PageCache {
 	return &PageCache{
 		capacity:   capacity,
-		entries:    make(map[int]int64),
+		entries:    make(map[int]*list.Element),
+		lru:        list.New(),
 		HitLatency: 20 * time.Microsecond,
 	}
 }
@@ -47,35 +60,22 @@ func (c *PageCache) Delay(index, bytes int, m IOModel, r *rng.Stream) time.Durat
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, ok := c.entries[index]; ok {
+	if el, ok := c.entries[index]; ok {
 		c.hits++
-		c.touch(index)
+		c.lru.MoveToBack(el)
 		return c.HitLatency
 	}
 	c.misses++
 	if c.capacity > 0 && int64(bytes) <= c.capacity {
-		for c.used+int64(bytes) > c.capacity && len(c.order) > 0 {
-			oldest := c.order[0]
-			c.order = c.order[1:]
-			c.used -= c.entries[oldest]
-			delete(c.entries, oldest)
+		for c.used+int64(bytes) > c.capacity && c.lru.Len() > 0 {
+			oldest := c.lru.Remove(c.lru.Front()).(*cacheEntry)
+			c.used -= oldest.bytes
+			delete(c.entries, oldest.index)
 		}
-		c.entries[index] = int64(bytes)
-		c.order = append(c.order, index)
+		c.entries[index] = c.lru.PushBack(&cacheEntry{index: index, bytes: int64(bytes)})
 		c.used += int64(bytes)
 	}
 	return m.ReadDelay(bytes, r)
-}
-
-// touch moves index to the MRU end.
-func (c *PageCache) touch(index int) {
-	for i, v := range c.order {
-		if v == index {
-			c.order = append(c.order[:i], c.order[i+1:]...)
-			c.order = append(c.order, index)
-			return
-		}
-	}
 }
 
 // Stats reports hits and misses so far.

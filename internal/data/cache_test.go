@@ -42,6 +42,45 @@ func TestPageCacheLRUEviction(t *testing.T) {
 	}
 }
 
+// TestPageCacheEvictionOrderInterleavedHits scripts a workload where hits
+// reorder the recency list between evictions and checks every access against
+// the LRU ground truth. This pins the container/list implementation to the
+// exact semantics of the original slice-based one.
+func TestPageCacheEvictionOrderInterleavedHits(t *testing.T) {
+	c := NewPageCache(500) // room for five 100-byte files
+	m := IOModel{BaseLatency: time.Millisecond, BandwidthMBps: 100}
+	script := []struct {
+		index int
+		hit   bool
+	}{
+		{1, false}, {2, false}, {3, false}, {4, false}, {5, false}, // fill: LRU order 1 2 3 4 5
+		{2, true},  // -> 1 3 4 5 2
+		{4, true},  // -> 1 3 5 2 4
+		{6, false}, // evicts 1 -> 3 5 2 4 6
+		{7, false}, // evicts 3 -> 5 2 4 6 7
+		{1, false}, // evicts 5 -> 2 4 6 7 1
+		{3, false}, // evicts 2 -> 4 6 7 1 3
+		{4, true},  // -> 6 7 1 3 4
+		{5, false}, // evicts 6 -> 7 1 3 4 5
+		{7, true},  // -> 1 3 4 5 7
+		{2, false}, // evicts 1 -> 3 4 5 7 2
+		{3, true},  // -> 4 5 7 2 3
+	}
+	for step, op := range script {
+		d := c.Delay(op.index, 100, m, nil)
+		got := d == c.HitLatency
+		if got != op.hit {
+			t.Fatalf("step %d: access to %d hit=%v, want hit=%v", step, op.index, got, op.hit)
+		}
+	}
+	if h, ms := c.Stats(); h != 5 || ms != 11 {
+		t.Fatalf("stats (%d hits, %d misses), want (5, 11)", h, ms)
+	}
+	if c.Used() != 500 {
+		t.Fatalf("used %d, want 500", c.Used())
+	}
+}
+
 func TestPageCacheOversizedFileNeverCached(t *testing.T) {
 	c := NewPageCache(100)
 	m := IOModel{BaseLatency: time.Millisecond, BandwidthMBps: 100}

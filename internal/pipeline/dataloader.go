@@ -60,6 +60,12 @@ type Config struct {
 	Engine         *native.Engine
 	WorkScale      float64
 	MaterializeDim int
+	// BatchPlan, when non-nil, is an explicit epoch batch plan: each entry is
+	// one batch's dataset indices, consumed in order. Shuffle, DropLast, and
+	// the plan-building half of Seed are ignored (Seed still drives per-sample
+	// randomness). The serving layer (internal/serve) uses it to run a loader
+	// over one session's shard of a shared epoch plan.
+	BatchPlan [][]int
 }
 
 func (c Config) validate() Config {
@@ -141,26 +147,44 @@ func NewDataLoader(clk clock.Clock, ds Dataset, cfg Config) *DataLoader {
 	return dl
 }
 
-// buildBatches shuffles (optionally) and chunks the dataset indices.
-func (dl *DataLoader) buildBatches() {
-	n := dl.dataset.Len()
+// BuildBatchPlan returns an epoch's batch plan: the dataset indices 0..n-1,
+// shuffled (optionally) with the loader's canonical seed derivation, chunked
+// into batches of batchSize. This is exactly the plan NewDataLoader builds
+// internally, exported so the serving layer derives a remote session's shard
+// from the same plan a local loader would execute.
+func BuildBatchPlan(n, batchSize int, shuffle, dropLast bool, seed int64) [][]int {
+	if batchSize <= 0 {
+		panic("pipeline: BuildBatchPlan needs batchSize > 0")
+	}
 	order := make([]int, n)
 	for i := range order {
 		order[i] = i
 	}
-	if dl.cfg.Shuffle {
-		r := rng.New(dl.cfg.Seed, "dataloader/shuffle")
+	if shuffle {
+		r := rng.New(seed, "dataloader/shuffle")
 		r.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
 	}
-	for at := 0; at < n; at += dl.cfg.BatchSize {
-		end := at + dl.cfg.BatchSize
+	var batches [][]int
+	for at := 0; at < n; at += batchSize {
+		end := at + batchSize
 		if end > n {
-			if dl.cfg.DropLast {
+			if dropLast {
 				break
 			}
 			end = n
 		}
-		dl.batches = append(dl.batches, order[at:end])
+		batches = append(batches, order[at:end])
+	}
+	return batches
+}
+
+// buildBatches installs the explicit plan or builds the canonical one.
+func (dl *DataLoader) buildBatches() {
+	if dl.cfg.BatchPlan != nil {
+		dl.batches = dl.cfg.BatchPlan
+	} else {
+		dl.batches = BuildBatchPlan(dl.dataset.Len(), dl.cfg.BatchSize,
+			dl.cfg.Shuffle, dl.cfg.DropLast, dl.cfg.Seed)
 	}
 	dl.batchCost = make([]float64, len(dl.batches))
 	for i, idxs := range dl.batches {
@@ -203,6 +227,14 @@ func (dl *DataLoader) Start(p clock.Proc) *Iterator {
 	// batch id (PyTorch's _try_put_index startup behaviour).
 	for i := 0; i < dl.cfg.PrefetchFactor*dl.cfg.NumWorkers && dl.sendIdx < len(dl.batches); i++ {
 		dl.dispatch(p, dl.sendIdx%dl.cfg.NumWorkers)
+	}
+	// An empty plan (a shard with zero batches) dispatches nothing, so the
+	// close-on-last-dispatch path never runs; close here or the workers would
+	// block forever on their index queues.
+	if len(dl.batches) == 0 {
+		for _, q := range dl.indexQs {
+			q.Close()
+		}
 	}
 	return &Iterator{dl: dl, cached: make(map[int]*Batch), cachedWorker: make(map[int]int), cachedErr: make(map[int]error)}
 }
@@ -459,6 +491,19 @@ func (it *Iterator) logWait(p clock.Proc, batchID int, start time.Time, dur time
 		if h.PerLogCost > 0 {
 			p.Sleep(h.PerLogCost)
 		}
+	}
+}
+
+// Abort ends the epoch early: every index queue is closed so each worker
+// exits after the task it is currently on, and the iterator reports
+// exhausted from then on. Results still in flight stay on the data queue
+// (puts there never block), so workers and the clock wind down cleanly
+// without the main proc consuming them. The serving layer uses this when a
+// client disconnects or the server drains mid-epoch.
+func (it *Iterator) Abort() {
+	it.rcvdIdx = len(it.dl.batches)
+	for _, q := range it.dl.indexQs {
+		q.Close()
 	}
 }
 

@@ -1,0 +1,65 @@
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"lotus/internal/pipeline"
+	"lotus/internal/workloads"
+)
+
+// BenchmarkServiceThroughput measures served batches per second end to end
+// (pipeline -> wire encode -> loopback TCP -> decode -> checksum) as the
+// client count scales. Each iteration streams one full epoch sharded across
+// the clients. scripts/bench.sh captures the batches/sec metric into
+// BENCH_PR2.json.
+func BenchmarkServiceThroughput(b *testing.B) {
+	for _, clients := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			spec := workloads.ICSpec(1280, 7)
+			spec.BatchSize = 64 // 20 batches per epoch
+			spec.NumWorkers = 2
+			srv := New(Config{Spec: spec, Mode: pipeline.Simulated, Prefetch: 4})
+			if err := srv.Start("127.0.0.1:0", ""); err != nil {
+				b.Fatal(err)
+			}
+			defer srv.Close()
+
+			conns := make([]*Client, clients)
+			for rank := range conns {
+				conns[rank] = NewClient(ClientConfig{Addr: srv.Addr(), Rank: rank, World: clients})
+				if err := conns[rank].Connect(); err != nil {
+					b.Fatal(err)
+				}
+				defer conns[rank].Close()
+			}
+
+			totalBatches := 0
+			var mu sync.Mutex
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for _, c := range conns {
+					wg.Add(1)
+					go func(c *Client) {
+						defer wg.Done()
+						stats, err := c.Run(1, nil)
+						if err != nil {
+							b.Error(err)
+							return
+						}
+						mu.Lock()
+						totalBatches += stats.Batches
+						mu.Unlock()
+					}(c)
+				}
+				wg.Wait()
+			}
+			b.StopTimer()
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(totalBatches)/sec, "batches/sec")
+			}
+		})
+	}
+}

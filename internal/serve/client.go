@@ -1,0 +1,362 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"strings"
+	"time"
+)
+
+// ClientConfig parameterizes a fetch client.
+type ClientConfig struct {
+	// Addr is the server's wire address (host:port).
+	Addr string
+	// Rank/World select this client's shard of every epoch plan. World <= 1
+	// means the full plan.
+	Rank, World int
+	// Name labels the session in server metrics.
+	Name string
+	// MaxFrame bounds accepted frames (default DefaultMaxFrame).
+	MaxFrame int
+	// DialTimeout bounds each connection attempt (default 5s).
+	DialTimeout time.Duration
+	// Retries is how many reconnect-and-retry attempts each epoch gets after
+	// a transient failure (default 4). Fatal server errors are never retried.
+	Retries int
+	// BackoffBase/BackoffMax shape the exponential backoff between retries
+	// (defaults 50ms and 2s); attempt k sleeps min(base<<k, max).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// OnRetry, when set, observes every retry decision.
+	OnRetry func(epoch, attempt int, err error)
+	// Sleep replaces time.Sleep for the backoff wait (tests inject a virtual
+	// sleeper; nil = time.Sleep).
+	Sleep func(time.Duration)
+}
+
+// ServerError is a fatal error the server reported in an Error frame. It is
+// not retried: the server is alive and has deliberately refused the request.
+type ServerError struct{ Message string }
+
+func (e *ServerError) Error() string { return "serve: server error: " + e.Message }
+
+// Client streams preprocessed batches from a lotus-serve instance. Not safe
+// for concurrent use; run one Client per goroutine.
+type Client struct {
+	cfg     ClientConfig
+	conn    net.Conn
+	ack     HelloAck
+	haveAck bool
+}
+
+// NewClient returns an unconnected client; the first Run or Connect dials.
+func NewClient(cfg ClientConfig) *Client {
+	if cfg.MaxFrame <= 0 {
+		cfg.MaxFrame = DefaultMaxFrame
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 5 * time.Second
+	}
+	if cfg.Retries == 0 {
+		cfg.Retries = 4
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 50 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = 2 * time.Second
+	}
+	if cfg.World < 1 {
+		cfg.World = 1
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = time.Sleep
+	}
+	return &Client{cfg: cfg}
+}
+
+// Ack returns the server's handshake response once connected.
+func (c *Client) Ack() (HelloAck, bool) { return c.ack, c.haveAck }
+
+// Connect dials and handshakes if not already connected.
+func (c *Client) Connect() error {
+	if c.conn != nil {
+		return nil
+	}
+	conn, err := net.DialTimeout("tcp", c.cfg.Addr, c.cfg.DialTimeout)
+	if err != nil {
+		return err
+	}
+	hello := Hello{Version: ProtocolVersion, Rank: c.cfg.Rank, World: c.cfg.World, Name: c.cfg.Name}
+	if err := WriteFrame(conn, EncodeHello(hello)); err != nil {
+		conn.Close()
+		return err
+	}
+	msg, err := c.readMessage(conn)
+	if err != nil {
+		conn.Close()
+		return err
+	}
+	ack, ok := msg.(HelloAck)
+	if !ok {
+		conn.Close()
+		return fmt.Errorf("serve: handshake: expected HelloAck, got %T", msg)
+	}
+	c.conn = conn
+	c.ack = ack
+	c.haveAck = true
+	return nil
+}
+
+// Close says goodbye and closes the connection.
+func (c *Client) Close() error {
+	if c.conn == nil {
+		return nil
+	}
+	c.conn.SetWriteDeadline(time.Now().Add(time.Second))
+	WriteFrame(c.conn, EncodeBye())
+	err := c.conn.Close()
+	c.conn = nil
+	return err
+}
+
+// drop abandons the connection without protocol niceties (it is presumed
+// broken).
+func (c *Client) drop() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+func (c *Client) readMessage(conn net.Conn) (any, error) {
+	payload, err := ReadFrame(conn, c.cfg.MaxFrame)
+	if err != nil {
+		return nil, err
+	}
+	msg, err := DecodeMessage(payload)
+	if err != nil {
+		return nil, err
+	}
+	if e, ok := msg.(ErrorMsg); ok {
+		return nil, &ServerError{Message: e.Message}
+	}
+	return msg, nil
+}
+
+// FetchStats summarizes a Run.
+type FetchStats struct {
+	Epochs  int
+	Batches int
+	Bytes   int64
+	Retries int
+	Elapsed time.Duration
+	// Hist buckets per-batch arrival latency (time between consecutive
+	// frames, or request-to-first-frame).
+	Hist LatencyHist
+}
+
+// BatchesPerSec is the end-to-end streamed-batch throughput.
+func (s *FetchStats) BatchesPerSec() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Batches) / s.Elapsed.Seconds()
+}
+
+// Run streams epochs 0..epochs-1 of this client's shard, invoking onBatch
+// (may be nil) for every decoded batch with its raw frame payload. Transient
+// failures — connection refused, resets, mid-stream EOF — are retried with
+// exponential backoff by reconnecting and re-requesting the failed epoch.
+// Fatal ServerErrors abort immediately.
+func (c *Client) Run(epochs int, onBatch func(b *Batch, payload []byte)) (*FetchStats, error) {
+	stats := &FetchStats{}
+	start := time.Now()
+	defer func() { stats.Elapsed = time.Since(start) }()
+	for e := 0; e < epochs; e++ {
+		attempt := 0
+		for {
+			err := c.fetchEpoch(e, onBatch, stats)
+			if err == nil {
+				stats.Epochs++
+				break
+			}
+			var se *ServerError
+			if errors.As(err, &se) {
+				return stats, err
+			}
+			c.drop()
+			if attempt >= c.cfg.Retries {
+				return stats, fmt.Errorf("serve: epoch %d failed after %d attempts: %w", e, attempt+1, err)
+			}
+			attempt++
+			stats.Retries++
+			if c.cfg.OnRetry != nil {
+				c.cfg.OnRetry(e, attempt, err)
+			}
+			c.cfg.Sleep(c.backoff(attempt))
+		}
+	}
+	return stats, nil
+}
+
+// backoff returns the sleep before retry attempt k (1-based), exponential
+// with a cap.
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.cfg.BackoffBase
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= c.cfg.BackoffMax {
+			return c.cfg.BackoffMax
+		}
+	}
+	if d > c.cfg.BackoffMax {
+		d = c.cfg.BackoffMax
+	}
+	return d
+}
+
+// fetchEpoch requests one epoch and consumes its batch stream. Counters are
+// only credited for epochs that complete (partial streams are re-fetched
+// whole, so crediting partial progress would double-count).
+func (c *Client) fetchEpoch(epoch int, onBatch func(*Batch, []byte), stats *FetchStats) error {
+	if err := c.Connect(); err != nil {
+		return err
+	}
+	if err := WriteFrame(c.conn, EncodeEpochReq(EpochReq{Epoch: epoch})); err != nil {
+		return err
+	}
+	sum := fnv.New64a()
+	batches := 0
+	var bytes int64
+	var hist LatencyHist
+	last := time.Now()
+	for {
+		payload, err := ReadFrame(c.conn, c.cfg.MaxFrame)
+		if err != nil {
+			return err
+		}
+		msg, err := DecodeMessage(payload)
+		if err != nil {
+			return err
+		}
+		switch m := msg.(type) {
+		case *Batch:
+			if m.Epoch != epoch {
+				return fmt.Errorf("serve: batch for epoch %d during epoch %d", m.Epoch, epoch)
+			}
+			now := time.Now()
+			hist.Record(now.Sub(last))
+			last = now
+			sum.Write(payload)
+			batches++
+			bytes += int64(len(payload)) + 4
+			if onBatch != nil {
+				onBatch(m, payload)
+			}
+		case EpochEnd:
+			if m.Epoch != epoch {
+				return fmt.Errorf("serve: end of epoch %d during epoch %d", m.Epoch, epoch)
+			}
+			if m.Batches != batches {
+				return fmt.Errorf("serve: epoch %d: got %d batches, server sent %d", epoch, batches, m.Batches)
+			}
+			if m.Checksum != sum.Sum64() {
+				return fmt.Errorf("serve: epoch %d: stream checksum mismatch", epoch)
+			}
+			stats.Batches += batches
+			stats.Bytes += bytes
+			stats.Hist.Merge(&hist)
+			return nil
+		case ErrorMsg:
+			return &ServerError{Message: m.Message}
+		default:
+			return fmt.Errorf("serve: unexpected %T in epoch stream", msg)
+		}
+	}
+}
+
+// LatencyHist is a fixed power-of-two histogram of batch arrival latencies,
+// bucket i covering (2^(i-1), 2^i] microseconds; the last bucket is open.
+type LatencyHist struct {
+	Counts [24]int64
+	Total  int64
+	Sum    time.Duration
+	Max    time.Duration
+}
+
+// Record adds one observation.
+func (h *LatencyHist) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.Counts[bucketOf(d)]++
+	h.Total++
+	h.Sum += d
+	if d > h.Max {
+		h.Max = d
+	}
+}
+
+// Merge folds other into h.
+func (h *LatencyHist) Merge(other *LatencyHist) {
+	for i, n := range other.Counts {
+		h.Counts[i] += n
+	}
+	h.Total += other.Total
+	h.Sum += other.Sum
+	if other.Max > h.Max {
+		h.Max = other.Max
+	}
+}
+
+// Mean is the average observation.
+func (h *LatencyHist) Mean() time.Duration {
+	if h.Total == 0 {
+		return 0
+	}
+	return h.Sum / time.Duration(h.Total)
+}
+
+func bucketOf(d time.Duration) int {
+	us := d.Microseconds()
+	for i := 0; i < len(LatencyHist{}.Counts)-1; i++ {
+		if us <= 1<<i {
+			return i
+		}
+	}
+	return len(LatencyHist{}.Counts) - 1
+}
+
+// bucketLabel renders bucket i's upper bound.
+func bucketLabel(i int) string {
+	if i == len(LatencyHist{}.Counts)-1 {
+		return fmt.Sprintf(">%s", time.Duration(1<<(i-1))*time.Microsecond)
+	}
+	return fmt.Sprintf("<=%s", time.Duration(1<<i)*time.Microsecond)
+}
+
+// String renders the non-empty buckets as an ASCII histogram.
+func (h *LatencyHist) String() string {
+	if h.Total == 0 {
+		return "(no samples)"
+	}
+	var peak int64
+	for _, n := range h.Counts {
+		if n > peak {
+			peak = n
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "batch latency: n=%d mean=%v max=%v\n", h.Total, h.Mean().Round(time.Microsecond), h.Max.Round(time.Microsecond))
+	for i, n := range h.Counts {
+		if n == 0 {
+			continue
+		}
+		bar := strings.Repeat("#", int(1+n*39/peak))
+		fmt.Fprintf(&b, "  %10s %7d %s\n", bucketLabel(i), n, bar)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}

@@ -1,0 +1,476 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"testing"
+	"time"
+
+	"lotus/internal/clock"
+	"lotus/internal/native"
+	"lotus/internal/pipeline"
+	"lotus/internal/tensor"
+	"lotus/internal/workloads"
+)
+
+func loopbackSpec() workloads.Spec {
+	spec := workloads.ICSpec(640, 7)
+	spec.BatchSize = 64 // 10 batches per epoch
+	spec.NumWorkers = 2
+	return spec
+}
+
+func startTestServer(t *testing.T, spec workloads.Spec, withHTTP bool) *Server {
+	t.Helper()
+	srv := New(Config{Spec: spec, Mode: pipeline.Simulated, Prefetch: 2, Logf: t.Logf})
+	httpAddr := ""
+	if withHTTP {
+		httpAddr = "127.0.0.1:0"
+	}
+	if err := srv.Start("127.0.0.1:0", httpAddr); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+// localEpochFrames runs the full epoch through a local simulated DataLoader
+// and encodes every batch exactly as the server would — the ground truth for
+// the byte-identical serving assertion.
+func localEpochFrames(t *testing.T, spec workloads.Spec, epoch int) [][]byte {
+	t.Helper()
+	plan := BuildEpochPlan(spec.NumSamples, spec.BatchSize, spec.Shuffle, false, spec.Seed, epoch)
+	batchPlan := make([][]int, len(plan))
+	for i, pb := range plan {
+		batchPlan[i] = pb.Indices
+	}
+	cfg := pipeline.Config{
+		BatchSize:      spec.BatchSize,
+		NumWorkers:     spec.NumWorkers,
+		PrefetchFactor: spec.Prefetch,
+		PinMemory:      spec.PinMemory,
+		Seed:           EpochSeed(spec.Seed, epoch),
+		BatchPlan:      batchPlan,
+		Mode:           pipeline.Simulated,
+		Engine:         native.NewEngine(spec.Arch, native.DefaultCPU()),
+	}
+	ds := spec.Dataset(nil)
+	out := make([][]byte, len(plan))
+	sim := clock.NewSim()
+	sim.Run("local", func(p clock.Proc) {
+		dl := pipeline.NewDataLoader(sim, ds, cfg)
+		it := dl.Start(p)
+		for i := 0; ; i++ {
+			b, ok := it.Next(p)
+			if !ok {
+				if err := it.Err(); err != nil {
+					t.Errorf("local loader: %v", err)
+				}
+				return
+			}
+			out[i] = EncodeBatch(batchToWire(epoch, i, b))
+		}
+	})
+	return out
+}
+
+// TestLoopbackTwoClientsTwoEpochs is the end-to-end acceptance test: two
+// concurrent sessions shard two epochs, their shards are disjoint and
+// exhaustive, every streamed frame is byte-identical to a local DataLoader
+// run over the full plan, and /healthz, /metrics, and /trace serve live data
+// mid-stream.
+func TestLoopbackTwoClientsTwoEpochs(t *testing.T) {
+	spec := loopbackSpec()
+	srv := startTestServer(t, spec, true)
+	const world, epochs = 2, 2
+
+	expected := make([][][]byte, epochs) // [epoch][globalID]payload
+	for e := 0; e < epochs; e++ {
+		expected[e] = localEpochFrames(t, spec, e)
+	}
+	planLen := len(expected[0])
+
+	type received struct {
+		epoch, globalID int
+		payload         []byte
+	}
+	got := make([][]received, world)
+	stats := make([]*FetchStats, world)
+	clientErr := make([]error, world)
+	firstBatch := make(chan struct{})
+	var once sync.Once
+
+	var wg sync.WaitGroup
+	for rank := 0; rank < world; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			c := NewClient(ClientConfig{
+				Addr: srv.Addr(), Rank: rank, World: world,
+				Name: fmt.Sprintf("loopback-%d", rank),
+			})
+			defer c.Close()
+			stats[rank], clientErr[rank] = c.Run(epochs, func(b *Batch, payload []byte) {
+				once.Do(func() { close(firstBatch) })
+				got[rank] = append(got[rank], received{b.Epoch, b.GlobalID, payload})
+			})
+		}(rank)
+	}
+
+	// Live observability while batches are in flight: the clients above are
+	// still connected (they Close only after Run returns), so the sidecar
+	// must report active sessions, sent batches, and trace events.
+	select {
+	case <-firstBatch:
+	case <-time.After(30 * time.Second):
+		t.Fatal("no batch arrived within 30s")
+	}
+	base := "http://" + srv.HTTPAddr()
+	var health struct {
+		Status string `json:"status"`
+	}
+	getJSON(t, base+"/healthz", &health)
+	if health.Status != "ok" {
+		t.Fatalf("healthz mid-run: %q", health.Status)
+	}
+	var snap MetricsSnapshot
+	getJSON(t, base+"/metrics", &snap)
+	if snap.SessionsActive < 1 || snap.BatchesSent < 1 {
+		t.Fatalf("metrics mid-run not live: %+v", snap)
+	}
+	var chrome struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	getJSON(t, base+"/trace?granularity=fine", &chrome)
+	if len(chrome.TraceEvents) == 0 {
+		t.Fatal("trace mid-run has no events")
+	}
+
+	wg.Wait()
+	for rank := 0; rank < world; rank++ {
+		if clientErr[rank] != nil {
+			t.Fatalf("client %d: %v", rank, clientErr[rank])
+		}
+		if stats[rank].Epochs != epochs {
+			t.Fatalf("client %d completed %d epochs, want %d", rank, stats[rank].Epochs, epochs)
+		}
+		if stats[rank].Retries != 0 {
+			t.Fatalf("client %d needed %d retries on loopback", rank, stats[rank].Retries)
+		}
+	}
+
+	// Shards must be disjoint and exhaustive per epoch, and every frame
+	// byte-identical to the local run.
+	for e := 0; e < epochs; e++ {
+		claimed := make(map[int]int)
+		for rank := 0; rank < world; rank++ {
+			count := 0
+			for _, rec := range got[rank] {
+				if rec.epoch != e {
+					continue
+				}
+				count++
+				if prev, dup := claimed[rec.globalID]; dup {
+					t.Fatalf("epoch %d batch %d streamed to ranks %d and %d", e, rec.globalID, prev, rank)
+				}
+				claimed[rec.globalID] = rank
+				if rec.globalID < 0 || rec.globalID >= planLen {
+					t.Fatalf("epoch %d: global id %d out of plan", e, rec.globalID)
+				}
+				if !bytes.Equal(rec.payload, expected[e][rec.globalID]) {
+					t.Fatalf("epoch %d batch %d: served frame differs from local DataLoader", e, rec.globalID)
+				}
+			}
+			if want := ShardSize(planLen, rank, world); count != want {
+				t.Fatalf("epoch %d rank %d got %d batches, want %d", e, rank, count, want)
+			}
+		}
+		if len(claimed) != planLen {
+			t.Fatalf("epoch %d: clients covered %d of %d batches", e, len(claimed), planLen)
+		}
+	}
+
+	getJSON(t, base+"/metrics", &snap)
+	if want := int64(world * epochs); snap.EpochsServed != want {
+		t.Fatalf("epochs_served %d, want %d", snap.EpochsServed, want)
+	}
+
+	// Graceful drain: both clients said Bye, so the server empties quickly.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %d: %s", url, resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, v); err != nil {
+		t.Fatalf("GET %s: bad JSON: %v", url, err)
+	}
+}
+
+// TestMalformedFramesGetErrorNotPanic throws protocol garbage at a live
+// server: every bad connection must be answered with an Error frame and a
+// close — never a panic — and the server must keep serving well-formed
+// clients afterwards.
+func TestMalformedFramesGetErrorNotPanic(t *testing.T) {
+	spec := loopbackSpec()
+	srv := startTestServer(t, spec, false)
+
+	expectErrorFrame := func(conn net.Conn, context string) {
+		t.Helper()
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		payload, err := ReadFrame(conn, 0)
+		if err != nil {
+			t.Fatalf("%s: reading server reply: %v", context, err)
+		}
+		msg, err := DecodeMessage(payload)
+		if err != nil {
+			t.Fatalf("%s: decoding server reply: %v", context, err)
+		}
+		if _, ok := msg.(ErrorMsg); !ok {
+			t.Fatalf("%s: server replied %T, want ErrorMsg", context, msg)
+		}
+		// The server closes after an Error; the next read must be EOF-ish,
+		// not more data.
+		if _, err := ReadFrame(conn, 0); err == nil {
+			t.Fatalf("%s: server kept talking after Error", context)
+		}
+	}
+
+	dial := func() net.Conn {
+		t.Helper()
+		conn, err := net.Dial("tcp", srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return conn
+	}
+
+	// Unknown message type as the handshake.
+	conn := dial()
+	WriteFrame(conn, []byte{0xfe, 1, 2, 3})
+	expectErrorFrame(conn, "unknown type")
+	conn.Close()
+
+	// Valid handshake, then a truncated EpochReq.
+	conn = dial()
+	WriteFrame(conn, EncodeHello(Hello{Version: ProtocolVersion, Rank: 0, World: 1}))
+	if _, err := ReadFrame(conn, 0); err != nil {
+		t.Fatalf("handshake ack: %v", err)
+	}
+	WriteFrame(conn, []byte{byte(MsgEpochReq), 0x00})
+	expectErrorFrame(conn, "truncated EpochReq")
+	conn.Close()
+
+	// Oversized frame header straight away.
+	conn = dial()
+	conn.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	expectErrorFrame(conn, "oversized frame")
+	conn.Close()
+
+	// Wrong protocol version.
+	conn = dial()
+	WriteFrame(conn, EncodeHello(Hello{Version: ProtocolVersion + 9, Rank: 0, World: 1}))
+	expectErrorFrame(conn, "bad version")
+	conn.Close()
+
+	// The server must still be fully functional.
+	c := NewClient(ClientConfig{Addr: srv.Addr(), Name: "after-garbage"})
+	defer c.Close()
+	stats, err := c.Run(1, nil)
+	if err != nil {
+		t.Fatalf("clean client after garbage: %v", err)
+	}
+	if stats.Batches != 10 {
+		t.Fatalf("clean client got %d batches, want 10", stats.Batches)
+	}
+}
+
+// TestClientRetriesTransientFailures fronts the client with a flaky fake
+// server that drops the connection mid-epoch on the first attempt. The
+// client must back off, reconnect, re-request the epoch, and end with
+// exactly one epoch's worth of batches counted.
+func TestClientRetriesTransientFailures(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+
+	mkBatch := func(gid int) []byte {
+		return EncodeBatch(&Batch{Epoch: 0, GlobalID: gid, Indices: []int{gid}, Labels: []int{gid},
+			Dtype: tensor.Uint8, Shape: []int{1, 8}})
+	}
+
+	go func() {
+		for attempt := 1; ; attempt++ {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			func() {
+				defer conn.Close()
+				if _, err := ReadFrame(conn, 0); err != nil { // Hello
+					return
+				}
+				WriteFrame(conn, EncodeHelloAck(HelloAck{Version: ProtocolVersion, DatasetLen: 2, BatchSize: 1, PlanBatches: 2, ShardBatches: 2}))
+				if _, err := ReadFrame(conn, 0); err != nil { // EpochReq
+					return
+				}
+				sum := fnv.New64a()
+				p0 := mkBatch(0)
+				WriteFrame(conn, p0)
+				sum.Write(p0)
+				if attempt == 1 {
+					return // abrupt mid-epoch disconnect
+				}
+				p1 := mkBatch(1)
+				WriteFrame(conn, p1)
+				sum.Write(p1)
+				WriteFrame(conn, EncodeEpochEnd(EpochEnd{Epoch: 0, Batches: 2, Checksum: sum.Sum64()}))
+				ReadFrame(conn, 0) // Bye or close
+			}()
+		}
+	}()
+
+	var sleeps []time.Duration
+	c := NewClient(ClientConfig{
+		Addr: ln.Addr().String(), Retries: 3,
+		BackoffBase: 10 * time.Millisecond, BackoffMax: 40 * time.Millisecond,
+		Sleep: func(d time.Duration) { sleeps = append(sleeps, d) },
+	})
+	defer c.Close()
+	stats, err := c.Run(1, nil)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if stats.Retries != 1 {
+		t.Fatalf("retries %d, want 1", stats.Retries)
+	}
+	// The aborted first attempt's partial batch must not be double-counted.
+	if stats.Batches != 2 {
+		t.Fatalf("batches %d, want 2", stats.Batches)
+	}
+	if len(sleeps) != 1 || sleeps[0] != 10*time.Millisecond {
+		t.Fatalf("backoff sleeps %v, want [10ms]", sleeps)
+	}
+}
+
+// TestServerErrorIsFatal: a deliberate server-side refusal must not be
+// retried.
+func TestServerErrorIsFatal(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer conn.Close()
+				if _, err := ReadFrame(conn, 0); err != nil {
+					return
+				}
+				WriteFrame(conn, EncodeHelloAck(HelloAck{Version: ProtocolVersion}))
+				if _, err := ReadFrame(conn, 0); err != nil {
+					return
+				}
+				WriteFrame(conn, EncodeError(ErrorMsg{Message: "nope"}))
+			}()
+		}
+	}()
+
+	var sleeps []time.Duration
+	c := NewClient(ClientConfig{
+		Addr:  ln.Addr().String(),
+		Sleep: func(d time.Duration) { sleeps = append(sleeps, d) },
+	})
+	defer c.Close()
+	stats, err := c.Run(1, nil)
+	var se *ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("error %v, want ServerError", err)
+	}
+	if stats.Retries != 0 || len(sleeps) != 0 {
+		t.Fatalf("fatal error was retried: retries=%d sleeps=%v", stats.Retries, sleeps)
+	}
+}
+
+func TestBackoffSchedule(t *testing.T) {
+	c := NewClient(ClientConfig{BackoffBase: 10 * time.Millisecond, BackoffMax: 80 * time.Millisecond})
+	want := []time.Duration{10, 20, 40, 80, 80, 80}
+	for i, w := range want {
+		if got := c.backoff(i + 1); got != w*time.Millisecond {
+			t.Fatalf("backoff(%d) = %v, want %v", i+1, got, w*time.Millisecond)
+		}
+	}
+}
+
+// TestShutdownForcesIdleSessions: a connected-but-idle client cannot hold
+// the drain open past its budget; Shutdown reports the deadline and all
+// connections are gone.
+func TestShutdownForcesIdleSessions(t *testing.T) {
+	spec := loopbackSpec()
+	srv := startTestServer(t, spec, false)
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	WriteFrame(conn, EncodeHello(Hello{Version: ProtocolVersion, Rank: 0, World: 1}))
+	if _, err := ReadFrame(conn, 0); err != nil {
+		t.Fatalf("handshake: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	err = srv.Shutdown(ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("forced drain returned %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatal("forced drain hung")
+	}
+	// The session's connection is force-closed.
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := io.ReadAll(conn); err != nil && !errors.Is(err, io.EOF) {
+		// reset or EOF both mean closed; a deadline error means it hung open
+		var nerr net.Error
+		if errors.As(err, &nerr) && nerr.Timeout() {
+			t.Fatal("connection still open after forced drain")
+		}
+	}
+	// New connections are refused.
+	if c2, err := net.Dial("tcp", srv.Addr()); err == nil {
+		c2.Close()
+		t.Fatal("listener still accepting after drain")
+	}
+}

@@ -1,0 +1,212 @@
+package serve
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Metrics aggregates live service counters for the /metrics endpoint:
+// server-wide totals plus one entry per session. All methods are safe for
+// concurrent use; snapshots are consistent copies.
+type Metrics struct {
+	mu             sync.Mutex
+	start          time.Time
+	sessionsTotal  int
+	sessionsActive int
+	batchesSent    int64
+	bytesSent      int64
+	epochsServed   int64
+	sessions       map[int]*SessionMetrics
+}
+
+// NewMetrics returns an empty registry anchored at now.
+func NewMetrics(now time.Time) *Metrics {
+	return &Metrics{start: now, sessions: make(map[int]*SessionMetrics)}
+}
+
+// OpenSession registers a new session and returns its metrics handle.
+func (m *Metrics) OpenSession(id int, name string, rank, world int, now time.Time) *SessionMetrics {
+	sm := &SessionMetrics{id: id, name: name, rank: rank, world: world, connectedAt: now}
+	m.mu.Lock()
+	m.sessionsTotal++
+	m.sessionsActive++
+	m.sessions[id] = sm
+	m.mu.Unlock()
+	return sm
+}
+
+// CloseSession marks a session gone. Its counters stay visible in the
+// snapshot's totals but the per-session row is dropped.
+func (m *Metrics) CloseSession(id int) {
+	m.mu.Lock()
+	if _, ok := m.sessions[id]; ok {
+		m.sessionsActive--
+		delete(m.sessions, id)
+	}
+	m.mu.Unlock()
+}
+
+// AddBatch credits one streamed batch frame of the given wire size to the
+// server totals (the session handle is credited separately by its owner).
+func (m *Metrics) AddBatch(bytes int) {
+	m.mu.Lock()
+	m.batchesSent++
+	m.bytesSent += int64(bytes)
+	m.mu.Unlock()
+}
+
+// AddEpoch counts one fully streamed epoch shard.
+func (m *Metrics) AddEpoch() {
+	m.mu.Lock()
+	m.epochsServed++
+	m.mu.Unlock()
+}
+
+// SessionMetrics tracks one session's live counters. The queue gauge reads
+// the session's current prefetch channel depth.
+type SessionMetrics struct {
+	mu          sync.Mutex
+	id          int
+	name        string
+	rank, world int
+	connectedAt time.Time
+
+	epochsDone  int
+	batchesSent int64
+	bytesSent   int64
+	queueDepth  func() int
+
+	// Tracer-derived timings: wait is the main-proc wait for each batch
+	// ([T2]); delay is preprocess-end to consumption, the paper's delay
+	// metric.
+	waitTotal  time.Duration
+	waitCount  int64
+	delayTotal time.Duration
+	delayCount int64
+}
+
+// SetQueueGauge installs the live queue-depth reader for the epoch currently
+// streaming (nil between epochs).
+func (s *SessionMetrics) SetQueueGauge(fn func() int) {
+	s.mu.Lock()
+	s.queueDepth = fn
+	s.mu.Unlock()
+}
+
+// AddBatch credits one streamed batch frame.
+func (s *SessionMetrics) AddBatch(bytes int) {
+	s.mu.Lock()
+	s.batchesSent++
+	s.bytesSent += int64(bytes)
+	s.mu.Unlock()
+}
+
+// AddEpoch counts one completed epoch shard.
+func (s *SessionMetrics) AddEpoch() {
+	s.mu.Lock()
+	s.epochsDone++
+	s.mu.Unlock()
+}
+
+// AddWait accumulates one tracer wait record.
+func (s *SessionMetrics) AddWait(d time.Duration) {
+	s.mu.Lock()
+	s.waitTotal += d
+	s.waitCount++
+	s.mu.Unlock()
+}
+
+// AddDelay accumulates one preprocess-to-consumption delay.
+func (s *SessionMetrics) AddDelay(d time.Duration) {
+	s.mu.Lock()
+	s.delayTotal += d
+	s.delayCount++
+	s.mu.Unlock()
+}
+
+// SessionSnapshot is the JSON form of one session's counters.
+type SessionSnapshot struct {
+	ID            int     `json:"id"`
+	Name          string  `json:"name"`
+	Rank          int     `json:"rank"`
+	World         int     `json:"world"`
+	ConnectedSecs float64 `json:"connected_s"`
+	EpochsDone    int     `json:"epochs_done"`
+	BatchesSent   int64   `json:"batches_sent"`
+	BytesSent     int64   `json:"bytes_sent"`
+	BatchesPerSec float64 `json:"batches_per_sec"`
+	QueueDepth    int     `json:"queue_depth"`
+	WaitCount     int64   `json:"wait_count"`
+	MeanWaitUs    float64 `json:"mean_wait_us"`
+	DelayCount    int64   `json:"delay_count"`
+	MeanDelayUs   float64 `json:"mean_delay_us"`
+}
+
+func (s *SessionMetrics) snapshot(now time.Time) SessionSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := SessionSnapshot{
+		ID:            s.id,
+		Name:          s.name,
+		Rank:          s.rank,
+		World:         s.world,
+		ConnectedSecs: now.Sub(s.connectedAt).Seconds(),
+		EpochsDone:    s.epochsDone,
+		BatchesSent:   s.batchesSent,
+		BytesSent:     s.bytesSent,
+		WaitCount:     s.waitCount,
+		DelayCount:    s.delayCount,
+	}
+	if out.ConnectedSecs > 0 {
+		out.BatchesPerSec = float64(s.batchesSent) / out.ConnectedSecs
+	}
+	if s.queueDepth != nil {
+		out.QueueDepth = s.queueDepth()
+	}
+	if s.waitCount > 0 {
+		out.MeanWaitUs = float64(s.waitTotal.Microseconds()) / float64(s.waitCount)
+	}
+	if s.delayCount > 0 {
+		out.MeanDelayUs = float64(s.delayTotal.Microseconds()) / float64(s.delayCount)
+	}
+	return out
+}
+
+// MetricsSnapshot is the JSON document /metrics serves.
+type MetricsSnapshot struct {
+	UptimeSecs     float64           `json:"uptime_s"`
+	SessionsActive int               `json:"sessions_active"`
+	SessionsTotal  int               `json:"sessions_total"`
+	EpochsServed   int64             `json:"epochs_served"`
+	BatchesSent    int64             `json:"batches_sent"`
+	BytesSent      int64             `json:"bytes_sent"`
+	TraceRecords   int64             `json:"trace_records"`
+	Sessions       []SessionSnapshot `json:"sessions"`
+}
+
+// Snapshot returns a consistent copy of every counter. traceRecords is
+// supplied by the caller (the server's trace ring total).
+func (m *Metrics) Snapshot(now time.Time, traceRecords int64) MetricsSnapshot {
+	m.mu.Lock()
+	out := MetricsSnapshot{
+		UptimeSecs:     now.Sub(m.start).Seconds(),
+		SessionsActive: m.sessionsActive,
+		SessionsTotal:  m.sessionsTotal,
+		EpochsServed:   m.epochsServed,
+		BatchesSent:    m.batchesSent,
+		BytesSent:      m.bytesSent,
+		TraceRecords:   traceRecords,
+	}
+	live := make([]*SessionMetrics, 0, len(m.sessions))
+	for _, sm := range m.sessions {
+		live = append(live, sm)
+	}
+	m.mu.Unlock()
+	sort.Slice(live, func(i, j int) bool { return live[i].id < live[j].id })
+	out.Sessions = make([]SessionSnapshot, len(live))
+	for i, sm := range live {
+		out.Sessions[i] = sm.snapshot(now)
+	}
+	return out
+}

@@ -1,0 +1,74 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+
+	"lotus/internal/core/trace"
+)
+
+// startHTTP brings up the observability sidecar:
+//
+//	GET /healthz  liveness + drain state
+//	GET /metrics  MetricsSnapshot JSON (server totals + per-session rows)
+//	GET /trace    Chrome Trace JSON of the live ring (?granularity=fine for
+//	              per-op spans)
+func (s *Server) startHTTP(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("serve: http listen %s: %w", addr, err)
+	}
+	s.httpLn = ln
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/trace", s.handleTrace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	s.httpSrv = srv
+	go srv.Serve(ln)
+	return nil
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.draining.Load() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{
+		"status":          status,
+		"workload":        string(s.cfg.Spec.Kind),
+		"mode":            s.modeName(),
+		"sessions_active": s.metrics.Snapshot(time.Now(), s.ring.Total()).SessionsActive,
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics.Snapshot(time.Now(), s.ring.Total()))
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	g := trace.Coarse
+	if r.URL.Query().Get("granularity") == "fine" {
+		g = trace.Fine
+	}
+	blob, err := trace.ExportChrome(s.ring.Snapshot(), g)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(blob)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(v)
+}

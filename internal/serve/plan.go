@@ -1,0 +1,60 @@
+package serve
+
+import (
+	"lotus/internal/pipeline"
+)
+
+// PlanBatch is one batch of an epoch plan: its position in the full plan
+// (the global batch id clients see) plus the dataset indices collated into
+// it.
+type PlanBatch struct {
+	GlobalID int
+	Indices  []int
+}
+
+// EpochSeed derives the per-epoch shuffle seed exactly as the local
+// multi-epoch trainer does (workloads.Spec.RunEpochs), so a served epoch's
+// plan — and therefore every batch streamed from it — is identical to what a
+// local DataLoader run would produce.
+func EpochSeed(seed int64, epoch int) int64 {
+	return seed + int64(epoch)*1_000_003
+}
+
+// BuildEpochPlan returns the full batch plan for one epoch over a dataset of
+// n samples, using the DataLoader's canonical shuffle/chunk derivation.
+func BuildEpochPlan(n, batchSize int, shuffle, dropLast bool, seed int64, epoch int) []PlanBatch {
+	raw := pipeline.BuildBatchPlan(n, batchSize, shuffle, dropLast, EpochSeed(seed, epoch))
+	plan := make([]PlanBatch, len(raw))
+	for i, idxs := range raw {
+		plan[i] = PlanBatch{GlobalID: i, Indices: idxs}
+	}
+	return plan
+}
+
+// Shard returns one session's slice of the plan under static round-robin
+// sharding: rank of world takes plan batches rank, rank+world, rank+2*world,
+// and so on, preserving plan order. Shards across all ranks are disjoint by
+// construction and exhaustive (their union is the full plan), which is the
+// property the multi-client sharding test asserts.
+func Shard(plan []PlanBatch, rank, world int) []PlanBatch {
+	if world <= 1 {
+		return plan
+	}
+	out := make([]PlanBatch, 0, (len(plan)+world-1-rank)/world)
+	for i := rank; i < len(plan); i += world {
+		out = append(out, plan[i])
+	}
+	return out
+}
+
+// ShardSize reports len(Shard(plan, rank, world)) without building the
+// shard.
+func ShardSize(planLen, rank, world int) int {
+	if world <= 1 {
+		return planLen
+	}
+	if rank >= planLen {
+		return 0
+	}
+	return (planLen - rank + world - 1) / world
+}

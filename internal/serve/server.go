@@ -1,0 +1,579 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lotus/internal/clock"
+	"lotus/internal/core/trace"
+	"lotus/internal/native"
+	"lotus/internal/pipeline"
+	"lotus/internal/workloads"
+)
+
+// Config parameterizes a preprocessing server.
+type Config struct {
+	// Spec is the served pipeline (dataset, transforms, loader parameters).
+	Spec workloads.Spec
+	// Mode selects simulated (meta tensors, virtual-clock execution) or real
+	// (actual pixels, wall-clock execution) preprocessing.
+	Mode pipeline.Mode
+	// Prefetch is the per-session server-side prefetch queue depth in
+	// batches; the producer stalls once this many encoded batches are
+	// waiting for the network, which is the service's backpressure bound
+	// (default 4).
+	Prefetch int
+	// MaterializeDim caps synthesized image resolution in real mode.
+	MaterializeDim int
+	// MaxFrame bounds wire frames (default DefaultMaxFrame).
+	MaxFrame int
+	// RingSize is the live trace ring capacity in records (default 16384).
+	RingSize int
+	// Logf receives server lifecycle logs (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// Server is the long-running preprocessing service. One Server owns one
+// workload spec; every client session shards the same epoch plans.
+type Server struct {
+	cfg        Config
+	datasetLen int
+	planLen    int
+
+	ln      net.Listener
+	httpLn  net.Listener
+	httpSrv httpCloser
+
+	metrics *Metrics
+	ring    *trace.Ring
+
+	ctx      context.Context
+	cancel   context.CancelFunc
+	draining atomic.Bool
+
+	wg         sync.WaitGroup
+	mu         sync.Mutex
+	conns      map[net.Conn]struct{}
+	sessionSeq int
+}
+
+// httpCloser is the slice of *http.Server the Server needs; an interface so
+// server.go does not import net/http (observe.go does).
+type httpCloser interface {
+	Close() error
+}
+
+// New builds a Server. Call Start to begin listening.
+func New(cfg Config) *Server {
+	if cfg.Prefetch <= 0 {
+		cfg.Prefetch = 4
+	}
+	if cfg.MaxFrame <= 0 {
+		cfg.MaxFrame = DefaultMaxFrame
+	}
+	if cfg.RingSize <= 0 {
+		cfg.RingSize = 16384
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:        cfg,
+		datasetLen: cfg.Spec.NumSamples,
+		metrics:    NewMetrics(time.Now()),
+		ring:       trace.NewRing(cfg.RingSize),
+		ctx:        ctx,
+		cancel:     cancel,
+		conns:      make(map[net.Conn]struct{}),
+	}
+	s.planLen = len(pipeline.BuildBatchPlan(s.datasetLen, cfg.Spec.BatchSize,
+		cfg.Spec.Shuffle, false, cfg.Spec.Seed))
+	return s
+}
+
+// Start listens on addr for the wire protocol and, when httpAddr is
+// non-empty, on httpAddr for the observability sidecar. It returns once both
+// listeners are live.
+func (s *Server) Start(addr, httpAddr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("serve: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	if httpAddr != "" {
+		if err := s.startHTTP(httpAddr); err != nil {
+			ln.Close()
+			return err
+		}
+	}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	s.cfg.Logf("lotus-serve: serving %s (%d samples, batch %d, %d workers, mode %s) on %s",
+		s.cfg.Spec.Kind, s.datasetLen, s.cfg.Spec.BatchSize, s.cfg.Spec.NumWorkers,
+		s.modeName(), ln.Addr())
+	return nil
+}
+
+func (s *Server) modeName() string {
+	if s.cfg.Mode == pipeline.RealData {
+		return "real"
+	}
+	return "sim"
+}
+
+// Addr reports the wire listener address (valid after Start).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// HTTPAddr reports the observability listener address ("" if disabled).
+func (s *Server) HTTPAddr() string {
+	if s.httpLn == nil {
+		return ""
+	}
+	return s.httpLn.Addr().String()
+}
+
+// Ring exposes the live trace ring (for in-process observability and tests).
+func (s *Server) Ring() *trace.Ring { return s.ring }
+
+// Metrics exposes the live counters.
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// Shutdown drains the server: new sessions and new epoch requests are
+// refused immediately, epochs already streaming run to completion until ctx
+// expires, at which point in-flight epochs are aborted and connections
+// closed. It returns ctx.Err() if the deadline forced the teardown.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	var err error
+	select {
+	case <-done:
+	case <-ctx.Done():
+		err = ctx.Err()
+		s.cancel()
+		s.closeConns()
+		<-done
+	}
+	s.cancel()
+	if s.httpSrv != nil {
+		s.httpSrv.Close()
+	}
+	s.cfg.Logf("lotus-serve: drained")
+	return err
+}
+
+// Close tears the server down immediately (Shutdown with an expired
+// deadline).
+func (s *Server) Close() error {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := s.Shutdown(ctx)
+	if errors.Is(err, context.Canceled) {
+		err = nil
+	}
+	return err
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed (drain or Close)
+		}
+		if s.draining.Load() {
+			s.sendError(conn, "server draining")
+			conn.Close()
+			continue
+		}
+		s.track(conn)
+		s.wg.Add(1)
+		go s.handleConn(conn)
+	}
+}
+
+func (s *Server) track(conn net.Conn) {
+	s.mu.Lock()
+	s.conns[conn] = struct{}{}
+	s.mu.Unlock()
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+}
+
+func (s *Server) closeConns() {
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+}
+
+// sendError writes a best-effort Error frame before the caller closes the
+// connection.
+func (s *Server) sendError(conn net.Conn, msg string) {
+	conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
+	WriteFrame(conn, EncodeError(ErrorMsg{Message: msg}))
+	conn.SetWriteDeadline(time.Time{})
+}
+
+// handleConn owns one client session: handshake, then a request loop until
+// the client says Bye, disconnects, or violates the protocol. Every failure
+// path answers with an Error frame and closes — malformed remote input must
+// never panic the server.
+func (s *Server) handleConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer s.untrack(conn)
+	defer conn.Close()
+
+	hello, err := s.readHello(conn)
+	if err != nil {
+		s.cfg.Logf("lotus-serve: %s: rejected: %v", conn.RemoteAddr(), err)
+		s.sendError(conn, err.Error())
+		return
+	}
+	sess := s.newSession(conn, hello)
+	defer s.metrics.CloseSession(sess.id)
+	s.cfg.Logf("lotus-serve: session %d: %s rank %d/%d (%q)",
+		sess.id, conn.RemoteAddr(), hello.Rank, hello.World, hello.Name)
+
+	ack := HelloAck{
+		Version:      ProtocolVersion,
+		DatasetLen:   s.datasetLen,
+		BatchSize:    s.cfg.Spec.BatchSize,
+		PlanBatches:  s.planLen,
+		ShardBatches: ShardSize(s.planLen, hello.Rank, hello.World),
+		Workload:     string(s.cfg.Spec.Kind),
+	}
+	if s.cfg.Mode == pipeline.RealData {
+		ack.Mode = 1
+	}
+	if err := WriteFrame(conn, EncodeHelloAck(ack)); err != nil {
+		return
+	}
+
+	for {
+		payload, err := ReadFrame(conn, s.cfg.MaxFrame)
+		if err != nil {
+			if err == io.EOF {
+				return // client hung up cleanly between requests
+			}
+			if errors.Is(err, ErrMalformed) {
+				s.sendError(conn, err.Error())
+			}
+			return
+		}
+		msg, err := DecodeMessage(payload)
+		if err != nil {
+			s.sendError(conn, err.Error())
+			return
+		}
+		switch m := msg.(type) {
+		case EpochReq:
+			if m.Epoch < 0 || m.Epoch > 1<<30 {
+				s.sendError(conn, fmt.Sprintf("invalid epoch %d", m.Epoch))
+				return
+			}
+			if s.draining.Load() {
+				s.sendError(conn, "server draining")
+				return
+			}
+			if err := sess.streamEpoch(m.Epoch); err != nil {
+				s.cfg.Logf("lotus-serve: session %d: epoch %d: %v", sess.id, m.Epoch, err)
+				return
+			}
+		case Bye:
+			return
+		default:
+			s.sendError(conn, fmt.Sprintf("unexpected %T mid-session", msg))
+			return
+		}
+	}
+}
+
+func (s *Server) readHello(conn net.Conn) (Hello, error) {
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	defer conn.SetReadDeadline(time.Time{})
+	payload, err := ReadFrame(conn, s.cfg.MaxFrame)
+	if err != nil {
+		return Hello{}, fmt.Errorf("handshake: %w", err)
+	}
+	msg, err := DecodeMessage(payload)
+	if err != nil {
+		return Hello{}, fmt.Errorf("handshake: %w", err)
+	}
+	hello, ok := msg.(Hello)
+	if !ok {
+		return Hello{}, fmt.Errorf("handshake: expected Hello, got %T", msg)
+	}
+	if hello.Version != ProtocolVersion {
+		return Hello{}, fmt.Errorf("handshake: protocol version %d, server speaks %d",
+			hello.Version, ProtocolVersion)
+	}
+	return hello, nil
+}
+
+// session is one connected client's server-side state.
+type session struct {
+	srv         *Server
+	id          int
+	conn        net.Conn
+	rank, world int
+	sm          *SessionMetrics
+	engine      *native.Engine
+	ds          pipeline.Dataset
+	hks         *pipeline.Hooks
+
+	// Epoch-scoped state read by the trace hooks: the current shard maps the
+	// DataLoader's positional batch ids back to epoch-global ids, preEnd
+	// remembers preprocess end times for the delay metric. Guarded by mu
+	// because real-mode workers fire hooks concurrently.
+	mu      sync.Mutex
+	epoch   int
+	planLen int
+	shard   []PlanBatch
+	preEnd  map[int]time.Time
+}
+
+func (s *Server) newSession(conn net.Conn, hello Hello) *session {
+	s.mu.Lock()
+	s.sessionSeq++
+	id := s.sessionSeq
+	s.mu.Unlock()
+	ss := &session{
+		srv:    s,
+		id:     id,
+		conn:   conn,
+		rank:   hello.Rank,
+		world:  hello.World,
+		sm:     s.metrics.OpenSession(id, hello.Name, hello.Rank, hello.World, time.Now()),
+		preEnd: make(map[int]time.Time),
+	}
+	if s.cfg.Mode != pipeline.RealData {
+		ss.engine = native.NewEngine(s.cfg.Spec.Arch, native.DefaultCPU())
+	}
+	ss.hks = ss.hooks()
+	// Each session materializes its own dataset view so its Compose chain
+	// carries the session's hooks; the synthetic records are deterministic,
+	// so every session sees identical data, and a shared PageCache (if the
+	// spec sets one) still deduplicates I/O across sessions.
+	ss.ds = s.cfg.Spec.Dataset(ss.hks)
+	return ss
+}
+
+// pid offsets a pipeline pid into this session's private pid range so
+// concurrent sessions stay distinguishable in the shared trace ring.
+func (ss *session) pid(pid int) int { return pid + ss.id*1000 }
+
+// traceBatchID maps a DataLoader positional batch id to a globally unique
+// trace id: epoch * planLen + the batch's epoch-global plan position.
+func (ss *session) traceBatchID(pos int) int {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if pos < 0 || pos >= len(ss.shard) {
+		return pos
+	}
+	return ss.epoch*ss.planLen + ss.shard[pos].GlobalID
+}
+
+func (ss *session) setEpoch(epoch, planLen int, shard []PlanBatch) {
+	ss.mu.Lock()
+	ss.epoch = epoch
+	ss.planLen = planLen
+	ss.shard = shard
+	ss.preEnd = make(map[int]time.Time)
+	ss.mu.Unlock()
+}
+
+// hooks adapts the pipeline instrumentation into the server's ring and
+// metrics: pids and batch ids are remapped into session-unique ranges, wait
+// records feed the wait metric, and preprocess/consume pairs feed the delay
+// metric — the same wait/delay decomposition the paper's analysis uses.
+func (ss *session) hooks() *pipeline.Hooks {
+	ring := ss.srv.ring
+	return &pipeline.Hooks{
+		OnOp: func(pid, batchID, sampleIndex int, op string, start time.Time, dur time.Duration) {
+			ring.Add(trace.Record{Kind: trace.KindOp, PID: ss.pid(pid),
+				BatchID: ss.traceBatchID(batchID), SampleIndex: sampleIndex,
+				Op: op, Start: start, Dur: dur})
+		},
+		OnBatchPreprocessed: func(pid, batchID int, start time.Time, dur time.Duration) {
+			gid := ss.traceBatchID(batchID)
+			ring.Add(trace.Record{Kind: trace.KindBatchPreprocessed, PID: ss.pid(pid),
+				BatchID: gid, SampleIndex: -1, Start: start, Dur: dur})
+			ss.mu.Lock()
+			ss.preEnd[gid] = start.Add(dur)
+			ss.mu.Unlock()
+		},
+		OnBatchWait: func(pid, batchID int, start time.Time, dur time.Duration) {
+			ring.Add(trace.Record{Kind: trace.KindBatchWait, PID: ss.pid(pid),
+				BatchID: ss.traceBatchID(batchID), SampleIndex: -1, Start: start, Dur: dur})
+			ss.sm.AddWait(dur)
+		},
+		OnBatchConsumed: func(pid, batchID int, start time.Time, dur time.Duration) {
+			gid := ss.traceBatchID(batchID)
+			ring.Add(trace.Record{Kind: trace.KindBatchConsumed, PID: ss.pid(pid),
+				BatchID: gid, SampleIndex: -1, Start: start, Dur: dur})
+			ss.mu.Lock()
+			end, ok := ss.preEnd[gid]
+			delete(ss.preEnd, gid)
+			ss.mu.Unlock()
+			if ok {
+				ss.sm.AddDelay(start.Sub(end))
+			}
+		},
+	}
+}
+
+// streamEpoch runs the session's shard of one epoch through a DataLoader and
+// streams the batches. The producer (pipeline) and the writer (network) are
+// decoupled by a bounded channel of encoded frames: when the client or the
+// network is slow, the channel fills and the pipeline stalls — bounded
+// backpressure instead of unbounded buffering.
+func (ss *session) streamEpoch(epoch int) error {
+	spec := ss.srv.cfg.Spec
+	plan := BuildEpochPlan(ss.srv.datasetLen, spec.BatchSize, spec.Shuffle, false, spec.Seed, epoch)
+	shard := Shard(plan, ss.rank, ss.world)
+	ss.setEpoch(epoch, len(plan), shard)
+
+	sum := fnv.New64a()
+	if len(shard) == 0 {
+		return WriteFrame(ss.conn, EncodeEpochEnd(EpochEnd{Epoch: epoch, Checksum: sum.Sum64()}))
+	}
+
+	batchPlan := make([][]int, len(shard))
+	for i, pb := range shard {
+		batchPlan[i] = pb.Indices
+	}
+	cfg := pipeline.Config{
+		BatchSize:      spec.BatchSize,
+		NumWorkers:     spec.NumWorkers,
+		PrefetchFactor: spec.Prefetch,
+		PinMemory:      spec.PinMemory,
+		Seed:           EpochSeed(spec.Seed, epoch),
+		BatchPlan:      batchPlan,
+		Hooks:          ss.hks,
+		Mode:           ss.srv.cfg.Mode,
+		Engine:         ss.engine,
+		WorkScale:      spec.WorkScale,
+		MaterializeDim: ss.srv.cfg.MaterializeDim,
+		Dispatch:       spec.Dispatch,
+	}
+	var clk clock.Clock
+	if ss.srv.cfg.Mode == pipeline.RealData {
+		clk = clock.NewReal()
+	} else {
+		clk = clock.NewSim()
+	}
+
+	ctx, cancelEpoch := context.WithCancel(ss.srv.ctx)
+	defer cancelEpoch()
+	frames := make(chan []byte, ss.srv.cfg.Prefetch)
+	ss.sm.SetQueueGauge(func() int { return len(frames) })
+	defer ss.sm.SetQueueGauge(nil)
+
+	prodErr := make(chan error, 1)
+	go func() {
+		var perr error
+		defer func() {
+			if r := recover(); r != nil {
+				perr = fmt.Errorf("serve: epoch producer panicked: %v", r)
+			}
+			prodErr <- perr
+			close(frames)
+		}()
+		clk.Run("serve-producer", func(p clock.Proc) {
+			dl := pipeline.NewDataLoader(clk, ss.ds, cfg)
+			it := dl.Start(p)
+			for i := 0; ; i++ {
+				b, ok := it.Next(p)
+				if !ok {
+					perr = it.Err()
+					return
+				}
+				payload := EncodeBatch(batchToWire(epoch, shard[i].GlobalID, b))
+				select {
+				case frames <- payload:
+				case <-ctx.Done():
+					// Client gone or server draining: close the index
+					// queues so the workers exit after their current task.
+					it.Abort()
+					perr = ctx.Err()
+					return
+				}
+			}
+		})
+	}()
+
+	var werr error
+	sent := 0
+	for payload := range frames {
+		if werr != nil {
+			continue // keep draining so the producer never blocks forever
+		}
+		if err := WriteFrame(ss.conn, payload); err != nil {
+			werr = err
+			cancelEpoch()
+			continue
+		}
+		sum.Write(payload)
+		sent++
+		wireBytes := len(payload) + 4
+		ss.sm.AddBatch(wireBytes)
+		ss.srv.metrics.AddBatch(wireBytes)
+	}
+	perr := <-prodErr
+	if werr != nil {
+		return fmt.Errorf("write: %w", werr)
+	}
+	if perr != nil {
+		if errors.Is(perr, context.Canceled) {
+			perr = errors.New("server draining")
+		}
+		ss.srv.sendError(ss.conn, fmt.Sprintf("epoch %d: %v", epoch, perr))
+		return fmt.Errorf("epoch %d: %w", epoch, perr)
+	}
+	ss.sm.AddEpoch()
+	ss.srv.metrics.AddEpoch()
+	return WriteFrame(ss.conn, EncodeEpochEnd(EpochEnd{Epoch: epoch, Batches: sent, Checksum: sum.Sum64()}))
+}
+
+// batchToWire converts a pipeline batch to its wire form.
+func batchToWire(epoch, globalID int, b *pipeline.Batch) *Batch {
+	wb := &Batch{
+		Epoch:    epoch,
+		GlobalID: globalID,
+		Indices:  b.Indices,
+		Labels:   b.Labels,
+	}
+	if b.Data != nil {
+		wb.Dtype = b.Data.Dtype
+		wb.Shape = b.Data.Shape
+		wb.U8 = b.Data.U8
+		wb.F32 = b.Data.F32
+	}
+	return wb
+}

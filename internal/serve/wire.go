@@ -1,0 +1,574 @@
+// Package serve implements the disaggregated preprocessing service: a
+// long-running TCP server that wraps the internal/pipeline DataLoader behind
+// a length-prefixed binary wire protocol, serving collated tensor batches to
+// multiple concurrent client sessions with per-session epoch sharding,
+// bounded server-side prefetch (backpressure), graceful drain, and live
+// observability over an HTTP sidecar (/healthz, /metrics, /trace).
+//
+// This is the step after a fast local hot path that tf.data service and the
+// disaggregated-preprocessing literature take: many trainers share one pool
+// of preprocessing workers, caches, and the LotusTrace instrumentation the
+// repository already has.
+//
+// # Wire format
+//
+// Every frame is a 4-byte big-endian payload length followed by the payload;
+// the payload's first byte is the message type. Integers are big-endian;
+// strings are a u16 length plus UTF-8 bytes. A frame longer than the
+// negotiated maximum, an unknown type, or a payload that does not parse
+// exactly is malformed: the server answers with an Error frame and closes
+// the session (it never panics on remote input).
+//
+//	client -> server: Hello{version, rank, world, name}
+//	server -> client: HelloAck{version, datasetLen, batchSize, planBatches, shardBatches, mode, workload}
+//	client -> server: EpochReq{epoch}
+//	server -> client: Batch{epoch, globalID, indices, labels, dtype, shape, payload}...
+//	server -> client: EpochEnd{epoch, batches, fnv1a checksum of batch payloads}
+//	client -> server: Bye{} (or just closes)
+//	server -> client: Error{message} before closing on any failure
+package serve
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"lotus/internal/tensor"
+)
+
+// Protocol constants.
+const (
+	// ProtocolVersion is bumped on incompatible wire changes.
+	ProtocolVersion = 1
+	// DefaultMaxFrame bounds one frame's payload; larger frames are
+	// malformed. Large enough for a real-mode collated batch.
+	DefaultMaxFrame = 64 << 20
+	// MaxWorld bounds the shard count a Hello may request.
+	MaxWorld = 4096
+	// maxTensorRank bounds a batch tensor's rank on the wire.
+	maxTensorRank = 8
+)
+
+// MsgType discriminates frame payloads.
+type MsgType byte
+
+const (
+	MsgHello    MsgType = 0x01
+	MsgHelloAck MsgType = 0x02
+	MsgEpochReq MsgType = 0x03
+	MsgBatch    MsgType = 0x04
+	MsgEpochEnd MsgType = 0x05
+	MsgError    MsgType = 0x06
+	MsgBye      MsgType = 0x07
+)
+
+func (t MsgType) String() string {
+	switch t {
+	case MsgHello:
+		return "Hello"
+	case MsgHelloAck:
+		return "HelloAck"
+	case MsgEpochReq:
+		return "EpochReq"
+	case MsgBatch:
+		return "Batch"
+	case MsgEpochEnd:
+		return "EpochEnd"
+	case MsgError:
+		return "Error"
+	case MsgBye:
+		return "Bye"
+	}
+	return fmt.Sprintf("MsgType(0x%02x)", byte(t))
+}
+
+// ErrMalformed tags every decode failure; errors.Is(err, ErrMalformed)
+// distinguishes protocol violations from I/O errors.
+var ErrMalformed = errors.New("serve: malformed frame")
+
+// Hello is the client's session request.
+type Hello struct {
+	Version int
+	// Rank / World select the session's static shard: the session receives
+	// epoch plan batches i with i % World == Rank.
+	Rank, World int
+	// Name labels the session in metrics.
+	Name string
+}
+
+// HelloAck is the server's session acceptance.
+type HelloAck struct {
+	Version int
+	// DatasetLen is the number of samples in the served dataset.
+	DatasetLen int
+	// BatchSize is the serving batch size.
+	BatchSize int
+	// PlanBatches is the full per-epoch plan length; ShardBatches is this
+	// session's share of it.
+	PlanBatches  int
+	ShardBatches int
+	// Mode is 0 for simulated (meta tensors) and 1 for real payloads.
+	Mode byte
+	// Workload names the served pipeline (IC, IS, OD).
+	Workload string
+}
+
+// EpochReq asks the server to stream the session's shard of one epoch.
+type EpochReq struct {
+	Epoch int
+}
+
+// Batch is the wire form of one collated batch. U8/F32 mirror
+// tensor.Tensor: both nil for a meta (shape-only) tensor.
+type Batch struct {
+	Epoch    int
+	GlobalID int
+	Indices  []int
+	Labels   []int
+	Dtype    tensor.DType
+	Shape    []int
+	U8       []uint8
+	F32      []float32
+}
+
+// Tensor reconstructs the batch's collated tensor.
+func (b *Batch) Tensor() *tensor.Tensor {
+	t := tensor.Meta(b.Dtype, b.Shape...)
+	t.U8 = b.U8
+	t.F32 = b.F32
+	return t
+}
+
+// EpochEnd terminates an epoch stream.
+type EpochEnd struct {
+	Epoch   int
+	Batches int
+	// Checksum is FNV-1a 64 folded over every batch frame payload of the
+	// epoch, in order, so the client can verify stream integrity.
+	Checksum uint64
+}
+
+// ErrorMsg carries a fatal server-side error; the server closes the session
+// after sending it.
+type ErrorMsg struct {
+	Message string
+}
+
+// Bye is the client's clean goodbye.
+type Bye struct{}
+
+// ---------------------------------------------------------------------------
+// Frame I/O
+// ---------------------------------------------------------------------------
+
+// WriteFrame writes one length-prefixed frame. payload must already start
+// with the message type byte.
+func WriteFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame's payload, enforcing maxFrame (0 means
+// DefaultMaxFrame). It returns io.EOF on a clean connection close at a frame
+// boundary and ErrMalformed-wrapped errors on protocol violations.
+func ReadFrame(r io.Reader, maxFrame int) ([]byte, error) {
+	if maxFrame <= 0 {
+		maxFrame = DefaultMaxFrame
+	}
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return nil, fmt.Errorf("%w: empty payload", ErrMalformed)
+	}
+	if int64(n) > int64(maxFrame) {
+		return nil, fmt.Errorf("%w: frame length %d exceeds limit %d", ErrMalformed, n, maxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return payload, nil
+}
+
+// ---------------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------------
+
+func appendU16(b []byte, v uint16) []byte { return binary.BigEndian.AppendUint16(b, v) }
+func appendU32(b []byte, v uint32) []byte { return binary.BigEndian.AppendUint32(b, v) }
+func appendU64(b []byte, v uint64) []byte { return binary.BigEndian.AppendUint64(b, v) }
+
+func appendStr(b []byte, s string) []byte {
+	if len(s) > math.MaxUint16 {
+		s = s[:math.MaxUint16]
+	}
+	b = appendU16(b, uint16(len(s)))
+	return append(b, s...)
+}
+
+// EncodeHello renders a Hello frame payload.
+func EncodeHello(h Hello) []byte {
+	b := []byte{byte(MsgHello)}
+	b = appendU16(b, uint16(h.Version))
+	b = appendU32(b, uint32(h.Rank))
+	b = appendU32(b, uint32(h.World))
+	return appendStr(b, h.Name)
+}
+
+// EncodeHelloAck renders a HelloAck frame payload.
+func EncodeHelloAck(a HelloAck) []byte {
+	b := []byte{byte(MsgHelloAck)}
+	b = appendU16(b, uint16(a.Version))
+	b = appendU32(b, uint32(a.DatasetLen))
+	b = appendU32(b, uint32(a.BatchSize))
+	b = appendU32(b, uint32(a.PlanBatches))
+	b = appendU32(b, uint32(a.ShardBatches))
+	b = append(b, a.Mode)
+	return appendStr(b, a.Workload)
+}
+
+// EncodeEpochReq renders an EpochReq frame payload.
+func EncodeEpochReq(r EpochReq) []byte {
+	b := []byte{byte(MsgEpochReq)}
+	return appendU32(b, uint32(r.Epoch))
+}
+
+// EncodeBatch renders a Batch frame payload. The encoding is deterministic,
+// so two batches with identical content encode to identical bytes — the
+// property the byte-identical serving test asserts.
+func EncodeBatch(m *Batch) []byte {
+	size := 1 + 4 + 4 + 4 + 8*len(m.Indices) + 1 + 1 + 4*len(m.Shape) + 1 + 4 + len(m.U8) + 4*len(m.F32)
+	b := make([]byte, 0, size)
+	b = append(b, byte(MsgBatch))
+	b = appendU32(b, uint32(m.Epoch))
+	b = appendU32(b, uint32(m.GlobalID))
+	b = appendU32(b, uint32(len(m.Indices)))
+	for _, idx := range m.Indices {
+		b = appendU32(b, uint32(idx))
+	}
+	for _, l := range m.Labels {
+		b = appendU32(b, uint32(int32(l)))
+	}
+	b = append(b, byte(m.Dtype))
+	b = append(b, byte(len(m.Shape)))
+	for _, d := range m.Shape {
+		b = appendU32(b, uint32(d))
+	}
+	switch {
+	case m.U8 != nil:
+		b = append(b, 1)
+		b = appendU32(b, uint32(len(m.U8)))
+		b = append(b, m.U8...)
+	case m.F32 != nil:
+		b = append(b, 1)
+		b = appendU32(b, uint32(4*len(m.F32)))
+		for _, v := range m.F32 {
+			b = appendU32(b, math.Float32bits(v))
+		}
+	default:
+		b = append(b, 0)
+	}
+	return b
+}
+
+// EncodeEpochEnd renders an EpochEnd frame payload.
+func EncodeEpochEnd(e EpochEnd) []byte {
+	b := []byte{byte(MsgEpochEnd)}
+	b = appendU32(b, uint32(e.Epoch))
+	b = appendU32(b, uint32(e.Batches))
+	return appendU64(b, e.Checksum)
+}
+
+// EncodeError renders an Error frame payload.
+func EncodeError(e ErrorMsg) []byte {
+	b := []byte{byte(MsgError)}
+	return appendStr(b, e.Message)
+}
+
+// EncodeBye renders a Bye frame payload.
+func EncodeBye() []byte { return []byte{byte(MsgBye)} }
+
+// EncodeMessage renders any wire message (used by the round-trip fuzz test).
+func EncodeMessage(msg any) ([]byte, error) {
+	switch m := msg.(type) {
+	case Hello:
+		return EncodeHello(m), nil
+	case HelloAck:
+		return EncodeHelloAck(m), nil
+	case EpochReq:
+		return EncodeEpochReq(m), nil
+	case *Batch:
+		return EncodeBatch(m), nil
+	case EpochEnd:
+		return EncodeEpochEnd(m), nil
+	case ErrorMsg:
+		return EncodeError(m), nil
+	case Bye:
+		return EncodeBye(), nil
+	}
+	return nil, fmt.Errorf("serve: cannot encode %T", msg)
+}
+
+// ---------------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------------
+
+// dec is a bounds-checked cursor over a frame payload. Every read method
+// reports malformed input through err instead of panicking; remote bytes
+// must never be able to crash the server.
+type dec struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (d *dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: "+format, append([]any{ErrMalformed}, args...)...)
+	}
+}
+
+func (d *dec) remaining() int { return len(d.b) - d.off }
+
+func (d *dec) u8() byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.remaining() < 1 {
+		d.fail("truncated u8 at offset %d", d.off)
+		return 0
+	}
+	v := d.b[d.off]
+	d.off++
+	return v
+}
+
+func (d *dec) u16() uint16 {
+	if d.err != nil {
+		return 0
+	}
+	if d.remaining() < 2 {
+		d.fail("truncated u16 at offset %d", d.off)
+		return 0
+	}
+	v := binary.BigEndian.Uint16(d.b[d.off:])
+	d.off += 2
+	return v
+}
+
+func (d *dec) u32() uint32 {
+	if d.err != nil {
+		return 0
+	}
+	if d.remaining() < 4 {
+		d.fail("truncated u32 at offset %d", d.off)
+		return 0
+	}
+	v := binary.BigEndian.Uint32(d.b[d.off:])
+	d.off += 4
+	return v
+}
+
+func (d *dec) u64() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	if d.remaining() < 8 {
+		d.fail("truncated u64 at offset %d", d.off)
+		return 0
+	}
+	v := binary.BigEndian.Uint64(d.b[d.off:])
+	d.off += 8
+	return v
+}
+
+func (d *dec) bytes(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || d.remaining() < n {
+		d.fail("truncated %d-byte field at offset %d", n, d.off)
+		return nil
+	}
+	v := d.b[d.off : d.off+n]
+	d.off += n
+	return v
+}
+
+func (d *dec) str() string {
+	n := int(d.u16())
+	return string(d.bytes(n))
+}
+
+// count validates an element count against the bytes still available, so a
+// forged count cannot trigger a huge allocation.
+func (d *dec) count(elemBytes int) int {
+	n := int(d.u32())
+	if d.err != nil {
+		return 0
+	}
+	if n < 0 || n > d.remaining()/elemBytes {
+		d.fail("element count %d exceeds remaining payload", n)
+		return 0
+	}
+	return n
+}
+
+func (d *dec) done() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.off != len(d.b) {
+		return fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(d.b)-d.off)
+	}
+	return nil
+}
+
+// DecodeMessage parses a frame payload into its typed message. It never
+// panics on malformed input; failures wrap ErrMalformed.
+func DecodeMessage(payload []byte) (any, error) {
+	if len(payload) == 0 {
+		return nil, fmt.Errorf("%w: empty payload", ErrMalformed)
+	}
+	d := &dec{b: payload, off: 1}
+	switch MsgType(payload[0]) {
+	case MsgHello:
+		h := Hello{}
+		h.Version = int(d.u16())
+		h.Rank = int(d.u32())
+		h.World = int(d.u32())
+		h.Name = d.str()
+		if err := d.done(); err != nil {
+			return nil, err
+		}
+		if h.World < 1 || h.World > MaxWorld || h.Rank < 0 || h.Rank >= h.World {
+			return nil, fmt.Errorf("%w: invalid shard rank %d of world %d", ErrMalformed, h.Rank, h.World)
+		}
+		return h, nil
+	case MsgHelloAck:
+		a := HelloAck{}
+		a.Version = int(d.u16())
+		a.DatasetLen = int(d.u32())
+		a.BatchSize = int(d.u32())
+		a.PlanBatches = int(d.u32())
+		a.ShardBatches = int(d.u32())
+		a.Mode = d.u8()
+		a.Workload = d.str()
+		if err := d.done(); err != nil {
+			return nil, err
+		}
+		return a, nil
+	case MsgEpochReq:
+		r := EpochReq{Epoch: int(d.u32())}
+		if err := d.done(); err != nil {
+			return nil, err
+		}
+		return r, nil
+	case MsgBatch:
+		return decodeBatch(d)
+	case MsgEpochEnd:
+		e := EpochEnd{}
+		e.Epoch = int(d.u32())
+		e.Batches = int(d.u32())
+		e.Checksum = d.u64()
+		if err := d.done(); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case MsgError:
+		e := ErrorMsg{Message: d.str()}
+		if err := d.done(); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case MsgBye:
+		if err := d.done(); err != nil {
+			return nil, err
+		}
+		return Bye{}, nil
+	}
+	return nil, fmt.Errorf("%w: unknown message type 0x%02x", ErrMalformed, payload[0])
+}
+
+func decodeBatch(d *dec) (*Batch, error) {
+	m := &Batch{}
+	m.Epoch = int(d.u32())
+	m.GlobalID = int(d.u32())
+	n := d.count(8) // each sample costs >= 8 bytes (index + label)
+	if d.err == nil {
+		m.Indices = make([]int, n)
+		for i := range m.Indices {
+			m.Indices[i] = int(d.u32())
+		}
+		m.Labels = make([]int, n)
+		for i := range m.Labels {
+			m.Labels[i] = int(int32(d.u32()))
+		}
+	}
+	dtype := d.u8()
+	if d.err == nil && dtype != byte(tensor.Uint8) && dtype != byte(tensor.Float32) {
+		d.fail("unknown dtype %d", dtype)
+	}
+	m.Dtype = tensor.DType(dtype)
+	rank := int(d.u8())
+	if d.err == nil && rank > maxTensorRank {
+		d.fail("tensor rank %d exceeds limit %d", rank, maxTensorRank)
+	}
+	if d.err == nil {
+		m.Shape = make([]int, rank)
+		elems := uint64(1)
+		for i := range m.Shape {
+			dim := d.u32()
+			m.Shape[i] = int(dim)
+			elems *= uint64(dim)
+			if elems > uint64(DefaultMaxFrame) {
+				d.fail("tensor shape %v overflows the frame limit", m.Shape[:i+1])
+				break
+			}
+		}
+	}
+	if mat := d.u8(); d.err == nil && mat == 1 {
+		nbytes := int(d.u32())
+		if d.err == nil {
+			want := tensor.NumElems(m.Shape) * m.Dtype.Size()
+			if nbytes != want {
+				d.fail("payload %d bytes does not match shape %v dtype %s (%d bytes)",
+					nbytes, m.Shape, m.Dtype, want)
+			}
+		}
+		raw := d.bytes(nbytes)
+		if d.err == nil {
+			switch m.Dtype {
+			case tensor.Uint8:
+				// make (not append on a nil slice) so a zero-length
+				// materialized payload still round-trips as non-nil.
+				m.U8 = make([]uint8, nbytes)
+				copy(m.U8, raw)
+			case tensor.Float32:
+				m.F32 = make([]float32, nbytes/4)
+				for i := range m.F32 {
+					m.F32[i] = math.Float32frombits(binary.BigEndian.Uint32(raw[4*i:]))
+				}
+			}
+		}
+	} else if d.err == nil && mat != 0 {
+		d.fail("bad materialized flag %d", mat)
+	}
+	if err := d.done(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}

@@ -1,0 +1,58 @@
+package serve
+
+import (
+	"bytes"
+	"testing"
+
+	"lotus/internal/tensor"
+)
+
+// FuzzFrameRoundTrip drives arbitrary bytes through the decoder. The decoder
+// must never panic; anything it accepts must re-encode and decode to a fixed
+// point (encode∘decode is idempotent), which pins the wire format as
+// canonical: the server and client can compare streams byte-for-byte.
+func FuzzFrameRoundTrip(f *testing.F) {
+	seeds := []any{
+		Hello{Version: 1, Rank: 1, World: 4, Name: "fuzz"},
+		HelloAck{Version: 1, DatasetLen: 100, BatchSize: 8, PlanBatches: 13, ShardBatches: 7, Mode: 1, Workload: "OD"},
+		EpochReq{Epoch: 9},
+		&Batch{Epoch: 1, GlobalID: 2, Indices: []int{3, 1}, Labels: []int{0, 4},
+			Dtype: tensor.Uint8, Shape: []int{2, 2}, U8: []uint8{9, 8, 7, 6}},
+		&Batch{Epoch: 0, GlobalID: 1, Indices: []int{5}, Labels: []int{-2},
+			Dtype: tensor.Float32, Shape: []int{1, 2}, F32: []float32{1.5, -0.25}},
+		EpochEnd{Epoch: 1, Batches: 7, Checksum: 12345},
+		ErrorMsg{Message: "boom"},
+		Bye{},
+	}
+	for _, msg := range seeds {
+		enc, err := EncodeMessage(msg)
+		if err != nil {
+			f.Fatalf("seed encode %T: %v", msg, err)
+		}
+		f.Add(enc)
+	}
+	f.Add([]byte{0xff})
+	f.Add([]byte{byte(MsgBatch), 0, 0, 0, 1})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		msg, err := DecodeMessage(data) // must not panic
+		if err != nil {
+			return
+		}
+		enc, err := EncodeMessage(msg)
+		if err != nil {
+			t.Fatalf("decoded %T does not re-encode: %v", msg, err)
+		}
+		msg2, err := DecodeMessage(enc)
+		if err != nil {
+			t.Fatalf("re-encoded %T does not decode: %v\npayload: %x", msg, err, enc)
+		}
+		enc2, err := EncodeMessage(msg2)
+		if err != nil {
+			t.Fatalf("second re-encode of %T: %v", msg2, err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("encoding not canonical for %T:\n first: %x\nsecond: %x", msg, enc, enc2)
+		}
+	})
+}

@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"lotus/internal/tensor"
+)
+
+func roundTrip(t *testing.T, msg any) any {
+	t.Helper()
+	enc, err := EncodeMessage(msg)
+	if err != nil {
+		t.Fatalf("encode %T: %v", msg, err)
+	}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, enc); err != nil {
+		t.Fatalf("write frame: %v", err)
+	}
+	payload, err := ReadFrame(&buf, 0)
+	if err != nil {
+		t.Fatalf("read frame: %v", err)
+	}
+	if !bytes.Equal(payload, enc) {
+		t.Fatal("frame payload corrupted in transit")
+	}
+	out, err := DecodeMessage(payload)
+	if err != nil {
+		t.Fatalf("decode %T: %v", msg, err)
+	}
+	return out
+}
+
+func TestMessageRoundTrips(t *testing.T) {
+	msgs := []any{
+		Hello{Version: 1, Rank: 2, World: 5, Name: "trainer-a"},
+		Hello{Version: 1, Rank: 0, World: 1, Name: ""},
+		HelloAck{Version: 1, DatasetLen: 5120, BatchSize: 128, PlanBatches: 40, ShardBatches: 20, Mode: 1, Workload: "IC"},
+		EpochReq{Epoch: 3},
+		&Batch{Epoch: 1, GlobalID: 7, Indices: []int{4, 9, 1}, Labels: []int{0, -1, 2},
+			Dtype: tensor.Float32, Shape: []int{3, 3, 224, 224}},
+		&Batch{Epoch: 0, GlobalID: 0, Indices: []int{1}, Labels: []int{5},
+			Dtype: tensor.Uint8, Shape: []int{1, 4}, U8: []uint8{1, 2, 3, 4}},
+		&Batch{Epoch: 2, GlobalID: 3, Indices: []int{2, 6}, Labels: []int{1, 1},
+			Dtype: tensor.Float32, Shape: []int{2, 2}, F32: []float32{0.5, -1.25, 3e8, 0}},
+		EpochEnd{Epoch: 2, Batches: 20, Checksum: 0xdeadbeefcafef00d},
+		ErrorMsg{Message: "server draining"},
+		Bye{},
+	}
+	for _, msg := range msgs {
+		out := roundTrip(t, msg)
+		if !reflect.DeepEqual(out, msg) {
+			t.Errorf("round trip changed %T:\n in: %#v\nout: %#v", msg, msg, out)
+		}
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	cases := []struct {
+		name    string
+		payload []byte
+	}{
+		{"empty", nil},
+		{"unknown type", []byte{0xff, 1, 2, 3}},
+		{"truncated hello", EncodeHello(Hello{Version: 1, World: 1})[:4]},
+		{"hello rank out of world", func() []byte {
+			b := EncodeHello(Hello{Version: 1, Rank: 0, World: 2})
+			b[6] = 9 // low byte of rank -> rank 9 >= world 2
+			return b
+		}()},
+		{"hello world zero", func() []byte {
+			b := EncodeHello(Hello{Version: 1, Rank: 0, World: 1})
+			b[7+3] = 0
+			return b
+		}()},
+		{"trailing garbage", append(EncodeEpochReq(EpochReq{Epoch: 1}), 0)},
+		{"batch forged count", func() []byte {
+			b := EncodeBatch(&Batch{Indices: []int{1}, Labels: []int{1}, Dtype: tensor.Uint8})
+			b[9+3] = 0xff // inflate the sample count far past the payload
+			return b
+		}()},
+		{"batch bad dtype", func() []byte {
+			b := EncodeBatch(&Batch{Indices: []int{1}, Labels: []int{1}, Dtype: tensor.Uint8})
+			b[len(b)-3] = 0x7f
+			return b
+		}()},
+		{"batch payload size mismatch", func() []byte {
+			b := EncodeBatch(&Batch{Indices: []int{1}, Labels: []int{1},
+				Dtype: tensor.Uint8, Shape: []int{4}, U8: []uint8{1, 2, 3, 4}})
+			return b[:len(b)-1]
+		}()},
+	}
+	for _, tc := range cases {
+		msg, err := DecodeMessage(tc.payload)
+		if err == nil {
+			t.Errorf("%s: decoded to %#v, want error", tc.name, msg)
+			continue
+		}
+		if !errors.Is(err, ErrMalformed) {
+			t.Errorf("%s: error %v does not wrap ErrMalformed", tc.name, err)
+		}
+	}
+}
+
+func TestReadFrameLimits(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff}) // 4 GiB frame
+	if _, err := ReadFrame(&buf, 1<<20); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("oversized frame: got %v, want ErrMalformed", err)
+	}
+
+	buf.Reset()
+	buf.Write([]byte{0, 0, 0, 0}) // empty payload
+	if _, err := ReadFrame(&buf, 0); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("empty frame: got %v, want ErrMalformed", err)
+	}
+
+	buf.Reset()
+	if _, err := ReadFrame(&buf, 0); err != io.EOF {
+		t.Fatalf("clean close: got %v, want io.EOF", err)
+	}
+
+	buf.Reset()
+	buf.Write([]byte{0, 0, 0, 8, 1, 2}) // header promises 8, delivers 2
+	if _, err := ReadFrame(&buf, 0); err != io.ErrUnexpectedEOF {
+		t.Fatalf("truncated frame: got %v, want ErrUnexpectedEOF", err)
+	}
+}
+
+func TestBatchTensorReconstruction(t *testing.T) {
+	b := &Batch{Dtype: tensor.Uint8, Shape: []int{2, 3}, U8: []uint8{1, 2, 3, 4, 5, 6}}
+	tt := b.Tensor()
+	if tt.Dtype != tensor.Uint8 || !reflect.DeepEqual(tt.Shape, []int{2, 3}) {
+		t.Fatalf("tensor meta: %v %v", tt.Dtype, tt.Shape)
+	}
+	if len(tt.U8) != 6 {
+		t.Fatalf("tensor payload lost: %d bytes", len(tt.U8))
+	}
+}

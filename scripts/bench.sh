@@ -1,16 +1,21 @@
 #!/usr/bin/env bash
-# bench.sh — run the four headline microbenchmarks behind the PR's
-# performance claims and capture benchstat-ready output plus a JSON summary.
+# bench.sh — run the headline microbenchmarks behind the PRs' performance
+# claims and capture benchstat-ready output plus JSON summaries.
 #
-# Usage: scripts/bench.sh [outfile.json]
+# Usage: scripts/bench.sh [pr1-out.json] [pr2-out.json]
+# Stage 1: the four PR-1 hot-path microbenchmarks -> BENCH_PR1.json.
+# Stage 2: the PR-2 service-throughput benchmark (batches/sec at 1, 2, and
+# 4 clients over loopback TCP) -> BENCH_PR2.json.
 # The raw `go test -bench` output (6 repetitions, suitable for feeding to
-# benchstat old.txt new.txt) is written next to the JSON as <outfile>.txt.
+# benchstat old.txt new.txt) is written next to each JSON as <outfile>.txt.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 OUT_JSON="${1:-BENCH_PR1.json}"
 OUT_TXT="${OUT_JSON%.json}.txt"
+SERVE_JSON="${2:-BENCH_PR2.json}"
+SERVE_TXT="${SERVE_JSON%.json}.txt"
 
 BENCHES='BenchmarkBilinearResize|BenchmarkSJPGDecode|BenchmarkUntracedEpoch|BenchmarkTracerEmit'
 
@@ -51,3 +56,39 @@ END {
 }' "$OUT_TXT" > "$OUT_JSON"
 
 echo "summary written to $OUT_JSON (raw benchstat input: $OUT_TXT)"
+
+echo "running: BenchmarkServiceThroughput (6 reps) ..."
+go test -run '^$' -bench 'BenchmarkServiceThroughput' -count=6 ./internal/serve | tee "$SERVE_TXT"
+
+awk '
+/^BenchmarkServiceThroughput/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    if (!(name in seen)) { seen[name] = 1; order[++n_names] = name }
+    ns[name] = ns[name] " " $3
+    for (i = 4; i <= NF; i++) {
+        if ($(i+1) == "batches/sec") bps[name] = bps[name] " " $i
+    }
+}
+function median(s,   a, n, i, j, t) {
+    n = split(s, a, " ")
+    for (i = 2; i <= n; i++) {
+        t = a[i] + 0
+        for (j = i - 1; j >= 1 && a[j] + 0 > t; j--) a[j+1] = a[j]
+        a[j+1] = t
+    }
+    if (n % 2) return a[(n+1)/2]
+    return (a[n/2] + a[n/2+1]) / 2
+}
+END {
+    printf "{\n"
+    for (i = 1; i <= n_names; i++) {
+        name = order[i]
+        printf "  \"%s\": {\"ns_op\": %s, \"batches_per_sec\": %s}%s\n", \
+            name, median(ns[name]), median(bps[name]), \
+            (i < n_names ? "," : "")
+    }
+    printf "}\n"
+}' "$SERVE_TXT" > "$SERVE_JSON"
+
+echo "summary written to $SERVE_JSON (raw benchstat input: $SERVE_TXT)"
