@@ -1,0 +1,49 @@
+// lotus-chaos runs the deterministic fault-injection sweep from the command
+// line: every fault class × workload cell of internal/chaos, with the same
+// invariants the test suite asserts. Exit status is non-zero if any cell
+// violates an invariant, which makes it usable as a CI gate:
+//
+//	lotus-chaos            # full matrix
+//	lotus-chaos -short     # CI short mode: one workload per loader class
+//	lotus-chaos -seed 42   # reproduce a failing cell's schedule
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"lotus/internal/chaos"
+)
+
+func main() {
+	short := flag.Bool("short", false, "trim the matrix to one workload per loader fault class")
+	seed := flag.Int64("seed", 1, "seed for every injected fault decision")
+	quiet := flag.Bool("q", false, "only print failures and the summary line")
+	flag.Parse()
+
+	opts := chaos.Options{Seed: *seed, Short: *short}
+	if !*quiet {
+		opts.Logf = func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		}
+	}
+	results := chaos.Sweep(opts)
+
+	failed := 0
+	var injected int64
+	for _, r := range results {
+		injected += r.Injected
+		if !r.OK() {
+			failed++
+			if *quiet {
+				fmt.Printf("chaos: %s\n", r)
+			}
+		}
+	}
+	fmt.Printf("lotus-chaos: %d cells, %d faults injected, %d failed (seed %d)\n",
+		len(results), injected, failed, *seed)
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

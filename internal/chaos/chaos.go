@@ -1,0 +1,500 @@
+// Package chaos is the deterministic fault-injection sweep runner: it
+// executes a fault-class × workload matrix through the loader substrate
+// (under the virtual clock) and the serving stack (over loopback TCP),
+// asserting the failure-path invariants after every run:
+//
+//   - no deadlocked procs (the sim clock's deadlock panic is a failure);
+//   - no leaked goroutines once a run tears down;
+//   - the trace log is still parseable and passes trace.Validate, modulo
+//     the op-without-batch issues a failed batch legitimately produces;
+//   - Iterator.Skipped matches the injector's up-front failure prediction
+//     exactly under SkipBatch;
+//   - a served session either completes byte-identically to a local
+//     DataLoader run or fails with a clean Error frame.
+//
+// Every decision the sweep injects is a pure function of the seed, so a
+// failing cell reproduces by rerunning with the same seed.
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sort"
+	"strings"
+	"time"
+
+	"lotus/internal/clock"
+	"lotus/internal/core/trace"
+	"lotus/internal/faultinject"
+	"lotus/internal/native"
+	"lotus/internal/pipeline"
+	"lotus/internal/serve"
+	"lotus/internal/testutil"
+	"lotus/internal/workloads"
+)
+
+// Options configures a sweep.
+type Options struct {
+	// Seed drives every injected decision (default 1).
+	Seed int64
+	// Short trims the matrix to one workload per fault class — the CI
+	// configuration. Every fault class still gets at least one injected run.
+	Short bool
+	// Logf receives per-cell progress lines (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// Result is one sweep cell's outcome.
+type Result struct {
+	// Class names the fault class ("read-error", "wire-drop", ...).
+	Class string
+	// Workload names the pipeline the faults were injected into.
+	Workload string
+	// Injected counts the faults that actually fired.
+	Injected int64
+	// Failures lists every violated invariant (empty = cell passed).
+	Failures []string
+	// Notes carries non-fatal observations (batches delivered, retries...).
+	Notes []string
+}
+
+// OK reports whether every invariant held.
+func (r Result) OK() bool { return len(r.Failures) == 0 }
+
+func (r Result) String() string {
+	status := "ok"
+	if !r.OK() {
+		status = "FAIL: " + strings.Join(r.Failures, "; ")
+	}
+	s := fmt.Sprintf("%-16s %-4s injected=%-3d %s", r.Class, r.Workload, r.Injected, status)
+	if len(r.Notes) > 0 {
+		s += " (" + strings.Join(r.Notes, ", ") + ")"
+	}
+	return s
+}
+
+// Sweep runs the full fault-class × workload matrix and returns one Result
+// per cell.
+func Sweep(opts Options) []Result {
+	if opts.Seed == 0 {
+		opts.Seed = 1
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	kinds := []workloads.Kind{workloads.IC, workloads.IS, workloads.OD}
+	if opts.Short {
+		kinds = []workloads.Kind{workloads.IC}
+	}
+
+	var out []Result
+	run := func(r Result) {
+		logf("chaos: %s", r)
+		out = append(out, r)
+	}
+
+	// Loader-substrate classes under the virtual clock.
+	for _, kind := range kinds {
+		run(pipelineCell("baseline", kind, opts.Seed, faultinject.Spec{}))
+		run(pipelineCell("read-error", kind, opts.Seed, faultinject.Spec{Seed: opts.Seed, ReadErrorNth: 6}))
+		run(pipelineCell("read-stall", kind, opts.Seed, faultinject.Spec{Seed: opts.Seed, ReadStallNth: 4, ReadStall: 20 * time.Millisecond}))
+		run(pipelineCell("worker-panic", kind, opts.Seed, faultinject.Spec{Seed: opts.Seed, PanicNth: 6}))
+		run(pipelineCell("worker-stall", kind, opts.Seed, faultinject.Spec{Seed: opts.Seed, StallNth: 3, WorkerStall: 50 * time.Millisecond}))
+	}
+
+	// Serving-stack classes over loopback TCP. Sharing one workload keeps
+	// the short sweep fast; the classes exercise independent seams.
+	run(serveWireCell("wire-drop", opts.Seed, faultinject.Spec{DropFrame: 3}))
+	run(serveWireCell("wire-truncate", opts.Seed, faultinject.Spec{TruncateFrame: 5}))
+	run(serveWireCell("wire-corrupt", opts.Seed, faultinject.Spec{CorruptFrame: 4}))
+	run(servePanicCell(opts.Seed))
+	run(serveDisconnectCell(opts.Seed))
+	return out
+}
+
+// chaosSpec returns a small instance of one workload, sized so a sweep cell
+// runs in well under a second.
+func chaosSpec(kind workloads.Kind, seed int64) workloads.Spec {
+	switch kind {
+	case workloads.IC:
+		spec := workloads.ICSpec(64, seed)
+		spec.BatchSize = 8
+		spec.NumWorkers = 2
+		return spec
+	case workloads.IS:
+		spec := workloads.ISSpec(16, seed)
+		return spec
+	default:
+		spec := workloads.ODSpec(16, seed)
+		return spec
+	}
+}
+
+// pipelineCell runs one fault class through one workload's DataLoader under
+// SkipBatch and checks the loader invariants.
+func pipelineCell(class string, kind workloads.Kind, seed int64, fspec faultinject.Spec) Result {
+	return pipelineCellWithSpec(class, chaosSpec(kind, seed), fspec)
+}
+
+// pipelineCellWithSpec is pipelineCell over an explicit workload spec.
+func pipelineCellWithSpec(class string, spec workloads.Spec, fspec faultinject.Spec) Result {
+	res := Result{Class: class, Workload: string(spec.Kind)}
+	inj := faultinject.New(fspec)
+
+	plan := pipeline.BuildBatchPlan(spec.NumSamples, spec.BatchSize, spec.Shuffle, false, spec.Seed)
+	predicted := inj.FailingBatches(plan)
+
+	var buf bytes.Buffer
+	tracer := trace.NewTracer(&buf)
+	hooks := tracer.Hooks()
+
+	baseline := testutil.Baseline()
+	var skipped []int
+	var delivered int
+	var runErr error
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				res.Failures = append(res.Failures, fmt.Sprintf("deadlock or panic: %v", r))
+			}
+		}()
+		sim := clock.NewSim()
+		ds := spec.Dataset(hooks)
+		dl := pipeline.NewDataLoader(sim, ds, pipeline.Config{
+			BatchSize:  spec.BatchSize,
+			NumWorkers: spec.NumWorkers,
+			Seed:       spec.Seed,
+			BatchPlan:  plan,
+			PinMemory:  spec.PinMemory,
+			OnError:    pipeline.SkipBatch,
+			Hooks:      hooks,
+			Mode:       pipeline.Simulated,
+			Engine:     native.NewEngine(spec.Arch, native.DefaultCPU()),
+			Faults:     inj,
+		})
+		sim.Run("chaos-main", func(p clock.Proc) {
+			it := dl.Start(p)
+			for {
+				if _, ok := it.Next(p); !ok {
+					skipped = it.Skipped()
+					runErr = it.Err()
+					return
+				}
+				delivered++
+			}
+		})
+	}()
+	if runErr != nil {
+		res.Failures = append(res.Failures, fmt.Sprintf("SkipBatch run surfaced Err: %v", runErr))
+	}
+	if err := testutil.WaitNoLeaks(baseline, 5*time.Second); err != nil {
+		res.Failures = append(res.Failures, err.Error())
+	}
+
+	// Exact skip accounting: Skipped must equal the injector's prediction.
+	sort.Ints(skipped)
+	if !equalInts(skipped, predicted) {
+		res.Failures = append(res.Failures, fmt.Sprintf("skipped %v, predicted %v", skipped, predicted))
+	}
+	if delivered != len(plan)-len(predicted) {
+		res.Failures = append(res.Failures, fmt.Sprintf("delivered %d batches, want %d", delivered, len(plan)-len(predicted)))
+	}
+
+	// The trace must still parse, and every surviving Validate issue must be
+	// one a failed batch legitimately produces (its ops were logged before
+	// the panic, so they reference a batch with no preprocessing record).
+	tracer.Flush()
+	records, err := trace.ReadLog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		res.Failures = append(res.Failures, fmt.Sprintf("trace unparseable: %v", err))
+	} else {
+		failed := map[int]bool{}
+		for _, id := range predicted {
+			failed[id] = true
+		}
+		for _, issue := range trace.Validate(records) {
+			if allowedIssue(issue, failed) {
+				continue
+			}
+			res.Failures = append(res.Failures, "trace invariant: "+issue.String())
+		}
+	}
+
+	counts := inj.Counts()
+	res.Injected = counts.Total()
+	res.Notes = append(res.Notes, fmt.Sprintf("batches=%d skipped=%d records=%d", delivered, len(skipped), len(records)))
+	if class != "baseline" && res.Injected == 0 {
+		res.Failures = append(res.Failures, "fault class injected nothing")
+	}
+	return res
+}
+
+// allowedIssue reports whether a Validate issue is the expected artifact of
+// an injected batch failure rather than an instrumentation bug.
+func allowedIssue(issue trace.Issue, failed map[int]bool) bool {
+	if issue.Code != "op-without-batch" || len(failed) == 0 {
+		return false
+	}
+	var op string
+	var id int
+	if _, err := fmt.Sscanf(issue.Detail, "op %s references batch %d", &op, &id); err != nil {
+		return false
+	}
+	return failed[id]
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// serveSpec is the serving-stack sweep workload: small enough that one epoch
+// is a handful of frames.
+func serveSpec(seed int64) workloads.Spec {
+	spec := workloads.ICSpec(64, seed)
+	spec.BatchSize = 8 // 8 batches per epoch
+	spec.NumWorkers = 2
+	return spec
+}
+
+// groundTruthFrames encodes every batch of one epoch exactly as the server
+// would, from a local simulated DataLoader run over the full plan.
+func groundTruthFrames(spec workloads.Spec, epoch int) ([][]byte, error) {
+	plan := serve.BuildEpochPlan(spec.NumSamples, spec.BatchSize, spec.Shuffle, false, spec.Seed, epoch)
+	batchPlan := make([][]int, len(plan))
+	for i, pb := range plan {
+		batchPlan[i] = pb.Indices
+	}
+	out := make([][]byte, len(plan))
+	var runErr error
+	sim := clock.NewSim()
+	sim.Run("chaos-local", func(p clock.Proc) {
+		dl := pipeline.NewDataLoader(sim, spec.Dataset(nil), pipeline.Config{
+			BatchSize:  spec.BatchSize,
+			NumWorkers: spec.NumWorkers,
+			PinMemory:  spec.PinMemory,
+			Seed:       serve.EpochSeed(spec.Seed, epoch),
+			BatchPlan:  batchPlan,
+			Mode:       pipeline.Simulated,
+			Engine:     native.NewEngine(spec.Arch, native.DefaultCPU()),
+		})
+		it := dl.Start(p)
+		for i := 0; ; i++ {
+			b, ok := it.Next(p)
+			if !ok {
+				runErr = it.Err()
+				return
+			}
+			wb := &serve.Batch{Epoch: epoch, GlobalID: i, Indices: b.Indices, Labels: b.Labels}
+			if b.Data != nil {
+				wb.Dtype = b.Data.Dtype
+				wb.Shape = b.Data.Shape
+				wb.U8 = b.Data.U8
+				wb.F32 = b.Data.F32
+			}
+			out[i] = serve.EncodeBatch(wb)
+		}
+	})
+	return out, runErr
+}
+
+// startServer boots a loopback server with the given injector.
+func startServer(spec workloads.Spec, inj *faultinject.Injector) (*serve.Server, error) {
+	srv := serve.New(serve.Config{Spec: spec, Mode: pipeline.Simulated, Prefetch: 2, Faults: inj})
+	if err := srv.Start("127.0.0.1:0", ""); err != nil {
+		return nil, err
+	}
+	return srv, nil
+}
+
+// serveWireCell injects one wire fault (drop, truncate, or corrupt) into a
+// served epoch stream and asserts the client's retries mask it: the session
+// must still complete byte-identically against the local ground truth.
+func serveWireCell(class string, seed int64, fspec faultinject.Spec) Result {
+	res := Result{Class: class, Workload: "IC"}
+	fspec.Seed = seed
+	inj := faultinject.New(fspec)
+	spec := serveSpec(seed)
+	const epochs = 2
+
+	expected := make([][][]byte, epochs)
+	for e := 0; e < epochs; e++ {
+		frames, err := groundTruthFrames(spec, e)
+		if err != nil {
+			res.Failures = append(res.Failures, fmt.Sprintf("ground truth epoch %d: %v", e, err))
+			return res
+		}
+		expected[e] = frames
+	}
+
+	baseline := testutil.Baseline()
+	srv, err := startServer(spec, inj)
+	if err != nil {
+		res.Failures = append(res.Failures, err.Error())
+		return res
+	}
+
+	got := make([][][]byte, epochs)
+	c := serve.NewClient(serve.ClientConfig{
+		Addr: srv.Addr(), Name: "chaos-" + class,
+		// A retried epoch is re-fetched whole: drop the failed attempt's
+		// partial (possibly corrupted) frames before the re-request.
+		OnRetry: func(epoch, attempt int, err error) { got[epoch] = nil },
+	})
+	stats, runErr := c.Run(epochs, func(b *serve.Batch, payload []byte) {
+		if b.Epoch >= 0 && b.Epoch < epochs {
+			got[b.Epoch] = append(got[b.Epoch], append([]byte(nil), payload...))
+		}
+	})
+	c.Close()
+	srv.Close()
+
+	if runErr != nil {
+		res.Failures = append(res.Failures, fmt.Sprintf("client did not mask the wire fault: %v", runErr))
+	}
+	for e := 0; e < epochs && runErr == nil; e++ {
+		if len(got[e]) != len(expected[e]) {
+			res.Failures = append(res.Failures, fmt.Sprintf("epoch %d: %d frames, want %d", e, len(got[e]), len(expected[e])))
+			continue
+		}
+		for i := range got[e] {
+			if !bytes.Equal(got[e][i], expected[e][i]) {
+				res.Failures = append(res.Failures, fmt.Sprintf("epoch %d frame %d not byte-identical after retry", e, i))
+				break
+			}
+		}
+	}
+	if stats != nil && stats.Retries == 0 {
+		res.Failures = append(res.Failures, "wire fault fired but the client never retried")
+	}
+	if err := testutil.WaitNoLeaks(baseline, 5*time.Second); err != nil {
+		res.Failures = append(res.Failures, err.Error())
+	}
+	res.Injected = inj.Counts().WireFaults
+	if res.Injected == 0 {
+		res.Failures = append(res.Failures, "fault class injected nothing")
+	}
+	if stats != nil {
+		res.Notes = append(res.Notes, fmt.Sprintf("retries=%d batches=%d", stats.Retries, stats.Batches))
+	}
+	return res
+}
+
+// servePanicCell injects worker panics into the served pipeline and asserts
+// the failure surfaces as a clean Error frame (a fatal ServerError on the
+// client), not a wedged or crashed server.
+func servePanicCell(seed int64) Result {
+	res := Result{Class: "server-panic", Workload: "IC"}
+	inj := faultinject.New(faultinject.Spec{Seed: seed, PanicNth: 6})
+	spec := serveSpec(seed)
+
+	baseline := testutil.Baseline()
+	srv, err := startServer(spec, inj)
+	if err != nil {
+		res.Failures = append(res.Failures, err.Error())
+		return res
+	}
+
+	c := serve.NewClient(serve.ClientConfig{Addr: srv.Addr(), Name: "chaos-panic"})
+	_, runErr := c.Run(1, nil)
+	c.Close()
+	if runErr == nil {
+		res.Failures = append(res.Failures, "epoch with injected panics completed; expected a clean Error frame")
+	} else if !strings.Contains(runErr.Error(), "server error") {
+		res.Failures = append(res.Failures, fmt.Sprintf("failure was not a clean Error frame: %v", runErr))
+	}
+
+	// The server must survive the failed session: a fresh handshake works.
+	c2 := serve.NewClient(serve.ClientConfig{Addr: srv.Addr(), Name: "chaos-panic-2"})
+	if err := c2.Connect(); err != nil {
+		res.Failures = append(res.Failures, fmt.Sprintf("server dead after panic session: %v", err))
+	}
+	c2.Close()
+	srv.Close()
+
+	if err := testutil.WaitNoLeaks(baseline, 5*time.Second); err != nil {
+		res.Failures = append(res.Failures, err.Error())
+	}
+	res.Injected = inj.Counts().Panics
+	if res.Injected == 0 {
+		res.Failures = append(res.Failures, "fault class injected nothing")
+	}
+	return res
+}
+
+// serveDisconnectCell drops the client connection mid-stream and asserts the
+// server aborts the epoch cleanly: the next session completes byte-identically
+// and no producer goroutine is stranded.
+func serveDisconnectCell(seed int64) Result {
+	res := Result{Class: "client-disconnect", Workload: "IC"}
+	spec := serveSpec(seed)
+
+	expected, err := groundTruthFrames(spec, 0)
+	if err != nil {
+		res.Failures = append(res.Failures, fmt.Sprintf("ground truth: %v", err))
+		return res
+	}
+
+	baseline := testutil.Baseline()
+	srv, err := startServer(spec, nil)
+	if err != nil {
+		res.Failures = append(res.Failures, err.Error())
+		return res
+	}
+
+	// Rude client: handshake, request an epoch, read two frames, vanish.
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		res.Failures = append(res.Failures, err.Error())
+		srv.Close()
+		return res
+	}
+	serve.WriteFrame(conn, serve.EncodeHello(serve.Hello{Version: serve.ProtocolVersion, World: 1, Name: "chaos-rude"}))
+	if _, err := serve.ReadFrame(conn, 0); err != nil {
+		res.Failures = append(res.Failures, fmt.Sprintf("handshake: %v", err))
+	}
+	serve.WriteFrame(conn, serve.EncodeEpochReq(serve.EpochReq{Epoch: 0}))
+	for i := 0; i < 2; i++ {
+		if _, err := serve.ReadFrame(conn, 0); err != nil {
+			res.Failures = append(res.Failures, fmt.Sprintf("frame %d before disconnect: %v", i, err))
+			break
+		}
+	}
+	conn.Close()
+	res.Injected = 1 // the disconnect itself is the fault
+
+	// A clean session right after must stream the identical epoch.
+	var got [][]byte
+	c := serve.NewClient(serve.ClientConfig{Addr: srv.Addr(), Name: "chaos-clean"})
+	_, runErr := c.Run(1, func(b *serve.Batch, payload []byte) {
+		got = append(got, append([]byte(nil), payload...))
+	})
+	c.Close()
+	srv.Close()
+	if runErr != nil {
+		res.Failures = append(res.Failures, fmt.Sprintf("clean session after disconnect: %v", runErr))
+	} else if len(got) != len(expected) {
+		res.Failures = append(res.Failures, fmt.Sprintf("clean session got %d frames, want %d", len(got), len(expected)))
+	} else {
+		for i := range got {
+			if !bytes.Equal(got[i], expected[i]) {
+				res.Failures = append(res.Failures, fmt.Sprintf("frame %d not byte-identical after disconnect recovery", i))
+				break
+			}
+		}
+	}
+	if err := testutil.WaitNoLeaks(baseline, 5*time.Second); err != nil {
+		res.Failures = append(res.Failures, err.Error())
+	}
+	return res
+}

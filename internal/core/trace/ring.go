@@ -19,6 +19,11 @@ type Ring struct {
 	next  int   // write position
 	full  bool  // buf has wrapped at least once
 	total int64 // records ever added
+	// perLogCost is propagated into the Hooks so the pipeline charges each
+	// record's modeled emission cost to the emitting proc, exactly as
+	// Tracer.Hooks does — a served run must not under-account tracer
+	// overhead relative to a streamed one.
+	perLogCost time.Duration
 }
 
 // NewRing returns a ring keeping the most recent capacity records
@@ -28,6 +33,21 @@ func NewRing(capacity int) *Ring {
 		capacity = 1
 	}
 	return &Ring{buf: make([]Record, capacity)}
+}
+
+// SetPerLogCost sets the modeled cost per recorded entry, the Ring analogue
+// of the Tracer's WithPerLogCost option. Call before Hooks.
+func (r *Ring) SetPerLogCost(d time.Duration) {
+	r.mu.Lock()
+	r.perLogCost = d
+	r.mu.Unlock()
+}
+
+// PerLogCost reports the modeled cost per recorded entry.
+func (r *Ring) PerLogCost() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.perLogCost
 }
 
 // Add records one entry, evicting the oldest if the ring is full.
@@ -90,5 +110,6 @@ func (r *Ring) Hooks() *pipeline.Hooks {
 		OnBatchConsumed: func(pid, batchID int, start time.Time, dur time.Duration) {
 			r.Add(Record{Kind: KindBatchConsumed, PID: pid, BatchID: batchID, SampleIndex: -1, Start: start, Dur: dur})
 		},
+		PerLogCost: r.PerLogCost(),
 	}
 }

@@ -1,0 +1,137 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+// TestNilInjectorIsInert: production call sites carry a nil injector; every
+// method must be a no-op.
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if stall, err := in.ReadFault(3); stall != 0 || err != nil {
+		t.Fatalf("nil ReadFault = (%v, %v)", stall, err)
+	}
+	if in.SamplePanic(3) || in.WouldPanic(3) || in.WouldReadError(3) {
+		t.Fatal("nil injector selected a fault")
+	}
+	if d := in.BatchStall(3); d != 0 {
+		t.Fatalf("nil BatchStall = %v", d)
+	}
+	if a := in.NextWireAction(); a != WireNone {
+		t.Fatalf("nil NextWireAction = %v", a)
+	}
+	if in.FailingBatches([][]int{{1, 2}}) != nil {
+		t.Fatal("nil FailingBatches non-empty")
+	}
+	if c := in.Counts(); c.Total() != 0 {
+		t.Fatalf("nil Counts = %+v", c)
+	}
+}
+
+// TestDecisionsAreDeterministicAndSeedDependent: the same (seed, index)
+// always decides the same way; different seeds select different sets.
+func TestDecisionsAreDeterministicAndSeedDependent(t *testing.T) {
+	spec := Spec{Seed: 42, ReadErrorNth: 5, PanicNth: 7}
+	a, b := New(spec), New(spec)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.WouldReadError(i) != b.WouldReadError(i) || a.WouldPanic(i) != b.WouldPanic(i) {
+			t.Fatalf("two injectors with the same spec disagree on index %d", i)
+		}
+		if a.WouldReadError(i) {
+			same++
+		}
+	}
+	if same == 0 || same == 1000 {
+		t.Fatalf("ReadErrorNth=5 selected %d of 1000 indices", same)
+	}
+	// A different seed must select a different set (overwhelmingly likely
+	// with 1000 indices at 1/5 selection).
+	c := New(Spec{Seed: 43, ReadErrorNth: 5})
+	diff := 0
+	for i := 0; i < 1000; i++ {
+		if a.WouldReadError(i) != c.WouldReadError(i) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Fatal("seeds 42 and 43 selected identical read-error sets")
+	}
+}
+
+// TestSelectionRateRoughlyMatchesNth: ~1/Nth of keys are selected.
+func TestSelectionRateRoughlyMatchesNth(t *testing.T) {
+	in := New(Spec{Seed: 7, PanicNth: 10})
+	n := 0
+	for i := 0; i < 10000; i++ {
+		if in.WouldPanic(i) {
+			n++
+		}
+	}
+	if n < 700 || n > 1300 {
+		t.Fatalf("PanicNth=10 selected %d of 10000 keys, want ~1000", n)
+	}
+}
+
+// TestReadFaultStallAndError: stalls and errors compose, counters fire, and
+// the error wraps ErrInjectedRead.
+func TestReadFaultStallAndError(t *testing.T) {
+	in := New(Spec{Seed: 1, ReadErrorNth: 1, ReadStallNth: 1, ReadStall: 3 * time.Millisecond})
+	stall, err := in.ReadFault(0)
+	if stall != 3*time.Millisecond {
+		t.Fatalf("stall = %v, want 3ms", stall)
+	}
+	if !errors.Is(err, ErrInjectedRead) {
+		t.Fatalf("err = %v, want ErrInjectedRead", err)
+	}
+	c := in.Counts()
+	if c.ReadErrors != 1 || c.ReadStalls != 1 {
+		t.Fatalf("counts = %+v", c)
+	}
+}
+
+// TestWireFaultsFireExactlyOnce: each wire class fires on its configured
+// frame and never re-fires — the property that lets a client retry succeed.
+func TestWireFaultsFireExactlyOnce(t *testing.T) {
+	in := New(Spec{DropFrame: 2, TruncateFrame: 4, CorruptFrame: 5})
+	var got []WireAction
+	for i := 0; i < 12; i++ {
+		got = append(got, in.NextWireAction())
+	}
+	want := []WireAction{WireNone, WireDrop, WireNone, WireTruncate, WireCorrupt,
+		WireNone, WireNone, WireNone, WireNone, WireNone, WireNone, WireNone}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("frame %d: action %v, want %v (full: %v)", i+1, got[i], want[i], got)
+		}
+	}
+	if c := in.Counts(); c.WireFaults != 3 {
+		t.Fatalf("wire faults fired %d times, want 3", c.WireFaults)
+	}
+}
+
+// TestFailingBatchesMatchesPerSampleDecisions: the batch-level prediction is
+// exactly the union of per-sample decisions.
+func TestFailingBatchesMatchesPerSampleDecisions(t *testing.T) {
+	in := New(Spec{Seed: 11, ReadErrorNth: 4, PanicNth: 6})
+	plan := [][]int{{0, 1, 2}, {3, 4, 5}, {6, 7, 8}, {9, 10, 11}}
+	want := map[int]bool{}
+	for pos, idxs := range plan {
+		for _, idx := range idxs {
+			if in.WouldReadError(idx) || in.WouldPanic(idx) {
+				want[pos] = true
+			}
+		}
+	}
+	got := in.FailingBatches(plan)
+	if len(got) != len(want) {
+		t.Fatalf("FailingBatches = %v, want %d positions %v", got, len(want), want)
+	}
+	for _, pos := range got {
+		if !want[pos] {
+			t.Fatalf("position %d reported failing but no sample is selected", pos)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"lotus/internal/clock"
+	"lotus/internal/faultinject"
 	"lotus/internal/native"
 	"lotus/internal/rng"
 )
@@ -39,6 +40,9 @@ type Ctx struct {
 	// MaterializeDim caps synthesized image/volume resolution in RealData
 	// mode.
 	MaterializeDim int
+	// Faults is the deterministic fault-injection layer consulted by the
+	// storage-facing transforms (nil injects nothing).
+	Faults *faultinject.Injector
 
 	// rngSample and rngOp are per-worker scratch generators reused by OpRNG.
 	// math/rand's source is ~5 KB; building one per sample per op used to be
@@ -116,6 +120,19 @@ func (c *Ctx) WorkCalls(calls []native.Call) {
 		d = time.Duration(float64(d) * c.WorkScale)
 	}
 	c.Proc.Sleep(d)
+}
+
+// ReadBlob advances time for the blob-store read of one sample, consulting
+// the fault injector first: an injected slow-read stall lengthens the wait,
+// and an injected read error panics after it — surfacing through the
+// worker's recover as a dataset exception, the way PyTorch re-raises a
+// worker's IOError in the main process.
+func (c *Ctx) ReadBlob(index int, d time.Duration) {
+	stall, err := c.Faults.ReadFault(index)
+	c.IO(d + stall)
+	if err != nil {
+		panic(err)
+	}
 }
 
 // IO advances time for a storage read. I/O wait is off-CPU, so it is not

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"lotus/internal/clock"
+	"lotus/internal/faultinject"
 	"lotus/internal/native"
 	"lotus/internal/rng"
 	"lotus/internal/tensor"
@@ -66,6 +67,10 @@ type Config struct {
 	// randomness). The serving layer (internal/serve) uses it to run a loader
 	// over one session's shard of a shared epoch plan.
 	BatchPlan [][]int
+	// Faults, when non-nil, is the deterministic fault-injection layer: it
+	// can fail or stall blob reads inside the loader transforms, panic the
+	// worker on selected samples, and stall workers after selected batches.
+	Faults *faultinject.Injector
 }
 
 func (c Config) validate() Config {
@@ -126,12 +131,11 @@ type DataLoader struct {
 	dataset Dataset
 	clk     clock.Clock
 
-	batches    [][]int
-	indexQs    []*clock.Queue[indexTask]
-	dataQ      *clock.Queue[workerResult]
-	started    bool
-	sendIdx    int
-	dispatched map[int]bool
+	batches [][]int
+	indexQs []*clock.Queue[indexTask]
+	dataQ   *clock.Queue[workerResult]
+	started bool
+	sendIdx int
 	// outstanding tracks estimated queued work per worker for
 	// DispatchLeastWork.
 	outstanding []float64
@@ -142,7 +146,7 @@ type DataLoader struct {
 // NewDataLoader constructs a loader over ds under clk.
 func NewDataLoader(clk clock.Clock, ds Dataset, cfg Config) *DataLoader {
 	cfg = cfg.validate()
-	dl := &DataLoader{cfg: cfg, dataset: ds, clk: clk, dispatched: make(map[int]bool)}
+	dl := &DataLoader{cfg: cfg, dataset: ds, clk: clk}
 	dl.buildBatches()
 	return dl
 }
@@ -173,7 +177,13 @@ func BuildBatchPlan(n, batchSize int, shuffle, dropLast bool, seed int64) [][]in
 			}
 			end = n
 		}
-		batches = append(batches, order[at:end])
+		// Each batch is an independent copy, not a sub-slice of the shared
+		// order array: callers (the serving layer hands plans across epochs
+		// and sessions) may mutate one batch's indices without corrupting
+		// its neighbors.
+		batch := make([]int, end-at)
+		copy(batch, order[at:end])
+		batches = append(batches, batch)
 	}
 	return batches
 }
@@ -287,6 +297,7 @@ func (dl *DataLoader) workerLoop(p clock.Proc, workerID int) {
 		Seed:           dl.cfg.Seed,
 		WorkScale:      dl.cfg.WorkScale,
 		MaterializeDim: dl.cfg.MaterializeDim,
+		Faults:         dl.cfg.Faults,
 	}
 	collate := &Collate{}
 	for {
@@ -312,6 +323,9 @@ func (dl *DataLoader) workerLoop(p clock.Proc, workerID int) {
 			}()
 			samples = make([]Sample, len(task.indices))
 			for i, idx := range task.indices {
+				if dl.cfg.Faults.SamplePanic(idx) {
+					panic(fmt.Sprintf("faultinject: worker panic on sample %d", idx))
+				}
 				samples[i] = dl.dataset.GetItem(ctx, pid, task.batchID+dl.cfg.BatchIDOffset, idx)
 			}
 			collateStart := p.Now()
@@ -326,6 +340,12 @@ func (dl *DataLoader) workerLoop(p clock.Proc, workerID int) {
 		}()
 		if dl.cfg.Engine != nil {
 			dl.cfg.Engine.EndWork()
+		}
+		// Injected engine stall: the worker pauses after the batch's work
+		// (GC pause / CPU contention), delaying its arrival on the data
+		// queue without changing the batch's preprocessing span.
+		if stall := dl.cfg.Faults.BatchStall(task.batchID + dl.cfg.BatchIDOffset); stall > 0 {
+			p.Sleep(stall)
 		}
 		if err != nil {
 			dl.dataQ.Put(p, workerResult{batchID: task.batchID, worker: workerID, err: err})
@@ -364,6 +384,10 @@ type Iterator struct {
 	cached       map[int]*Batch
 	cachedWorker map[int]int
 	cachedErr    map[int]error
+	// seen counts results received from the data queue. Every dispatched
+	// batch produces exactly one result (success or error), so Drain knows
+	// teardown is complete when seen == dl.sendIdx.
+	seen int
 	// OOOEvents counts batches that arrived before the main process wanted
 	// them (out-of-order arrivals).
 	OOOEvents int
@@ -414,6 +438,7 @@ restart:
 			if !ok {
 				panic("pipeline: data queue closed before epoch finished")
 			}
+			it.seen++
 			dl.completed(res.batchID, res.worker)
 			if res.err != nil {
 				if res.batchID == want {
@@ -494,11 +519,12 @@ func (it *Iterator) logWait(p clock.Proc, batchID int, start time.Time, dur time
 	}
 }
 
-// Abort ends the epoch early: every index queue is closed so each worker
-// exits after the task it is currently on, and the iterator reports
-// exhausted from then on. Results still in flight stay on the data queue
-// (puts there never block), so workers and the clock wind down cleanly
-// without the main proc consuming them. The serving layer uses this when a
+// Abort ends the epoch early: every index queue is closed and the iterator
+// reports exhausted from then on. Closing an index queue does not discard
+// queued tasks (Queue.Close drains remaining items first), so each worker
+// still processes everything already dispatched to it and puts one result
+// per task on the data queue before exiting. Call Drain afterwards to
+// consume those in-flight results. The serving layer uses Abort when a
 // client disconnects or the server drains mid-epoch.
 func (it *Iterator) Abort() {
 	it.rcvdIdx = len(it.dl.batches)
@@ -507,13 +533,27 @@ func (it *Iterator) Abort() {
 	}
 }
 
-// Drain consumes any remaining queue contents after the last batch; workers
-// have exited by then. It is a no-op in correct runs but keeps the sim from
-// leaving procs blocked if a caller stops early.
-func (it *Iterator) Drain() {
-	for {
-		if _, ok := it.dl.dataQ.TryGet(); !ok {
+// Drain consumes every in-flight result after Abort (or an early stop) and
+// credits completions, blocking until all workers have accounted for every
+// dispatched batch. A plain TryGet poll is not enough: a worker mid-batch at
+// Abort time puts its result *after* a non-blocking sweep has returned,
+// leaving a stale result on the queue and its work forever uncredited in
+// outstanding. Every dispatched batch produces exactly one result and data
+// queue puts never block, so blocking until seen == sendIdx always
+// terminates. p must be the main proc.
+func (it *Iterator) Drain(p clock.Proc) {
+	dl := it.dl
+	for it.seen < dl.sendIdx {
+		res, ok := dl.dataQ.Get(p)
+		if !ok {
 			return
 		}
+		it.seen++
+		dl.completed(res.batchID, res.worker)
 	}
+	// Results already received and parked in the caches were counted when
+	// they arrived; release them so an aborted epoch does not pin batches.
+	it.cached = make(map[int]*Batch)
+	it.cachedWorker = make(map[int]int)
+	it.cachedErr = make(map[int]error)
 }

@@ -100,7 +100,7 @@ func (l *Loader) Kernels() []string {
 
 func (l *Loader) Apply(ctx *Ctx, s Sample) Sample {
 	r := ctx.OpRNG(s.Index, "loader")
-	ctx.IO(l.Cache.Delay(s.Index, s.FileBytes, l.IO, r))
+	ctx.ReadBlob(s.Index, l.Cache.Delay(s.Index, s.FileBytes, l.IO, r))
 
 	raw := s.Width * s.Height * 3
 	if ctx.Real() {
@@ -184,7 +184,7 @@ func (l *RawLoader) Kernels() []string { return []string{"memcpy", "memset"} }
 func (l *RawLoader) Apply(ctx *Ctx, s Sample) Sample {
 	raw := s.Width * s.Height * 3
 	r := ctx.OpRNG(s.Index, "rawload")
-	ctx.IO(l.Cache.Delay(s.Index, raw, l.IO, r))
+	ctx.ReadBlob(s.Index, l.Cache.Delay(s.Index, raw, l.IO, r))
 	if ctx.Real() {
 		cap := ctx.MaterializeDim
 		if cap <= 0 {

@@ -22,7 +22,7 @@ func (l *VolumeLoader) Kernels() []string {
 
 func (l *VolumeLoader) Apply(ctx *Ctx, s Sample) Sample {
 	r := ctx.OpRNG(s.Index, "vload")
-	ctx.IO(l.Cache.Delay(s.Index, s.FileBytes, l.IO, r))
+	ctx.ReadBlob(s.Index, l.Cache.Delay(s.Index, s.FileBytes, l.IO, r))
 	raw := s.Depth * s.Height * s.Width * 4
 	if ctx.Real() {
 		cap := ctx.MaterializeDim

@@ -7,6 +7,8 @@ import (
 	"net"
 	"strings"
 	"time"
+
+	"lotus/internal/rng"
 )
 
 // ClientConfig parameterizes a fetch client.
@@ -26,9 +28,15 @@ type ClientConfig struct {
 	// a transient failure (default 4). Fatal server errors are never retried.
 	Retries int
 	// BackoffBase/BackoffMax shape the exponential backoff between retries
-	// (defaults 50ms and 2s); attempt k sleeps min(base<<k, max).
+	// (defaults 50ms and 2s); attempt k sleeps a jittered duration in
+	// [min(base<<(k-1), max)/2, min(base<<(k-1), max)).
 	BackoffBase time.Duration
 	BackoffMax  time.Duration
+	// JitterSeed seeds the deterministic backoff jitter that desynchronizes
+	// reconnect waves. 0 derives a per-client seed from Rank and Name, so
+	// distinct clients diverge by default while any one client's schedule
+	// stays reproducible.
+	JitterSeed int64
 	// OnRetry, when set, observes every retry decision.
 	OnRetry func(epoch, attempt int, err error)
 	// Sleep replaces time.Sleep for the backoff wait (tests inject a virtual
@@ -49,6 +57,7 @@ type Client struct {
 	conn    net.Conn
 	ack     HelloAck
 	haveAck bool
+	jitter  *rng.Stream
 }
 
 // NewClient returns an unconnected client; the first Run or Connect dials.
@@ -74,7 +83,13 @@ func NewClient(cfg ClientConfig) *Client {
 	if cfg.Sleep == nil {
 		cfg.Sleep = time.Sleep
 	}
-	return &Client{cfg: cfg}
+	seed := cfg.JitterSeed
+	if seed == 0 {
+		h := fnv.New64a()
+		h.Write([]byte(cfg.Name))
+		seed = int64(h.Sum64()) ^ int64(cfg.Rank+1)*2654435761
+	}
+	return &Client{cfg: cfg, jitter: rng.New(seed, "serve/backoff")}
 }
 
 // Ack returns the server's handshake response once connected.
@@ -202,20 +217,25 @@ func (c *Client) Run(epochs int, onBatch func(b *Batch, payload []byte)) (*Fetch
 	return stats, nil
 }
 
-// backoff returns the sleep before retry attempt k (1-based), exponential
-// with a cap.
+// backoff returns the sleep before retry attempt k (1-based): exponential
+// with a cap, then jittered into [d/2, d) by the client's seeded stream.
+// Without jitter, every client a server restart disconnects computes the
+// identical schedule and the whole fleet reconnects in synchronized waves
+// that re-overload the server in lockstep.
 func (c *Client) backoff(attempt int) time.Duration {
 	d := c.cfg.BackoffBase
 	for i := 1; i < attempt; i++ {
 		d *= 2
 		if d >= c.cfg.BackoffMax {
-			return c.cfg.BackoffMax
+			d = c.cfg.BackoffMax
+			break
 		}
 	}
 	if d > c.cfg.BackoffMax {
 		d = c.cfg.BackoffMax
 	}
-	return d
+	half := d / 2
+	return half + time.Duration(c.jitter.Float64()*float64(half))
 }
 
 // fetchEpoch requests one epoch and consumes its batch stream. Counters are

@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"lotus/internal/pipeline"
+	"lotus/internal/testutil"
+)
+
+// TestHelloDeadlineCutsStalledHandshake pins the handshake-timeout fix: a
+// connection that dials but never completes a Hello frame (half a header,
+// then silence) used to pin its handler goroutine on a blocking read. The
+// server must now cut the session at HelloTimeout with an Error frame or a
+// close, and stay fully functional for well-formed clients.
+func TestHelloDeadlineCutsStalledHandshake(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+
+	spec := loopbackSpec()
+	srv := New(Config{
+		Spec: spec, Mode: pipeline.Simulated, Prefetch: 2,
+		HelloTimeout: 150 * time.Millisecond, Logf: t.Logf,
+	})
+	if err := srv.Start("127.0.0.1:0", ""); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// expectCut waits for the server to terminate the connection: either an
+	// Error frame followed by close, or a bare close. Anything else — in
+	// particular a read that outlives the deadline by a wide margin — means
+	// the handler goroutine is stuck.
+	expectCut := func(conn net.Conn, context string) {
+		t.Helper()
+		start := time.Now()
+		conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+		payload, err := ReadFrame(conn, 0)
+		if err == nil {
+			msg, derr := DecodeMessage(payload)
+			if derr != nil {
+				t.Fatalf("%s: undecodable server reply: %v", context, derr)
+			}
+			if _, ok := msg.(ErrorMsg); !ok {
+				t.Fatalf("%s: server replied %T, want ErrorMsg or close", context, msg)
+			}
+			if _, err := ReadFrame(conn, 0); err == nil {
+				t.Fatalf("%s: server kept talking after Error", context)
+			}
+		}
+		// 150ms deadline plus generous scheduling slack; the pre-fix server
+		// sat on this read for its default 10s (or forever with no default).
+		if waited := time.Since(start); waited > 3*time.Second {
+			t.Fatalf("%s: server took %v to cut a stalled handshake", context, waited)
+		}
+	}
+
+	dial := func() net.Conn {
+		t.Helper()
+		conn, err := net.Dial("tcp", srv.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return conn
+	}
+
+	// Dial and say nothing at all.
+	conn := dial()
+	expectCut(conn, "silent dial")
+	conn.Close()
+
+	// Half a frame header, then stall: ReadFrame is mid-read when the
+	// deadline fires, the nastier variant of the same bug.
+	conn = dial()
+	conn.Write([]byte{0x00, 0x00})
+	expectCut(conn, "partial header")
+	conn.Close()
+
+	// A full header promising a payload that never arrives.
+	conn = dial()
+	conn.Write([]byte{0x00, 0x00, 0x00, 0x10})
+	expectCut(conn, "header without payload")
+	conn.Close()
+
+	// The server must still serve a well-formed client afterwards.
+	c := NewClient(ClientConfig{Addr: srv.Addr(), Name: "after-stalls"})
+	defer c.Close()
+	stats, err := c.Run(1, nil)
+	if err != nil {
+		t.Fatalf("clean client after stalled handshakes: %v", err)
+	}
+	if stats.Batches != 10 {
+		t.Fatalf("clean client got %d batches, want 10", stats.Batches)
+	}
+}
+
+// TestHelloDeadlineDoesNotClipSlowButValidHandshake: a client that takes a
+// beat (but less than HelloTimeout) to send Hello must not be rejected, and
+// the deadline must be cleared afterwards so mid-session idleness between
+// epoch requests is allowed.
+func TestHelloDeadlineDoesNotClipSlowButValidHandshake(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+
+	spec := loopbackSpec()
+	srv := New(Config{
+		Spec: spec, Mode: pipeline.Simulated, Prefetch: 2,
+		HelloTimeout: 500 * time.Millisecond, Logf: t.Logf,
+	})
+	if err := srv.Start("127.0.0.1:0", ""); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	// Dawdle inside the deadline, then hand over a valid Hello.
+	time.Sleep(200 * time.Millisecond)
+	if err := WriteFrame(conn, EncodeHello(Hello{Version: ProtocolVersion, Rank: 0, World: 1})); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	payload, err := ReadFrame(conn, 0)
+	if err != nil {
+		t.Fatalf("slow-but-valid handshake rejected: %v", err)
+	}
+	if msg, err := DecodeMessage(payload); err != nil {
+		t.Fatal(err)
+	} else if _, ok := msg.(HelloAck); !ok {
+		t.Fatalf("server replied %T, want HelloAck", msg)
+	}
+
+	// Idle past HelloTimeout mid-session: the handshake deadline must not
+	// leak into the request loop.
+	time.Sleep(700 * time.Millisecond)
+	if err := WriteFrame(conn, EncodeEpochReq(EpochReq{Epoch: 0})); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if _, err := ReadFrame(conn, 0); err != nil {
+		t.Fatalf("idle session was cut by a leaked handshake deadline: %v", err)
+	}
+	WriteFrame(conn, EncodeBye())
+}

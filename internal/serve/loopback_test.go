@@ -18,6 +18,7 @@ import (
 	"lotus/internal/native"
 	"lotus/internal/pipeline"
 	"lotus/internal/tensor"
+	"lotus/internal/testutil"
 	"lotus/internal/workloads"
 )
 
@@ -88,6 +89,9 @@ func localEpochFrames(t *testing.T, spec workloads.Spec, epoch int) [][]byte {
 // run over the full plan, and /healthz, /metrics, and /trace serve live data
 // mid-stream.
 func TestLoopbackTwoClientsTwoEpochs(t *testing.T) {
+	// Registered before startTestServer's Close cleanup so it runs after the
+	// server has shut down (t.Cleanup is LIFO).
+	t.Cleanup(testutil.CheckGoroutines(t))
 	spec := loopbackSpec()
 	srv := startTestServer(t, spec, true)
 	const world, epochs = 2, 2
@@ -373,8 +377,9 @@ func TestClientRetriesTransientFailures(t *testing.T) {
 	if stats.Batches != 2 {
 		t.Fatalf("batches %d, want 2", stats.Batches)
 	}
-	if len(sleeps) != 1 || sleeps[0] != 10*time.Millisecond {
-		t.Fatalf("backoff sleeps %v, want [10ms]", sleeps)
+	// One jittered backoff sleep in [base/2, base).
+	if len(sleeps) != 1 || sleeps[0] < 5*time.Millisecond || sleeps[0] >= 10*time.Millisecond {
+		t.Fatalf("backoff sleeps %v, want one sleep in [5ms, 10ms)", sleeps)
 	}
 }
 
@@ -422,12 +427,56 @@ func TestServerErrorIsFatal(t *testing.T) {
 	}
 }
 
+// TestBackoffSchedule: each attempt's sleep lands in the jittered window
+// [cap/2, cap) of the exponential schedule 10, 20, 40, 80, 80, 80 ms.
 func TestBackoffSchedule(t *testing.T) {
 	c := NewClient(ClientConfig{BackoffBase: 10 * time.Millisecond, BackoffMax: 80 * time.Millisecond})
 	want := []time.Duration{10, 20, 40, 80, 80, 80}
 	for i, w := range want {
-		if got := c.backoff(i + 1); got != w*time.Millisecond {
-			t.Fatalf("backoff(%d) = %v, want %v", i+1, got, w*time.Millisecond)
+		lo, hi := w*time.Millisecond/2, w*time.Millisecond
+		if got := c.backoff(i + 1); got < lo || got >= hi {
+			t.Fatalf("backoff(%d) = %v, want in [%v, %v)", i+1, got, lo, hi)
+		}
+	}
+}
+
+// TestBackoffSchedulesDiverge pins the lockstep-retry fix: two clients with
+// different identities must not compute the same backoff schedule, or a
+// server restart makes the whole fleet reconnect in synchronized waves. The
+// same identity must still be reproducible run to run.
+func TestBackoffSchedulesDiverge(t *testing.T) {
+	mk := func(name string, rank int) []time.Duration {
+		c := NewClient(ClientConfig{Name: name, Rank: rank, World: 4,
+			BackoffBase: 10 * time.Millisecond, BackoffMax: 80 * time.Millisecond})
+		out := make([]time.Duration, 6)
+		for i := range out {
+			out[i] = c.backoff(i + 1)
+		}
+		return out
+	}
+	a, b := mk("trainer-0", 0), mk("trainer-1", 1)
+	same := 0
+	for i := range a {
+		if a[i] == b[i] {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Fatalf("two distinct clients computed identical schedules %v — lockstep retries", a)
+	}
+	// Determinism: the same identity replays the same schedule.
+	a2 := mk("trainer-0", 0)
+	for i := range a {
+		if a[i] != a2[i] {
+			t.Fatalf("same identity diverged between runs: %v vs %v", a, a2)
+		}
+	}
+	// An explicit JitterSeed overrides the identity-derived one.
+	c1 := NewClient(ClientConfig{JitterSeed: 7, BackoffBase: 10 * time.Millisecond, BackoffMax: 80 * time.Millisecond})
+	c2 := NewClient(ClientConfig{JitterSeed: 7, Name: "other", BackoffBase: 10 * time.Millisecond, BackoffMax: 80 * time.Millisecond})
+	for i := 0; i < 6; i++ {
+		if d1, d2 := c1.backoff(i+1), c2.backoff(i+1); d1 != d2 {
+			t.Fatalf("same JitterSeed produced different schedules at attempt %d: %v vs %v", i+1, d1, d2)
 		}
 	}
 }

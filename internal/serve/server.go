@@ -13,6 +13,7 @@ import (
 
 	"lotus/internal/clock"
 	"lotus/internal/core/trace"
+	"lotus/internal/faultinject"
 	"lotus/internal/native"
 	"lotus/internal/pipeline"
 	"lotus/internal/workloads"
@@ -36,6 +37,14 @@ type Config struct {
 	MaxFrame int
 	// RingSize is the live trace ring capacity in records (default 16384).
 	RingSize int
+	// HelloTimeout bounds how long a fresh connection may take to present a
+	// valid Hello before the server gives up on it (default 10s).
+	HelloTimeout time.Duration
+	// Faults, when non-nil, is the deterministic fault-injection layer: it is
+	// threaded into every session's pipeline (read errors / stalls / panics)
+	// and consulted per outgoing batch frame for wire faults (drop, truncate,
+	// corrupt). Production servers leave it nil.
+	Faults *faultinject.Injector
 	// Logf receives server lifecycle logs (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -81,6 +90,9 @@ func New(cfg Config) *Server {
 	if cfg.RingSize <= 0 {
 		cfg.RingSize = 16384
 	}
+	if cfg.HelloTimeout <= 0 {
+		cfg.HelloTimeout = 10 * time.Second
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
@@ -94,6 +106,7 @@ func New(cfg Config) *Server {
 		cancel:     cancel,
 		conns:      make(map[net.Conn]struct{}),
 	}
+	s.ring.SetPerLogCost(cfg.Spec.PerLogCost)
 	s.planLen = len(pipeline.BuildBatchPlan(s.datasetLen, cfg.Spec.BatchSize,
 		cfg.Spec.Shuffle, false, cfg.Spec.Seed))
 	return s
@@ -315,7 +328,7 @@ func (s *Server) handleConn(conn net.Conn) {
 }
 
 func (s *Server) readHello(conn net.Conn) (Hello, error) {
-	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	conn.SetReadDeadline(time.Now().Add(s.cfg.HelloTimeout))
 	defer conn.SetReadDeadline(time.Time{})
 	payload, err := ReadFrame(conn, s.cfg.MaxFrame)
 	if err != nil {
@@ -445,6 +458,9 @@ func (ss *session) hooks() *pipeline.Hooks {
 				ss.sm.AddDelay(start.Sub(end))
 			}
 		},
+		// Served runs charge the same modeled per-record cost a streamed
+		// Tracer run would — the Ring/Tracer overhead parity satellite.
+		PerLogCost: ss.srv.cfg.Spec.PerLogCost,
 	}
 }
 
@@ -481,6 +497,7 @@ func (ss *session) streamEpoch(epoch int) error {
 		WorkScale:      spec.WorkScale,
 		MaterializeDim: ss.srv.cfg.MaterializeDim,
 		Dispatch:       spec.Dispatch,
+		Faults:         ss.srv.cfg.Faults,
 	}
 	var clk clock.Clock
 	if ss.srv.cfg.Mode == pipeline.RealData {
@@ -508,6 +525,10 @@ func (ss *session) streamEpoch(epoch int) error {
 		clk.Run("serve-producer", func(p clock.Proc) {
 			dl := pipeline.NewDataLoader(clk, ss.ds, cfg)
 			it := dl.Start(p)
+			// Whatever ends the epoch — completion, failure, or abort —
+			// consume every in-flight worker result so no batch is left
+			// uncredited on the data queue and the clock winds down clean.
+			defer it.Drain(p)
 			for i := 0; ; i++ {
 				b, ok := it.Next(p)
 				if !ok {
@@ -519,7 +540,8 @@ func (ss *session) streamEpoch(epoch int) error {
 				case frames <- payload:
 				case <-ctx.Done():
 					// Client gone or server draining: close the index
-					// queues so the workers exit after their current task.
+					// queues so the workers finish what was dispatched
+					// and exit.
 					it.Abort()
 					perr = ctx.Err()
 					return
@@ -533,6 +555,45 @@ func (ss *session) streamEpoch(epoch int) error {
 	for payload := range frames {
 		if werr != nil {
 			continue // keep draining so the producer never blocks forever
+		}
+		// Wire-fault seam: each outgoing batch frame may be dropped,
+		// truncated, or corrupted once per configured fault. The stream
+		// checksum always folds the CLEAN payload — these model the wire
+		// mangling bytes after the server produced them correctly, so the
+		// client's integrity checks (decode, checksum at EpochEnd) are what
+		// must catch the damage.
+		switch ss.srv.cfg.Faults.NextWireAction() {
+		case faultinject.WireDrop:
+			ss.conn.Close()
+			werr = errors.New("faultinject: connection dropped before frame")
+			cancelEpoch()
+			continue
+		case faultinject.WireTruncate:
+			var hdr [4]byte
+			hdr[0] = byte(len(payload) >> 24)
+			hdr[1] = byte(len(payload) >> 16)
+			hdr[2] = byte(len(payload) >> 8)
+			hdr[3] = byte(len(payload))
+			ss.conn.Write(hdr[:])
+			ss.conn.Write(payload[:len(payload)/2])
+			ss.conn.Close()
+			werr = errors.New("faultinject: frame truncated mid-payload")
+			cancelEpoch()
+			continue
+		case faultinject.WireCorrupt:
+			corrupted := append([]byte(nil), payload...)
+			corrupted[len(corrupted)/2] ^= 0xa5
+			if err := WriteFrame(ss.conn, corrupted); err != nil {
+				werr = err
+				cancelEpoch()
+				continue
+			}
+			sum.Write(payload)
+			sent++
+			wireBytes := len(payload) + 4
+			ss.sm.AddBatch(wireBytes)
+			ss.srv.metrics.AddBatch(wireBytes)
+			continue
 		}
 		if err := WriteFrame(ss.conn, payload); err != nil {
 			werr = err
