@@ -9,6 +9,21 @@
 // Transient failures (refused connections, resets, mid-stream EOF) are
 // retried with exponential backoff by reconnecting and re-requesting the
 // failed epoch; fatal server errors abort.
+//
+// Replicated serving: -addrs takes a comma-separated endpoint list and the
+// client falls back across the replicas — a dead endpoint costs one dial,
+// and a mid-run death rotates to the next replica (every endpoint must serve
+// the same workload spec, so the stream stays byte-identical).
+//
+// Cluster mode: -cluster partitions every epoch's full batch plan across
+// the -addrs nodes with a consistent-hash ring and streams the shards
+// concurrently; a node death mid-epoch re-routes its unserved batches to
+// survivors, preserving exactly-once delivery:
+//
+//	lotus-fetch -cluster -addrs host1:9317,host2:9317,host3:9317 -epochs 2
+//
+// -rank/-world are ignored in cluster mode (the router consumes whole
+// plans).
 package main
 
 import (
@@ -16,26 +31,49 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
+	"strings"
 	"time"
 
+	"lotus/internal/cluster"
 	"lotus/internal/serve"
 )
 
 func main() {
 	var (
-		addr    = flag.String("addr", "localhost:9317", "server wire address")
-		epochs  = flag.Int("epochs", 2, "epochs to stream")
-		rank    = flag.Int("rank", 0, "this client's shard rank")
-		world   = flag.Int("world", 1, "total shard count")
-		name    = flag.String("name", "", "session label in server metrics")
-		retries = flag.Int("retries", 4, "reconnect attempts per epoch on transient failures")
-		backoff = flag.Duration("backoff", 50*time.Millisecond, "retry backoff base (doubles per attempt)")
-		quiet   = flag.Bool("quiet", false, "suppress per-epoch progress lines")
+		addr        = flag.String("addr", "localhost:9317", "server wire address")
+		addrs       = flag.String("addrs", "", "comma-separated endpoint list (replaces -addr; ordered fallback, or the member set with -cluster)")
+		clustered   = flag.Bool("cluster", false, "consistent-hash route whole epoch plans across the -addrs nodes with mid-epoch failover")
+		replication = flag.Int("replication", 1, "cluster mode: preferred replica-set size per batch on the hash ring")
+		heartbeat   = flag.Duration("heartbeat", 500*time.Millisecond, "cluster mode: node heartbeat interval")
+		epochs      = flag.Int("epochs", 2, "epochs to stream")
+		rank        = flag.Int("rank", 0, "this client's shard rank")
+		world       = flag.Int("world", 1, "total shard count")
+		name        = flag.String("name", "", "session label in server metrics")
+		retries     = flag.Int("retries", 4, "reconnect attempts per epoch on transient failures")
+		backoff     = flag.Duration("backoff", 50*time.Millisecond, "retry backoff base (doubles per attempt)")
+		quiet       = flag.Bool("quiet", false, "suppress per-epoch progress lines")
 	)
 	flag.Parse()
 
+	var endpoints []string
+	for _, a := range strings.Split(*addrs, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			endpoints = append(endpoints, a)
+		}
+	}
+	if len(endpoints) == 0 {
+		endpoints = []string{*addr}
+	}
+
+	if *clustered {
+		runCluster(endpoints, *epochs, *replication, *heartbeat, *name, *quiet)
+		return
+	}
+
 	client := serve.NewClient(serve.ClientConfig{
-		Addr:        *addr,
+		Addr:        endpoints[0],
+		Addrs:       endpoints,
 		Rank:        *rank,
 		World:       *world,
 		Name:        *name,
@@ -48,7 +86,7 @@ func main() {
 	defer client.Close()
 
 	if err := client.Connect(); err != nil {
-		fmt.Fprintf(os.Stderr, "lotus-fetch: connect %s: %v\n", *addr, err)
+		fmt.Fprintf(os.Stderr, "lotus-fetch: connect %s: %v\n", strings.Join(endpoints, ","), err)
 		os.Exit(1)
 	}
 	ack, _ := client.Ack()
@@ -57,7 +95,7 @@ func main() {
 		modeName = "real"
 	}
 	fmt.Printf("lotus-fetch: %s workload %s (%s): %d samples, batch %d; shard %d/%d -> %d of %d batches/epoch\n",
-		*addr, ack.Workload, modeName, ack.DatasetLen, ack.BatchSize,
+		client.Addr(), ack.Workload, modeName, ack.DatasetLen, ack.BatchSize,
 		*rank, *world, ack.ShardBatches, ack.PlanBatches)
 
 	epochBatches := 0
@@ -83,4 +121,67 @@ func main() {
 		stats.Epochs, stats.Batches, float64(stats.Bytes)/(1<<20),
 		stats.Elapsed.Round(time.Millisecond), stats.BatchesPerSec(), stats.Retries)
 	fmt.Println(stats.Hist.String())
+}
+
+// runCluster consumes epochs through the consistent-hash cluster router
+// instead of a single rank/world session.
+func runCluster(endpoints []string, epochs, replication int, heartbeat time.Duration, name string, quiet bool) {
+	nodes := make([]cluster.Node, len(endpoints))
+	for i, a := range endpoints {
+		nodes[i] = cluster.Node{ID: a, Addr: a}
+	}
+	mem := cluster.NewMembership(cluster.MembershipConfig{
+		Nodes:    nodes,
+		Interval: heartbeat,
+		Logf:     log.Printf,
+	})
+	mem.Start()
+	defer mem.Stop()
+
+	if name == "" {
+		name = "lotus-fetch"
+	}
+	c, err := cluster.New(cluster.Config{
+		Nodes:       nodes,
+		Replication: replication,
+		Name:        name,
+		Membership:  mem,
+		Logf:        log.Printf,
+		OnReroute: func(epoch int, ids []int) {
+			log.Printf("lotus-fetch: epoch %d: rerouting %d batches to survivors", epoch, len(ids))
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lotus-fetch: %v\n", err)
+		os.Exit(1)
+	}
+	defer c.Close()
+
+	perEpoch := 0
+	stats, err := c.Run(epochs, func(node string, b *serve.Batch, payload []byte) {
+		perEpoch++
+		if !quiet && b != nil && perEpoch%64 == 0 {
+			log.Printf("lotus-fetch: epoch %d: %d batches so far", b.Epoch, perEpoch)
+		}
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lotus-fetch: %v\n", err)
+		os.Exit(1)
+	}
+	if ack, ok := c.Ack(); ok {
+		fmt.Printf("lotus-fetch: cluster of %d nodes, workload %s: %d samples, batch %d, %d batches/epoch\n",
+			len(nodes), ack.Workload, ack.DatasetLen, ack.BatchSize, ack.PlanBatches)
+	}
+	fmt.Printf("lotus-fetch: %d epochs, %d batches, %.1f MB in %v (%.1f batches/sec; rerouted=%d node_failures=%d)\n",
+		stats.Epochs, stats.Batches, float64(stats.Bytes)/(1<<20),
+		stats.Elapsed.Round(time.Millisecond), stats.BatchesPerSec(),
+		stats.Rerouted, stats.NodeFailures)
+	ids := make([]string, 0, len(stats.PerNode))
+	for id := range stats.PerNode {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		fmt.Printf("lotus-fetch:   %-24s %6d batches (%s)\n", id, stats.PerNode[id], mem.State(id))
+	}
 }

@@ -10,6 +10,17 @@
 // every epoch's batch plan; /metrics and /trace expose live throughput and a
 // Chrome-Trace view of the serving pipeline while it runs. SIGINT/SIGTERM
 // starts a graceful drain (in-flight epochs finish, bounded by -drain).
+//
+// Cluster mode: pass -join with every member's endpoints (including this
+// node's) and the server heartbeats its peers' /healthz sidecars, serving
+// the live membership view on the sidecar's /cluster endpoint:
+//
+//	lotus-serve -addr :9317 -http :9318 -node n0 \
+//	    -join n0=localhost:9317/localhost:9318,n1=localhost:9417/localhost:9418
+//
+// Nodes never coordinate work — the deterministic epoch plan plus the
+// consumer-side consistent-hash router (internal/cluster) partition it — so
+// joining is purely an observability concern here.
 package main
 
 import (
@@ -19,14 +30,42 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"lotus/internal/cluster"
 	"lotus/internal/native"
 	"lotus/internal/pipeline"
 	"lotus/internal/serve"
 	"lotus/internal/workloads"
 )
+
+// parseJoin parses the -join list: comma-separated members, each
+// [id=]wireAddr[/httpAddr].
+func parseJoin(join string) ([]cluster.Node, error) {
+	var nodes []cluster.Node
+	for _, entry := range strings.Split(join, ",") {
+		entry = strings.TrimSpace(entry)
+		if entry == "" {
+			continue
+		}
+		n := cluster.Node{}
+		if id, rest, ok := strings.Cut(entry, "="); ok {
+			n.ID, entry = id, rest
+		}
+		addr, httpAddr, _ := strings.Cut(entry, "/")
+		if addr == "" {
+			return nil, fmt.Errorf("member %q has no wire address", entry)
+		}
+		n.Addr, n.HTTPAddr = addr, httpAddr
+		nodes = append(nodes, n)
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("-join given but no members parsed")
+	}
+	return nodes, nil
+}
 
 func main() {
 	var (
@@ -38,12 +77,15 @@ func main() {
 		workers  = flag.Int("workers", 0, "DataLoader workers (0 = workload default)")
 		prefetch = flag.Int("prefetch", 0, "DataLoader prefetch factor (0 = default)")
 		queue    = flag.Int("queue", 4, "per-session server prefetch queue depth in batches")
-		mode     = flag.String("mode", "sim", "preprocessing mode: sim (meta tensors) or real (pixel payloads)")
+		mode     = flag.String("mode", "sim", "preprocessing mode: sim (meta tensors), real (pixel payloads), or emulate (sim pipeline paced on the wall clock)")
 		seed     = flag.Int64("seed", 1, "randomness root")
 		arch     = flag.String("arch", "intel", "simulated CPU vendor: intel or amd")
 		matDim   = flag.Int("materialize-dim", 96, "real mode: synthesized image resolution cap")
 		ring     = flag.Int("ring", 16384, "live trace ring capacity in records")
 		drain    = flag.Duration("drain", 15*time.Second, "graceful drain budget on SIGINT/SIGTERM")
+		nodeID   = flag.String("node", "", "this node's cluster identity (default: -addr)")
+		join     = flag.String("join", "", "cluster member list ([id=]wire[/http] per entry, comma-separated); serves the membership view on /cluster")
+		interval = flag.Duration("heartbeat", 500*time.Millisecond, "peer heartbeat interval in cluster mode")
 	)
 	flag.Parse()
 
@@ -73,21 +115,50 @@ func main() {
 	}
 
 	pmode := pipeline.Simulated
+	emulate := false
 	switch *mode {
 	case "sim":
 	case "real":
 		pmode = pipeline.RealData
+	case "emulate":
+		// Simulated pipeline on the wall clock: modeled latencies pace the
+		// stream in real time (load generation, cluster scaling runs).
+		emulate = true
 	default:
-		fmt.Fprintf(os.Stderr, "lotus-serve: unknown mode %q (want sim or real)\n", *mode)
+		fmt.Fprintf(os.Stderr, "lotus-serve: unknown mode %q (want sim, real, or emulate)\n", *mode)
 		os.Exit(2)
+	}
+
+	var mem *cluster.Membership
+	self := *nodeID
+	if self == "" {
+		self = *addr
+	}
+	var clusterInfo func() any
+	if *join != "" {
+		nodes, err := parseJoin(*join)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lotus-serve: -join: %v\n", err)
+			os.Exit(2)
+		}
+		mem = cluster.NewMembership(cluster.MembershipConfig{
+			Nodes:    nodes,
+			Interval: *interval,
+			Logf:     log.Printf,
+		})
+		clusterInfo = func() any {
+			return map[string]any{"node": self, "members": mem.Snapshot()}
+		}
 	}
 
 	srv := serve.New(serve.Config{
 		Spec:           spec,
 		Mode:           pmode,
+		EmulateTime:    emulate,
 		Prefetch:       *queue,
 		MaterializeDim: *matDim,
 		RingSize:       *ring,
+		ClusterInfo:    clusterInfo,
 		Logf:           log.Printf,
 	})
 	if err := srv.Start(*addr, *httpAddr); err != nil {
@@ -95,7 +166,16 @@ func main() {
 		os.Exit(1)
 	}
 	if h := srv.HTTPAddr(); h != "" {
-		log.Printf("lotus-serve: observability on http://%s (/healthz /metrics /trace)", h)
+		endpoints := "/healthz /metrics /trace"
+		if mem != nil {
+			endpoints += " /cluster"
+		}
+		log.Printf("lotus-serve: observability on http://%s (%s)", h, endpoints)
+	}
+	if mem != nil {
+		mem.Start()
+		defer mem.Stop()
+		log.Printf("lotus-serve: node %s probing %d cluster members every %v", self, len(mem.Snapshot()), *interval)
 	}
 
 	sig := make(chan os.Signal, 1)

@@ -10,7 +10,10 @@
 //   - Iterator.Skipped matches the injector's up-front failure prediction
 //     exactly under SkipBatch;
 //   - a served session either completes byte-identically to a local
-//     DataLoader run or fails with a clean Error frame.
+//     DataLoader run or fails with a clean Error frame;
+//   - a clustered epoch (three loopback nodes) delivers its plan exactly
+//     once and byte-identically whatever the membership does mid-epoch:
+//     node killed, node slowed, heartbeat flapping (cluster.go).
 //
 // Every decision the sweep injects is a pure function of the seed, so a
 // failing cell reproduces by rerunning with the same seed.
@@ -112,6 +115,11 @@ func Sweep(opts Options) []Result {
 	run(serveWireCell("wire-corrupt", opts.Seed, faultinject.Spec{CorruptFrame: 4}))
 	run(servePanicCell(opts.Seed))
 	run(serveDisconnectCell(opts.Seed))
+
+	// Cluster failover plane over three loopback nodes (cluster.go).
+	run(clusterNodeKillCell(opts.Seed))
+	run(clusterNodeSlowCell(opts.Seed))
+	run(clusterHeartbeatFlapCell(opts.Seed))
 	return out
 }
 

@@ -23,6 +23,7 @@ func TestSweepAllInvariantsHold(t *testing.T) {
 	for _, class := range []string{
 		"read-error", "read-stall", "worker-panic", "worker-stall",
 		"wire-drop", "wire-truncate", "wire-corrupt", "server-panic", "client-disconnect",
+		"cluster-node-kill", "cluster-node-slow", "cluster-heartbeat-flap",
 	} {
 		if injectedByClass[class] == 0 {
 			t.Errorf("fault class %q never injected a fault", class)

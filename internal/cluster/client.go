@@ -1,0 +1,392 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"lotus/internal/rng"
+	"lotus/internal/serve"
+)
+
+// Config parameterizes a cluster client.
+type Config struct {
+	// Nodes is the cluster's member list. Every node must serve the same
+	// workload spec: the epoch plan is derived from (spec, seed, epoch), so
+	// any node can produce any batch, byte-identically.
+	Nodes []Node
+	// Replication is the preferred replica-set size per batch on the hash
+	// ring (default 1). Larger values keep a batch's failover targets
+	// ring-determined and its server-side caches warm on R nodes.
+	Replication int
+	// VNodes is the ring's virtual-node count per node (default
+	// DefaultVNodes).
+	VNodes int
+	// Name labels this consumer's sessions in node metrics.
+	Name string
+	// NodeRetries is how many extra same-node attempts a failed shard fetch
+	// gets before the node is declared dead and its unserved batches are
+	// rerouted (default 1). Only the still-unserved IDs are re-requested, so
+	// a retry never re-delivers a batch.
+	NodeRetries int
+	// BackoffBase/BackoffMax shape the jittered sleep before a same-node
+	// retry (defaults 50ms / 1s).
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// JitterSeed seeds the retry jitter (0 derives one from Name).
+	JitterSeed int64
+	// MaxFrame / DialTimeout are passed to each node's serve.Client.
+	MaxFrame    int
+	DialTimeout time.Duration
+	// Membership, when non-nil, is an externally-owned (typically actively
+	// probing) membership view; nil builds an internal passive one that only
+	// the router's own failure reports update.
+	Membership *Membership
+	// MaxRounds caps routing rounds per epoch (default 4 + 2*len(Nodes)) —
+	// the brake against a node flapping alive-but-broken forever.
+	MaxRounds int
+	// OnFetchError observes every failed shard fetch attempt.
+	OnFetchError func(node string, epoch, attempt int, err error)
+	// OnReroute observes each failover: the batch IDs being moved away from
+	// dead nodes at the start of a routing round.
+	OnReroute func(epoch int, ids []int)
+	// Sleep replaces time.Sleep for retry backoff (tests; nil = time.Sleep).
+	Sleep func(time.Duration)
+	// Logf receives routing logs (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// EpochStats summarizes one routed epoch.
+type EpochStats struct {
+	Epoch int
+	// Batches/Bytes count delivered (deduplicated) batches.
+	Batches int
+	Bytes   int64
+	// Rounds is how many routing rounds the epoch took (1 = no failover).
+	Rounds int
+	// NodeFailures counts nodes declared dead during the epoch.
+	NodeFailures int
+	// Rerouted counts batches that were re-assigned away from a dead node.
+	Rerouted int
+	// Spilled counts batches served outside their preferred replica set.
+	Spilled int
+	// Ignored counts frames dropped by the exactly-once filter (duplicate or
+	// out-of-plan global IDs). Zero in a correct cluster: the router only
+	// ever re-requests unserved IDs.
+	Ignored int
+	// PerNode maps node ID to batches delivered by it.
+	PerNode map[string]int
+}
+
+// Stats aggregates a multi-epoch Run.
+type Stats struct {
+	Epochs       int
+	Batches      int
+	Bytes        int64
+	NodeFailures int
+	Rerouted     int
+	Ignored      int
+	Elapsed      time.Duration
+	PerNode      map[string]int
+}
+
+// BatchesPerSec is the aggregate delivered-batch throughput.
+func (s *Stats) BatchesPerSec() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.Batches) / s.Elapsed.Seconds()
+}
+
+// Client consumes epochs from a preprocessing cluster: it partitions each
+// epoch's batch plan across alive nodes with the consistent-hash ring,
+// streams the per-node shards concurrently, and on node death re-routes that
+// node's unserved batches to survivors mid-epoch. Exactly-once delivery
+// holds by construction — the router only ever requests IDs it has not
+// received — and a received-set filter enforces it against misbehaving
+// nodes. Not safe for concurrent use; run one Client per goroutine.
+type Client struct {
+	cfg     Config
+	ring    *Ring
+	mem     *Membership
+	clients map[string]*serve.Client
+	jitter  *rng.Stream
+
+	planLen int
+	ack     serve.HelloAck
+	haveAck bool
+}
+
+// New builds a cluster client. No connections are made until the first run.
+func New(cfg Config) (*Client, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, errors.New("cluster: no nodes configured")
+	}
+	if cfg.Replication < 1 {
+		cfg.Replication = 1
+	}
+	if cfg.NodeRetries < 0 {
+		cfg.NodeRetries = 0
+	} else if cfg.NodeRetries == 0 {
+		cfg.NodeRetries = 1
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 50 * time.Millisecond
+	}
+	if cfg.BackoffMax <= 0 {
+		cfg.BackoffMax = time.Second
+	}
+	if cfg.MaxRounds <= 0 {
+		cfg.MaxRounds = 4 + 2*len(cfg.Nodes)
+	}
+	if cfg.Sleep == nil {
+		cfg.Sleep = time.Sleep
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	seed := cfg.JitterSeed
+	if seed == 0 {
+		seed = int64(fnv1a(cfg.Name)) ^ 0x636c7573746572 // "cluster"
+	}
+	c := &Client{
+		cfg:     cfg,
+		ring:    NewRing(cfg.VNodes),
+		clients: make(map[string]*serve.Client),
+		jitter:  rng.New(seed, "cluster/retry"),
+	}
+	for i := range cfg.Nodes {
+		if cfg.Nodes[i].ID == "" {
+			cfg.Nodes[i].ID = cfg.Nodes[i].Addr
+		}
+		id := cfg.Nodes[i].ID
+		if _, dup := c.clients[id]; dup {
+			return nil, fmt.Errorf("cluster: duplicate node id %q", id)
+		}
+		c.ring.Add(id)
+		c.clients[id] = serve.NewClient(serve.ClientConfig{
+			Addr:        cfg.Nodes[i].Addr,
+			Name:        cfg.Name + "@" + id,
+			MaxFrame:    cfg.MaxFrame,
+			DialTimeout: cfg.DialTimeout,
+			JitterSeed:  seed + int64(i) + 1,
+		})
+	}
+	c.mem = cfg.Membership
+	if c.mem == nil {
+		c.mem = NewMembership(MembershipConfig{Nodes: cfg.Nodes, JitterSeed: seed})
+	}
+	return c, nil
+}
+
+// Membership exposes the client's liveness view (for /cluster-style
+// introspection and tests).
+func (c *Client) Membership() *Membership { return c.mem }
+
+// Ack returns a node's handshake response once any node has answered.
+func (c *Client) Ack() (serve.HelloAck, bool) { return c.ack, c.haveAck }
+
+// Close disconnects every node session.
+func (c *Client) Close() error {
+	var first error
+	for _, sc := range c.clients {
+		if err := sc.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// ensurePlan learns the epoch plan length from the first alive node's
+// handshake. Every node serves the same spec, so any ack is authoritative.
+func (c *Client) ensurePlan() error {
+	if c.haveAck {
+		return nil
+	}
+	var lastErr error
+	alive := c.mem.Alive()
+	for _, id := range c.ring.Nodes() {
+		if !alive[id] {
+			continue
+		}
+		sc := c.clients[id]
+		if err := sc.Connect(); err != nil {
+			lastErr = err
+			c.mem.ReportFailure(id, err)
+			continue
+		}
+		ack, _ := sc.Ack()
+		c.ack = ack
+		c.haveAck = true
+		c.planLen = ack.PlanBatches
+		return nil
+	}
+	if lastErr == nil {
+		lastErr = errors.New("cluster: no alive nodes")
+	}
+	return fmt.Errorf("cluster: handshake failed on every node: %w", lastErr)
+}
+
+// backoff returns the jittered sleep before same-node retry attempt k
+// (1-based): exponential with a cap, jittered into [d/2, d).
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.cfg.BackoffBase
+	for i := 1; i < attempt; i++ {
+		d *= 2
+		if d >= c.cfg.BackoffMax {
+			d = c.cfg.BackoffMax
+			break
+		}
+	}
+	if d > c.cfg.BackoffMax {
+		d = c.cfg.BackoffMax
+	}
+	half := d / 2
+	return half + time.Duration(c.jitter.Float64()*float64(half))
+}
+
+// epochState is the shared exactly-once ledger for one routed epoch.
+type epochState struct {
+	mu       sync.Mutex
+	received map[int]bool
+	stats    *EpochStats
+}
+
+// RunEpoch routes one epoch: every batch of the plan is delivered to onBatch
+// exactly once (node names which member served it), or an error is returned
+// once no routing round can make progress. The concatenation of payloads in
+// global-ID order is byte-identical to a single-node epoch stream.
+func (c *Client) RunEpoch(epoch int, onBatch func(node string, b *serve.Batch, payload []byte)) (*EpochStats, error) {
+	stats := &EpochStats{Epoch: epoch, PerNode: make(map[string]int)}
+	if err := c.ensurePlan(); err != nil {
+		return stats, err
+	}
+	remaining := make([]int, c.planLen)
+	for i := range remaining {
+		remaining[i] = i
+	}
+	st := &epochState{received: make(map[int]bool, c.planLen), stats: stats}
+
+	for round := 0; len(remaining) > 0; round++ {
+		if round >= c.cfg.MaxRounds {
+			return stats, fmt.Errorf("cluster: epoch %d: %d batches still unserved after %d routing rounds",
+				epoch, len(remaining), round)
+		}
+		alive := c.mem.Alive()
+		if len(alive) == 0 {
+			return stats, fmt.Errorf("cluster: epoch %d: no alive nodes with %d batches unserved",
+				epoch, len(remaining))
+		}
+		if round > 0 {
+			stats.Rerouted += len(remaining)
+			if c.cfg.OnReroute != nil {
+				c.cfg.OnReroute(epoch, remaining)
+			}
+			c.cfg.Logf("cluster: epoch %d round %d: rerouting %d batches across %d nodes",
+				epoch, round, len(remaining), len(alive))
+		}
+		asn := c.ring.Assign(remaining, alive, c.cfg.Replication)
+		stats.Spilled += asn.Spilled
+		stats.Rounds = round + 1
+
+		var wg sync.WaitGroup
+		for node, ids := range asn.ByNode {
+			wg.Add(1)
+			go func(node string, ids []int) {
+				defer wg.Done()
+				if err := c.fetchNode(epoch, node, ids, st, onBatch); err != nil {
+					st.mu.Lock()
+					stats.NodeFailures++
+					st.mu.Unlock()
+					c.mem.ReportFailure(node, err)
+				}
+			}(node, ids)
+		}
+		wg.Wait()
+
+		next := remaining[:0]
+		st.mu.Lock()
+		for _, id := range remaining {
+			if !st.received[id] {
+				next = append(next, id)
+			}
+		}
+		st.mu.Unlock()
+		remaining = next
+	}
+	return stats, nil
+}
+
+// fetchNode streams one node's assigned IDs, retrying the node itself (with
+// only the still-unserved IDs) NodeRetries times before giving it up. The
+// serve.Client is owned by this goroutine for the duration of the round —
+// Assign hands each node to exactly one fetchNode call per round.
+func (c *Client) fetchNode(epoch int, node string, ids []int, st *epochState, onBatch func(string, *serve.Batch, []byte)) error {
+	sc := c.clients[node]
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.NodeRetries; attempt++ {
+		need := make([]int, 0, len(ids))
+		st.mu.Lock()
+		for _, id := range ids {
+			if !st.received[id] {
+				need = append(need, id)
+			}
+		}
+		st.mu.Unlock()
+		if len(need) == 0 {
+			return nil
+		}
+		if attempt > 0 {
+			c.cfg.Sleep(c.backoff(attempt))
+		}
+		err := sc.FetchShard(epoch, need, func(b *serve.Batch, payload []byte) {
+			st.mu.Lock()
+			if b.GlobalID < 0 || b.GlobalID >= c.planLen || st.received[b.GlobalID] {
+				st.stats.Ignored++
+				st.mu.Unlock()
+				return
+			}
+			st.received[b.GlobalID] = true
+			st.stats.Batches++
+			st.stats.Bytes += int64(len(payload)) + 4
+			st.stats.PerNode[node]++
+			st.mu.Unlock()
+			if onBatch != nil {
+				onBatch(node, b, payload)
+			}
+		})
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		if c.cfg.OnFetchError != nil {
+			c.cfg.OnFetchError(node, epoch, attempt+1, err)
+		}
+		c.cfg.Logf("cluster: epoch %d node %s attempt %d: %v", epoch, node, attempt+1, err)
+	}
+	return lastErr
+}
+
+// Run routes epochs 0..epochs-1 and aggregates their stats.
+func (c *Client) Run(epochs int, onBatch func(node string, b *serve.Batch, payload []byte)) (*Stats, error) {
+	out := &Stats{PerNode: make(map[string]int)}
+	start := time.Now()
+	defer func() { out.Elapsed = time.Since(start) }()
+	for e := 0; e < epochs; e++ {
+		es, err := c.RunEpoch(e, onBatch)
+		out.Batches += es.Batches
+		out.Bytes += es.Bytes
+		out.NodeFailures += es.NodeFailures
+		out.Rerouted += es.Rerouted
+		out.Ignored += es.Ignored
+		for n, b := range es.PerNode {
+			out.PerNode[n] += b
+		}
+		if err != nil {
+			return out, fmt.Errorf("cluster: epoch %d: %w", e, err)
+		}
+		out.Epochs++
+	}
+	return out, nil
+}

@@ -1,0 +1,414 @@
+package cluster
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"lotus/internal/faultinject"
+	"lotus/internal/pipeline"
+	"lotus/internal/serve"
+	"lotus/internal/testutil"
+	"lotus/internal/workloads"
+)
+
+func clusterSpec() workloads.Spec {
+	spec := workloads.ICSpec(640, 7)
+	spec.BatchSize = 32 // 20 batches per epoch
+	spec.NumWorkers = 2
+	return spec
+}
+
+// startNode boots one loopback serve node; every node of a test cluster runs
+// the identical spec, which is the determinism contract the cluster relies
+// on.
+func startNode(t *testing.T, spec workloads.Spec, inj *faultinject.Injector) *serve.Server {
+	t.Helper()
+	srv := serve.New(serve.Config{Spec: spec, Mode: pipeline.Simulated, Prefetch: 2, Faults: inj})
+	if err := srv.Start("127.0.0.1:0", ""); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+// groundTruth fetches every epoch whole from a dedicated single node — the
+// byte-identity reference the cluster must reproduce. Returned frames are
+// indexed [epoch][globalID].
+func groundTruth(t *testing.T, spec workloads.Spec, epochs int) [][][]byte {
+	t.Helper()
+	srv := startNode(t, spec, nil)
+	c := serve.NewClient(serve.ClientConfig{Addr: srv.Addr(), Name: "ground-truth"})
+	defer c.Close()
+	byEpoch := make([]map[int][]byte, epochs)
+	for e := range byEpoch {
+		byEpoch[e] = make(map[int][]byte)
+	}
+	if _, err := c.Run(epochs, func(b *serve.Batch, payload []byte) {
+		byEpoch[b.Epoch][b.GlobalID] = append([]byte(nil), payload...)
+	}); err != nil {
+		t.Fatalf("ground truth run: %v", err)
+	}
+	out := make([][][]byte, epochs)
+	for e, m := range byEpoch {
+		out[e] = make([][]byte, len(m))
+		for gid, p := range m {
+			out[e][gid] = p
+		}
+	}
+	return out
+}
+
+// testNodes returns the cluster Node list for a set of live servers, with
+// stable IDs node0..nodeN-1.
+func testNodes(srvs []*serve.Server) []Node {
+	nodes := make([]Node, len(srvs))
+	for i, s := range srvs {
+		nodes[i] = Node{ID: fmt.Sprintf("node%d", i), Addr: s.Addr()}
+	}
+	return nodes
+}
+
+// frameSink collects delivered frames with full exactly-once bookkeeping.
+type frameSink struct {
+	mu     sync.Mutex
+	frames map[int]map[int][]byte // epoch -> globalID -> payload
+	dups   int
+}
+
+func newFrameSink() *frameSink {
+	return &frameSink{frames: make(map[int]map[int][]byte)}
+}
+
+func (fs *frameSink) onBatch(node string, b *serve.Batch, payload []byte) {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	ep := fs.frames[b.Epoch]
+	if ep == nil {
+		ep = make(map[int][]byte)
+		fs.frames[b.Epoch] = ep
+	}
+	if _, dup := ep[b.GlobalID]; dup {
+		fs.dups++
+		return
+	}
+	ep[b.GlobalID] = append([]byte(nil), payload...)
+}
+
+// verifyEpoch asserts one epoch was delivered exactly once and
+// byte-identical to the single-node reference.
+func (fs *frameSink) verifyEpoch(t *testing.T, epoch int, want [][]byte) {
+	t.Helper()
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	if fs.dups != 0 {
+		t.Fatalf("epoch %d: %d duplicate deliveries — exactly-once violated", epoch, fs.dups)
+	}
+	got := fs.frames[epoch]
+	if len(got) != len(want) {
+		t.Fatalf("epoch %d: delivered %d of %d batches", epoch, len(got), len(want))
+	}
+	for gid, ref := range want {
+		p, ok := got[gid]
+		if !ok {
+			t.Fatalf("epoch %d: batch %d never delivered", epoch, gid)
+		}
+		if !bytes.Equal(p, ref) {
+			t.Fatalf("epoch %d batch %d: cluster frame differs from single-node ground truth", epoch, gid)
+		}
+	}
+}
+
+// TestClusterThreeNodeLoopback is the tentpole's happy path: three nodes,
+// two epochs, every batch exactly once and byte-identical to a single-node
+// run, with the shards landing exactly where the ring says they should.
+func TestClusterThreeNodeLoopback(t *testing.T) {
+	t.Cleanup(testutil.CheckGoroutines(t))
+	spec := clusterSpec()
+	const epochs = 2
+	want := groundTruth(t, spec, epochs)
+	planLen := len(want[0])
+
+	srvs := []*serve.Server{startNode(t, spec, nil), startNode(t, spec, nil), startNode(t, spec, nil)}
+	nodes := testNodes(srvs)
+	c, err := New(Config{Nodes: nodes, Name: "cluster-test", Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	sink := newFrameSink()
+	stats, err := c.Run(epochs, sink.onBatch)
+	if err != nil {
+		t.Fatalf("cluster run: %v", err)
+	}
+	for e := 0; e < epochs; e++ {
+		sink.verifyEpoch(t, e, want[e])
+	}
+	if stats.Batches != epochs*planLen {
+		t.Fatalf("stats counted %d batches, want %d", stats.Batches, epochs*planLen)
+	}
+	if stats.NodeFailures != 0 || stats.Rerouted != 0 || stats.Ignored != 0 {
+		t.Fatalf("healthy cluster reported failures=%d rerouted=%d ignored=%d",
+			stats.NodeFailures, stats.Rerouted, stats.Ignored)
+	}
+
+	// Placement must match the ring's deterministic assignment exactly:
+	// batch keys are epoch-independent, so each node serves its shard twice.
+	ring := NewRing(0)
+	alive := map[string]bool{}
+	for _, n := range nodes {
+		ring.Add(n.ID)
+		alive[n.ID] = true
+	}
+	ids := make([]int, planLen)
+	for i := range ids {
+		ids[i] = i
+	}
+	asn := ring.Assign(ids, alive, 1)
+	for _, n := range nodes {
+		if got, wantN := stats.PerNode[n.ID], epochs*len(asn.ByNode[n.ID]); got != wantN {
+			t.Fatalf("node %s served %d batches, ring assigns %d", n.ID, got, wantN)
+		}
+	}
+}
+
+// killSwitch closes a victim server the moment the router first reports a
+// fetch error against it — the deterministic "node process dies mid-epoch"
+// actuator (the fault injector guarantees the stream breaks; the kill switch
+// guarantees the node stays down for the retry).
+type killSwitch struct {
+	victim string
+	srv    *serve.Server
+	once   sync.Once
+}
+
+func (k *killSwitch) onFetchError(node string, epoch, attempt int, err error) {
+	if node == k.victim {
+		k.once.Do(func() { k.srv.Close() })
+	}
+}
+
+// victimWithLargestShard picks the node the ring gives the most batches, so
+// a mid-stream kill always leaves unserved work behind.
+func victimWithLargestShard(nodes []Node, planLen int) (string, int) {
+	ring := NewRing(0)
+	alive := map[string]bool{}
+	for _, n := range nodes {
+		ring.Add(n.ID)
+		alive[n.ID] = true
+	}
+	ids := make([]int, planLen)
+	for i := range ids {
+		ids[i] = i
+	}
+	asn := ring.Assign(ids, alive, 1)
+	best, bestLen := "", -1
+	for _, n := range nodes {
+		if l := len(asn.ByNode[n.ID]); l > bestLen {
+			best, bestLen = n.ID, l
+		}
+	}
+	return best, bestLen
+}
+
+// TestClusterNodeDeathMidEpoch is the tentpole's acceptance scenario: one of
+// three nodes dies mid-epoch (its connection drops after its first batch
+// frame and the process stays down), and the epoch still delivers every
+// batch exactly once, byte-identical to the single-node reference. The next
+// epoch routes around the corpse without any failover work.
+func TestClusterNodeDeathMidEpoch(t *testing.T) {
+	t.Cleanup(testutil.CheckGoroutines(t))
+	spec := clusterSpec()
+	want := groundTruth(t, spec, 2)
+	planLen := len(want[0])
+
+	// The victim is decided by the ring before any server exists; give that
+	// slot an injector that kills its connection before its second frame.
+	probe := []Node{{ID: "node0"}, {ID: "node1"}, {ID: "node2"}}
+	victimID, victimShard := victimWithLargestShard(probe, planLen)
+	if victimShard < 2 {
+		t.Fatalf("victim shard only %d batches; kill-mid-stream needs >= 2", victimShard)
+	}
+	srvs := make([]*serve.Server, 3)
+	var victimSrv *serve.Server
+	for i := range srvs {
+		var inj *faultinject.Injector
+		if fmt.Sprintf("node%d", i) == victimID {
+			inj = faultinject.New(faultinject.Spec{Seed: 7, DropFrame: 2})
+		}
+		srvs[i] = startNode(t, spec, inj)
+		if fmt.Sprintf("node%d", i) == victimID {
+			victimSrv = srvs[i]
+		}
+	}
+	nodes := testNodes(srvs)
+	kill := &killSwitch{victim: victimID, srv: victimSrv}
+	c, err := New(Config{
+		Nodes: nodes, Name: "cluster-kill", Logf: t.Logf,
+		OnFetchError: kill.onFetchError,
+		Sleep:        func(time.Duration) {}, // no wall-clock waits in tests
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	sink := newFrameSink()
+	stats, err := c.RunEpoch(0, sink.onBatch)
+	if err != nil {
+		t.Fatalf("epoch with node death: %v", err)
+	}
+	sink.verifyEpoch(t, 0, want[0])
+	if stats.NodeFailures != 1 {
+		t.Fatalf("node failures %d, want 1", stats.NodeFailures)
+	}
+	if stats.Rerouted == 0 || stats.Rounds < 2 {
+		t.Fatalf("no failover observed: rerouted=%d rounds=%d", stats.Rerouted, stats.Rounds)
+	}
+	// DropFrame=2 let exactly one victim frame through before the cut; that
+	// partial progress must be kept, not re-fetched.
+	if got := stats.PerNode[victimID]; got != 1 {
+		t.Fatalf("victim delivered %d frames before dying, want exactly 1 kept", got)
+	}
+	if stats.Rerouted != victimShard-1 {
+		t.Fatalf("rerouted %d batches, want the victim's %d unserved", stats.Rerouted, victimShard-1)
+	}
+	if c.Membership().State(victimID) != StateDead {
+		t.Fatal("victim not marked dead after failover")
+	}
+
+	// Epoch 1 on the degraded cluster: clean single-round run, no victim.
+	sink2 := newFrameSink()
+	stats2, err := c.RunEpoch(1, sink2.onBatch)
+	if err != nil {
+		t.Fatalf("epoch after node death: %v", err)
+	}
+	sink2.verifyEpoch(t, 1, want[1])
+	if stats2.NodeFailures != 0 || stats2.Rerouted != 0 || stats2.Rounds != 1 {
+		t.Fatalf("degraded-but-stable epoch did failover work: %+v", stats2)
+	}
+	if stats2.PerNode[victimID] != 0 {
+		t.Fatal("dead node served batches in the following epoch")
+	}
+}
+
+// TestRebalanceProperty is the satellite property test: across a sweep of
+// victim choices and kill points (membership changes mid-epoch), the union
+// of per-node served batch sets equals the plan exactly once, byte-identical
+// to ground truth, with no goroutine left behind. Run under -race in CI.
+func TestRebalanceProperty(t *testing.T) {
+	spec := clusterSpec()
+	want := groundTruth(t, spec, 1)
+	planLen := len(want[0])
+
+	trials := 6
+	if testing.Short() {
+		trials = 3
+	}
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			baseline := testutil.Baseline()
+			victimID := fmt.Sprintf("node%d", trial%3)
+			dropFrame := 1 + trial%4 // includes a kill before the very first frame
+			srvs := make([]*serve.Server, 3)
+			var victimSrv *serve.Server
+			for i := range srvs {
+				var inj *faultinject.Injector
+				if fmt.Sprintf("node%d", i) == victimID {
+					inj = faultinject.New(faultinject.Spec{Seed: int64(trial + 1), DropFrame: dropFrame})
+				}
+				srvs[i] = startNode(t, spec, inj)
+				if fmt.Sprintf("node%d", i) == victimID {
+					victimSrv = srvs[i]
+				}
+			}
+			nodes := testNodes(srvs)
+			kill := &killSwitch{victim: victimID, srv: victimSrv}
+			c, err := New(Config{
+				Nodes: nodes, Name: fmt.Sprintf("rebalance-%d", trial),
+				OnFetchError: kill.onFetchError,
+				Sleep:        func(time.Duration) {},
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+
+			sink := newFrameSink()
+			stats, err := c.RunEpoch(0, sink.onBatch)
+			if err != nil {
+				t.Fatalf("trial %d (victim=%s drop=%d): %v", trial, victimID, dropFrame, err)
+			}
+			sink.verifyEpoch(t, 0, want[0])
+			if stats.Ignored != 0 {
+				t.Fatalf("trial %d: %d frames hit the exactly-once filter", trial, stats.Ignored)
+			}
+			// The union across PerNode must be the whole plan, once.
+			total := 0
+			for _, n := range stats.PerNode {
+				total += n
+			}
+			if total != planLen {
+				t.Fatalf("trial %d: per-node counts sum to %d, want %d", trial, total, planLen)
+			}
+			// The victim died mid-epoch whenever it had work at the kill
+			// point; either way the run must have noticed iff it failed.
+			if stats.PerNode[victimID] >= dropFrame {
+				t.Fatalf("trial %d: victim delivered %d frames past its kill point %d",
+					trial, stats.PerNode[victimID], dropFrame)
+			}
+			for _, s := range srvs {
+				s.Close()
+			}
+			c.Close()
+			if err := testutil.WaitNoLeaks(baseline, 5*time.Second); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestClusterNoAliveNodes: a cluster of corpses fails fast with a clear
+// error instead of hanging.
+func TestClusterNoAliveNodes(t *testing.T) {
+	addrs := make([]string, 2)
+	for i := range addrs {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		addrs[i] = ln.Addr().String()
+		ln.Close()
+	}
+	c, err := New(Config{
+		Nodes:       []Node{{ID: "a", Addr: addrs[0]}, {ID: "b", Addr: addrs[1]}},
+		Name:        "corpses",
+		DialTimeout: 200 * time.Millisecond,
+		Sleep:       func(time.Duration) {},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.RunEpoch(0, nil)
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("epoch against dead cluster succeeded")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("dead cluster hung instead of failing")
+	}
+	if alive := c.Membership().Alive(); len(alive) != 0 {
+		t.Fatalf("dead endpoints still marked alive: %v", alive)
+	}
+}

@@ -1,0 +1,365 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"lotus/internal/rng"
+)
+
+// NodeState is one member's liveness as seen by a prober.
+type NodeState int
+
+const (
+	// StateAlive: the last probe (or the initial assumption) succeeded.
+	StateAlive NodeState = iota
+	// StateDead: FailThreshold consecutive probes failed, or a router
+	// reported a fatal fetch failure.
+	StateDead
+)
+
+func (s NodeState) String() string {
+	if s == StateDead {
+		return "dead"
+	}
+	return "alive"
+}
+
+// Node identifies one lotus-serve member of the cluster.
+type Node struct {
+	// ID is the node's stable identity on the hash ring. Defaults to Addr.
+	ID string
+	// Addr is the wire-protocol endpoint (host:port).
+	Addr string
+	// HTTPAddr is the observability sidecar endpoint. When set, probes GET
+	// /healthz there; when empty, probes fall back to a TCP dial of Addr.
+	HTTPAddr string
+}
+
+// MemberStatus is one node's live membership row (the /cluster JSON shape).
+type MemberStatus struct {
+	ID           string `json:"id"`
+	Addr         string `json:"addr"`
+	HTTPAddr     string `json:"http_addr,omitempty"`
+	State        string `json:"state"`
+	Fails        int    `json:"consecutive_fails"`
+	Probes       int64  `json:"probes"`
+	Transitions  int64  `json:"transitions"`
+	LastProbeErr string `json:"last_probe_error,omitempty"`
+}
+
+// MembershipConfig parameterizes a prober.
+type MembershipConfig struct {
+	// Nodes is the static member set (cluster bootstrap list).
+	Nodes []Node
+	// Interval is the mean heartbeat period per node (default 500ms). Each
+	// node's actual gaps are jittered into [Interval/2, Interval) by a
+	// deterministic per-node stream, so a fleet of probers never thunders in
+	// phase and any one prober's schedule is reproducible.
+	Interval time.Duration
+	// Timeout bounds one probe (default Interval/2).
+	Timeout time.Duration
+	// FailThreshold is how many consecutive probe failures mark a node dead
+	// (default 2). One success marks it alive again.
+	FailThreshold int
+	// JitterSeed seeds the per-node interval jitter (default 1).
+	JitterSeed int64
+	// Probe overrides the network probe (tests inject deterministic fakes).
+	// nil selects the default: GET http://HTTPAddr/healthz, expecting any
+	// HTTP response (a draining node still answers 503 — it is alive and
+	// refusing, which is a liveness yes), else a TCP dial of Addr.
+	Probe func(n Node, timeout time.Duration) error
+	// OnChange, when set, observes every state transition.
+	OnChange func(id string, state NodeState)
+	// Logf receives transition logs (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// member is one node's mutable probe state.
+type member struct {
+	node        Node
+	state       NodeState
+	fails       int
+	probes      int64
+	transitions int64
+	lastErr     string
+	jitter      *rng.Stream
+}
+
+// Membership tracks node liveness: a pure-Go probe loop per node heartbeats
+// the /healthz sidecar on a deterministically jittered interval, plus a
+// passive path (ReportFailure) for routers that discover death faster than
+// the prober. All methods are safe for concurrent use.
+type Membership struct {
+	cfg MembershipConfig
+
+	mu      sync.Mutex
+	members map[string]*member
+	order   []string
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewMembership builds a prober over the given static member set. Nodes
+// start alive (optimistic: the first failed probe cycle kills them), and no
+// goroutines run until Start.
+func NewMembership(cfg MembershipConfig) *Membership {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 500 * time.Millisecond
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = cfg.Interval / 2
+	}
+	if cfg.FailThreshold <= 0 {
+		cfg.FailThreshold = 2
+	}
+	if cfg.JitterSeed == 0 {
+		cfg.JitterSeed = 1
+	}
+	if cfg.Probe == nil {
+		cfg.Probe = defaultProbe
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	m := &Membership{
+		cfg:     cfg,
+		members: make(map[string]*member),
+		stop:    make(chan struct{}),
+	}
+	for _, n := range cfg.Nodes {
+		if n.ID == "" {
+			n.ID = n.Addr
+		}
+		if _, dup := m.members[n.ID]; dup {
+			continue
+		}
+		m.members[n.ID] = &member{
+			node:   n,
+			jitter: rng.New(cfg.JitterSeed, "cluster/heartbeat/"+n.ID),
+		}
+		m.order = append(m.order, n.ID)
+	}
+	sort.Strings(m.order)
+	return m
+}
+
+// defaultProbe is the production heartbeat: the node's /healthz sidecar when
+// it has one, else a TCP dial of the wire address.
+func defaultProbe(n Node, timeout time.Duration) error {
+	if n.HTTPAddr != "" {
+		client := &http.Client{Timeout: timeout}
+		resp, err := client.Get("http://" + n.HTTPAddr + "/healthz")
+		if err != nil {
+			return err
+		}
+		resp.Body.Close()
+		return nil
+	}
+	conn, err := net.DialTimeout("tcp", n.Addr, timeout)
+	if err != nil {
+		return err
+	}
+	conn.Close()
+	return nil
+}
+
+// Start launches one probe goroutine per node. Call Stop to tear down.
+func (m *Membership) Start() {
+	for _, id := range m.order {
+		mem := m.members[id]
+		m.wg.Add(1)
+		go m.probeLoop(mem)
+	}
+}
+
+// Stop halts the probe loops and waits for them to exit.
+func (m *Membership) Stop() {
+	select {
+	case <-m.stop:
+	default:
+		close(m.stop)
+	}
+	m.wg.Wait()
+}
+
+func (m *Membership) probeLoop(mem *member) {
+	defer m.wg.Done()
+	for {
+		m.mu.Lock()
+		d := m.cfg.Interval/2 + time.Duration(mem.jitter.Float64()*float64(m.cfg.Interval/2))
+		m.mu.Unlock()
+		select {
+		case <-m.stop:
+			return
+		case <-time.After(d):
+		}
+		err := m.cfg.Probe(mem.node, m.cfg.Timeout)
+		m.record(mem, err)
+	}
+}
+
+// ProbeOnce probes every member synchronously, in sorted ID order — the
+// deterministic single-step the tests and the chaos sweep drive instead of
+// the wall-clock loop.
+func (m *Membership) ProbeOnce() {
+	for _, id := range m.order {
+		mem := m.members[id]
+		err := m.cfg.Probe(mem.node, m.cfg.Timeout)
+		m.record(mem, err)
+	}
+}
+
+// record folds one probe result into the member's state machine.
+func (m *Membership) record(mem *member, err error) {
+	m.mu.Lock()
+	mem.probes++
+	var flip NodeState
+	flipped := false
+	if err != nil {
+		mem.fails++
+		mem.lastErr = err.Error()
+		if mem.state == StateAlive && mem.fails >= m.cfg.FailThreshold {
+			mem.state = StateDead
+			mem.transitions++
+			flip, flipped = StateDead, true
+		}
+	} else {
+		mem.fails = 0
+		mem.lastErr = ""
+		if mem.state == StateDead {
+			mem.state = StateAlive
+			mem.transitions++
+			flip, flipped = StateAlive, true
+		}
+	}
+	m.mu.Unlock()
+	if flipped {
+		m.cfg.Logf("cluster: node %s -> %s", mem.node.ID, flip)
+		if m.cfg.OnChange != nil {
+			m.cfg.OnChange(mem.node.ID, flip)
+		}
+	}
+}
+
+// ReportFailure is the passive detection path: a router that just watched a
+// node's stream die reports it, immediately marking the node dead without
+// waiting FailThreshold probe periods. The prober resurrects the node on its
+// next successful heartbeat.
+func (m *Membership) ReportFailure(id string, err error) {
+	m.mu.Lock()
+	mem, ok := m.members[id]
+	if !ok {
+		m.mu.Unlock()
+		return
+	}
+	mem.fails = m.cfg.FailThreshold
+	if err != nil {
+		mem.lastErr = err.Error()
+	}
+	flipped := mem.state == StateAlive
+	if flipped {
+		mem.state = StateDead
+		mem.transitions++
+	}
+	m.mu.Unlock()
+	if flipped {
+		m.cfg.Logf("cluster: node %s -> dead (reported: %v)", id, err)
+		if m.cfg.OnChange != nil {
+			m.cfg.OnChange(id, StateDead)
+		}
+	}
+}
+
+// MarkAlive force-sets a node alive (tests; a router that reconnected).
+func (m *Membership) MarkAlive(id string) {
+	m.mu.Lock()
+	mem, ok := m.members[id]
+	flipped := ok && mem.state == StateDead
+	if ok {
+		mem.fails = 0
+		mem.lastErr = ""
+		if flipped {
+			mem.state = StateAlive
+			mem.transitions++
+		}
+	}
+	m.mu.Unlock()
+	if flipped {
+		if m.cfg.OnChange != nil {
+			m.cfg.OnChange(id, StateAlive)
+		}
+	}
+}
+
+// Alive returns the set of currently-alive node IDs.
+func (m *Membership) Alive() map[string]bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make(map[string]bool, len(m.members))
+	for id, mem := range m.members {
+		if mem.state == StateAlive {
+			out[id] = true
+		}
+	}
+	return out
+}
+
+// State reports one node's liveness (StateDead for unknown IDs).
+func (m *Membership) State(id string) NodeState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if mem, ok := m.members[id]; ok {
+		return mem.state
+	}
+	return StateDead
+}
+
+// Node returns a member's static identity by ID.
+func (m *Membership) Node(id string) (Node, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if mem, ok := m.members[id]; ok {
+		return mem.node, true
+	}
+	return Node{}, false
+}
+
+// Snapshot returns every member's status, sorted by ID — the /cluster
+// sidecar payload.
+func (m *Membership) Snapshot() []MemberStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]MemberStatus, 0, len(m.order))
+	for _, id := range m.order {
+		mem := m.members[id]
+		out = append(out, MemberStatus{
+			ID:           mem.node.ID,
+			Addr:         mem.node.Addr,
+			HTTPAddr:     mem.node.HTTPAddr,
+			State:        mem.state.String(),
+			Fails:        mem.fails,
+			Probes:       mem.probes,
+			Transitions:  mem.transitions,
+			LastProbeErr: mem.lastErr,
+		})
+	}
+	return out
+}
+
+// String renders the membership view as one line per node.
+func (m *Membership) String() string {
+	var out string
+	for i, st := range m.Snapshot() {
+		if i > 0 {
+			out += "; "
+		}
+		out += fmt.Sprintf("%s=%s", st.ID, st.State)
+	}
+	return out
+}

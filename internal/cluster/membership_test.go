@@ -1,0 +1,177 @@
+package cluster
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lotus/internal/testutil"
+)
+
+// fakeProbe is an injectable probe whose per-node verdicts tests flip.
+type fakeProbe struct {
+	mu     sync.Mutex
+	fail   map[string]bool
+	probes map[string]int
+}
+
+func newFakeProbe() *fakeProbe {
+	return &fakeProbe{fail: map[string]bool{}, probes: map[string]int{}}
+}
+
+func (f *fakeProbe) probe(n Node, _ time.Duration) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.probes[n.ID]++
+	if f.fail[n.ID] {
+		return errors.New("probe refused")
+	}
+	return nil
+}
+
+func (f *fakeProbe) setFail(id string, v bool) {
+	f.mu.Lock()
+	f.fail[id] = v
+	f.mu.Unlock()
+}
+
+// TestMembershipStateMachine drives the prober with ProbeOnce: a node dies
+// only after FailThreshold consecutive failures, resurrects on one success,
+// and every transition fires OnChange exactly once.
+func TestMembershipStateMachine(t *testing.T) {
+	fp := newFakeProbe()
+	var transitions []string
+	m := NewMembership(MembershipConfig{
+		Nodes:         []Node{{ID: "a", Addr: "1"}, {ID: "b", Addr: "2"}},
+		FailThreshold: 2,
+		Probe:         fp.probe,
+		OnChange: func(id string, st NodeState) {
+			transitions = append(transitions, id+"->"+st.String())
+		},
+	})
+
+	if st := m.State("a"); st != StateAlive {
+		t.Fatalf("initial state %v, want alive (optimistic start)", st)
+	}
+
+	fp.setFail("a", true)
+	m.ProbeOnce() // one failure: below threshold, still alive
+	if st := m.State("a"); st != StateAlive {
+		t.Fatalf("after 1 failure: %v, want alive", st)
+	}
+	m.ProbeOnce() // second consecutive failure: dead
+	if st := m.State("a"); st != StateDead {
+		t.Fatalf("after 2 failures: %v, want dead", st)
+	}
+	if alive := m.Alive(); alive["a"] || !alive["b"] {
+		t.Fatalf("alive set %v, want only b", alive)
+	}
+
+	fp.setFail("a", false)
+	m.ProbeOnce() // one success resurrects
+	if st := m.State("a"); st != StateAlive {
+		t.Fatalf("after recovery probe: %v, want alive", st)
+	}
+	want := []string{"a->dead", "a->alive"}
+	if strings.Join(transitions, ",") != strings.Join(want, ",") {
+		t.Fatalf("transitions %v, want %v", transitions, want)
+	}
+
+	snap := m.Snapshot()
+	if len(snap) != 2 || snap[0].ID != "a" || snap[1].ID != "b" {
+		t.Fatalf("snapshot not sorted by ID: %+v", snap)
+	}
+	if snap[0].Transitions != 2 || snap[0].Probes != 3 {
+		t.Fatalf("node a counters: transitions=%d probes=%d, want 2/3", snap[0].Transitions, snap[0].Probes)
+	}
+}
+
+// TestReportFailureKillsImmediately: the passive path marks a node dead
+// without waiting FailThreshold probe periods; a later successful probe
+// resurrects it.
+func TestReportFailureKillsImmediately(t *testing.T) {
+	fp := newFakeProbe()
+	m := NewMembership(MembershipConfig{
+		Nodes: []Node{{ID: "a", Addr: "1"}},
+		Probe: fp.probe,
+	})
+	m.ReportFailure("a", errors.New("stream died"))
+	if st := m.State("a"); st != StateDead {
+		t.Fatalf("after ReportFailure: %v, want dead", st)
+	}
+	if s := m.Snapshot()[0]; !strings.Contains(s.LastProbeErr, "stream died") {
+		t.Fatalf("last error %q does not carry the reported cause", s.LastProbeErr)
+	}
+	m.ProbeOnce()
+	if st := m.State("a"); st != StateAlive {
+		t.Fatalf("successful probe after report: %v, want alive", st)
+	}
+	// Reporting an unknown node is a no-op, not a panic.
+	m.ReportFailure("ghost", nil)
+}
+
+// TestMembershipProbeLoop: Start launches real probe loops that observe a
+// failure within a few intervals, and Stop tears every goroutine down.
+func TestMembershipProbeLoop(t *testing.T) {
+	t.Cleanup(testutil.CheckGoroutines(t))
+	fp := newFakeProbe()
+	fp.setFail("a", true)
+	m := NewMembership(MembershipConfig{
+		Nodes:         []Node{{ID: "a", Addr: "1"}, {ID: "b", Addr: "2"}},
+		Interval:      5 * time.Millisecond,
+		FailThreshold: 2,
+		Probe:         fp.probe,
+	})
+	m.Start()
+	deadline := time.Now().Add(5 * time.Second)
+	for m.State("a") != StateDead {
+		if time.Now().After(deadline) {
+			t.Fatal("probe loop never marked the failing node dead")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if m.State("b") != StateAlive {
+		t.Fatal("healthy node died")
+	}
+	m.Stop()
+	m.Stop() // idempotent
+}
+
+// TestDefaultProbeHealthz: the production probe treats any HTTP response —
+// including a draining node's 503 — as liveness, and a dead endpoint as
+// failure.
+func TestDefaultProbeHealthz(t *testing.T) {
+	ok := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/healthz" {
+			http.NotFound(w, r)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ok.Close()
+	draining := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer draining.Close()
+
+	host := func(s *httptest.Server) string { return strings.TrimPrefix(s.URL, "http://") }
+	if err := defaultProbe(Node{ID: "n", HTTPAddr: host(ok)}, time.Second); err != nil {
+		t.Fatalf("healthy sidecar probed dead: %v", err)
+	}
+	if err := defaultProbe(Node{ID: "n", HTTPAddr: host(draining)}, time.Second); err != nil {
+		t.Fatalf("draining (503) sidecar must count as alive: %v", err)
+	}
+	dead := host(ok)
+	ok.Close()
+	if err := defaultProbe(Node{ID: "n", HTTPAddr: dead}, 200*time.Millisecond); err == nil {
+		t.Fatal("closed sidecar probed alive")
+	}
+	// No HTTPAddr: falls back to a TCP dial of the wire address.
+	if err := defaultProbe(Node{ID: "n", Addr: host(draining)}, time.Second); err != nil {
+		t.Fatalf("TCP fallback probe failed on live port: %v", err)
+	}
+}

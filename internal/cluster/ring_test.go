@@ -1,0 +1,249 @@
+package cluster
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestRingInsertionOrderInvariant: two rings over the same node set place
+// every key identically regardless of Add order — consumers compute the same
+// partition without coordination.
+func TestRingInsertionOrderInvariant(t *testing.T) {
+	a := NewRing(0)
+	for _, n := range []string{"n1", "n2", "n3", "n4"} {
+		a.Add(n)
+	}
+	b := NewRing(0)
+	for _, n := range []string{"n3", "n1", "n4", "n2"} {
+		b.Add(n)
+	}
+	for id := 0; id < 500; id++ {
+		if ao, bo := a.Owners(BatchKey(id), 2), b.Owners(BatchKey(id), 2); !reflect.DeepEqual(ao, bo) {
+			t.Fatalf("batch %d: owners %v vs %v across insertion orders", id, ao, bo)
+		}
+	}
+}
+
+// TestRingMinimalDisruption: removing one node moves only the keys that node
+// owned; every other key keeps its owner.
+func TestRingMinimalDisruption(t *testing.T) {
+	r := NewRing(0)
+	nodes := []string{"n1", "n2", "n3", "n4", "n5"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	const keys = 1000
+	before := make([]string, keys)
+	for id := 0; id < keys; id++ {
+		before[id] = r.Owners(BatchKey(id), 1)[0]
+	}
+	const victim = "n3"
+	r.Remove(victim)
+	moved := 0
+	for id := 0; id < keys; id++ {
+		after := r.Owners(BatchKey(id), 1)[0]
+		if before[id] == victim {
+			moved++
+			if after == victim {
+				t.Fatalf("batch %d still owned by removed node", id)
+			}
+		} else if after != before[id] {
+			t.Fatalf("batch %d moved %s -> %s though %s was removed", id, before[id], after, victim)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("victim owned no keys; test proves nothing")
+	}
+}
+
+// TestRingOwnersDistinct: a replica set never repeats a node, is capped at
+// the member count, and leads with the primary.
+func TestRingOwnersDistinct(t *testing.T) {
+	r := NewRing(0)
+	for _, n := range []string{"n1", "n2", "n3"} {
+		r.Add(n)
+	}
+	for id := 0; id < 200; id++ {
+		owners := r.Owners(BatchKey(id), 99)
+		if len(owners) != 3 {
+			t.Fatalf("batch %d: %d owners, want all 3", id, len(owners))
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if seen[o] {
+				t.Fatalf("batch %d: duplicate owner %s in %v", id, o, owners)
+			}
+			seen[o] = true
+		}
+		if primary := r.Owners(BatchKey(id), 1); primary[0] != owners[0] {
+			t.Fatalf("batch %d: primary %s vs replica head %s", id, primary[0], owners[0])
+		}
+	}
+}
+
+// TestRingBalance: with the default virtual-node count no member of a
+// 3-node ring is starved or grossly overloaded.
+func TestRingBalance(t *testing.T) {
+	r := NewRing(0)
+	for _, n := range []string{"n1", "n2", "n3"} {
+		r.Add(n)
+	}
+	counts := map[string]int{}
+	const keys = 3000
+	for id := 0; id < keys; id++ {
+		counts[r.Owners(BatchKey(id), 1)[0]]++
+	}
+	for n, c := range counts {
+		if c == 0 {
+			t.Fatalf("node %s owns nothing", n)
+		}
+		if c > keys*2/3 {
+			t.Fatalf("node %s owns %d of %d keys — ring badly imbalanced %v", n, c, keys, counts)
+		}
+	}
+	if len(counts) != 3 {
+		t.Fatalf("only %d of 3 nodes own keys: %v", len(counts), counts)
+	}
+}
+
+// assignUnion flattens an Assignment back into a multiset of IDs.
+func assignUnion(a Assignment) map[int]int {
+	seen := map[int]int{}
+	for _, ids := range a.ByNode {
+		for _, id := range ids {
+			seen[id]++
+		}
+	}
+	for _, id := range a.Unassigned {
+		seen[id]++
+	}
+	return seen
+}
+
+// TestAssignPartitionsExactlyOnce: every requested ID lands in exactly one
+// node's shard (or Unassigned when nothing is alive) — the static half of
+// the exactly-once invariant.
+func TestAssignPartitionsExactlyOnce(t *testing.T) {
+	r := NewRing(0)
+	for _, n := range []string{"n1", "n2", "n3"} {
+		r.Add(n)
+	}
+	ids := make([]int, 40)
+	for i := range ids {
+		ids[i] = i
+	}
+
+	aliveSets := []map[string]bool{
+		{"n1": true, "n2": true, "n3": true},
+		{"n1": true, "n3": true},
+		{"n2": true},
+		{},
+	}
+	for _, alive := range aliveSets {
+		asn := r.Assign(ids, alive, 1)
+		seen := assignUnion(asn)
+		if len(seen) != len(ids) {
+			t.Fatalf("alive=%v: %d distinct ids placed, want %d", alive, len(seen), len(ids))
+		}
+		for id, n := range seen {
+			if n != 1 {
+				t.Fatalf("alive=%v: id %d placed %d times", alive, id, n)
+			}
+		}
+		for node := range asn.ByNode {
+			if !alive[node] {
+				t.Fatalf("dead node %s received work", node)
+			}
+		}
+		if len(alive) == 0 && len(asn.Unassigned) != len(ids) {
+			t.Fatalf("empty alive set: %d unassigned, want all %d", len(asn.Unassigned), len(ids))
+		}
+		if len(alive) > 0 && len(asn.Unassigned) != 0 {
+			t.Fatalf("alive=%v: %d ids unassigned with survivors present", alive, len(asn.Unassigned))
+		}
+	}
+}
+
+// TestAssignSpillAccounting: with R=1, killing one node spills exactly its
+// formerly-owned batches (they are served outside their replica set); with
+// everyone alive nothing spills.
+func TestAssignSpillAccounting(t *testing.T) {
+	r := NewRing(0)
+	all := map[string]bool{"n1": true, "n2": true, "n3": true}
+	for n := range all {
+		r.Add(n)
+	}
+	ids := make([]int, 60)
+	for i := range ids {
+		ids[i] = i
+	}
+	if asn := r.Assign(ids, all, 1); asn.Spilled != 0 {
+		t.Fatalf("all alive: %d spilled, want 0", asn.Spilled)
+	}
+
+	const victim = "n2"
+	victimOwned := 0
+	for _, id := range ids {
+		if r.Owners(BatchKey(id), 1)[0] == victim {
+			victimOwned++
+		}
+	}
+	survivors := map[string]bool{"n1": true, "n3": true}
+	asn := r.Assign(ids, survivors, 1)
+	if asn.Spilled != victimOwned {
+		t.Fatalf("victim owned %d batches but %d spilled", victimOwned, asn.Spilled)
+	}
+	// With R=2 the same death spills nothing: the secondary replica absorbs.
+	if asn2 := r.Assign(ids, survivors, 2); asn2.Spilled != 0 {
+		t.Fatalf("R=2 one death: %d spilled, want 0", asn2.Spilled)
+	}
+}
+
+// TestAssignReplicaAffinity: an ID's assignment under R=2 is always a member
+// of its 2-replica set while either replica lives.
+func TestAssignReplicaAffinity(t *testing.T) {
+	r := NewRing(0)
+	for _, n := range []string{"n1", "n2", "n3", "n4"} {
+		r.Add(n)
+	}
+	alive := map[string]bool{"n1": true, "n2": true, "n3": true, "n4": true}
+	delete(alive, "n1")
+	asn := r.Assign([]int{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, alive, 2)
+	for node, ids := range asn.ByNode {
+		for _, id := range ids {
+			reps := r.Replicas(id, 2)
+			inSet := reps[0] == node || reps[1] == node
+			aliveRep := alive[reps[0]] || alive[reps[1]]
+			if aliveRep && !inSet {
+				t.Fatalf("id %d assigned to %s outside live replica set %v", id, node, reps)
+			}
+		}
+	}
+}
+
+// TestRingSequentialKeysDisperse is the regression test for the mix64
+// finalizer: epoch plans are *sequential* batch IDs, and raw FNV-1a leaves
+// "batch/0".."batch/N" hashed into a band narrower than one vnode arc — an
+// entire epoch collapsing onto one node. A real plan-sized run of sequential
+// keys must touch every member of a three-node ring.
+func TestRingSequentialKeysDisperse(t *testing.T) {
+	r := NewRing(0)
+	members := []string{"node0", "node1", "node2"}
+	for _, n := range members {
+		r.Add(n)
+	}
+	for _, plan := range []int{16, 20, 64} {
+		counts := map[string]int{}
+		for id := 0; id < plan; id++ {
+			counts[r.Owners(BatchKey(id), 1)[0]]++
+		}
+		for _, n := range members {
+			if counts[n] == 0 {
+				t.Errorf("plan of %d sequential batches left %s with no work: %v", plan, n, counts)
+			}
+			if counts[n] > 2*plan/3 {
+				t.Errorf("plan of %d sequential batches skewed onto %s: %v", plan, n, counts)
+			}
+		}
+	}
+}

@@ -15,6 +15,14 @@ import (
 type ClientConfig struct {
 	// Addr is the server's wire address (host:port).
 	Addr string
+	// Addrs, when non-empty, is an ordered endpoint list the client falls
+	// back across: each Connect tries the current endpoint first and then the
+	// rest in rotation, and a dropped connection advances the rotation so the
+	// next reconnect starts on a different endpoint. Addr, when also set, is
+	// treated as the first entry. Every endpoint must serve the same workload
+	// spec — epoch streams are byte-identical across such replicas, so
+	// failing over mid-run preserves the client's integrity checks.
+	Addrs []string
 	// Rank/World select this client's shard of every epoch plan. World <= 1
 	// means the full plan.
 	Rank, World int
@@ -54,6 +62,8 @@ func (e *ServerError) Error() string { return "serve: server error: " + e.Messag
 // for concurrent use; run one Client per goroutine.
 type Client struct {
 	cfg     ClientConfig
+	addrs   []string
+	addrIdx int
 	conn    net.Conn
 	ack     HelloAck
 	haveAck bool
@@ -89,18 +99,60 @@ func NewClient(cfg ClientConfig) *Client {
 		h.Write([]byte(cfg.Name))
 		seed = int64(h.Sum64()) ^ int64(cfg.Rank+1)*2654435761
 	}
-	return &Client{cfg: cfg, jitter: rng.New(seed, "serve/backoff")}
+	addrs := make([]string, 0, len(cfg.Addrs)+1)
+	if cfg.Addr != "" {
+		addrs = append(addrs, cfg.Addr)
+	}
+	for _, a := range cfg.Addrs {
+		if a != "" && a != cfg.Addr {
+			addrs = append(addrs, a)
+		}
+	}
+	return &Client{cfg: cfg, addrs: addrs, jitter: rng.New(seed, "serve/backoff")}
 }
 
 // Ack returns the server's handshake response once connected.
 func (c *Client) Ack() (HelloAck, bool) { return c.ack, c.haveAck }
 
-// Connect dials and handshakes if not already connected.
+// Addr reports the endpoint the next Connect will try first (the connected
+// endpoint while a connection is live).
+func (c *Client) Addr() string {
+	if len(c.addrs) == 0 {
+		return c.cfg.Addr
+	}
+	return c.addrs[c.addrIdx]
+}
+
+// Connect dials and handshakes if not already connected. With a multi-entry
+// endpoint list it tries each endpoint once, starting from the rotation
+// cursor, and sticks with the first that completes a handshake — a dead
+// endpoint costs one dial timeout, not the whole retry budget.
 func (c *Client) Connect() error {
 	if c.conn != nil {
 		return nil
 	}
-	conn, err := net.DialTimeout("tcp", c.cfg.Addr, c.cfg.DialTimeout)
+	if len(c.addrs) == 0 {
+		return errors.New("serve: client has no endpoints configured")
+	}
+	var lastErr error
+	for i := 0; i < len(c.addrs); i++ {
+		idx := (c.addrIdx + i) % len(c.addrs)
+		if err := c.connectTo(c.addrs[idx]); err != nil {
+			// A refused handshake (e.g. "server draining") falls through to
+			// the next replica like a dead socket would; it only surfaces —
+			// as a fatal ServerError — when every endpoint refused.
+			lastErr = err
+			continue
+		}
+		c.addrIdx = idx
+		return nil
+	}
+	return lastErr
+}
+
+// connectTo dials and handshakes one endpoint.
+func (c *Client) connectTo(addr string) error {
+	conn, err := net.DialTimeout("tcp", addr, c.cfg.DialTimeout)
 	if err != nil {
 		return err
 	}
@@ -138,11 +190,15 @@ func (c *Client) Close() error {
 }
 
 // drop abandons the connection without protocol niceties (it is presumed
-// broken).
+// broken) and advances the endpoint rotation so the next Connect leads with
+// a different replica.
 func (c *Client) drop() {
 	if c.conn != nil {
 		c.conn.Close()
 		c.conn = nil
+	}
+	if len(c.addrs) > 1 {
+		c.addrIdx = (c.addrIdx + 1) % len(c.addrs)
 	}
 }
 
@@ -238,6 +294,30 @@ func (c *Client) backoff(attempt int) time.Duration {
 	return half + time.Duration(c.jitter.Float64()*float64(half))
 }
 
+// FetchShard requests exactly the given global batch IDs of one epoch and
+// streams them, invoking onBatch per decoded batch. It is single-shot: any
+// failure (dial, mid-stream EOF, checksum mismatch) is returned without
+// retrying, because the caller — a cluster router — must recompute which IDs
+// are still unserved before re-requesting, possibly from a different node.
+// The connection is dropped on error so the next call redials.
+func (c *Client) FetchShard(epoch int, ids []int, onBatch func(b *Batch, payload []byte)) error {
+	if err := c.Connect(); err != nil {
+		return err
+	}
+	if err := WriteFrame(c.conn, EncodeShardReq(ShardReq{Epoch: epoch, IDs: ids})); err != nil {
+		c.drop()
+		return err
+	}
+	if err := c.consumeEpoch(epoch, len(ids), onBatch, nil); err != nil {
+		// A ServerError leaves the socket just as dead as an I/O failure —
+		// the server closes the connection after an Error frame — so drop
+		// unconditionally and let the next call redial.
+		c.drop()
+		return err
+	}
+	return nil
+}
+
 // fetchEpoch requests one epoch and consumes its batch stream. Counters are
 // only credited for epochs that complete (partial streams are re-fetched
 // whole, so crediting partial progress would double-count).
@@ -248,6 +328,14 @@ func (c *Client) fetchEpoch(epoch int, onBatch func(*Batch, []byte), stats *Fetc
 	if err := WriteFrame(c.conn, EncodeEpochReq(EpochReq{Epoch: epoch})); err != nil {
 		return err
 	}
+	return c.consumeEpoch(epoch, -1, onBatch, stats)
+}
+
+// consumeEpoch reads one epoch's batch stream until EpochEnd, verifying the
+// batch count (against wantBatches when >= 0, and always against the
+// server's EpochEnd count) and the FNV-1a stream checksum. stats, when
+// non-nil, is credited only on success.
+func (c *Client) consumeEpoch(epoch, wantBatches int, onBatch func(*Batch, []byte), stats *FetchStats) error {
 	sum := fnv.New64a()
 	batches := 0
 	var bytes int64
@@ -283,12 +371,17 @@ func (c *Client) fetchEpoch(epoch int, onBatch func(*Batch, []byte), stats *Fetc
 			if m.Batches != batches {
 				return fmt.Errorf("serve: epoch %d: got %d batches, server sent %d", epoch, batches, m.Batches)
 			}
+			if wantBatches >= 0 && batches != wantBatches {
+				return fmt.Errorf("serve: epoch %d: got %d batches, requested %d", epoch, batches, wantBatches)
+			}
 			if m.Checksum != sum.Sum64() {
 				return fmt.Errorf("serve: epoch %d: stream checksum mismatch", epoch)
 			}
-			stats.Batches += batches
-			stats.Bytes += bytes
-			stats.Hist.Merge(&hist)
+			if stats != nil {
+				stats.Batches += batches
+				stats.Bytes += bytes
+				stats.Hist.Merge(&hist)
+			}
 			return nil
 		case ErrorMsg:
 			return &ServerError{Message: m.Message}

@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"time"
@@ -17,20 +18,37 @@ type Metrics struct {
 	batchesSent    int64
 	bytesSent      int64
 	epochsServed   int64
+	epochsAborted  int64
+	reconnects     int64
+	opensByName    map[string]int
 	sessions       map[int]*SessionMetrics
 }
 
 // NewMetrics returns an empty registry anchored at now.
 func NewMetrics(now time.Time) *Metrics {
-	return &Metrics{start: now, sessions: make(map[int]*SessionMetrics)}
+	return &Metrics{
+		start:       now,
+		sessions:    make(map[int]*SessionMetrics),
+		opensByName: make(map[string]int),
+	}
 }
 
-// OpenSession registers a new session and returns its metrics handle.
+// OpenSession registers a new session and returns its metrics handle. A
+// session whose (name, rank) identity was seen before counts as a reconnect:
+// the server-side observable of a client retry loop. Client-side OnRetry
+// callbacks see each retry decision, but only this counter lets an operator
+// spot a reconnect storm from the serving side.
 func (m *Metrics) OpenSession(id int, name string, rank, world int, now time.Time) *SessionMetrics {
 	sm := &SessionMetrics{id: id, name: name, rank: rank, world: world, connectedAt: now}
+	identity := fmt.Sprintf("%s/%d", name, rank)
 	m.mu.Lock()
 	m.sessionsTotal++
 	m.sessionsActive++
+	sm.reconnects = m.opensByName[identity]
+	m.opensByName[identity]++
+	if sm.reconnects > 0 {
+		m.reconnects++
+	}
 	m.sessions[id] = sm
 	m.mu.Unlock()
 	return sm
@@ -63,6 +81,16 @@ func (m *Metrics) AddEpoch() {
 	m.mu.Unlock()
 }
 
+// AddEpochAbort counts one epoch stream that ended in an error (client gone,
+// write failure, or producer failure) instead of a clean EpochEnd. Paired
+// with the reconnect counter, a rising abort rate is the server-side
+// signature of clients stuck in retry loops.
+func (m *Metrics) AddEpochAbort() {
+	m.mu.Lock()
+	m.epochsAborted++
+	m.mu.Unlock()
+}
+
 // SessionMetrics tracks one session's live counters. The queue gauge reads
 // the session's current prefetch channel depth.
 type SessionMetrics struct {
@@ -72,10 +100,12 @@ type SessionMetrics struct {
 	rank, world int
 	connectedAt time.Time
 
-	epochsDone  int
-	batchesSent int64
-	bytesSent   int64
-	queueDepth  func() int
+	epochsDone    int
+	epochsAborted int
+	reconnects    int
+	batchesSent   int64
+	bytesSent     int64
+	queueDepth    func() int
 
 	// Tracer-derived timings: wait is the main-proc wait for each batch
 	// ([T2]); delay is preprocess-end to consumption, the paper's delay
@@ -109,6 +139,13 @@ func (s *SessionMetrics) AddEpoch() {
 	s.mu.Unlock()
 }
 
+// AddEpochAbort counts one epoch stream this session failed to finish.
+func (s *SessionMetrics) AddEpochAbort() {
+	s.mu.Lock()
+	s.epochsAborted++
+	s.mu.Unlock()
+}
+
 // AddWait accumulates one tracer wait record.
 func (s *SessionMetrics) AddWait(d time.Duration) {
 	s.mu.Lock()
@@ -133,6 +170,8 @@ type SessionSnapshot struct {
 	World         int     `json:"world"`
 	ConnectedSecs float64 `json:"connected_s"`
 	EpochsDone    int     `json:"epochs_done"`
+	EpochsAborted int     `json:"epochs_aborted"`
+	Reconnects    int     `json:"reconnects"`
 	BatchesSent   int64   `json:"batches_sent"`
 	BytesSent     int64   `json:"bytes_sent"`
 	BatchesPerSec float64 `json:"batches_per_sec"`
@@ -153,6 +192,8 @@ func (s *SessionMetrics) snapshot(now time.Time) SessionSnapshot {
 		World:         s.world,
 		ConnectedSecs: now.Sub(s.connectedAt).Seconds(),
 		EpochsDone:    s.epochsDone,
+		EpochsAborted: s.epochsAborted,
+		Reconnects:    s.reconnects,
 		BatchesSent:   s.batchesSent,
 		BytesSent:     s.bytesSent,
 		WaitCount:     s.waitCount,
@@ -178,7 +219,9 @@ type MetricsSnapshot struct {
 	UptimeSecs     float64           `json:"uptime_s"`
 	SessionsActive int               `json:"sessions_active"`
 	SessionsTotal  int               `json:"sessions_total"`
+	Reconnects     int64             `json:"reconnects_total"`
 	EpochsServed   int64             `json:"epochs_served"`
+	EpochsAborted  int64             `json:"epochs_aborted"`
 	BatchesSent    int64             `json:"batches_sent"`
 	BytesSent      int64             `json:"bytes_sent"`
 	TraceRecords   int64             `json:"trace_records"`
@@ -193,7 +236,9 @@ func (m *Metrics) Snapshot(now time.Time, traceRecords int64) MetricsSnapshot {
 		UptimeSecs:     now.Sub(m.start).Seconds(),
 		SessionsActive: m.sessionsActive,
 		SessionsTotal:  m.sessionsTotal,
+		Reconnects:     m.reconnects,
 		EpochsServed:   m.epochsServed,
+		EpochsAborted:  m.epochsAborted,
 		BatchesSent:    m.batchesSent,
 		BytesSent:      m.bytesSent,
 		TraceRecords:   traceRecords,

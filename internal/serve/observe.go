@@ -26,6 +26,11 @@ func (s *Server) startHTTP(addr string) error {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/trace", s.handleTrace)
+	if s.cfg.ClusterInfo != nil {
+		mux.HandleFunc("/cluster", func(w http.ResponseWriter, r *http.Request) {
+			writeJSON(w, http.StatusOK, s.cfg.ClusterInfo())
+		})
+	}
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	s.httpSrv = srv
 	go srv.Serve(ln)

@@ -26,6 +26,13 @@ type Config struct {
 	// Mode selects simulated (meta tensors, virtual-clock execution) or real
 	// (actual pixels, wall-clock execution) preprocessing.
 	Mode pipeline.Mode
+	// EmulateTime, in Simulated mode, drives the pipeline with the wall
+	// clock instead of the virtual one: the modeled preprocessing and
+	// storage latencies pace the stream in real time while payloads stay
+	// synthetic meta tensors. Load generation and cluster scaling
+	// benchmarks use it to measure routing throughput without the pixel
+	// work (and its single-machine CPU ceiling) of real mode.
+	EmulateTime bool
 	// Prefetch is the per-session server-side prefetch queue depth in
 	// batches; the producer stalls once this many encoded batches are
 	// waiting for the network, which is the service's backpressure bound
@@ -45,6 +52,11 @@ type Config struct {
 	// and consulted per outgoing batch frame for wire faults (drop, truncate,
 	// corrupt). Production servers leave it nil.
 	Faults *faultinject.Injector
+	// ClusterInfo, when non-nil, is served as JSON on the sidecar's /cluster
+	// endpoint — a func (not a value) so cluster membership state stays live.
+	// It keeps internal/serve free of a cluster dependency: the cluster layer
+	// sits above the server and injects its view here.
+	ClusterInfo func() any
 	// Logf receives server lifecycle logs (nil = silent).
 	Logf func(format string, args ...any)
 }
@@ -138,6 +150,9 @@ func (s *Server) Start(addr, httpAddr string) error {
 func (s *Server) modeName() string {
 	if s.cfg.Mode == pipeline.RealData {
 		return "real"
+	}
+	if s.cfg.EmulateTime {
+		return "emulate"
 	}
 	return "sim"
 }
@@ -315,7 +330,24 @@ func (s *Server) handleConn(conn net.Conn) {
 				return
 			}
 			if err := sess.streamEpoch(m.Epoch); err != nil {
+				sess.sm.AddEpochAbort()
+				s.metrics.AddEpochAbort()
 				s.cfg.Logf("lotus-serve: session %d: epoch %d: %v", sess.id, m.Epoch, err)
+				return
+			}
+		case ShardReq:
+			if m.Epoch < 0 || m.Epoch > 1<<30 {
+				s.sendError(conn, fmt.Sprintf("invalid epoch %d", m.Epoch))
+				return
+			}
+			if s.draining.Load() {
+				s.sendError(conn, "server draining")
+				return
+			}
+			if err := sess.streamShardReq(m); err != nil {
+				sess.sm.AddEpochAbort()
+				s.metrics.AddEpochAbort()
+				s.cfg.Logf("lotus-serve: session %d: epoch %d shard: %v", sess.id, m.Epoch, err)
 				return
 			}
 		case Bye:
@@ -464,16 +496,48 @@ func (ss *session) hooks() *pipeline.Hooks {
 	}
 }
 
-// streamEpoch runs the session's shard of one epoch through a DataLoader and
-// streams the batches. The producer (pipeline) and the writer (network) are
-// decoupled by a bounded channel of encoded frames: when the client or the
-// network is slow, the channel fills and the pipeline stalls — bounded
-// backpressure instead of unbounded buffering.
+// streamEpoch runs the session's rank/world shard of one epoch through a
+// DataLoader and streams the batches.
 func (ss *session) streamEpoch(epoch int) error {
 	spec := ss.srv.cfg.Spec
 	plan := BuildEpochPlan(ss.srv.datasetLen, spec.BatchSize, spec.Shuffle, false, spec.Seed, epoch)
-	shard := Shard(plan, ss.rank, ss.world)
-	ss.setEpoch(epoch, len(plan), shard)
+	return ss.streamShard(epoch, len(plan), Shard(plan, ss.rank, ss.world))
+}
+
+// streamShardReq validates an explicit batch-ID request against the epoch
+// plan and streams exactly those batches, in request order. The plan — not
+// the session — defines the work, so a cluster router can hand any subset to
+// any node and still get frames byte-identical to a rank/world session's.
+func (ss *session) streamShardReq(req ShardReq) error {
+	spec := ss.srv.cfg.Spec
+	plan := BuildEpochPlan(ss.srv.datasetLen, spec.BatchSize, spec.Shuffle, false, spec.Seed, req.Epoch)
+	shard := make([]PlanBatch, len(req.IDs))
+	seen := make(map[int]bool, len(req.IDs))
+	for i, id := range req.IDs {
+		if id < 0 || id >= len(plan) {
+			msg := fmt.Sprintf("shard request: batch id %d out of plan [0,%d)", id, len(plan))
+			ss.srv.sendError(ss.conn, msg)
+			return errors.New(msg)
+		}
+		if seen[id] {
+			msg := fmt.Sprintf("shard request: duplicate batch id %d", id)
+			ss.srv.sendError(ss.conn, msg)
+			return errors.New(msg)
+		}
+		seen[id] = true
+		shard[i] = plan[id]
+	}
+	return ss.streamShard(req.Epoch, len(plan), shard)
+}
+
+// streamShard runs one shard of one epoch through a DataLoader and streams
+// the batches. The producer (pipeline) and the writer (network) are
+// decoupled by a bounded channel of encoded frames: when the client or the
+// network is slow, the channel fills and the pipeline stalls — bounded
+// backpressure instead of unbounded buffering.
+func (ss *session) streamShard(epoch, planLen int, shard []PlanBatch) error {
+	spec := ss.srv.cfg.Spec
+	ss.setEpoch(epoch, planLen, shard)
 
 	sum := fnv.New64a()
 	if len(shard) == 0 {
@@ -500,7 +564,7 @@ func (ss *session) streamEpoch(epoch int) error {
 		Faults:         ss.srv.cfg.Faults,
 	}
 	var clk clock.Clock
-	if ss.srv.cfg.Mode == pipeline.RealData {
+	if ss.srv.cfg.Mode == pipeline.RealData || ss.srv.cfg.EmulateTime {
 		clk = clock.NewReal()
 	} else {
 		clk = clock.NewSim()

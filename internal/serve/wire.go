@@ -21,7 +21,8 @@
 //
 //	client -> server: Hello{version, rank, world, name}
 //	server -> client: HelloAck{version, datasetLen, batchSize, planBatches, shardBatches, mode, workload}
-//	client -> server: EpochReq{epoch}
+//	client -> server: EpochReq{epoch}            (rank/world shard of the epoch)
+//	client -> server: ShardReq{epoch, ids}       (explicit batch-ID subset — cluster routing)
 //	server -> client: Batch{epoch, globalID, indices, labels, dtype, shape, payload}...
 //	server -> client: EpochEnd{epoch, batches, fnv1a checksum of batch payloads}
 //	client -> server: Bye{} (or just closes)
@@ -62,6 +63,10 @@ const (
 	MsgEpochEnd MsgType = 0x05
 	MsgError    MsgType = 0x06
 	MsgBye      MsgType = 0x07
+	// MsgShardReq is additive (protocol version unchanged): servers that
+	// predate it answer with a clean Error frame, which a cluster router
+	// treats like any other node failure.
+	MsgShardReq MsgType = 0x08
 )
 
 func (t MsgType) String() string {
@@ -80,6 +85,8 @@ func (t MsgType) String() string {
 		return "Error"
 	case MsgBye:
 		return "Bye"
+	case MsgShardReq:
+		return "ShardReq"
 	}
 	return fmt.Sprintf("MsgType(0x%02x)", byte(t))
 }
@@ -118,6 +125,17 @@ type HelloAck struct {
 // EpochReq asks the server to stream the session's shard of one epoch.
 type EpochReq struct {
 	Epoch int
+}
+
+// ShardReq asks the server to stream an explicit subset of one epoch's batch
+// plan, identified by global batch IDs, in the order given. This is the
+// cluster routing primitive: the batch plan — not the rank/world pair —
+// defines the work, so a router can re-issue exactly the unserved IDs of a
+// dead node to a survivor. IDs must be in-range, duplicate-free plan
+// positions.
+type ShardReq struct {
+	Epoch int
+	IDs   []int
 }
 
 // Batch is the wire form of one collated batch. U8/F32 mirror
@@ -246,6 +264,18 @@ func EncodeEpochReq(r EpochReq) []byte {
 	return appendU32(b, uint32(r.Epoch))
 }
 
+// EncodeShardReq renders a ShardReq frame payload.
+func EncodeShardReq(r ShardReq) []byte {
+	b := make([]byte, 0, 1+4+4+4*len(r.IDs))
+	b = append(b, byte(MsgShardReq))
+	b = appendU32(b, uint32(r.Epoch))
+	b = appendU32(b, uint32(len(r.IDs)))
+	for _, id := range r.IDs {
+		b = appendU32(b, uint32(id))
+	}
+	return b
+}
+
 // EncodeBatch renders a Batch frame payload. The encoding is deterministic,
 // so two batches with identical content encode to identical bytes — the
 // property the byte-identical serving test asserts.
@@ -310,6 +340,8 @@ func EncodeMessage(msg any) ([]byte, error) {
 		return EncodeHelloAck(m), nil
 	case EpochReq:
 		return EncodeEpochReq(m), nil
+	case ShardReq:
+		return EncodeShardReq(m), nil
 	case *Batch:
 		return EncodeBatch(m), nil
 	case EpochEnd:
@@ -473,6 +505,19 @@ func DecodeMessage(payload []byte) (any, error) {
 		return a, nil
 	case MsgEpochReq:
 		r := EpochReq{Epoch: int(d.u32())}
+		if err := d.done(); err != nil {
+			return nil, err
+		}
+		return r, nil
+	case MsgShardReq:
+		r := ShardReq{Epoch: int(d.u32())}
+		n := d.count(4)
+		if d.err == nil {
+			r.IDs = make([]int, n)
+			for i := range r.IDs {
+				r.IDs[i] = int(d.u32())
+			}
+		}
 		if err := d.done(); err != nil {
 			return nil, err
 		}

@@ -40,6 +40,8 @@ func TestMessageRoundTrips(t *testing.T) {
 		Hello{Version: 1, Rank: 0, World: 1, Name: ""},
 		HelloAck{Version: 1, DatasetLen: 5120, BatchSize: 128, PlanBatches: 40, ShardBatches: 20, Mode: 1, Workload: "IC"},
 		EpochReq{Epoch: 3},
+		ShardReq{Epoch: 4, IDs: []int{7, 0, 3}},
+		ShardReq{Epoch: 0, IDs: []int{}},
 		&Batch{Epoch: 1, GlobalID: 7, Indices: []int{4, 9, 1}, Labels: []int{0, -1, 2},
 			Dtype: tensor.Float32, Shape: []int{3, 3, 224, 224}},
 		&Batch{Epoch: 0, GlobalID: 0, Indices: []int{1}, Labels: []int{5},
@@ -77,6 +79,12 @@ func TestDecodeRejectsMalformed(t *testing.T) {
 			return b
 		}()},
 		{"trailing garbage", append(EncodeEpochReq(EpochReq{Epoch: 1}), 0)},
+		{"truncated shardreq ids", EncodeShardReq(ShardReq{Epoch: 1, IDs: []int{1, 2, 3}})[:11]},
+		{"shardreq forged count", func() []byte {
+			b := EncodeShardReq(ShardReq{Epoch: 1, IDs: []int{1}})
+			b[5+3] = 0xff // inflate the id count far past the payload
+			return b
+		}()},
 		{"batch forged count", func() []byte {
 			b := EncodeBatch(&Batch{Indices: []int{1}, Labels: []int{1}, Dtype: tensor.Uint8})
 			b[9+3] = 0xff // inflate the sample count far past the payload

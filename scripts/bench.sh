@@ -2,10 +2,13 @@
 # bench.sh — run the headline microbenchmarks behind the PRs' performance
 # claims and capture benchstat-ready output plus JSON summaries.
 #
-# Usage: scripts/bench.sh [pr1-out.json] [pr2-out.json]
+# Usage: scripts/bench.sh [pr1-out.json] [pr2-out.json] [pr4-out.json]
 # Stage 1: the four PR-1 hot-path microbenchmarks -> BENCH_PR1.json.
 # Stage 2: the PR-2 service-throughput benchmark (batches/sec at 1, 2, and
 # 4 clients over loopback TCP) -> BENCH_PR2.json.
+# Stage 3: the PR-4 cluster-throughput benchmark (batches/sec routed across
+# 1, 2, and 3 emulate-time loopback nodes) -> BENCH_PR4.json, plus a check
+# that the 3-node aggregate beats the single node.
 # The raw `go test -bench` output (6 repetitions, suitable for feeding to
 # benchstat old.txt new.txt) is written next to each JSON as <outfile>.txt.
 set -euo pipefail
@@ -16,6 +19,8 @@ OUT_JSON="${1:-BENCH_PR1.json}"
 OUT_TXT="${OUT_JSON%.json}.txt"
 SERVE_JSON="${2:-BENCH_PR2.json}"
 SERVE_TXT="${SERVE_JSON%.json}.txt"
+CLUSTER_JSON="${3:-BENCH_PR4.json}"
+CLUSTER_TXT="${CLUSTER_JSON%.json}.txt"
 
 BENCHES='BenchmarkBilinearResize|BenchmarkSJPGDecode|BenchmarkUntracedEpoch|BenchmarkTracerEmit'
 
@@ -92,3 +97,48 @@ END {
 }' "$SERVE_TXT" > "$SERVE_JSON"
 
 echo "summary written to $SERVE_JSON (raw benchstat input: $SERVE_TXT)"
+
+echo "running: BenchmarkClusterThroughput (3 reps) ..."
+go test -run '^$' -bench 'BenchmarkClusterThroughput' -count=3 ./internal/cluster | tee "$CLUSTER_TXT"
+
+awk '
+/^BenchmarkClusterThroughput/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    if (!(name in seen)) { seen[name] = 1; order[++n_names] = name }
+    ns[name] = ns[name] " " $3
+    for (i = 4; i <= NF; i++) {
+        if ($(i+1) == "batches/sec") bps[name] = bps[name] " " $i
+    }
+}
+function median(s,   a, n, i, j, t) {
+    n = split(s, a, " ")
+    for (i = 2; i <= n; i++) {
+        t = a[i] + 0
+        for (j = i - 1; j >= 1 && a[j] + 0 > t; j--) a[j+1] = a[j]
+        a[j+1] = t
+    }
+    if (n % 2) return a[(n+1)/2]
+    return (a[n/2] + a[n/2+1]) / 2
+}
+END {
+    printf "{\n"
+    for (i = 1; i <= n_names; i++) {
+        name = order[i]
+        printf "  \"%s\": {\"ns_op\": %s, \"batches_per_sec\": %s}%s\n", \
+            name, median(ns[name]), median(bps[name]), \
+            (i < n_names ? "," : "")
+    }
+    printf "}\n"
+}' "$CLUSTER_TXT" > "$CLUSTER_JSON"
+
+echo "summary written to $CLUSTER_JSON (raw benchstat input: $CLUSTER_TXT)"
+
+# Scaling check: the 3-node cluster must out-serve the single node.
+awk -F'[:,}]' '
+/nodes=1/ { for (i = 1; i <= NF; i++) if ($i ~ /batches_per_sec/) one = $(i+1) + 0 }
+/nodes=3/ { for (i = 1; i <= NF; i++) if ($i ~ /batches_per_sec/) three = $(i+1) + 0 }
+END {
+    printf "cluster scaling: nodes=1 %.1f batches/sec, nodes=3 %.1f batches/sec (%.2fx)\n", one, three, three / one
+    if (!(three > one)) { print "FAIL: 3-node cluster is not faster than a single node" > "/dev/stderr"; exit 1 }
+}' "$CLUSTER_JSON"
