@@ -82,6 +82,7 @@ func main() {
 		arch     = flag.String("arch", "intel", "simulated CPU vendor: intel or amd")
 		matDim   = flag.Int("materialize-dim", 96, "real mode: synthesized image resolution cap")
 		ring     = flag.Int("ring", 16384, "live trace ring capacity in records")
+		cacheMB  = flag.Int64("cache-mb", 256, "materialized-batch cache budget in MiB (0 = disabled); cached epochs are served without re-running the pipeline")
 		drain    = flag.Duration("drain", 15*time.Second, "graceful drain budget on SIGINT/SIGTERM")
 		nodeID   = flag.String("node", "", "this node's cluster identity (default: -addr)")
 		join     = flag.String("join", "", "cluster member list ([id=]wire[/http] per entry, comma-separated); serves the membership view on /cluster")
@@ -152,14 +153,15 @@ func main() {
 	}
 
 	srv := serve.New(serve.Config{
-		Spec:           spec,
-		Mode:           pmode,
-		EmulateTime:    emulate,
-		Prefetch:       *queue,
-		MaterializeDim: *matDim,
-		RingSize:       *ring,
-		ClusterInfo:    clusterInfo,
-		Logf:           log.Printf,
+		Spec:            spec,
+		Mode:            pmode,
+		EmulateTime:     emulate,
+		Prefetch:        *queue,
+		MaterializeDim:  *matDim,
+		RingSize:        *ring,
+		BatchCacheBytes: *cacheMB << 20,
+		ClusterInfo:     clusterInfo,
+		Logf:            log.Printf,
 	})
 	if err := srv.Start(*addr, *httpAddr); err != nil {
 		fmt.Fprintf(os.Stderr, "lotus-serve: %v\n", err)

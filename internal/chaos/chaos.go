@@ -110,18 +110,30 @@ func Sweep(opts Options) []Result {
 
 	// Serving-stack classes over loopback TCP. Sharing one workload keeps
 	// the short sweep fast; the classes exercise independent seams.
-	run(serveWireCell("wire-drop", opts.Seed, faultinject.Spec{DropFrame: 3}))
-	run(serveWireCell("wire-truncate", opts.Seed, faultinject.Spec{TruncateFrame: 5}))
-	run(serveWireCell("wire-corrupt", opts.Seed, faultinject.Spec{CorruptFrame: 4}))
+	run(serveWireCell("wire-drop", opts.Seed, faultinject.Spec{DropFrame: 3}, 0))
+	run(serveWireCell("wire-truncate", opts.Seed, faultinject.Spec{TruncateFrame: 5}, 0))
+	run(serveWireCell("wire-corrupt", opts.Seed, faultinject.Spec{CorruptFrame: 4}, 0))
 	run(servePanicCell(opts.Seed))
 	run(serveDisconnectCell(opts.Seed))
 
+	// Wire classes re-run with the materialized-batch cache enabled: the
+	// retried fetch is served from cache and must still be byte-identical,
+	// proving faults land per-connection, never in the shared cache bytes.
+	run(serveWireCell("wire-drop-cached", opts.Seed, faultinject.Spec{DropFrame: 3}, chaosCacheBytes))
+	run(serveWireCell("wire-corrupt-cached", opts.Seed, faultinject.Spec{CorruptFrame: 4}, chaosCacheBytes))
+
 	// Cluster failover plane over three loopback nodes (cluster.go).
-	run(clusterNodeKillCell(opts.Seed))
+	run(clusterNodeKillCell(opts.Seed, 0))
+	run(clusterNodeKillCell(opts.Seed, chaosCacheBytes))
 	run(clusterNodeSlowCell(opts.Seed))
 	run(clusterHeartbeatFlapCell(opts.Seed))
 	return out
 }
+
+// chaosCacheBytes is the batch-cache budget for the cache-enabled cells:
+// large enough that nothing is evicted, so every isolation failure is a
+// correctness bug rather than an eviction artifact.
+const chaosCacheBytes = 64 << 20
 
 // chaosSpec returns a small instance of one workload, sized so a sweep cell
 // runs in well under a second.
@@ -316,9 +328,11 @@ func groundTruthFrames(spec workloads.Spec, epoch int) ([][]byte, error) {
 	return out, runErr
 }
 
-// startServer boots a loopback server with the given injector.
-func startServer(spec workloads.Spec, inj *faultinject.Injector) (*serve.Server, error) {
-	srv := serve.New(serve.Config{Spec: spec, Mode: pipeline.Simulated, Prefetch: 2, Faults: inj})
+// startServer boots a loopback server with the given injector; cacheBytes > 0
+// enables the materialized-batch cache.
+func startServer(spec workloads.Spec, inj *faultinject.Injector, cacheBytes int64) (*serve.Server, error) {
+	srv := serve.New(serve.Config{Spec: spec, Mode: pipeline.Simulated, Prefetch: 2, Faults: inj,
+		BatchCacheBytes: cacheBytes})
 	if err := srv.Start("127.0.0.1:0", ""); err != nil {
 		return nil, err
 	}
@@ -327,8 +341,12 @@ func startServer(spec workloads.Spec, inj *faultinject.Injector) (*serve.Server,
 
 // serveWireCell injects one wire fault (drop, truncate, or corrupt) into a
 // served epoch stream and asserts the client's retries mask it: the session
-// must still complete byte-identically against the local ground truth.
-func serveWireCell(class string, seed int64, fspec faultinject.Spec) Result {
+// must still complete byte-identically against the local ground truth. With
+// cacheBytes > 0 the materialized-batch cache is enabled and the cell proves
+// the PR 5 isolation invariant: wire faults land on the connection, never in
+// the shared cache bytes — the retried fetch is served (partly) from cache
+// and is still byte-identical to ground truth.
+func serveWireCell(class string, seed int64, fspec faultinject.Spec, cacheBytes int64) Result {
 	res := Result{Class: class, Workload: "IC"}
 	fspec.Seed = seed
 	inj := faultinject.New(fspec)
@@ -346,7 +364,7 @@ func serveWireCell(class string, seed int64, fspec faultinject.Spec) Result {
 	}
 
 	baseline := testutil.Baseline()
-	srv, err := startServer(spec, inj)
+	srv, err := startServer(spec, inj, cacheBytes)
 	if err != nil {
 		res.Failures = append(res.Failures, err.Error())
 		return res
@@ -364,8 +382,22 @@ func serveWireCell(class string, seed int64, fspec faultinject.Spec) Result {
 			got[b.Epoch] = append(got[b.Epoch], append([]byte(nil), payload...))
 		}
 	})
+	cacheStats, cacheOn := srv.CacheStats()
 	c.Close()
 	srv.Close()
+
+	if cacheBytes > 0 {
+		if !cacheOn {
+			res.Failures = append(res.Failures, "cache-enabled cell reports cache disabled")
+		} else if cacheStats.Hits == 0 {
+			// The failed attempt fulfilled frames before the fault cut it; the
+			// retry must reuse them — a zero hit count means the retry
+			// recomputed everything and the cache isolation claim is untested.
+			res.Failures = append(res.Failures, "retried fetch never hit the cache")
+		} else {
+			res.Notes = append(res.Notes, fmt.Sprintf("cache hits=%d misses=%d", cacheStats.Hits, cacheStats.Misses))
+		}
+	}
 
 	if runErr != nil {
 		res.Failures = append(res.Failures, fmt.Sprintf("client did not mask the wire fault: %v", runErr))
@@ -407,7 +439,7 @@ func servePanicCell(seed int64) Result {
 	spec := serveSpec(seed)
 
 	baseline := testutil.Baseline()
-	srv, err := startServer(spec, inj)
+	srv, err := startServer(spec, inj, 0)
 	if err != nil {
 		res.Failures = append(res.Failures, err.Error())
 		return res
@@ -454,7 +486,7 @@ func serveDisconnectCell(seed int64) Result {
 	}
 
 	baseline := testutil.Baseline()
-	srv, err := startServer(spec, nil)
+	srv, err := startServer(spec, nil, 0)
 	if err != nil {
 		res.Failures = append(res.Failures, err.Error())
 		return res

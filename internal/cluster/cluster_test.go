@@ -412,3 +412,74 @@ func TestClusterNoAliveNodes(t *testing.T) {
 		t.Fatalf("dead endpoints still marked alive: %v", alive)
 	}
 }
+
+// TestClusterCachedNodesReuse: with the materialized-batch cache enabled on
+// every node, two runs of the same epoch are both byte-identical to ground
+// truth, the first run preprocesses each batch exactly once cluster-wide
+// (total misses == plan length — ShardReq routing hits the same cache the
+// full-plan path fills), and the second run is served from cache (misses do
+// not grow; every serving node reports hits).
+func TestClusterCachedNodesReuse(t *testing.T) {
+	t.Cleanup(testutil.CheckGoroutines(t))
+	spec := clusterSpec()
+	want := groundTruth(t, spec, 1)
+	planLen := len(want[0])
+
+	srvs := make([]*serve.Server, 3)
+	for i := range srvs {
+		srv := serve.New(serve.Config{Spec: spec, Mode: pipeline.Simulated, Prefetch: 2,
+			BatchCacheBytes: 64 << 20})
+		if err := srv.Start("127.0.0.1:0", ""); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		srvs[i] = srv
+	}
+	c, err := New(Config{Nodes: testNodes(srvs), Name: "cluster-cached", Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	sumMisses := func() int64 {
+		var n int64
+		for _, srv := range srvs {
+			st, ok := srv.CacheStats()
+			if !ok {
+				t.Fatal("cache-enabled node reports cache disabled")
+			}
+			n += st.Misses
+		}
+		return n
+	}
+
+	sink := newFrameSink()
+	stats, err := c.RunEpoch(0, sink.onBatch)
+	if err != nil {
+		t.Fatalf("first cached epoch: %v", err)
+	}
+	sink.verifyEpoch(t, 0, want[0])
+	if got := sumMisses(); got != int64(planLen) {
+		t.Fatalf("first run: cluster-wide misses %d, want %d (each batch preprocessed once)", got, planLen)
+	}
+
+	sink2 := newFrameSink()
+	stats2, err := c.RunEpoch(0, sink2.onBatch)
+	if err != nil {
+		t.Fatalf("second cached epoch: %v", err)
+	}
+	sink2.verifyEpoch(t, 0, want[0])
+	if got := sumMisses(); got != int64(planLen) {
+		t.Fatalf("second run recomputed: cluster-wide misses %d, want still %d", got, planLen)
+	}
+	for i, srv := range srvs {
+		st, _ := srv.CacheStats()
+		id := fmt.Sprintf("node%d", i)
+		if stats2.PerNode[id] > 0 && st.Hits == 0 {
+			t.Fatalf("node%d served %d batches on the repeat run with zero cache hits", i, stats2.PerNode[id])
+		}
+	}
+	if stats.Batches != planLen || stats2.Batches != planLen {
+		t.Fatalf("runs delivered %d and %d batches, want %d each", stats.Batches, stats2.Batches, planLen)
+	}
+}

@@ -118,3 +118,43 @@ func TestRingConcurrentAdds(t *testing.T) {
 		t.Fatalf("len %d, want 64", r.Len())
 	}
 }
+
+// TestRingStripedRetention checks the striping invariant across capacities
+// with different divisibility: regardless of how many stripes NewRing picks,
+// the ring retains exactly the most recent `capacity` records, in insertion
+// order.
+func TestRingStripedRetention(t *testing.T) {
+	for _, capacity := range []int{1, 2, 3, 4, 5, 8, 10, 64} {
+		r := NewRing(capacity)
+		n := 3*capacity + 1 // force wraparound in every stripe
+		for i := 0; i < n; i++ {
+			r.Add(ringRec(i))
+		}
+		if r.Len() != capacity {
+			t.Fatalf("capacity %d: len %d", capacity, r.Len())
+		}
+		snap := r.Snapshot()
+		if len(snap) != capacity {
+			t.Fatalf("capacity %d: snapshot len %d", capacity, len(snap))
+		}
+		for i, rec := range snap {
+			if want := n - capacity + i; rec.BatchID != want {
+				t.Fatalf("capacity %d: snapshot[%d].BatchID = %d, want %d",
+					capacity, i, rec.BatchID, want)
+			}
+		}
+	}
+}
+
+// BenchmarkRingAddParallel measures Add under the contention pattern the
+// serving node produces: every connected session's pipeline hooks funnel into
+// one shared ring. Before striping, a single ring mutex serialized them all.
+func BenchmarkRingAddParallel(b *testing.B) {
+	r := NewRing(4096)
+	rec := ringRec(1)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			r.Add(rec)
+		}
+	})
+}

@@ -1,0 +1,303 @@
+package serve
+
+import (
+	"container/list"
+	"errors"
+	"sync"
+	"time"
+)
+
+// BatchCache is the server-wide materialized-batch cache: canonical encoded
+// Batch frame bytes keyed by (spec fingerprint, epoch, global batch ID).
+// Because the epoch plan is deterministic and the encoding canonical, every
+// session that needs a given key needs the *same bytes* — so the first
+// requester computes the frame once (single-flight) and everyone else either
+// hits the ready entry or blocks on the in-flight computation. This is what
+// turns the N-clients serving plateau into fan-out: N ranks, cluster ShardReq
+// routes, and replication fetches share one preprocessing pass per batch.
+//
+// Frames are refcounted (Frame) so an entry can be evicted while sessions
+// are still writing its bytes to their sockets; eviction follows the LRU
+// byte-budget discipline of internal/data.PageCache (container/list, front =
+// least recently used, O(1) everything). The budget is a soft bound at the
+// granularity of one frame: a frame is always published first and evicted
+// by the overflow scan second, so a single frame larger than the whole
+// budget still serves its waiters before leaving.
+type BatchCache struct {
+	mu      sync.Mutex
+	budget  int64
+	used    int64
+	entries map[BatchKey]*cacheEntry
+	lru     *list.List // of *cacheEntry; only ready entries are listed
+
+	hits, misses, waits, evicted, abandoned int64
+}
+
+// BatchKey identifies one materialized batch frame. Fingerprint pins the
+// frame-determining spec parameters (SpecFingerprint), so a reconfigured
+// server can never serve stale bytes out of a persisted or shared cache.
+type BatchKey struct {
+	Fingerprint uint64
+	Epoch       int
+	GlobalID    int
+}
+
+type entryState int
+
+const (
+	entryInFlight entryState = iota
+	entryReady
+	entryAbandoned
+)
+
+// cacheEntry is one key's slot: in-flight (owner computing, waiters parked on
+// ready), ready (frame published), or abandoned (owner failed; waiters retry).
+// state and frame are written only while holding BatchCache.mu and only
+// before close(ready), so a waiter that has observed the close may read both
+// without the lock.
+type cacheEntry struct {
+	key     BatchKey
+	state   entryState
+	owner   int
+	ready   chan struct{}
+	frame   *Frame
+	size    int64
+	waiters int
+	elem    *list.Element
+}
+
+// ErrCacheWaitTimeout reports that an in-flight computation outlived the
+// waiter's patience; callers fall back to computing the batch themselves.
+var ErrCacheWaitTimeout = errors.New("serve: batch cache wait timed out")
+
+// NewBatchCache returns a cache bounded to budget bytes of frame payload.
+func NewBatchCache(budget int64) *BatchCache {
+	return &BatchCache{
+		budget:  budget,
+		entries: make(map[BatchKey]*cacheEntry),
+		lru:     list.New(),
+	}
+}
+
+// Claim registers owner as the computer of key if and only if no entry
+// exists, without blocking and without touching any frame. Sessions claim
+// their whole shard up front at epoch start, which partitions the epoch's
+// compute across concurrent sessions exactly once; the stream then fills
+// claimed slots from the session's own pipeline and everything else from the
+// cache. A true return obligates the caller to eventually Fulfill or Abandon
+// the key.
+func (c *BatchCache) Claim(key BatchKey, owner int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return false
+	}
+	c.misses++
+	c.entries[key] = &cacheEntry{
+		key:   key,
+		owner: owner,
+		ready: make(chan struct{}),
+	}
+	return true
+}
+
+// GetOrClaim is the streaming-side lookup. Exactly one of the three results
+// is meaningful:
+//
+//   - hit != nil: ready entry; hit carries a reference for the caller.
+//   - wait != nil: another owner is computing; pass it to Wait. The caller is
+//     registered as a waiter and MUST call Wait (its reference to the
+//     eventual frame is pre-paid).
+//   - claimed == true: the caller owns the key and must Fulfill or Abandon.
+func (c *BatchCache) GetOrClaim(key BatchKey, owner int) (hit *Frame, wait *cacheEntry, claimed bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok {
+		if e.state == entryReady {
+			c.hits++
+			c.lru.MoveToBack(e.elem)
+			return e.frame.Retain(), nil, false
+		}
+		c.waits++
+		e.waiters++
+		return nil, e, false
+	}
+	c.misses++
+	c.entries[key] = &cacheEntry{
+		key:   key,
+		owner: owner,
+		ready: make(chan struct{}),
+	}
+	return nil, nil, true
+}
+
+// Wait parks on an in-flight entry until the owner resolves it, the caller's
+// cancel fires, or timeout (0 = no timeout) elapses. On ok=true the returned
+// frame carries a reference for the caller. ok=false with a nil error means
+// the owner abandoned the claim: retry GetOrClaim (the caller typically wins
+// the claim and computes the batch itself).
+func (c *BatchCache) Wait(e *cacheEntry, cancel <-chan struct{}, timeout time.Duration) (*Frame, bool, error) {
+	var timeoutCh <-chan time.Time
+	if timeout > 0 {
+		t := time.NewTimer(timeout)
+		defer t.Stop()
+		timeoutCh = t.C
+	}
+	select {
+	case <-e.ready:
+		if e.state == entryReady {
+			return e.frame, true, nil // reference pre-paid by Fulfill
+		}
+		return nil, false, nil // abandoned
+	case <-cancel:
+		return nil, false, c.unregister(e, errWaitCanceled)
+	case <-timeoutCh:
+		return nil, false, c.unregister(e, ErrCacheWaitTimeout)
+	}
+}
+
+var errWaitCanceled = errors.New("serve: batch cache wait canceled")
+
+// unregister withdraws a waiter that gave up. If the entry resolved
+// concurrently, the pre-paid reference is returned instead.
+func (c *BatchCache) unregister(e *cacheEntry, err error) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select {
+	case <-e.ready:
+		if e.state == entryReady {
+			e.frame.Release()
+		}
+	default:
+		e.waiters--
+	}
+	return err
+}
+
+// Fulfill publishes the frame for a key the caller claimed. The cache takes
+// its own reference and pre-pays one per registered waiter; the caller keeps
+// the reference it arrived with. Entries over budget are evicted LRU-first
+// after the insert.
+func (c *BatchCache) Fulfill(key BatchKey, f *Frame) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok || e.state != entryInFlight {
+		c.mu.Unlock()
+		panic("serve: BatchCache.Fulfill on a key the caller does not own")
+	}
+	for i := 0; i < e.waiters+1; i++ { // waiters + the cache's own reference
+		f.Retain()
+	}
+	e.frame = f
+	e.size = int64(f.Len())
+	e.state = entryReady
+	e.elem = c.lru.PushBack(e)
+	c.used += e.size
+	victims := c.evictOverLocked()
+	close(e.ready)
+	c.mu.Unlock()
+	for _, v := range victims {
+		v.Release()
+	}
+}
+
+// Abandon resolves a claimed key without data: the entry leaves the cache and
+// every waiter wakes to retry (one of them will claim the key). Owners call
+// it on pipeline failure, epoch abort, or session teardown; abandoning a key
+// that is not an in-flight claim is a no-op, so cleanup paths may call it
+// unconditionally.
+func (c *BatchCache) Abandon(key BatchKey) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok || e.state != entryInFlight {
+		c.mu.Unlock()
+		return
+	}
+	e.state = entryAbandoned
+	delete(c.entries, key)
+	c.abandoned++
+	close(e.ready)
+	c.mu.Unlock()
+}
+
+// Acquire obtains key's frame whatever it takes: cache hit, waiting out
+// another session's in-flight computation (bounded by timeout), or computing
+// it via compute after claiming. The returned frame always carries a
+// reference for the caller. A timed-out wait computes the batch locally
+// without touching the stuck claim — liveness never depends on another
+// session's progress.
+func (c *BatchCache) Acquire(key BatchKey, owner int, cancel <-chan struct{}, timeout time.Duration,
+	compute func() (*Frame, error)) (*Frame, error) {
+	for {
+		hit, wait, claimed := c.GetOrClaim(key, owner)
+		if hit != nil {
+			return hit, nil
+		}
+		if claimed {
+			f, err := compute()
+			if err != nil {
+				c.Abandon(key)
+				return nil, err
+			}
+			c.Fulfill(key, f)
+			return f, nil
+		}
+		f, ok, err := c.Wait(wait, cancel, timeout)
+		if err != nil {
+			if errors.Is(err, ErrCacheWaitTimeout) {
+				return compute()
+			}
+			return nil, err
+		}
+		if ok {
+			return f, nil
+		}
+		// Owner abandoned: loop and race for the claim.
+	}
+}
+
+// evictOverLocked pops LRU entries until used fits the budget, returning the
+// victims' cache references for release outside the lock. In-flight entries
+// are never listed, so only ready frames are evictable; refcounts keep a
+// victim's bytes alive for any session still streaming them.
+func (c *BatchCache) evictOverLocked() []*Frame {
+	var victims []*Frame
+	for c.used > c.budget && c.lru.Len() > 0 {
+		e := c.lru.Remove(c.lru.Front()).(*cacheEntry)
+		delete(c.entries, e.key)
+		c.used -= e.size
+		c.evicted++
+		victims = append(victims, e.frame)
+	}
+	return victims
+}
+
+// BatchCacheStats is the JSON form of the cache counters for /metrics.
+type BatchCacheStats struct {
+	Hits             int64 `json:"hits"`
+	Misses           int64 `json:"misses"`
+	SingleflightWait int64 `json:"singleflight_waits"`
+	Evicted          int64 `json:"evicted"`
+	Abandoned        int64 `json:"abandoned"`
+	Entries          int   `json:"entries"`
+	BytesUsed        int64 `json:"bytes_used"`
+	BytesBudget      int64 `json:"bytes_budget"`
+}
+
+// Stats returns a consistent copy of the counters. Misses count claims, i.e.
+// pipeline executions started; hits and singleflight waits are requests
+// served without one.
+func (c *BatchCache) Stats() BatchCacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return BatchCacheStats{
+		Hits:             c.hits,
+		Misses:           c.misses,
+		SingleflightWait: c.waits,
+		Evicted:          c.evicted,
+		Abandoned:        c.abandoned,
+		Entries:          len(c.entries),
+		BytesUsed:        c.used,
+		BytesBudget:      c.budget,
+	}
+}

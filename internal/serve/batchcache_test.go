@@ -1,0 +1,379 @@
+package serve
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+	"time"
+
+	"lotus/internal/tensor"
+)
+
+func cacheKeyN(gid int) BatchKey {
+	return BatchKey{Fingerprint: 0x107, Epoch: 0, GlobalID: gid}
+}
+
+// cacheFrame builds a pooled frame of n bytes all set to fill.
+func cacheFrame(n int, fill byte) *Frame {
+	box := frameBufFor(n)
+	for i := 0; i < n; i++ {
+		*box = append(*box, fill)
+	}
+	return newFrame(box)
+}
+
+func TestFrameRefcountLifecycle(t *testing.T) {
+	f := cacheFrame(32, 0xab)
+	if f.Len() != 32 {
+		t.Fatalf("len %d, want 32", f.Len())
+	}
+	f.Retain() // 2 refs
+	f.Release()
+	if got := f.Bytes(); len(got) != 32 || got[0] != 0xab {
+		t.Fatal("frame bytes gone while a reference is held")
+	}
+	f.Release() // last ref: recycled
+	defer func() {
+		if recover() == nil {
+			t.Fatal("over-release did not panic")
+		}
+	}()
+	f.Release()
+}
+
+func TestEncodeBatchFrameByteIdentity(t *testing.T) {
+	m := &Batch{
+		Epoch: 3, GlobalID: 17,
+		Indices: []int{5, 9, 2}, Labels: []int{1, 0, 7},
+		Dtype: tensor.Uint8, Shape: []int{3, 8, 8},
+		U8: bytes.Repeat([]byte{0x5a}, 3*8*8),
+	}
+	want := EncodeBatch(m)
+	for i := 0; i < 3; i++ { // repeated to exercise pooled-buffer reuse
+		f := encodeBatchFrame(m)
+		if !bytes.Equal(f.Bytes(), want) {
+			t.Fatalf("pooled encode differs from EncodeBatch on round %d", i)
+		}
+		if f.Len() != len(want) {
+			t.Fatalf("pooled frame len %d, want %d", f.Len(), len(want))
+		}
+		f.Release()
+	}
+}
+
+// TestEncodeBatchFramePooledAllocs is the allocs/op guard for the pooled
+// encode path: steady-state encoding must reuse pooled buffers, not allocate
+// a fresh payload per batch like EncodeBatch does.
+func TestEncodeBatchFramePooledAllocs(t *testing.T) {
+	m := &Batch{
+		Epoch: 0, GlobalID: 1,
+		Indices: make([]int, 64), Labels: make([]int, 64),
+		Dtype: tensor.Uint8, Shape: []int{64, 3, 32, 32},
+	}
+	for i := 0; i < 16; i++ { // warm the pools
+		encodeBatchFrame(m).Release()
+	}
+	avg := testing.AllocsPerRun(500, func() {
+		encodeBatchFrame(m).Release()
+	})
+	if avg >= 1.0 {
+		t.Fatalf("pooled encode averages %.2f allocs/op, want < 1 (pool reuse)", avg)
+	}
+}
+
+// TestBatchCacheSingleFlight: one claimer, K waiters on the same key. All
+// waiters must block until Fulfill and then observe the same bytes; the
+// counters must show exactly one miss (one pipeline execution) and K waits.
+func TestBatchCacheSingleFlight(t *testing.T) {
+	const K = 8
+	c := NewBatchCache(1 << 20)
+	key := cacheKeyN(0)
+
+	hit, wait, claimed := c.GetOrClaim(key, 1)
+	if hit != nil || wait != nil || !claimed {
+		t.Fatal("first GetOrClaim did not claim")
+	}
+
+	got := make([][]byte, K)
+	var wg sync.WaitGroup
+	started := make(chan struct{}, K)
+	for i := 0; i < K; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			h, w, cl := c.GetOrClaim(key, 100+i)
+			if cl || h != nil {
+				t.Errorf("waiter %d: expected in-flight entry, got claim=%v hit=%v", i, cl, h != nil)
+				return
+			}
+			started <- struct{}{}
+			f, ok, err := c.Wait(w, nil, 30*time.Second)
+			if err != nil || !ok {
+				t.Errorf("waiter %d: Wait ok=%v err=%v", i, ok, err)
+				return
+			}
+			got[i] = append([]byte(nil), f.Bytes()...)
+			f.Release()
+		}(i)
+	}
+	for i := 0; i < K; i++ {
+		<-started
+	}
+
+	f := cacheFrame(64, 0x42)
+	c.Fulfill(key, f)
+	f.Release() // claimer's own reference
+	wg.Wait()
+
+	for i := range got {
+		if len(got[i]) != 64 || got[i][0] != 0x42 {
+			t.Fatalf("waiter %d observed wrong bytes", i)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.SingleflightWait != K || st.Hits != 0 {
+		t.Fatalf("stats %+v, want misses=1 waits=%d", st, K)
+	}
+
+	// A late requester is a plain hit on the ready entry.
+	h, _, _ := c.GetOrClaim(key, 999)
+	if h == nil {
+		t.Fatal("ready entry did not hit")
+	}
+	h.Release()
+	if st := c.Stats(); st.Hits != 1 {
+		t.Fatalf("hits %d after ready lookup, want 1", st.Hits)
+	}
+}
+
+// TestBatchCacheAbandonWakesWaiters: an owner that fails must not strand its
+// waiters — they wake, retry, and one of them claims and computes.
+func TestBatchCacheAbandonWakesWaiters(t *testing.T) {
+	c := NewBatchCache(1 << 20)
+	key := cacheKeyN(1)
+	if _, _, claimed := c.GetOrClaim(key, 1); !claimed {
+		t.Fatal("setup claim failed")
+	}
+
+	computes := 0
+	done := make(chan []byte, 1)
+	go func() {
+		f, err := c.Acquire(key, 2, nil, 30*time.Second, func() (*Frame, error) {
+			computes++
+			return cacheFrame(16, 0x7), nil
+		})
+		if err != nil {
+			t.Errorf("Acquire after abandon: %v", err)
+			done <- nil
+			return
+		}
+		b := append([]byte(nil), f.Bytes()...)
+		f.Release()
+		done <- b
+	}()
+
+	time.Sleep(10 * time.Millisecond) // let the waiter park
+	c.Abandon(key)
+
+	select {
+	case b := <-done:
+		if len(b) != 16 || b[0] != 0x7 {
+			t.Fatal("fallback compute produced wrong bytes")
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("waiter stranded after Abandon")
+	}
+	if computes != 1 {
+		t.Fatalf("computes %d, want 1", computes)
+	}
+	st := c.Stats()
+	if st.Abandoned != 1 {
+		t.Fatalf("abandoned %d, want 1", st.Abandoned)
+	}
+}
+
+// TestBatchCacheWaitTimeout: a stuck owner must not wedge a waiter; the wait
+// times out and Acquire computes locally without touching the stuck claim.
+func TestBatchCacheWaitTimeout(t *testing.T) {
+	c := NewBatchCache(1 << 20)
+	key := cacheKeyN(2)
+	if _, _, claimed := c.GetOrClaim(key, 1); !claimed {
+		t.Fatal("setup claim failed")
+	}
+
+	f, err := c.Acquire(key, 2, nil, 20*time.Millisecond, func() (*Frame, error) {
+		return cacheFrame(8, 0x9), nil
+	})
+	if err != nil {
+		t.Fatalf("Acquire: %v", err)
+	}
+	if f.Len() != 8 || f.Bytes()[0] != 0x9 {
+		t.Fatal("timed-out Acquire returned wrong bytes")
+	}
+	f.Release()
+
+	// The stuck claim is untouched: fulfilling it later still works and
+	// serves subsequent lookups.
+	owner := cacheFrame(8, 0xa)
+	c.Fulfill(key, owner)
+	owner.Release()
+	h, _, _ := c.GetOrClaim(key, 3)
+	if h == nil || h.Bytes()[0] != 0xa {
+		t.Fatal("original claim unusable after a waiter timed out")
+	}
+	h.Release()
+}
+
+// TestBatchCacheEvictionOrder pins the LRU discipline (PageCache's): the
+// least recently used ready entry leaves first, and a hit protects an entry
+// by moving it to the MRU end.
+func TestBatchCacheEvictionOrder(t *testing.T) {
+	const frameSize = 100
+	c := NewBatchCache(3 * frameSize)
+	put := func(gid int) {
+		if !c.Claim(cacheKeyN(gid), 1) {
+			t.Fatalf("claim %d failed", gid)
+		}
+		f := cacheFrame(frameSize, byte(gid))
+		c.Fulfill(cacheKeyN(gid), f)
+		f.Release()
+	}
+	lookup := func(gid int) bool {
+		h, _, claimed := c.GetOrClaim(cacheKeyN(gid), 2)
+		if h != nil {
+			h.Release()
+			return true
+		}
+		if claimed {
+			c.Abandon(cacheKeyN(gid)) // undo the probe's claim
+		}
+		return false
+	}
+
+	put(0)
+	put(1)
+	put(2)
+	put(3) // budget 3: evicts 0, the LRU
+	if lookup(0) {
+		t.Fatal("entry 0 survived over-budget insert")
+	}
+	if !lookup(1) || !lookup(2) || !lookup(3) {
+		t.Fatal("younger entries evicted out of order")
+	}
+
+	// lookup(1..3) made 1 the LRU again in order 1,2,3; touch 1 to protect it.
+	if !lookup(1) {
+		t.Fatal("entry 1 missing before protection check")
+	}
+	put(4) // evicts 2: the oldest untouched entry
+	if lookup(2) {
+		t.Fatal("LRU order violated: 2 should have been evicted")
+	}
+	if !lookup(1) || !lookup(3) || !lookup(4) {
+		t.Fatal("protected or fresh entries evicted")
+	}
+	st := c.Stats()
+	if st.Evicted != 2 {
+		t.Fatalf("evicted %d, want 2", st.Evicted)
+	}
+	if st.BytesUsed != 3*frameSize || st.Entries != 3 {
+		t.Fatalf("used=%d entries=%d, want %d/3", st.BytesUsed, st.Entries, 3*frameSize)
+	}
+}
+
+// TestBatchCacheByteBudget: the budget bounds resident bytes; an entry larger
+// than the whole budget still serves its waiters (publish first, evict
+// second) but does not stay resident.
+func TestBatchCacheByteBudget(t *testing.T) {
+	c := NewBatchCache(250)
+	for gid := 0; gid < 10; gid++ {
+		if !c.Claim(cacheKeyN(gid), 1) {
+			t.Fatalf("claim %d failed", gid)
+		}
+		f := cacheFrame(100, byte(gid))
+		c.Fulfill(cacheKeyN(gid), f)
+		// The fulfiller's reference outlives eviction: bytes stay valid.
+		if f.Bytes()[0] != byte(gid) {
+			t.Fatalf("frame %d corrupted after fulfill", gid)
+		}
+		f.Release()
+		if st := c.Stats(); st.BytesUsed > 250 {
+			t.Fatalf("after insert %d: %d bytes resident, budget 250", gid, st.BytesUsed)
+		}
+	}
+
+	// Oversize frame: published (waiter served), then immediately evicted.
+	key := cacheKeyN(99)
+	if !c.Claim(key, 1) {
+		t.Fatal("oversize claim failed")
+	}
+	waiterGot := make(chan int, 1)
+	_, w, _ := c.GetOrClaim(key, 2)
+	go func() {
+		f, ok, err := c.Wait(w, nil, 10*time.Second)
+		if !ok || err != nil {
+			waiterGot <- -1
+			return
+		}
+		n := f.Len()
+		f.Release()
+		waiterGot <- n
+	}()
+	big := cacheFrame(1000, 0xee)
+	c.Fulfill(key, big)
+	big.Release()
+	if n := <-waiterGot; n != 1000 {
+		t.Fatalf("waiter on oversize frame got %d bytes, want 1000", n)
+	}
+	st := c.Stats()
+	if st.BytesUsed > 250 {
+		t.Fatalf("oversize frame stayed resident: %d bytes", st.BytesUsed)
+	}
+	if h, _, _ := c.GetOrClaim(key, 3); h != nil {
+		h.Release()
+		t.Fatal("oversize entry still cached")
+	} else {
+		c.Abandon(key) // undo the probe's claim
+	}
+}
+
+// TestBatchCacheConcurrentChurn hammers one small cache from many goroutines
+// mixing claims, fulfills, hits, waits, and evictions — the -race workout for
+// the single-flight state machine.
+func TestBatchCacheConcurrentChurn(t *testing.T) {
+	c := NewBatchCache(400) // 4 frames of 100: constant eviction pressure
+	const (
+		workers = 8
+		keys    = 16
+		rounds  = 200
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				gid := (w + r) % keys
+				f, err := c.Acquire(cacheKeyN(gid), w, nil, 10*time.Second, func() (*Frame, error) {
+					return cacheFrame(100, byte(gid)), nil
+				})
+				if err != nil {
+					t.Errorf("worker %d round %d: %v", w, r, err)
+					return
+				}
+				if f.Len() != 100 || f.Bytes()[0] != byte(gid) {
+					t.Errorf("worker %d round %d: wrong bytes for gid %d", w, r, gid)
+				}
+				f.Release()
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.BytesUsed > 400 {
+		t.Fatalf("budget exceeded at rest: %d", st.BytesUsed)
+	}
+	if total := st.Hits + st.Misses + st.SingleflightWait; total < workers*rounds {
+		t.Fatalf("counters %+v do not cover %d acquires", st, workers*rounds)
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"lotus/internal/pipeline"
+	"lotus/internal/tensor"
 	"lotus/internal/workloads"
 )
 
@@ -17,49 +18,113 @@ import (
 func BenchmarkServiceThroughput(b *testing.B) {
 	for _, clients := range []int{1, 2, 4} {
 		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
-			spec := workloads.ICSpec(1280, 7)
-			spec.BatchSize = 64 // 20 batches per epoch
-			spec.NumWorkers = 2
-			srv := New(Config{Spec: spec, Mode: pipeline.Simulated, Prefetch: 4})
-			if err := srv.Start("127.0.0.1:0", ""); err != nil {
-				b.Fatal(err)
-			}
-			defer srv.Close()
-
-			conns := make([]*Client, clients)
-			for rank := range conns {
-				conns[rank] = NewClient(ClientConfig{Addr: srv.Addr(), Rank: rank, World: clients})
-				if err := conns[rank].Connect(); err != nil {
-					b.Fatal(err)
-				}
-				defer conns[rank].Close()
-			}
-
-			totalBatches := 0
-			var mu sync.Mutex
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				var wg sync.WaitGroup
-				for _, c := range conns {
-					wg.Add(1)
-					go func(c *Client) {
-						defer wg.Done()
-						stats, err := c.Run(1, nil)
-						if err != nil {
-							b.Error(err)
-							return
-						}
-						mu.Lock()
-						totalBatches += stats.Batches
-						mu.Unlock()
-					}(c)
-				}
-				wg.Wait()
-			}
-			b.StopTimer()
-			if sec := b.Elapsed().Seconds(); sec > 0 {
-				b.ReportMetric(float64(totalBatches)/sec, "batches/sec")
-			}
+			benchServiceThroughput(b, clients, 0)
 		})
+	}
+}
+
+// BenchmarkServiceThroughputCached is the same workload with the
+// materialized-batch cache enabled: every client re-fetches epoch 0, so after
+// the first iteration the server streams cached frames instead of re-running
+// the pipeline. scripts/bench.sh compares this against the uncached series
+// into BENCH_PR5.json.
+func BenchmarkServiceThroughputCached(b *testing.B) {
+	for _, clients := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("clients=%d", clients), func(b *testing.B) {
+			benchServiceThroughput(b, clients, 256<<20)
+		})
+	}
+}
+
+func benchServiceThroughput(b *testing.B, clients int, cacheBytes int64) {
+	spec := workloads.ICSpec(1280, 7)
+	spec.BatchSize = 64 // 20 batches per epoch
+	spec.NumWorkers = 2
+	srv := New(Config{Spec: spec, Mode: pipeline.Simulated, Prefetch: 4,
+		BatchCacheBytes: cacheBytes})
+	if err := srv.Start("127.0.0.1:0", ""); err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+
+	conns := make([]*Client, clients)
+	for rank := range conns {
+		conns[rank] = NewClient(ClientConfig{Addr: srv.Addr(), Rank: rank, World: clients})
+		if err := conns[rank].Connect(); err != nil {
+			b.Fatal(err)
+		}
+		defer conns[rank].Close()
+	}
+
+	totalBatches := 0
+	var mu sync.Mutex
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for _, c := range conns {
+			wg.Add(1)
+			go func(c *Client) {
+				defer wg.Done()
+				stats, err := c.Run(1, nil)
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				mu.Lock()
+				totalBatches += stats.Batches
+				mu.Unlock()
+			}(c)
+		}
+		wg.Wait()
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(totalBatches)/sec, "batches/sec")
+	}
+}
+
+// benchBatch builds a materialize-sized wire batch (the shape the serving hot
+// path encodes): 64 samples, one 64x3x32x32 u8 tensor payload.
+func benchBatch() *Batch {
+	idx := make([]int, 64)
+	lab := make([]int, 64)
+	for i := range idx {
+		idx[i] = i
+		lab[i] = i % 7
+	}
+	return &Batch{
+		Epoch:    0,
+		GlobalID: 3,
+		Indices:  idx,
+		Labels:   lab,
+		Dtype:    tensor.Uint8,
+		Shape:    []int{64, 3, 32, 32},
+		U8:       make([]byte, 64*3*32*32),
+	}
+}
+
+// BenchmarkEncodeBatch is the allocating encoder: one fresh buffer per frame.
+func BenchmarkEncodeBatch(b *testing.B) {
+	m := benchBatch()
+	b.SetBytes(int64(batchWireSize(m)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		EncodeBatch(m)
+	}
+}
+
+// BenchmarkEncodeBatchPooled is the serving hot path's pooled encoder; after
+// warmup it must run at zero allocations per frame (guarded by
+// TestEncodeBatchFramePooledAllocs).
+func BenchmarkEncodeBatchPooled(b *testing.B) {
+	m := benchBatch()
+	b.SetBytes(int64(batchWireSize(m)))
+	b.ReportAllocs()
+	for i := 0; i < 16; i++ {
+		encodeBatchFrame(m).Release() // warm the size class
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		encodeBatchFrame(m).Release()
 	}
 }

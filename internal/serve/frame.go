@@ -1,0 +1,115 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Frame is one encoded Batch payload in a refcounted, pool-backed buffer.
+// The serving hot path produces every batch exactly once as a Frame; the
+// bytes are immutable from then on, shared by the session that produced them,
+// the batch cache, and every session that hits the cache. The last Release
+// returns both the buffer and the Frame header to their sync.Pools, which is
+// the PR 1 imaging-pool discipline applied to the wire layer: explicit
+// ownership, power-of-two size classes, zero steady-state allocation.
+//
+// Reference rules: every *Frame a caller receives (encodeBatchFrame, cache
+// GetOrClaim hit, cache Wait, cache Acquire) carries one reference owned by
+// that caller, released with exactly one Release. Retain adds a reference for
+// a new owner. Bytes must not be mutated or retained past the owner's
+// Release.
+type Frame struct {
+	b    []byte
+	box  *[]byte // pooled backing-buffer box; recycled with the frame
+	refs atomic.Int32
+}
+
+var (
+	framePool    sync.Pool // *Frame headers
+	frameBufPool sync.Pool // *[]byte payload buffers, pow2 capacities
+)
+
+// frameBufFor returns a boxed zero-length buffer with capacity >= n, reusing
+// a pooled buffer when one is big enough. The box pointer travels with the
+// Frame so Release can repool it without re-boxing (which would allocate).
+func frameBufFor(n int) *[]byte {
+	if p, _ := frameBufPool.Get().(*[]byte); p != nil && cap(*p) >= n {
+		*p = (*p)[:0]
+		return p
+	}
+	// Pool miss or undersized buffer: drop the small one (re-pooling it would
+	// just hand it back on the next Get, thrashing forever once frame sizes
+	// grow) and let the pool converge on the serving spec's frame class.
+	b := make([]byte, 0, roundUpPow2(n))
+	return &b
+}
+
+// roundUpPow2 rounds n up to the next power of two so pooled buffers fall
+// into a handful of size classes instead of one class per batch geometry.
+func roundUpPow2(n int) int {
+	if n <= 0 {
+		return 1
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// newFrame wraps an already-encoded boxed buffer in a pooled Frame with one
+// reference owned by the caller. The Frame takes ownership of the box, which
+// must have come from frameBufFor.
+func newFrame(box *[]byte) *Frame {
+	f, _ := framePool.Get().(*Frame)
+	if f == nil {
+		f = &Frame{}
+	}
+	f.b = *box
+	f.box = box
+	f.refs.Store(1)
+	return f
+}
+
+// encodeBatchFrame encodes m into a pooled Frame — the zero-allocation
+// (steady state) form of EncodeBatch, byte-identical by construction because
+// both call AppendBatch.
+func encodeBatchFrame(m *Batch) *Frame {
+	box := frameBufFor(batchWireSize(m))
+	*box = AppendBatch(*box, m)
+	return newFrame(box)
+}
+
+// Bytes exposes the encoded payload. Valid only while the caller holds a
+// reference; never mutate it.
+func (f *Frame) Bytes() []byte { return f.b }
+
+// Len reports the payload length.
+func (f *Frame) Len() int { return len(f.b) }
+
+// Retain adds one reference for a new owner and returns f for chaining.
+func (f *Frame) Retain() *Frame {
+	if f.refs.Add(1) <= 1 {
+		panic("serve: Frame.Retain on a released frame")
+	}
+	return f
+}
+
+// Release drops one reference; the last one recycles the buffer and the
+// Frame header.
+func (f *Frame) Release() {
+	n := f.refs.Add(-1)
+	if n > 0 {
+		return
+	}
+	if n < 0 {
+		panic("serve: Frame over-released")
+	}
+	box := f.box
+	f.b, f.box = nil, nil
+	if box != nil {
+		*box = (*box)[:0]
+		frameBufPool.Put(box)
+	}
+	framePool.Put(f)
+}

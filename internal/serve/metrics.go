@@ -216,16 +216,19 @@ func (s *SessionMetrics) snapshot(now time.Time) SessionSnapshot {
 
 // MetricsSnapshot is the JSON document /metrics serves.
 type MetricsSnapshot struct {
-	UptimeSecs     float64           `json:"uptime_s"`
-	SessionsActive int               `json:"sessions_active"`
-	SessionsTotal  int               `json:"sessions_total"`
-	Reconnects     int64             `json:"reconnects_total"`
-	EpochsServed   int64             `json:"epochs_served"`
-	EpochsAborted  int64             `json:"epochs_aborted"`
-	BatchesSent    int64             `json:"batches_sent"`
-	BytesSent      int64             `json:"bytes_sent"`
-	TraceRecords   int64             `json:"trace_records"`
-	Sessions       []SessionSnapshot `json:"sessions"`
+	UptimeSecs     float64 `json:"uptime_s"`
+	SessionsActive int     `json:"sessions_active"`
+	SessionsTotal  int     `json:"sessions_total"`
+	Reconnects     int64   `json:"reconnects_total"`
+	EpochsServed   int64   `json:"epochs_served"`
+	EpochsAborted  int64   `json:"epochs_aborted"`
+	BatchesSent    int64   `json:"batches_sent"`
+	BytesSent      int64   `json:"bytes_sent"`
+	TraceRecords   int64   `json:"trace_records"`
+	// Cache carries the materialized-batch cache counters (hits, misses,
+	// singleflight waits, evictions, bytes); nil when the cache is disabled.
+	Cache    *BatchCacheStats  `json:"cache,omitempty"`
+	Sessions []SessionSnapshot `json:"sessions"`
 }
 
 // Snapshot returns a consistent copy of every counter. traceRecords is

@@ -53,7 +53,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.metrics.Snapshot(time.Now(), s.ring.Total()))
+	snap := s.metrics.Snapshot(time.Now(), s.ring.Total())
+	if st, ok := s.CacheStats(); ok {
+		snap.Cache = &st
+	}
+	writeJSON(w, http.StatusOK, snap)
 }
 
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {

@@ -1,7 +1,11 @@
 package serve
 
 import (
+	"fmt"
+	"hash/fnv"
+
 	"lotus/internal/pipeline"
+	"lotus/internal/workloads"
 )
 
 // PlanBatch is one batch of an epoch plan: its position in the full plan
@@ -45,6 +49,23 @@ func Shard(plan []PlanBatch, rank, world int) []PlanBatch {
 		out = append(out, plan[i])
 	}
 	return out
+}
+
+// SpecFingerprint hashes the frame-determining parameters of a served
+// configuration: two servers with equal fingerprints produce byte-identical
+// frames for every (epoch, global batch ID). This is what keys the
+// materialized-batch cache — a server reconfigured to a different dataset
+// size, seed, batch geometry, workload, or preprocessing mode lands on a
+// different fingerprint and can never alias cached bytes. Parameters that
+// change only scheduling (worker count, prefetch, dispatch policy) are
+// deliberately excluded: the deterministic plan makes batch content
+// independent of them, which the byte-identity tests assert.
+func SpecFingerprint(spec workloads.Spec, mode pipeline.Mode, materializeDim int) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d|%d|%d|%t|%d|%g|%t|%d|%d",
+		spec.Kind, spec.NumSamples, spec.BatchSize, spec.Seed, spec.Shuffle,
+		spec.Arch, spec.WorkScale, spec.OfflineDecode, mode, materializeDim)
+	return h.Sum64()
 }
 
 // ShardSize reports len(Shard(plan, rank, world)) without building the

@@ -2,8 +2,10 @@ package serve
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash"
 	"hash/fnv"
 	"io"
 	"net"
@@ -47,6 +49,19 @@ type Config struct {
 	// HelloTimeout bounds how long a fresh connection may take to present a
 	// valid Hello before the server gives up on it (default 10s).
 	HelloTimeout time.Duration
+	// BatchCacheBytes, when > 0, enables the server-wide materialized-batch
+	// cache: each (epoch, global batch ID) frame is preprocessed and encoded
+	// once, whatever the number of concurrent sessions, ShardReq routes, or
+	// replication fetches asking for it, and the canonical bytes are served
+	// to everyone out of an LRU cache bounded to this many payload bytes.
+	// 0 disables the cache (every session runs its own pipeline, the
+	// pre-cache behavior).
+	BatchCacheBytes int64
+	// CacheWaitTimeout bounds how long a session blocks on another session's
+	// in-flight computation of a batch before giving up and computing it
+	// locally (default 30s). The fallback keeps every session live even if
+	// the claim's owner stalls indefinitely.
+	CacheWaitTimeout time.Duration
 	// Faults, when non-nil, is the deterministic fault-injection layer: it is
 	// threaded into every session's pipeline (read errors / stalls / panics)
 	// and consulted per outgoing batch frame for wire faults (drop, truncate,
@@ -74,6 +89,8 @@ type Server struct {
 
 	metrics *Metrics
 	ring    *trace.Ring
+	cache   *BatchCache // nil when Config.BatchCacheBytes == 0
+	specFP  uint64
 
 	ctx      context.Context
 	cancel   context.CancelFunc
@@ -105,6 +122,9 @@ func New(cfg Config) *Server {
 	if cfg.HelloTimeout <= 0 {
 		cfg.HelloTimeout = 10 * time.Second
 	}
+	if cfg.CacheWaitTimeout <= 0 {
+		cfg.CacheWaitTimeout = 30 * time.Second
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
@@ -121,7 +141,20 @@ func New(cfg Config) *Server {
 	s.ring.SetPerLogCost(cfg.Spec.PerLogCost)
 	s.planLen = len(pipeline.BuildBatchPlan(s.datasetLen, cfg.Spec.BatchSize,
 		cfg.Spec.Shuffle, false, cfg.Spec.Seed))
+	s.specFP = SpecFingerprint(cfg.Spec, cfg.Mode, cfg.MaterializeDim)
+	if cfg.BatchCacheBytes > 0 {
+		s.cache = NewBatchCache(cfg.BatchCacheBytes)
+	}
 	return s
+}
+
+// CacheStats reports the materialized-batch cache counters; ok is false when
+// the cache is disabled.
+func (s *Server) CacheStats() (BatchCacheStats, bool) {
+	if s.cache == nil {
+		return BatchCacheStats{}, false
+	}
+	return s.cache.Stats(), true
 }
 
 // Start listens on addr for the wire protocol and, when httpAddr is
@@ -530,22 +563,140 @@ func (ss *session) streamShardReq(req ShardReq) error {
 	return ss.streamShard(req.Epoch, len(plan), shard)
 }
 
-// streamShard runs one shard of one epoch through a DataLoader and streams
-// the batches. The producer (pipeline) and the writer (network) are
-// decoupled by a bounded channel of encoded frames: when the client or the
-// network is slow, the channel fills and the pipeline stalls — bounded
-// backpressure instead of unbounded buffering.
+// cacheKey builds this server's cache key for one batch of one epoch.
+func (ss *session) cacheKey(epoch, globalID int) BatchKey {
+	return BatchKey{Fingerprint: ss.srv.specFP, Epoch: epoch, GlobalID: globalID}
+}
+
+// streamShard streams one shard of one epoch. The producer (pipeline) and
+// the writer (network) are decoupled by a bounded channel of encoded frames:
+// when the client or the network is slow, the channel fills and the pipeline
+// stalls — bounded backpressure instead of unbounded buffering.
+//
+// With the batch cache enabled the session first claims, for its entire
+// shard, every batch no other session is already producing; its pipeline
+// then runs over exactly the claimed subset, and every other slot is
+// acquired from the cache at write time (hit, or a single-flight wait on the
+// producing session). The deterministic plan makes the claimed-subset
+// pipeline byte-identical to a full-shard one — batch bytes depend only on
+// the epoch seed and the plan's indices, not on which session or worker
+// produced them — so N concurrent ranks cost one preprocessing pass, not N.
 func (ss *session) streamShard(epoch, planLen int, shard []PlanBatch) error {
-	spec := ss.srv.cfg.Spec
-	ss.setEpoch(epoch, planLen, shard)
+	cache := ss.srv.cache
 
 	sum := fnv.New64a()
 	if len(shard) == 0 {
 		return WriteFrame(ss.conn, EncodeEpochEnd(EpochEnd{Epoch: epoch, Checksum: sum.Sum64()}))
 	}
 
-	batchPlan := make([][]int, len(shard))
-	for i, pb := range shard {
+	mine := make([]bool, len(shard))
+	var claimed []PlanBatch
+	if cache == nil {
+		claimed = shard
+		for i := range mine {
+			mine[i] = true
+		}
+	} else {
+		for i, pb := range shard {
+			if cache.Claim(ss.cacheKey(epoch, pb.GlobalID), ss.id) {
+				mine[i] = true
+				claimed = append(claimed, pb)
+			}
+		}
+	}
+	// The trace hooks map positional batch ids through the pipeline's plan,
+	// which is now the claimed subset, not the full shard.
+	ss.setEpoch(epoch, planLen, claimed)
+
+	ctx, cancelEpoch := context.WithCancel(ss.srv.ctx)
+	defer cancelEpoch()
+	frames := make(chan *Frame, ss.srv.cfg.Prefetch)
+	ss.sm.SetQueueGauge(func() int { return len(frames) })
+	defer ss.sm.SetQueueGauge(nil)
+
+	prodErr := make(chan error, 1)
+	go ss.produceClaimed(ctx, epoch, claimed, frames, prodErr)
+
+	var werr error
+	sent := 0
+	for i := 0; i < len(shard) && werr == nil; i++ {
+		var f *Frame
+		if mine[i] {
+			var ok bool
+			f, ok = <-frames
+			if !ok {
+				break // producer ended early; prodErr explains why
+			}
+		} else {
+			var err error
+			pb := shard[i]
+			f, err = cache.Acquire(ss.cacheKey(epoch, pb.GlobalID), ss.id,
+				ctx.Done(), ss.srv.cfg.CacheWaitTimeout,
+				func() (*Frame, error) { return ss.computeBatchFrame(epoch, pb) })
+			if err != nil {
+				werr = fmt.Errorf("batch %d: %w", pb.GlobalID, err)
+				cancelEpoch()
+				break
+			}
+		}
+		if werr = ss.writeBatchFrame(f, sum); werr == nil {
+			sent++
+		} else {
+			cancelEpoch()
+		}
+		f.Release()
+	}
+	// Whatever ended the loop, release everything the producer still emits so
+	// it never blocks forever, then collect its verdict.
+	for f := range frames {
+		f.Release()
+	}
+	perr := <-prodErr
+	if werr != nil {
+		return fmt.Errorf("write: %w", werr)
+	}
+	if perr != nil {
+		if errors.Is(perr, context.Canceled) {
+			perr = errors.New("server draining")
+		}
+		ss.srv.sendError(ss.conn, fmt.Sprintf("epoch %d: %v", epoch, perr))
+		return fmt.Errorf("epoch %d: %w", epoch, perr)
+	}
+	ss.sm.AddEpoch()
+	ss.srv.metrics.AddEpoch()
+	return WriteFrame(ss.conn, EncodeEpochEnd(EpochEnd{Epoch: epoch, Batches: sent, Checksum: sum.Sum64()}))
+}
+
+// produceClaimed runs the session's pipeline over exactly the batches it
+// claimed, publishing each frame to the cache first (so cross-session
+// waiters are served at compute speed) and then to the bounded frames
+// channel (so the session's own socket still backpressures the pipeline).
+// On any exit — completion, failure, panic, abort — unfulfilled claims are
+// abandoned so waiters elsewhere wake up and recompute instead of hanging.
+func (ss *session) produceClaimed(ctx context.Context, epoch int, claimed []PlanBatch,
+	frames chan<- *Frame, prodErr chan<- error) {
+	cache := ss.srv.cache
+	spec := ss.srv.cfg.Spec
+	fulfilled := 0
+	var perr error
+	defer func() {
+		if r := recover(); r != nil {
+			perr = fmt.Errorf("serve: epoch producer panicked: %v", r)
+		}
+		if cache != nil {
+			for _, pb := range claimed[fulfilled:] {
+				cache.Abandon(ss.cacheKey(epoch, pb.GlobalID))
+			}
+		}
+		prodErr <- perr
+		close(frames)
+	}()
+	if len(claimed) == 0 {
+		return // fully cached shard: nothing to produce
+	}
+
+	batchPlan := make([][]int, len(claimed))
+	for i, pb := range claimed {
 		batchPlan[i] = pb.Indices
 	}
 	cfg := pipeline.Config{
@@ -569,121 +720,128 @@ func (ss *session) streamShard(epoch, planLen int, shard []PlanBatch) error {
 	} else {
 		clk = clock.NewSim()
 	}
-
-	ctx, cancelEpoch := context.WithCancel(ss.srv.ctx)
-	defer cancelEpoch()
-	frames := make(chan []byte, ss.srv.cfg.Prefetch)
-	ss.sm.SetQueueGauge(func() int { return len(frames) })
-	defer ss.sm.SetQueueGauge(nil)
-
-	prodErr := make(chan error, 1)
-	go func() {
-		var perr error
-		defer func() {
-			if r := recover(); r != nil {
-				perr = fmt.Errorf("serve: epoch producer panicked: %v", r)
+	clk.Run("serve-producer", func(p clock.Proc) {
+		dl := pipeline.NewDataLoader(clk, ss.ds, cfg)
+		it := dl.Start(p)
+		// Whatever ends the epoch — completion, failure, or abort —
+		// consume every in-flight worker result so no batch is left
+		// uncredited on the data queue and the clock winds down clean.
+		defer it.Drain(p)
+		for i := 0; ; i++ {
+			b, ok := it.Next(p)
+			if !ok {
+				perr = it.Err()
+				return
 			}
-			prodErr <- perr
-			close(frames)
-		}()
-		clk.Run("serve-producer", func(p clock.Proc) {
-			dl := pipeline.NewDataLoader(clk, ss.ds, cfg)
-			it := dl.Start(p)
-			// Whatever ends the epoch — completion, failure, or abort —
-			// consume every in-flight worker result so no batch is left
-			// uncredited on the data queue and the clock winds down clean.
-			defer it.Drain(p)
-			for i := 0; ; i++ {
-				b, ok := it.Next(p)
-				if !ok {
-					perr = it.Err()
-					return
-				}
-				payload := EncodeBatch(batchToWire(epoch, shard[i].GlobalID, b))
-				select {
-				case frames <- payload:
-				case <-ctx.Done():
-					// Client gone or server draining: close the index
-					// queues so the workers finish what was dispatched
-					// and exit.
-					it.Abort()
-					perr = ctx.Err()
-					return
-				}
+			f := encodeBatchFrame(batchToWire(epoch, claimed[i].GlobalID, b))
+			if cache != nil {
+				cache.Fulfill(ss.cacheKey(epoch, claimed[i].GlobalID), f)
+				fulfilled = i + 1
 			}
-		})
-	}()
-
-	var werr error
-	sent := 0
-	for payload := range frames {
-		if werr != nil {
-			continue // keep draining so the producer never blocks forever
+			select {
+			case frames <- f:
+			case <-ctx.Done():
+				// Client gone or server draining: close the index
+				// queues so the workers finish what was dispatched
+				// and exit. The frame stays valid in the cache (if
+				// fulfilled); only this session's reference drops.
+				f.Release()
+				it.Abort()
+				perr = ctx.Err()
+				return
+			}
 		}
-		// Wire-fault seam: each outgoing batch frame may be dropped,
-		// truncated, or corrupted once per configured fault. The stream
-		// checksum always folds the CLEAN payload — these model the wire
-		// mangling bytes after the server produced them correctly, so the
-		// client's integrity checks (decode, checksum at EpochEnd) are what
-		// must catch the damage.
-		switch ss.srv.cfg.Faults.NextWireAction() {
-		case faultinject.WireDrop:
-			ss.conn.Close()
-			werr = errors.New("faultinject: connection dropped before frame")
-			cancelEpoch()
-			continue
-		case faultinject.WireTruncate:
-			var hdr [4]byte
-			hdr[0] = byte(len(payload) >> 24)
-			hdr[1] = byte(len(payload) >> 16)
-			hdr[2] = byte(len(payload) >> 8)
-			hdr[3] = byte(len(payload))
-			ss.conn.Write(hdr[:])
-			ss.conn.Write(payload[:len(payload)/2])
-			ss.conn.Close()
-			werr = errors.New("faultinject: frame truncated mid-payload")
-			cancelEpoch()
-			continue
-		case faultinject.WireCorrupt:
-			corrupted := append([]byte(nil), payload...)
-			corrupted[len(corrupted)/2] ^= 0xa5
-			if err := WriteFrame(ss.conn, corrupted); err != nil {
-				werr = err
-				cancelEpoch()
-				continue
-			}
-			sum.Write(payload)
-			sent++
-			wireBytes := len(payload) + 4
-			ss.sm.AddBatch(wireBytes)
-			ss.srv.metrics.AddBatch(wireBytes)
-			continue
+	})
+}
+
+// writeBatchFrame pushes one encoded batch frame through the wire-fault seam
+// and onto the connection, folding the stream checksum and crediting metrics
+// on success. The checksum always folds the CLEAN payload — wire faults
+// model the network mangling bytes after the server produced them correctly
+// — and the corrupt fault copies the payload before flipping a bit, so a
+// cached frame other sessions are concurrently streaming is never damaged:
+// faults land per-connection, not in shared cache bytes.
+func (ss *session) writeBatchFrame(f *Frame, sum hash.Hash64) error {
+	payload := f.Bytes()
+	switch ss.srv.cfg.Faults.NextWireAction() {
+	case faultinject.WireDrop:
+		ss.conn.Close()
+		return errors.New("faultinject: connection dropped before frame")
+	case faultinject.WireTruncate:
+		var hdr [4]byte
+		binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+		ss.conn.Write(hdr[:])
+		ss.conn.Write(payload[:len(payload)/2])
+		ss.conn.Close()
+		return errors.New("faultinject: frame truncated mid-payload")
+	case faultinject.WireCorrupt:
+		corrupted := append([]byte(nil), payload...)
+		corrupted[len(corrupted)/2] ^= 0xa5
+		if err := WriteFrame(ss.conn, corrupted); err != nil {
+			return err
 		}
+	default:
 		if err := WriteFrame(ss.conn, payload); err != nil {
-			werr = err
-			cancelEpoch()
-			continue
+			return err
 		}
-		sum.Write(payload)
-		sent++
-		wireBytes := len(payload) + 4
-		ss.sm.AddBatch(wireBytes)
-		ss.srv.metrics.AddBatch(wireBytes)
 	}
-	perr := <-prodErr
-	if werr != nil {
-		return fmt.Errorf("write: %w", werr)
+	sum.Write(payload)
+	wireBytes := len(payload) + 4
+	ss.sm.AddBatch(wireBytes)
+	ss.srv.metrics.AddBatch(wireBytes)
+	return nil
+}
+
+// computeBatchFrame materializes one batch outside the session's streaming
+// pipeline: the fallback when a cache claim was abandoned by a failing owner
+// or a single-flight wait timed out. The epoch plan fully determines batch
+// content — bytes depend only on the epoch seed and the batch's indices,
+// never on which pipeline or worker produced them — so a one-batch plan
+// yields a frame byte-identical to the one the original owner would have
+// cached. It runs untraced (nil hooks, fresh dataset view) so the session's
+// positional trace-id mapping is undisturbed.
+func (ss *session) computeBatchFrame(epoch int, pb PlanBatch) (f *Frame, err error) {
+	spec := ss.srv.cfg.Spec
+	cfg := pipeline.Config{
+		BatchSize:      spec.BatchSize,
+		NumWorkers:     1,
+		PinMemory:      spec.PinMemory,
+		Seed:           EpochSeed(spec.Seed, epoch),
+		BatchPlan:      [][]int{pb.Indices},
+		Mode:           ss.srv.cfg.Mode,
+		WorkScale:      spec.WorkScale,
+		MaterializeDim: ss.srv.cfg.MaterializeDim,
+		Dispatch:       spec.Dispatch,
+		Faults:         ss.srv.cfg.Faults,
 	}
-	if perr != nil {
-		if errors.Is(perr, context.Canceled) {
-			perr = errors.New("server draining")
+	if ss.srv.cfg.Mode != pipeline.RealData {
+		cfg.Engine = native.NewEngine(spec.Arch, native.DefaultCPU())
+	}
+	var clk clock.Clock
+	if ss.srv.cfg.Mode == pipeline.RealData || ss.srv.cfg.EmulateTime {
+		clk = clock.NewReal()
+	} else {
+		clk = clock.NewSim()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("serve: fallback pipeline for batch %d panicked: %v", pb.GlobalID, r)
 		}
-		ss.srv.sendError(ss.conn, fmt.Sprintf("epoch %d: %v", epoch, perr))
-		return fmt.Errorf("epoch %d: %w", epoch, perr)
-	}
-	ss.sm.AddEpoch()
-	ss.srv.metrics.AddEpoch()
-	return WriteFrame(ss.conn, EncodeEpochEnd(EpochEnd{Epoch: epoch, Batches: sent, Checksum: sum.Sum64()}))
+	}()
+	clk.Run("serve-fallback", func(p clock.Proc) {
+		dl := pipeline.NewDataLoader(clk, spec.Dataset(nil), cfg)
+		it := dl.Start(p)
+		defer it.Drain(p)
+		b, ok := it.Next(p)
+		if !ok {
+			if err = it.Err(); err == nil {
+				err = fmt.Errorf("serve: fallback pipeline produced no batch %d", pb.GlobalID)
+			}
+			return
+		}
+		f = encodeBatchFrame(batchToWire(epoch, pb.GlobalID, b))
+	})
+	return f, err
 }
 
 // batchToWire converts a pipeline batch to its wire form.

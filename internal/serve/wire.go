@@ -35,6 +35,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"net"
 
 	"lotus/internal/tensor"
 )
@@ -182,14 +183,16 @@ type Bye struct{}
 // ---------------------------------------------------------------------------
 
 // WriteFrame writes one length-prefixed frame. payload must already start
-// with the message type byte.
+// with the message type byte. Header and payload go out as one vectored
+// write (writev on a TCP conn): a single syscall per frame and no risk of a
+// header-only packet when Nagle is off. The payload is not copied, which is
+// what lets cached sessions stream one shared immutable frame buffer to many
+// connections.
 func WriteFrame(w io.Writer, payload []byte) error {
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
-	}
-	_, err := w.Write(payload)
+	bufs := net.Buffers{hdr[:], payload}
+	_, err := bufs.WriteTo(w)
 	return err
 }
 
@@ -276,12 +279,30 @@ func EncodeShardReq(r ShardReq) []byte {
 	return b
 }
 
+// batchWireSize returns the exact encoded length of a Batch frame payload,
+// so encode buffers can be sized without growth reallocations.
+func batchWireSize(m *Batch) int {
+	size := 1 + 4 + 4 + 4 + 8*len(m.Indices) + 1 + 1 + 4*len(m.Shape) + 1
+	if m.U8 != nil || m.F32 != nil {
+		size += 4 + len(m.U8) + 4*len(m.F32)
+	}
+	return size
+}
+
 // EncodeBatch renders a Batch frame payload. The encoding is deterministic,
 // so two batches with identical content encode to identical bytes — the
-// property the byte-identical serving test asserts.
+// property the byte-identical serving test asserts. The serving hot path
+// avoids this allocation via encodeBatchFrame (pooled buffers); EncodeBatch
+// stays as the allocate-per-call form for clients and tests.
 func EncodeBatch(m *Batch) []byte {
-	size := 1 + 4 + 4 + 4 + 8*len(m.Indices) + 1 + 1 + 4*len(m.Shape) + 1 + 4 + len(m.U8) + 4*len(m.F32)
-	b := make([]byte, 0, size)
+	return AppendBatch(make([]byte, 0, batchWireSize(m)), m)
+}
+
+// AppendBatch appends the canonical Batch frame encoding to dst and returns
+// the extended slice. It is the single encoder behind EncodeBatch and the
+// pooled frame path, so both produce byte-identical output by construction.
+func AppendBatch(dst []byte, m *Batch) []byte {
+	b := dst
 	b = append(b, byte(MsgBatch))
 	b = appendU32(b, uint32(m.Epoch))
 	b = appendU32(b, uint32(m.GlobalID))

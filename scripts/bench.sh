@@ -2,13 +2,17 @@
 # bench.sh — run the headline microbenchmarks behind the PRs' performance
 # claims and capture benchstat-ready output plus JSON summaries.
 #
-# Usage: scripts/bench.sh [pr1-out.json] [pr2-out.json] [pr4-out.json]
+# Usage: scripts/bench.sh [pr1-out.json] [pr2-out.json] [pr4-out.json] [pr5-out.json]
 # Stage 1: the four PR-1 hot-path microbenchmarks -> BENCH_PR1.json.
 # Stage 2: the PR-2 service-throughput benchmark (batches/sec at 1, 2, and
 # 4 clients over loopback TCP) -> BENCH_PR2.json.
 # Stage 3: the PR-4 cluster-throughput benchmark (batches/sec routed across
 # 1, 2, and 3 emulate-time loopback nodes) -> BENCH_PR4.json, plus a check
 # that the 3-node aggregate beats the single node.
+# Stage 4: the PR-5 materialized-batch-cache comparison (uncached vs cached
+# service throughput at 1..8 clients, plus the pooled-encode benchmarks)
+# -> BENCH_PR5.json, plus a check that cached clients=4 is at least 2x the
+# uncached clients=1 baseline.
 # The raw `go test -bench` output (6 repetitions, suitable for feeding to
 # benchstat old.txt new.txt) is written next to each JSON as <outfile>.txt.
 set -euo pipefail
@@ -21,6 +25,8 @@ SERVE_JSON="${2:-BENCH_PR2.json}"
 SERVE_TXT="${SERVE_JSON%.json}.txt"
 CLUSTER_JSON="${3:-BENCH_PR4.json}"
 CLUSTER_TXT="${CLUSTER_JSON%.json}.txt"
+CACHE_JSON="${4:-BENCH_PR5.json}"
+CACHE_TXT="${CACHE_JSON%.json}.txt"
 
 BENCHES='BenchmarkBilinearResize|BenchmarkSJPGDecode|BenchmarkUntracedEpoch|BenchmarkTracerEmit'
 
@@ -63,10 +69,12 @@ END {
 echo "summary written to $OUT_JSON (raw benchstat input: $OUT_TXT)"
 
 echo "running: BenchmarkServiceThroughput (6 reps) ..."
-go test -run '^$' -bench 'BenchmarkServiceThroughput' -count=6 ./internal/serve | tee "$SERVE_TXT"
+# Anchored so the PR-5 BenchmarkServiceThroughputCached does not pollute the
+# PR-2 baseline series.
+go test -run '^$' -bench '^BenchmarkServiceThroughput$' -count=6 ./internal/serve | tee "$SERVE_TXT"
 
 awk '
-/^BenchmarkServiceThroughput/ {
+/^BenchmarkServiceThroughput\// {
     name = $1
     sub(/-[0-9]+$/, "", name)
     if (!(name in seen)) { seen[name] = 1; order[++n_names] = name }
@@ -142,3 +150,55 @@ END {
     printf "cluster scaling: nodes=1 %.1f batches/sec, nodes=3 %.1f batches/sec (%.2fx)\n", one, three, three / one
     if (!(three > one)) { print "FAIL: 3-node cluster is not faster than a single node" > "/dev/stderr"; exit 1 }
 }' "$CLUSTER_JSON"
+
+echo "running: BenchmarkServiceThroughput(Cached)? + encode benchmarks (6 reps) ..."
+go test -run '^$' -bench '^(BenchmarkServiceThroughput|BenchmarkServiceThroughputCached|BenchmarkEncodeBatch|BenchmarkEncodeBatchPooled)$' \
+    -benchmem -count=6 ./internal/serve | tee "$CACHE_TXT"
+
+awk '
+/^Benchmark(ServiceThroughput|EncodeBatch)/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    if (!(name in seen)) { seen[name] = 1; order[++n_names] = name }
+    ns[name] = ns[name] " " $3
+    for (i = 4; i <= NF; i++) {
+        if ($(i+1) == "batches/sec") bps[name] = bps[name] " " $i
+        if ($(i+1) == "allocs/op")   allocs[name] = allocs[name] " " $i
+    }
+}
+function median(s,   a, n, i, j, t) {
+    n = split(s, a, " ")
+    for (i = 2; i <= n; i++) {
+        t = a[i] + 0
+        for (j = i - 1; j >= 1 && a[j] + 0 > t; j--) a[j+1] = a[j]
+        a[j+1] = t
+    }
+    if (n % 2) return a[(n+1)/2]
+    return (a[n/2] + a[n/2+1]) / 2
+}
+END {
+    printf "{\n"
+    for (i = 1; i <= n_names; i++) {
+        name = order[i]
+        printf "  \"%s\": {\"ns_op\": %s", name, median(ns[name])
+        if (bps[name] != "")    printf ", \"batches_per_sec\": %s", median(bps[name])
+        if (allocs[name] != "") printf ", \"allocs_op\": %s", median(allocs[name])
+        printf "}%s\n", (i < n_names ? "," : "")
+    }
+    printf "}\n"
+}' "$CACHE_TXT" > "$CACHE_JSON"
+
+echo "summary written to $CACHE_JSON (raw benchstat input: $CACHE_TXT)"
+
+# Acceptance checks: cached clients=4 must be at least 2x the uncached
+# clients=1 baseline, and the pooled encoder must be allocation-free.
+awk -F'[:,}]' '
+/"BenchmarkServiceThroughput\/clients=1"/       { for (i = 1; i <= NF; i++) if ($i ~ /batches_per_sec/) base = $(i+1) + 0 }
+/"BenchmarkServiceThroughputCached\/clients=4"/ { for (i = 1; i <= NF; i++) if ($i ~ /batches_per_sec/) cached = $(i+1) + 0 }
+/"BenchmarkEncodeBatchPooled"/                  { for (i = 1; i <= NF; i++) if ($i ~ /allocs_op/)       pooled_allocs = $(i+1) + 0 }
+END {
+    printf "cache scaling: uncached clients=1 %.1f batches/sec, cached clients=4 %.1f batches/sec (%.2fx)\n", base, cached, cached / base
+    if (!(cached >= 2 * base)) { print "FAIL: cached clients=4 is not 2x the uncached clients=1 baseline" > "/dev/stderr"; exit 1 }
+    printf "pooled encode: %d allocs/op\n", pooled_allocs
+    if (pooled_allocs != 0) { print "FAIL: pooled batch encoder allocates" > "/dev/stderr"; exit 1 }
+}' "$CACHE_JSON"
