@@ -71,7 +71,7 @@ func main() {
 	var (
 		addr     = flag.String("addr", ":9317", "wire protocol listen address")
 		httpAddr = flag.String("http", ":9318", "observability sidecar address (empty = disabled)")
-		workload = flag.String("workload", "IC", "pipeline: IC, IS, or OD")
+		workload = flag.String("workload", "IC", "pipeline: IC, ICA, IS, or OD")
 		samples  = flag.Int("samples", 5120, "dataset size")
 		batch    = flag.Int("batch", 0, "batch size (0 = workload default)")
 		workers  = flag.Int("workers", 0, "DataLoader workers (0 = workload default)")
@@ -83,6 +83,7 @@ func main() {
 		matDim   = flag.Int("materialize-dim", 96, "real mode: synthesized image resolution cap")
 		ring     = flag.Int("ring", 16384, "live trace ring capacity in records")
 		cacheMB  = flag.Int64("cache-mb", 256, "materialized-batch cache budget in MiB (0 = disabled); cached epochs are served without re-running the pipeline")
+		scacheMB = flag.Int64("sample-cache-mb", 0, "split-point sample cache budget in MiB (0 = disabled); materializes each sample's deterministic prefix once so augmented epochs skip decode work")
 		drain    = flag.Duration("drain", 15*time.Second, "graceful drain budget on SIGINT/SIGTERM")
 		nodeID   = flag.String("node", "", "this node's cluster identity (default: -addr)")
 		join     = flag.String("join", "", "cluster member list ([id=]wire[/http] per entry, comma-separated); serves the membership view on /cluster")
@@ -94,12 +95,14 @@ func main() {
 	switch workloads.Kind(*workload) {
 	case workloads.IC:
 		spec = workloads.ICSpec(*samples, *seed)
+	case workloads.ICA:
+		spec = workloads.ICASpec(*samples, *seed)
 	case workloads.IS:
 		spec = workloads.ISSpec(*samples, *seed)
 	case workloads.OD:
 		spec = workloads.ODSpec(*samples, *seed)
 	default:
-		fmt.Fprintf(os.Stderr, "lotus-serve: unknown workload %q (want IC, IS, or OD)\n", *workload)
+		fmt.Fprintf(os.Stderr, "lotus-serve: unknown workload %q (want IC, ICA, IS, or OD)\n", *workload)
 		os.Exit(2)
 	}
 	if *batch > 0 {
@@ -153,15 +156,16 @@ func main() {
 	}
 
 	srv := serve.New(serve.Config{
-		Spec:            spec,
-		Mode:            pmode,
-		EmulateTime:     emulate,
-		Prefetch:        *queue,
-		MaterializeDim:  *matDim,
-		RingSize:        *ring,
-		BatchCacheBytes: *cacheMB << 20,
-		ClusterInfo:     clusterInfo,
-		Logf:            log.Printf,
+		Spec:             spec,
+		Mode:             pmode,
+		EmulateTime:      emulate,
+		Prefetch:         *queue,
+		MaterializeDim:   *matDim,
+		RingSize:         *ring,
+		BatchCacheBytes:  *cacheMB << 20,
+		SampleCacheBytes: *scacheMB << 20,
+		ClusterInfo:      clusterInfo,
+		Logf:             log.Printf,
 	})
 	if err := srv.Start(*addr, *httpAddr); err != nil {
 		fmt.Fprintf(os.Stderr, "lotus-serve: %v\n", err)

@@ -45,8 +45,9 @@ func (d *windowDataset) GetItem(ctx *lotus.Ctx, pid, batchID, index int) lotus.S
 // work (here borrowed from the normalize kernel).
 type standardize struct{}
 
-func (standardize) Name() string      { return "Standardize" }
-func (standardize) Kernels() []string { return []string{"normalize_f32"} }
+func (standardize) Name() string        { return "Standardize" }
+func (standardize) Kernels() []string   { return []string{"normalize_f32"} }
+func (standardize) Deterministic() bool { return true }
 
 func (standardize) Apply(ctx *lotus.Ctx, s lotus.Sample) lotus.Sample {
 	ctx.Work(lotus.KernelCall{Kernel: "normalize_f32", Bytes: s.RawBytes() * 16})
@@ -57,8 +58,9 @@ func (standardize) Apply(ctx *lotus.Ctx, s lotus.Sample) lotus.Sample {
 // branchy custom ops get per-application timing like the built-ins.
 type jitter struct{}
 
-func (jitter) Name() string      { return "Jitter" }
-func (jitter) Kernels() []string { return []string{"scale_f32"} }
+func (jitter) Name() string        { return "Jitter" }
+func (jitter) Kernels() []string   { return []string{"scale_f32"} }
+func (jitter) Deterministic() bool { return false }
 
 func (jitter) Apply(ctx *lotus.Ctx, s lotus.Sample) lotus.Sample {
 	if ctx.SampleRNG(s.Index).Bool(0.5) {

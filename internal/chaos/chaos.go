@@ -110,21 +110,28 @@ func Sweep(opts Options) []Result {
 
 	// Serving-stack classes over loopback TCP. Sharing one workload keeps
 	// the short sweep fast; the classes exercise independent seams.
-	run(serveWireCell("wire-drop", opts.Seed, faultinject.Spec{DropFrame: 3}, 0))
-	run(serveWireCell("wire-truncate", opts.Seed, faultinject.Spec{TruncateFrame: 5}, 0))
-	run(serveWireCell("wire-corrupt", opts.Seed, faultinject.Spec{CorruptFrame: 4}, 0))
+	run(serveWireCell("wire-drop", opts.Seed, faultinject.Spec{DropFrame: 3}, serverOpts{}))
+	run(serveWireCell("wire-truncate", opts.Seed, faultinject.Spec{TruncateFrame: 5}, serverOpts{}))
+	run(serveWireCell("wire-corrupt", opts.Seed, faultinject.Spec{CorruptFrame: 4}, serverOpts{}))
 	run(servePanicCell(opts.Seed))
 	run(serveDisconnectCell(opts.Seed))
 
 	// Wire classes re-run with the materialized-batch cache enabled: the
 	// retried fetch is served from cache and must still be byte-identical,
 	// proving faults land per-connection, never in the shared cache bytes.
-	run(serveWireCell("wire-drop-cached", opts.Seed, faultinject.Spec{DropFrame: 3}, chaosCacheBytes))
-	run(serveWireCell("wire-corrupt-cached", opts.Seed, faultinject.Spec{CorruptFrame: 4}, chaosCacheBytes))
+	run(serveWireCell("wire-drop-cached", opts.Seed, faultinject.Spec{DropFrame: 3}, serverOpts{batchCacheBytes: chaosCacheBytes}))
+	run(serveWireCell("wire-corrupt-cached", opts.Seed, faultinject.Spec{CorruptFrame: 4}, serverOpts{batchCacheBytes: chaosCacheBytes}))
+
+	// Split-point sample cache cells: real-mode augmented pipeline, so
+	// byte-identity is over actual pixels. Corruption must never reach the
+	// materialized prefixes; eviction churn must never change served bytes.
+	run(serveWireCell("wire-corrupt-scache", opts.Seed, faultinject.Spec{CorruptFrame: 4}, serverOpts{sampleCacheBytes: chaosCacheBytes}))
+	run(sampleCacheChurnCell(opts.Seed))
 
 	// Cluster failover plane over three loopback nodes (cluster.go).
 	run(clusterNodeKillCell(opts.Seed, 0))
 	run(clusterNodeKillCell(opts.Seed, chaosCacheBytes))
+	run(clusterNodeKillWarmSampleCacheCell(opts.Seed))
 	run(clusterNodeSlowCell(opts.Seed))
 	run(clusterHeartbeatFlapCell(opts.Seed))
 	return out
@@ -287,9 +294,19 @@ func serveSpec(seed int64) workloads.Spec {
 	return spec
 }
 
+// chaosMaterializeDim caps real-mode synthesis so augmented cells stay fast.
+const chaosMaterializeDim = 48
+
 // groundTruthFrames encodes every batch of one epoch exactly as the server
 // would, from a local simulated DataLoader run over the full plan.
 func groundTruthFrames(spec workloads.Spec, epoch int) ([][]byte, error) {
+	return groundTruthFramesMode(spec, epoch, pipeline.Simulated)
+}
+
+// groundTruthFramesMode is groundTruthFrames in an explicit pipeline mode; in
+// RealData the frames carry actual pixel payloads, so byte-identity against
+// them proves cached or rerouted bytes are the true pipeline output.
+func groundTruthFramesMode(spec workloads.Spec, epoch int, mode pipeline.Mode) ([][]byte, error) {
 	plan := serve.BuildEpochPlan(spec.NumSamples, spec.BatchSize, spec.Shuffle, false, spec.Seed, epoch)
 	batchPlan := make([][]int, len(plan))
 	for i, pb := range plan {
@@ -300,13 +317,15 @@ func groundTruthFrames(spec workloads.Spec, epoch int) ([][]byte, error) {
 	sim := clock.NewSim()
 	sim.Run("chaos-local", func(p clock.Proc) {
 		dl := pipeline.NewDataLoader(sim, spec.Dataset(nil), pipeline.Config{
-			BatchSize:  spec.BatchSize,
-			NumWorkers: spec.NumWorkers,
-			PinMemory:  spec.PinMemory,
-			Seed:       serve.EpochSeed(spec.Seed, epoch),
-			BatchPlan:  batchPlan,
-			Mode:       pipeline.Simulated,
-			Engine:     native.NewEngine(spec.Arch, native.DefaultCPU()),
+			BatchSize:      spec.BatchSize,
+			NumWorkers:     spec.NumWorkers,
+			PinMemory:      spec.PinMemory,
+			Seed:           spec.Seed,
+			Epoch:          epoch,
+			BatchPlan:      batchPlan,
+			Mode:           mode,
+			MaterializeDim: chaosMaterializeDim,
+			Engine:         native.NewEngine(spec.Arch, native.DefaultCPU()),
 		})
 		it := dl.Start(p)
 		for i := 0; ; i++ {
@@ -328,34 +347,65 @@ func groundTruthFrames(spec workloads.Spec, epoch int) ([][]byte, error) {
 	return out, runErr
 }
 
+// serverOpts selects the optional serving-stack features a cell runs with.
+// The zero value is the plain configuration: simulated mode, no caches.
+type serverOpts struct {
+	batchCacheBytes  int64
+	sampleCacheBytes int64
+	mode             pipeline.Mode // zero value = Simulated
+}
+
 // startServer boots a loopback server with the given injector; cacheBytes > 0
 // enables the materialized-batch cache.
 func startServer(spec workloads.Spec, inj *faultinject.Injector, cacheBytes int64) (*serve.Server, error) {
-	srv := serve.New(serve.Config{Spec: spec, Mode: pipeline.Simulated, Prefetch: 2, Faults: inj,
-		BatchCacheBytes: cacheBytes})
+	return startServerOpts(spec, inj, serverOpts{batchCacheBytes: cacheBytes})
+}
+
+// startServerOpts is startServer with the full feature selection.
+func startServerOpts(spec workloads.Spec, inj *faultinject.Injector, o serverOpts) (*serve.Server, error) {
+	srv := serve.New(serve.Config{Spec: spec, Mode: o.mode, MaterializeDim: chaosMaterializeDim,
+		Prefetch: 2, Faults: inj,
+		BatchCacheBytes: o.batchCacheBytes, SampleCacheBytes: o.sampleCacheBytes})
 	if err := srv.Start("127.0.0.1:0", ""); err != nil {
 		return nil, err
 	}
 	return srv, nil
 }
 
+// augmentedServeSpec is the serving-stack sweep workload for sample-cache
+// cells: the ICA pipeline, whose two-op deterministic prefix is what the
+// split-point cache materializes.
+func augmentedServeSpec(seed int64) workloads.Spec {
+	spec := workloads.ICASpec(32, seed)
+	spec.BatchSize = 8 // 4 batches per epoch
+	spec.NumWorkers = 2
+	return spec
+}
+
 // serveWireCell injects one wire fault (drop, truncate, or corrupt) into a
 // served epoch stream and asserts the client's retries mask it: the session
 // must still complete byte-identically against the local ground truth. With
-// cacheBytes > 0 the materialized-batch cache is enabled and the cell proves
-// the PR 5 isolation invariant: wire faults land on the connection, never in
-// the shared cache bytes — the retried fetch is served (partly) from cache
-// and is still byte-identical to ground truth.
-func serveWireCell(class string, seed int64, fspec faultinject.Spec, cacheBytes int64) Result {
-	res := Result{Class: class, Workload: "IC"}
+// o.batchCacheBytes > 0 the materialized-batch cache is enabled and the cell
+// proves the PR 5 isolation invariant: wire faults land on the connection,
+// never in the shared cache bytes — the retried fetch is served (partly) from
+// cache and is still byte-identical to ground truth. With o.sampleCacheBytes
+// > 0 the cell runs the augmented workload in real mode and proves the same
+// isolation one layer down: corrupted frames never pollute the materialized
+// prefix pixels the split-point sample cache re-serves.
+func serveWireCell(class string, seed int64, fspec faultinject.Spec, o serverOpts) Result {
+	spec := serveSpec(seed)
+	if o.sampleCacheBytes > 0 {
+		spec = augmentedServeSpec(seed)
+		o.mode = pipeline.RealData
+	}
+	res := Result{Class: class, Workload: string(spec.Kind)}
 	fspec.Seed = seed
 	inj := faultinject.New(fspec)
-	spec := serveSpec(seed)
 	const epochs = 2
 
 	expected := make([][][]byte, epochs)
 	for e := 0; e < epochs; e++ {
-		frames, err := groundTruthFrames(spec, e)
+		frames, err := groundTruthFramesMode(spec, e, o.mode)
 		if err != nil {
 			res.Failures = append(res.Failures, fmt.Sprintf("ground truth epoch %d: %v", e, err))
 			return res
@@ -364,7 +414,7 @@ func serveWireCell(class string, seed int64, fspec faultinject.Spec, cacheBytes 
 	}
 
 	baseline := testutil.Baseline()
-	srv, err := startServer(spec, inj, cacheBytes)
+	srv, err := startServerOpts(spec, inj, o)
 	if err != nil {
 		res.Failures = append(res.Failures, err.Error())
 		return res
@@ -383,10 +433,11 @@ func serveWireCell(class string, seed int64, fspec faultinject.Spec, cacheBytes 
 		}
 	})
 	cacheStats, cacheOn := srv.CacheStats()
+	scacheStats, scacheOn := srv.SampleCacheStats()
 	c.Close()
 	srv.Close()
 
-	if cacheBytes > 0 {
+	if o.batchCacheBytes > 0 {
 		if !cacheOn {
 			res.Failures = append(res.Failures, "cache-enabled cell reports cache disabled")
 		} else if cacheStats.Hits == 0 {
@@ -396,6 +447,17 @@ func serveWireCell(class string, seed int64, fspec faultinject.Spec, cacheBytes 
 			res.Failures = append(res.Failures, "retried fetch never hit the cache")
 		} else {
 			res.Notes = append(res.Notes, fmt.Sprintf("cache hits=%d misses=%d", cacheStats.Hits, cacheStats.Misses))
+		}
+	}
+	if o.sampleCacheBytes > 0 {
+		if !scacheOn {
+			res.Failures = append(res.Failures, "sample-cache cell reports the cache disabled")
+		} else if scacheStats.Hits == 0 {
+			// Epoch 1 (and the retried fetch) must re-serve epoch 0's
+			// materialized prefixes, or the pollution claim went untested.
+			res.Failures = append(res.Failures, "no request ever hit the sample cache")
+		} else {
+			res.Notes = append(res.Notes, fmt.Sprintf("sample-cache hits=%d misses=%d", scacheStats.Hits, scacheStats.Misses))
 		}
 	}
 
@@ -426,6 +488,82 @@ func serveWireCell(class string, seed int64, fspec faultinject.Spec, cacheBytes 
 	}
 	if stats != nil {
 		res.Notes = append(res.Notes, fmt.Sprintf("retries=%d batches=%d", stats.Retries, stats.Batches))
+	}
+	return res
+}
+
+// sampleCacheChurnCell serves the augmented workload through a sample cache
+// whose budget is smaller than a single materialized prefix: every fulfilled
+// entry is evicted on insert, no request ever hits, and refcounted entries
+// are torn down under maximal churn. The served pixels must stay identical to
+// a cache-less local run — eviction is a performance event, never a
+// correctness one — and nothing may leak or deadlock on the eviction path.
+func sampleCacheChurnCell(seed int64) Result {
+	res := Result{Class: "scache-churn", Workload: "ICA"}
+	spec := augmentedServeSpec(seed)
+	const epochs = 2
+
+	expected := make([][][]byte, epochs)
+	for e := 0; e < epochs; e++ {
+		frames, err := groundTruthFramesMode(spec, e, pipeline.RealData)
+		if err != nil {
+			res.Failures = append(res.Failures, fmt.Sprintf("ground truth epoch %d: %v", e, err))
+			return res
+		}
+		expected[e] = frames
+	}
+
+	baseline := testutil.Baseline()
+	// 1 KiB holds no 48×48 RGB prefix, so the cache runs at full churn.
+	srv, err := startServerOpts(spec, nil, serverOpts{sampleCacheBytes: 1 << 10, mode: pipeline.RealData})
+	if err != nil {
+		res.Failures = append(res.Failures, err.Error())
+		return res
+	}
+
+	got := make([][][]byte, epochs)
+	c := serve.NewClient(serve.ClientConfig{Addr: srv.Addr(), Name: "chaos-scache-churn"})
+	_, runErr := c.Run(epochs, func(b *serve.Batch, payload []byte) {
+		if b.Epoch >= 0 && b.Epoch < epochs {
+			got[b.Epoch] = append(got[b.Epoch], append([]byte(nil), payload...))
+		}
+	})
+	stats, on := srv.SampleCacheStats()
+	c.Close()
+	srv.Close()
+
+	if runErr != nil {
+		res.Failures = append(res.Failures, fmt.Sprintf("session failed under eviction churn: %v", runErr))
+	}
+	for e := 0; e < epochs && runErr == nil; e++ {
+		if len(got[e]) != len(expected[e]) {
+			res.Failures = append(res.Failures, fmt.Sprintf("epoch %d: %d frames, want %d", e, len(got[e]), len(expected[e])))
+			continue
+		}
+		for i := range got[e] {
+			if !bytes.Equal(got[e][i], expected[e][i]) {
+				res.Failures = append(res.Failures, fmt.Sprintf("epoch %d frame %d bytes changed under eviction churn", e, i))
+				break
+			}
+		}
+	}
+	if !on {
+		res.Failures = append(res.Failures, "sample cache reports disabled")
+	} else {
+		if stats.Hits != 0 {
+			res.Failures = append(res.Failures, fmt.Sprintf("%d hits against a sub-entry budget", stats.Hits))
+		}
+		if stats.Evicted != stats.Misses || stats.Misses < int64(spec.NumSamples) {
+			res.Failures = append(res.Failures, fmt.Sprintf("evictions %d, misses %d: churn accounting broken", stats.Evicted, stats.Misses))
+		}
+		res.Notes = append(res.Notes, fmt.Sprintf("misses=%d evicted=%d", stats.Misses, stats.Evicted))
+	}
+	if err := testutil.WaitNoLeaks(baseline, 5*time.Second); err != nil {
+		res.Failures = append(res.Failures, err.Error())
+	}
+	res.Injected = stats.Evicted // the eviction pressure is the injected fault
+	if res.Injected == 0 {
+		res.Failures = append(res.Failures, "fault class injected nothing")
 	}
 	return res
 }

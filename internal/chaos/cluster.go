@@ -9,6 +9,7 @@ import (
 
 	"lotus/internal/cluster"
 	"lotus/internal/faultinject"
+	"lotus/internal/pipeline"
 	"lotus/internal/serve"
 	"lotus/internal/testutil"
 	"lotus/internal/workloads"
@@ -31,12 +32,13 @@ type clusterHarness struct {
 	victim   string // node with the largest ring shard
 }
 
-// startClusterHarness boots three nodes; mkInjector selects the victim's
-// fault injector (nil for a healthy node). cacheBytes > 0 enables the
-// materialized-batch cache on every node.
-func startClusterHarness(seed int64, mkInjector func() *faultinject.Injector, cacheBytes int64) (*clusterHarness, error) {
-	h := &clusterHarness{spec: serveSpec(seed)}
-	expected, err := groundTruthFrames(h.spec, 0)
+// startClusterHarness boots three nodes serving spec; mkInjector selects the
+// victim's fault injector (nil for a healthy node). The serverOpts apply to
+// every node, so a cache-enabled harness runs the cache on victim and
+// survivors alike.
+func startClusterHarness(spec workloads.Spec, mkInjector func() *faultinject.Injector, o serverOpts) (*clusterHarness, error) {
+	h := &clusterHarness{spec: spec}
+	expected, err := groundTruthFramesMode(h.spec, 0, o.mode)
 	if err != nil {
 		return nil, fmt.Errorf("ground truth: %w", err)
 	}
@@ -70,7 +72,7 @@ func startClusterHarness(seed int64, mkInjector func() *faultinject.Injector, ca
 		if id == h.victim && mkInjector != nil {
 			inj = mkInjector()
 		}
-		srv, err := startServer(h.spec, inj, cacheBytes)
+		srv, err := startServerOpts(h.spec, inj, o)
 		if err != nil {
 			h.close()
 			return nil, err
@@ -153,7 +155,7 @@ func clusterNodeKillCell(seed int64, cacheBytes int64) Result {
 	}
 	inj := faultinject.New(faultinject.Spec{Seed: seed, DropFrame: 2})
 	baseline := testutil.Baseline()
-	h, err := startClusterHarness(seed, func() *faultinject.Injector { return inj }, cacheBytes)
+	h, err := startClusterHarness(serveSpec(seed), func() *faultinject.Injector { return inj }, serverOpts{batchCacheBytes: cacheBytes})
 	if err != nil {
 		res.Failures = append(res.Failures, err.Error())
 		return res
@@ -219,6 +221,111 @@ func clusterNodeKillCell(seed int64, cacheBytes int64) Result {
 	return res
 }
 
+// clusterNodeKillWarmSampleCacheCell is the node-kill cell on the augmented
+// real-mode workload with every node running the split-point sample cache
+// (batch cache off, so rerouted work exercises the sample-cache path). Each
+// survivor's cache is pre-warmed by a direct full-plan fetch; the routed epoch
+// then kills the busiest node mid-stream, and the survivors collate the
+// rerouted batches from their warm prefix entries. Exactly-once delivery plus
+// pixel-level byte-identity against the cache-less ground truth prove warm
+// caches survive failover without serving stale or polluted prefixes.
+func clusterNodeKillWarmSampleCacheCell(seed int64) Result {
+	res := Result{Class: "cluster-node-kill-scache", Workload: "ICA"}
+	spec := augmentedServeSpec(seed)
+	inj := faultinject.New(faultinject.Spec{Seed: seed, DropFrame: 2})
+	baseline := testutil.Baseline()
+	h, err := startClusterHarness(spec, func() *faultinject.Injector { return inj },
+		serverOpts{sampleCacheBytes: chaosCacheBytes, mode: pipeline.RealData})
+	if err != nil {
+		res.Failures = append(res.Failures, err.Error())
+		return res
+	}
+	defer h.close()
+
+	// Warm every survivor: a direct rank-0/world-1 session fetches the whole
+	// epoch plan, materializing every sample's prefix into that node's cache.
+	// The victim is left cold — it dies mid-epoch either way.
+	for i, n := range h.nodes {
+		if n.ID == h.victim {
+			continue
+		}
+		wc := serve.NewClient(serve.ClientConfig{Addr: h.srvs[i].Addr(), Name: "chaos-warm-" + n.ID})
+		if _, err := wc.Run(1, nil); err != nil {
+			res.Failures = append(res.Failures, fmt.Sprintf("warming %s: %v", n.ID, err))
+		}
+		wc.Close()
+	}
+	if len(res.Failures) > 0 {
+		return res
+	}
+
+	var once sync.Once
+	victimSrv := h.victimServer()
+	c, err := cluster.New(cluster.Config{
+		Nodes: h.nodes, Name: "chaos-node-kill-scache",
+		Sleep: func(time.Duration) {},
+		OnFetchError: func(node string, epoch, attempt int, err error) {
+			if node == h.victim {
+				once.Do(func() { victimSrv.Close() })
+			}
+		},
+	})
+	if err != nil {
+		res.Failures = append(res.Failures, err.Error())
+		return res
+	}
+	defer c.Close()
+
+	sink := newClusterSink()
+	stats, err := c.RunEpoch(0, sink.onBatch)
+	if err != nil {
+		res.Failures = append(res.Failures, fmt.Sprintf("routed epoch failed: %v", err))
+	} else {
+		res.Failures = sink.check(h.expected, res.Failures)
+		if stats.NodeFailures != 1 {
+			res.Failures = append(res.Failures, fmt.Sprintf("node failures %d, want 1", stats.NodeFailures))
+		}
+		if stats.Rerouted == 0 {
+			res.Failures = append(res.Failures, "node died but nothing was rerouted")
+		}
+		if stats.Ignored != 0 {
+			res.Failures = append(res.Failures, fmt.Sprintf("%d frames hit the exactly-once filter", stats.Ignored))
+		}
+		var hits int64
+		for i, n := range h.nodes {
+			if n.ID == h.victim {
+				continue
+			}
+			st, ok := h.srvs[i].SampleCacheStats()
+			if !ok {
+				res.Failures = append(res.Failures, fmt.Sprintf("survivor %s reports the sample cache disabled", n.ID))
+				continue
+			}
+			if st.Hits == 0 {
+				res.Failures = append(res.Failures, fmt.Sprintf("survivor %s never hit its warm sample cache", n.ID))
+			}
+			if st.Misses != int64(spec.NumSamples) {
+				// The warm pass materialized every prefix; the routed epoch
+				// (shard + rerouted work) must be served entirely from it.
+				res.Failures = append(res.Failures, fmt.Sprintf(
+					"survivor %s missed after warming: misses %d, want %d", n.ID, st.Misses, spec.NumSamples))
+			}
+			hits += st.Hits
+		}
+		res.Notes = append(res.Notes, fmt.Sprintf("rerouted=%d rounds=%d warm_hits=%d", stats.Rerouted, stats.Rounds, hits))
+	}
+	c.Close()
+	h.close()
+	if err := testutil.WaitNoLeaks(baseline, 5*time.Second); err != nil {
+		res.Failures = append(res.Failures, err.Error())
+	}
+	res.Injected = inj.Counts().WireFaults
+	if res.Injected == 0 {
+		res.Failures = append(res.Failures, "fault class injected nothing")
+	}
+	return res
+}
+
 // clusterNodeSlowCell stalls every batch on the busiest node (virtual time —
 // the node is slow, not broken) and asserts the router does NOT fail over:
 // a slow-but-correct node must keep its shard, and the epoch still completes
@@ -227,7 +334,7 @@ func clusterNodeSlowCell(seed int64) Result {
 	res := Result{Class: "cluster-node-slow", Workload: "IC"}
 	inj := faultinject.New(faultinject.Spec{Seed: seed, StallNth: 1, WorkerStall: 500 * time.Millisecond})
 	baseline := testutil.Baseline()
-	h, err := startClusterHarness(seed, func() *faultinject.Injector { return inj }, 0)
+	h, err := startClusterHarness(serveSpec(seed), func() *faultinject.Injector { return inj }, serverOpts{})
 	if err != nil {
 		res.Failures = append(res.Failures, err.Error())
 		return res
@@ -277,7 +384,7 @@ func clusterNodeSlowCell(seed int64) Result {
 func clusterHeartbeatFlapCell(seed int64) Result {
 	res := Result{Class: "cluster-heartbeat-flap", Workload: "IC"}
 	baseline := testutil.Baseline()
-	h, err := startClusterHarness(seed, nil, 0)
+	h, err := startClusterHarness(serveSpec(seed), nil, serverOpts{})
 	if err != nil {
 		res.Failures = append(res.Failures, err.Error())
 		return res

@@ -113,17 +113,46 @@ func (c *realCond) Unlock()    { c.mu.Unlock() }
 func (c *realCond) Wait(Proc)  { c.cond.Wait() }
 func (c *realCond) Broadcast() { c.cond.Broadcast() }
 
+// sleepResolution is the shortest duration worth handing to the OS timer:
+// below it, time.Sleep's per-call overshoot (about a millisecond on a
+// coarse-timer host) dwarfs the requested pause.
+const sleepResolution = time.Millisecond
+
+// sleepForgiveness bounds how much oversleep is carried forward as credit. A
+// scheduler stall should not let the proc skip pacing for seconds afterward.
+const sleepForgiveness = 100 * time.Millisecond
+
 type realProc struct {
 	name string
 	clk  *realClock
+	// debt is requested-but-unslept pacing time. Each realProc belongs to
+	// exactly one goroutine, so no locking.
+	debt time.Duration
 }
 
 func (p *realProc) Name() string   { return p.name }
 func (p *realProc) Now() time.Time { return time.Now() }
 
+// Sleep paces the proc by d with sub-resolution requests coalesced: they
+// accumulate into a debt, and only when the debt reaches the OS timer's
+// resolution does the proc actually sleep it off, crediting any overshoot
+// against future requests. Long-run pacing converges on the requested total
+// — which is what emulate-mode serving and modeled I/O need — while a
+// modeled pipeline's thousands of microsecond-scale charges no longer pay a
+// millisecond of timer overshoot each.
 func (p *realProc) Sleep(d time.Duration) {
-	if d > 0 {
-		time.Sleep(d)
+	if d <= 0 {
+		return
+	}
+	p.debt += d
+	if p.debt < sleepResolution {
+		return
+	}
+	start := time.Now()
+	time.Sleep(p.debt)
+	p.debt -= time.Since(start)
+	if p.debt < -sleepForgiveness {
+		p.debt = -sleepForgiveness
 	}
 }
 

@@ -263,5 +263,12 @@ func Inventory() []Kernel {
 			L1MissPerKB: 0.8, LLCMissPerKB: 0.05,
 			FrontEndBound: 0.28, DRAMBound: 0.02,
 		},
+		{
+			Name: "pixel_noise_u8", Symbol: "npy_random_uniform_add_u8",
+			Library: "_multiarray_umath.cpython-310.so", Class: Mixed,
+			CyclesPerByte: 3.0, InstrPerByte: 4.2,
+			L1MissPerKB: 2.4, LLCMissPerKB: 0.3,
+			FrontEndBound: 0.16, DRAMBound: 0.08,
+		},
 	}
 }

@@ -34,6 +34,12 @@ type Ctx struct {
 	Mode Mode
 	// Seed is the run-level randomness root.
 	Seed int64
+	// Epoch is mixed into the per-sample random streams (SampleRNG, OpRNG,
+	// BatchRNG) through epochSalt — the single seam that makes augmented
+	// bytes vary across epochs while staying schedule-independent. It does
+	// NOT feed the epoch batch plan; that derives from EpochSeed so plans
+	// keep their historical shuffles.
+	Epoch int
 	// WorkScale multiplies simulated work durations; profiler-overhead
 	// models (Table III) use it to represent sampling interference.
 	WorkScale float64
@@ -43,6 +49,11 @@ type Ctx struct {
 	// Faults is the deterministic fault-injection layer consulted by the
 	// storage-facing transforms (nil injects nothing).
 	Faults *faultinject.Injector
+	// SampleCache, when non-nil, serves materialized post-prefix samples to
+	// Compose.Apply so prefix hits skip decode entirely. PrefixFP is the
+	// prefix fingerprint the cache keys entries under.
+	SampleCache *SampleCache
+	PrefixFP    uint64
 
 	// rngSample and rngOp are per-worker scratch generators reused by OpRNG.
 	// math/rand's source is ~5 KB; building one per sample per op used to be
@@ -56,17 +67,32 @@ type Ctx struct {
 // Real reports whether transforms should manipulate actual payloads.
 func (c *Ctx) Real() bool { return c.Mode == RealData }
 
+// epochSalt folds the epoch into a seed. This is the one documented seam
+// through which epochs change per-sample randomness: every random stream
+// XORs it in, so augmented bytes differ across epochs yet remain a pure
+// function of (seed, epoch, index) — identical under any worker count or
+// dispatch schedule. Epoch 0 salts to zero, preserving every historical
+// single-epoch random sequence bit for bit.
+func epochSalt(epoch int) int64 {
+	if epoch == 0 {
+		return 0
+	}
+	// Golden-ratio odd multiplier; computed in uint64 because the constant
+	// exceeds int64 range.
+	return int64(uint64(epoch) * 0x9E3779B97F4A7C15)
+}
+
 // SampleRNG returns the deterministic randomness stream for one sample.
-// Derivation from (seed, index) — not from the worker — keeps a sample's
-// random transform decisions identical regardless of which worker processes
-// it or how many workers exist.
+// Derivation from (seed, epoch, index) — not from the worker — keeps a
+// sample's random transform decisions identical regardless of which worker
+// processes it or how many workers exist.
 func (c *Ctx) SampleRNG(index int) *rng.Stream {
-	return rng.New(c.Seed^int64(index)*2654435761, "sample")
+	return rng.New(c.Seed^epochSalt(c.Epoch)^int64(index)*2654435761, "sample")
 }
 
 // BatchRNG returns the deterministic stream for batch-level decisions.
 func (c *Ctx) BatchRNG(batchID int) *rng.Stream {
-	return rng.New(c.Seed^int64(batchID)*40503, "batch")
+	return rng.New(c.Seed^epochSalt(c.Epoch)^int64(batchID)*40503, "batch")
 }
 
 // OpRNG returns the stream SampleRNG(index).Derive(name) would — the same
@@ -80,7 +106,7 @@ func (c *Ctx) OpRNG(index int, name string) *rng.Stream {
 		c.rngSample = rng.NewFromSeed(0)
 		c.rngOp = rng.NewFromSeed(0)
 	}
-	c.rngSample.Reseed(c.Seed^int64(index)*2654435761, "sample")
+	c.rngSample.Reseed(c.Seed^epochSalt(c.Epoch)^int64(index)*2654435761, "sample")
 	return c.rngSample.DeriveInto(c.rngOp, name)
 }
 

@@ -43,6 +43,12 @@ type Config struct {
 	// DropLast drops the final partial batch.
 	DropLast bool
 	Seed     int64
+	// Epoch selects the epoch this loader runs. It shifts the shuffle plan
+	// through EpochSeed (preserving the historical per-epoch reshuffles) and
+	// flows into worker Ctxs, where epochSalt varies the per-sample random
+	// suffix while leaving deterministic prefixes untouched. Epoch 0 is
+	// byte-identical to a Config that never set the field.
+	Epoch int
 	// BatchIDOffset shifts this epoch's batch IDs; multi-epoch trainers set
 	// it to epoch*NumBatches so trace records from different epochs do not
 	// collide.
@@ -71,6 +77,18 @@ type Config struct {
 	// can fail or stall blob reads inside the loader transforms, panic the
 	// worker on selected samples, and stall workers after selected batches.
 	Faults *faultinject.Injector
+	// SampleCache, when non-nil, is the shared split-point sample cache the
+	// workers consult for materialized deterministic-prefix samples, keyed
+	// under PrefixFP (the prefix fingerprint for this pipeline).
+	SampleCache *SampleCache
+	PrefixFP    uint64
+}
+
+// EpochSeed derives the per-epoch plan seed from the run seed. The additive
+// form is pinned by the serving wire protocol (a remote session must shuffle
+// exactly as a local multi-epoch trainer would), so it must not change.
+func EpochSeed(seed int64, epoch int) int64 {
+	return seed + int64(epoch)*1_000_003
 }
 
 func (c Config) validate() Config {
@@ -194,7 +212,7 @@ func (dl *DataLoader) buildBatches() {
 		dl.batches = dl.cfg.BatchPlan
 	} else {
 		dl.batches = BuildBatchPlan(dl.dataset.Len(), dl.cfg.BatchSize,
-			dl.cfg.Shuffle, dl.cfg.DropLast, dl.cfg.Seed)
+			dl.cfg.Shuffle, dl.cfg.DropLast, EpochSeed(dl.cfg.Seed, dl.cfg.Epoch))
 	}
 	dl.batchCost = make([]float64, len(dl.batches))
 	for i, idxs := range dl.batches {
@@ -295,9 +313,12 @@ func (dl *DataLoader) workerLoop(p clock.Proc, workerID int) {
 		Thread:         &native.Thread{ID: pid},
 		Mode:           dl.cfg.Mode,
 		Seed:           dl.cfg.Seed,
+		Epoch:          dl.cfg.Epoch,
 		WorkScale:      dl.cfg.WorkScale,
 		MaterializeDim: dl.cfg.MaterializeDim,
 		Faults:         dl.cfg.Faults,
+		SampleCache:    dl.cfg.SampleCache,
+		PrefixFP:       dl.cfg.PrefixFP,
 	}
 	collate := &Collate{}
 	for {

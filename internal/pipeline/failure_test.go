@@ -15,8 +15,9 @@ type faultyTransform struct {
 	failOn map[int]bool
 }
 
-func (f *faultyTransform) Name() string      { return "Faulty" }
-func (f *faultyTransform) Kernels() []string { return []string{"memcpy"} }
+func (f *faultyTransform) Name() string        { return "Faulty" }
+func (f *faultyTransform) Kernels() []string   { return []string{"memcpy"} }
+func (f *faultyTransform) Deterministic() bool { return false }
 
 func (f *faultyTransform) Apply(ctx *Ctx, s Sample) Sample {
 	if f.failOn[s.Index] {

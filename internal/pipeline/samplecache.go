@@ -1,0 +1,381 @@
+package pipeline
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"lotus/internal/imaging"
+	"lotus/internal/native"
+	"lotus/internal/tensor"
+)
+
+// SampleCache is the split-point sample cache: materialized post-prefix
+// samples keyed by (prefix fingerprint, dataset index). The prefix of a
+// Compose — its maximal run of deterministic transforms, typically storage
+// read + decode + deterministic resize — produces the same bytes for a given
+// sample in every epoch and every session, so the first epoch materializes
+// each sample once and epochs 2..N (and concurrent sessions on the same
+// spec) re-run only the cheap random suffix. This is the layer below the
+// materialized-batch cache: a batch-cache hit never reaches the pipeline at
+// all; a batch-cache miss on an augmented spec turns into prefix hits plus a
+// suffix recompute instead of a full decode.
+//
+// The single-flight discipline mirrors serve.BatchCache: the first requester
+// of a key claims it and computes the prefix; concurrent requesters either
+// block on the in-flight entry (blocking mode — real data or emulate-time
+// serving, where procs are goroutines on the wall clock) or bypass the cache
+// and compute the prefix privately (non-blocking mode — simulated clocks,
+// whose procs must never park on channels the clock cannot see). Entries are
+// refcounted so eviction can retire a sample while readers are still copying
+// it out, and the byte budget is a soft bound at one-entry granularity.
+type SampleCache struct {
+	mu       sync.Mutex
+	budget   int64
+	used     int64
+	blocking bool
+	// waitTimeout bounds a blocking wait on another worker's in-flight
+	// prefix; on expiry the waiter computes the prefix privately, so
+	// liveness never depends on another session's progress.
+	waitTimeout time.Duration
+	entries     map[SampleKey]*sampleEntry
+	lru         *list.List // of *sampleEntry; only ready entries are listed
+
+	hits, misses, waits, evicted, abandoned, bypassed int64
+}
+
+// SampleKey identifies one materialized post-prefix sample. PrefixFP pins
+// every byte-affecting parameter of the prefix (spec shape, mode,
+// materialize cap, the prefix op list), so reconfigured pipelines can never
+// share stale pixels. Epoch is deliberately absent: prefix bytes are
+// epoch-independent, which is the entire point of the split.
+type SampleKey struct {
+	PrefixFP uint64
+	Index    int
+}
+
+type sampleEntryState int
+
+const (
+	sampleInFlight sampleEntryState = iota
+	sampleReady
+	sampleAbandoned
+)
+
+// sampleEntry is one key's slot, with the same state machine as
+// serve.BatchCache's cacheEntry: state and payload are written only under
+// SampleCache.mu and only before close(ready), so a waiter that observed
+// the close may read both without the lock.
+type sampleEntry struct {
+	key     SampleKey
+	state   sampleEntryState
+	ready   chan struct{}
+	sample  *cachedSample
+	size    int64
+	waiters int
+	elem    *list.Element
+}
+
+// cachedSample is an immutable snapshot of a post-prefix sample. The meta
+// Sample carries the scalar fields with payload pointers nil'd; at most one
+// of img/vol/ten holds the real payload (all nil in simulated mode, where
+// samples are metadata plus a modeled size). Readers copy out, never alias:
+// cached pixels are shared across workers and epochs, so handing out the
+// backing buffer would let a random suffix mutate everyone's prefix.
+type cachedSample struct {
+	refs atomic.Int32
+	meta Sample
+	img  *imaging.Image
+	vol  *imaging.Volume
+	ten  *tensor.Tensor
+	size int64
+}
+
+// snapshotSample clones a just-computed post-prefix sample into pooled
+// buffers. The caller keeps its own working payload. The returned snapshot
+// holds one reference (the cache's own).
+func snapshotSample(s Sample) *cachedSample {
+	cs := &cachedSample{meta: s}
+	cs.meta.Image, cs.meta.Volume, cs.meta.Tensor = nil, nil, nil
+	switch {
+	case s.Image != nil:
+		cs.img = imaging.GetImage(s.Image.W, s.Image.H)
+		copy(cs.img.Pix, s.Image.Pix)
+		cs.size = int64(len(cs.img.Pix))
+	case s.Volume != nil:
+		cs.vol = imaging.GetVolume(s.Volume.D, s.Volume.H, s.Volume.W)
+		copy(cs.vol.Vox, s.Volume.Vox)
+		cs.size = int64(len(cs.vol.Vox)) * 4
+	case s.Tensor != nil && !s.Tensor.IsMeta():
+		cs.ten = s.Tensor.Clone()
+		cs.size = int64(s.Tensor.Bytes())
+	default:
+		// Simulated sample: no payload, but the entry still occupies its
+		// modeled footprint so eviction behaves like the real cache would.
+		cs.size = int64(s.RawBytes())
+	}
+	cs.refs.Store(1)
+	return cs
+}
+
+func (cs *cachedSample) retain() { cs.refs.Add(1) }
+
+func (cs *cachedSample) release() {
+	if cs.refs.Add(-1) != 0 {
+		return
+	}
+	cs.img.Release()
+	cs.vol.Release()
+	cs.img, cs.vol, cs.ten = nil, nil, nil
+}
+
+// restore clones the snapshot out into fresh pooled buffers, charging the
+// modeled copy cost in simulated mode. The result is owned by the caller
+// exactly as if the prefix had just run.
+func (cs *cachedSample) restore(ctx *Ctx) Sample {
+	s := cs.meta
+	switch {
+	case cs.img != nil:
+		im := imaging.GetImage(cs.img.W, cs.img.H)
+		copy(im.Pix, cs.img.Pix)
+		s.Image = im
+	case cs.vol != nil:
+		v := imaging.GetVolume(cs.vol.D, cs.vol.H, cs.vol.W)
+		copy(v.Vox, cs.vol.Vox)
+		s.Volume = v
+	case cs.ten != nil:
+		s.Tensor = cs.ten.Clone()
+	}
+	if !ctx.Real() {
+		ctx.Work(native.Call{Kernel: "memcpy", Bytes: s.RawBytes()})
+	}
+	return s
+}
+
+// NewSampleCache returns a cache bounded to budget bytes of materialized
+// sample payload. blocking selects whether requesters may park on another
+// worker's in-flight computation: true only when the pipeline's procs run on
+// the wall clock (real data or emulate-time serving); a simulated clock's
+// procs must never block on channels the clock cannot see, so they bypass
+// in-flight entries instead.
+func NewSampleCache(budget int64, blocking bool) *SampleCache {
+	return &SampleCache{
+		budget:      budget,
+		blocking:    blocking,
+		waitTimeout: 30 * time.Second,
+		entries:     make(map[SampleKey]*sampleEntry),
+		lru:         list.New(),
+	}
+}
+
+// materialize returns the post-prefix sample for s, from the cache when
+// possible: hit (copy out), claim (run the prefix once, publish), wait
+// (blocking mode), or bypass (non-blocking mode / timed-out wait).
+func (sc *SampleCache) materialize(ctx *Ctx, c *Compose, pid, batchID, split int, s Sample) Sample {
+	key := SampleKey{PrefixFP: ctx.PrefixFP, Index: s.Index}
+	for {
+		hit, wait, claimed := sc.getOrClaim(key)
+		if hit != nil {
+			out := hit.restore(ctx)
+			hit.release()
+			return out
+		}
+		if claimed {
+			return sc.computeAndFulfill(ctx, c, pid, batchID, split, key, s)
+		}
+		if !sc.blocking {
+			sc.mu.Lock()
+			sc.bypassed++
+			sc.mu.Unlock()
+			return c.applyRange(ctx, pid, batchID, s, 0, split)
+		}
+		cs, ok := sc.wait(wait)
+		if cs != nil {
+			out := cs.restore(ctx)
+			cs.release()
+			return out
+		}
+		if !ok {
+			// Timed out: compute privately without touching the stuck claim.
+			sc.mu.Lock()
+			sc.bypassed++
+			sc.mu.Unlock()
+			return c.applyRange(ctx, pid, batchID, s, 0, split)
+		}
+		// Owner abandoned: loop and race for the claim.
+	}
+}
+
+// computeAndFulfill runs the prefix for a claimed key and publishes the
+// snapshot. A panic in the prefix (an injected read error surfacing through
+// ReadBlob, a poisoned dataset) abandons the claim before propagating, so
+// waiters wake and retry instead of parking forever.
+func (sc *SampleCache) computeAndFulfill(ctx *Ctx, c *Compose, pid, batchID, split int, key SampleKey, s Sample) Sample {
+	done := false
+	defer func() {
+		if !done {
+			sc.abandon(key)
+		}
+	}()
+	out := c.applyRange(ctx, pid, batchID, s, 0, split)
+	sc.fulfill(key, snapshotSample(out))
+	done = true
+	return out
+}
+
+// getOrClaim mirrors BatchCache.GetOrClaim: exactly one of hit / wait /
+// claimed is meaningful. A hit carries a reference for the caller; a wait
+// return registers the caller (its reference is pre-paid by fulfill); a
+// claim obligates the caller to fulfill or abandon.
+func (sc *SampleCache) getOrClaim(key SampleKey) (hit *cachedSample, wait *sampleEntry, claimed bool) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	if e, ok := sc.entries[key]; ok {
+		if e.state == sampleReady {
+			sc.hits++
+			sc.lru.MoveToBack(e.elem)
+			e.sample.retain()
+			return e.sample, nil, false
+		}
+		if !sc.blocking {
+			// Bypassers never register; the caller handles the bypass.
+			return nil, e, false
+		}
+		sc.waits++
+		e.waiters++
+		return nil, e, false
+	}
+	sc.misses++
+	sc.entries[key] = &sampleEntry{key: key, ready: make(chan struct{})}
+	return nil, nil, true
+}
+
+// wait parks on an in-flight entry. cs != nil: ready, reference pre-paid.
+// cs == nil, ok == true: abandoned, retry the claim. cs == nil, ok == false:
+// timed out (the waiter was unregistered; compute privately).
+func (sc *SampleCache) wait(e *sampleEntry) (cs *cachedSample, ok bool) {
+	var timeoutCh <-chan time.Time
+	if sc.waitTimeout > 0 {
+		t := time.NewTimer(sc.waitTimeout)
+		defer t.Stop()
+		timeoutCh = t.C
+	}
+	select {
+	case <-e.ready:
+		if e.state == sampleReady {
+			return e.sample, true
+		}
+		return nil, true // abandoned
+	case <-timeoutCh:
+		sc.unregister(e)
+		return nil, false
+	}
+}
+
+// unregister withdraws a waiter that gave up; if the entry resolved
+// concurrently, the pre-paid reference is returned instead.
+func (sc *SampleCache) unregister(e *sampleEntry) {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	select {
+	case <-e.ready:
+		if e.state == sampleReady {
+			e.sample.release()
+		}
+	default:
+		e.waiters--
+	}
+}
+
+// fulfill publishes the snapshot for a claimed key: the snapshot arrives
+// holding the cache's reference, one more is pre-paid per registered waiter,
+// the entry joins the LRU, and overflow victims are released outside the
+// lock.
+func (sc *SampleCache) fulfill(key SampleKey, cs *cachedSample) {
+	sc.mu.Lock()
+	e, ok := sc.entries[key]
+	if !ok || e.state != sampleInFlight {
+		sc.mu.Unlock()
+		panic("pipeline: SampleCache fulfill on a key the caller does not own")
+	}
+	for i := 0; i < e.waiters; i++ {
+		cs.retain()
+	}
+	e.sample = cs
+	e.size = cs.size
+	e.state = sampleReady
+	e.elem = sc.lru.PushBack(e)
+	sc.used += e.size
+	victims := sc.evictOverLocked()
+	close(e.ready)
+	sc.mu.Unlock()
+	for _, v := range victims {
+		v.release()
+	}
+}
+
+// abandon resolves a claimed key without data; waiters wake and race to
+// re-claim. Abandoning a key that is not an in-flight claim is a no-op.
+func (sc *SampleCache) abandon(key SampleKey) {
+	sc.mu.Lock()
+	e, ok := sc.entries[key]
+	if !ok || e.state != sampleInFlight {
+		sc.mu.Unlock()
+		return
+	}
+	e.state = sampleAbandoned
+	delete(sc.entries, key)
+	sc.abandoned++
+	close(e.ready)
+	sc.mu.Unlock()
+}
+
+// evictOverLocked pops LRU entries until used fits the budget, returning the
+// victims' cache references for release outside the lock. Only ready entries
+// are listed; refcounts keep a victim's pixels alive for readers still
+// copying them out.
+func (sc *SampleCache) evictOverLocked() []*cachedSample {
+	var victims []*cachedSample
+	for sc.used > sc.budget && sc.lru.Len() > 0 {
+		e := sc.lru.Remove(sc.lru.Front()).(*sampleEntry)
+		delete(sc.entries, e.key)
+		sc.used -= e.size
+		sc.evicted++
+		victims = append(victims, e.sample)
+	}
+	return victims
+}
+
+// SampleCacheStats is the JSON form of the cache counters for /metrics.
+// Misses count prefix executions that populated the cache; bypassed counts
+// prefix executions that ran privately past an in-flight entry (simulated
+// clocks, timed-out waits).
+type SampleCacheStats struct {
+	Hits             int64 `json:"hits"`
+	Misses           int64 `json:"misses"`
+	SingleflightWait int64 `json:"singleflight_waits"`
+	Bypassed         int64 `json:"bypassed"`
+	Evicted          int64 `json:"evicted"`
+	Abandoned        int64 `json:"abandoned"`
+	Entries          int   `json:"entries"`
+	BytesUsed        int64 `json:"bytes_used"`
+	BytesBudget      int64 `json:"bytes_budget"`
+}
+
+// Stats returns a consistent copy of the counters.
+func (sc *SampleCache) Stats() SampleCacheStats {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return SampleCacheStats{
+		Hits:             sc.hits,
+		Misses:           sc.misses,
+		SingleflightWait: sc.waits,
+		Bypassed:         sc.bypassed,
+		Evicted:          sc.evicted,
+		Abandoned:        sc.abandoned,
+		Entries:          len(sc.entries),
+		BytesUsed:        sc.used,
+		BytesBudget:      sc.budget,
+	}
+}

@@ -22,6 +22,13 @@ type Transform interface {
 	Apply(ctx *Ctx, s Sample) Sample
 	// Kernels lists the logical native-kernel names the op may invoke.
 	Kernels() []string
+	// Deterministic reports whether the op's output payload is a pure
+	// function of its input sample — no dependence on the run seed, the
+	// epoch, or any Ctx RNG stream. Deterministic ops may only use RNG for
+	// timing (e.g. modeled I/O jitter), never for bytes. A maximal run of
+	// deterministic ops at the head of a Compose forms the cacheable prefix
+	// of the split-point sample cache.
+	Deterministic() bool
 }
 
 // Compose chains transforms, timing each application — the torchvision
@@ -30,6 +37,12 @@ type Compose struct {
 	Transforms []Transform
 	// Hooks receives per-op timing records; nil disables instrumentation.
 	Hooks *Hooks
+	// SplitOverride pins the prefix/suffix split point for the sample cache:
+	// 0 computes it automatically as the maximal deterministic prefix, -1
+	// disables splitting, and n > 0 forces the prefix to the first n
+	// transforms (which must all be deterministic — SplitPoint panics
+	// otherwise, since caching past a random op would freeze its draws).
+	SplitOverride int
 }
 
 // NewCompose chains the given transforms without instrumentation.
@@ -37,11 +50,57 @@ func NewCompose(ts ...Transform) *Compose {
 	return &Compose{Transforms: ts}
 }
 
+// SplitPoint returns the number of leading transforms that form the
+// cacheable deterministic prefix (0 means no usable prefix). Everything at
+// or after the split is the random suffix that re-runs per epoch.
+func (c *Compose) SplitPoint() int {
+	if c.SplitOverride < 0 {
+		return 0
+	}
+	auto := 0
+	for _, t := range c.Transforms {
+		if !t.Deterministic() {
+			break
+		}
+		auto++
+	}
+	if c.SplitOverride == 0 {
+		return auto
+	}
+	if c.SplitOverride > auto {
+		panic(fmt.Sprintf("pipeline: SplitOverride %d extends past the deterministic prefix (%d ops)",
+			c.SplitOverride, auto))
+	}
+	return c.SplitOverride
+}
+
 // Apply runs every transform in order. pid and batchID flow into the op log
 // records so the analysis can associate operations with batches and worker
-// processes.
+// processes. When the Ctx carries a sample cache and the pipeline has a
+// deterministic prefix, the prefix is served from (or materialized into)
+// the cache and only the random suffix runs inline.
 func (c *Compose) Apply(ctx *Ctx, pid, batchID int, s Sample) Sample {
-	for _, t := range c.Transforms {
+	if ctx.SampleCache != nil {
+		if split := c.SplitPoint(); split > 0 {
+			s = ctx.SampleCache.materialize(ctx, c, pid, batchID, split, s)
+			return c.applyRange(ctx, pid, batchID, s, split, len(c.Transforms))
+		}
+	}
+	return c.applyRange(ctx, pid, batchID, s, 0, len(c.Transforms))
+}
+
+// ApplyPrefix runs only the deterministic prefix (never through the cache).
+func (c *Compose) ApplyPrefix(ctx *Ctx, pid, batchID int, s Sample) Sample {
+	return c.applyRange(ctx, pid, batchID, s, 0, c.SplitPoint())
+}
+
+// ApplySuffix runs only the random suffix on a post-prefix sample.
+func (c *Compose) ApplySuffix(ctx *Ctx, pid, batchID int, s Sample) Sample {
+	return c.applyRange(ctx, pid, batchID, s, c.SplitPoint(), len(c.Transforms))
+}
+
+func (c *Compose) applyRange(ctx *Ctx, pid, batchID int, s Sample, from, to int) Sample {
+	for _, t := range c.Transforms[from:to] {
 		start := ctx.Proc.Now()
 		s = t.Apply(ctx, s)
 		if c.Hooks != nil && c.Hooks.OnOp != nil {
@@ -88,6 +147,10 @@ type Loader struct {
 }
 
 func (l *Loader) Name() string { return "Loader" }
+
+// Deterministic: decoded pixels derive from the sample's own record seed;
+// the op's RNG stream only jitters modeled I/O latency, never bytes.
+func (l *Loader) Deterministic() bool { return true }
 
 func (l *Loader) Kernels() []string {
 	return []string{
@@ -179,6 +242,8 @@ type RawLoader struct {
 
 func (l *RawLoader) Name() string { return "Loader" }
 
+func (l *RawLoader) Deterministic() bool { return true }
+
 func (l *RawLoader) Kernels() []string { return []string{"memcpy", "memset"} }
 
 func (l *RawLoader) Apply(ctx *Ctx, s Sample) Sample {
@@ -215,6 +280,8 @@ type RandomResizedCrop struct {
 
 func (t *RandomResizedCrop) Name() string { return "RandomResizedCrop" }
 
+func (t *RandomResizedCrop) Deterministic() bool { return false }
+
 func (t *RandomResizedCrop) Kernels() []string {
 	return []string{
 		"ImagingCrop", "ImagingResampleHorizontal_8bpc", "ImagingResampleVertical_8bpc",
@@ -226,10 +293,21 @@ func (t *RandomResizedCrop) Apply(ctx *Ctx, s Sample) Sample {
 	r := ctx.OpRNG(s.Index, "rrc")
 	x0, y0, cw, ch := imaging.RandomResizedCropParams(s.Width, s.Height, r)
 	if ctx.Real() {
-		crop := imaging.Crop(s.Image, x0, y0, cw, ch)
-		s.Image.Release()
+		// Exactly-once release discipline: a full-frame region skips the
+		// copy and aliases the source, so the alias must not be released a
+		// second time — the pooled struct would be re-issued with a fresh
+		// Pix and a stale Release would free the new owner's buffer. The
+		// params guarantee cw/ch >= 1, so Crop never sees a zero-area rect.
+		src := s.Image
+		crop := src
+		if x0 != 0 || y0 != 0 || cw != src.W || ch != src.H {
+			crop = imaging.Crop(src, x0, y0, cw, ch)
+		}
 		s.Image = imaging.Resize(crop, t.Size, t.Size)
-		crop.Release()
+		if crop != src {
+			crop.Release()
+		}
+		src.Release()
 	} else {
 		cropBytes := cw * ch * 3
 		midBytes := t.Size * ch * 3 // after horizontal pass
@@ -266,6 +344,8 @@ type Resize struct {
 }
 
 func (t *Resize) Name() string { return "Resize" }
+
+func (t *Resize) Deterministic() bool { return true }
 
 func (t *Resize) Kernels() []string {
 	return []string{"ImagingResampleHorizontal_8bpc", "ImagingResampleVertical_8bpc", "precompute_coeffs", "memmove", "int_free", "memcpy"}
@@ -313,6 +393,8 @@ type RandomHorizontalFlip struct {
 
 func (t *RandomHorizontalFlip) Name() string { return "RandomHorizontalFlip" }
 
+func (t *RandomHorizontalFlip) Deterministic() bool { return false }
+
 func (t *RandomHorizontalFlip) Kernels() []string {
 	return []string{"ImagingFlipLeftRight", "memcpy"}
 }
@@ -340,11 +422,111 @@ func (t *RandomHorizontalFlip) Apply(ctx *Ctx, s Sample) Sample {
 	return s
 }
 
+// RandomCrop extracts a Size x Size window at a uniformly random offset
+// (torchvision's RandomCrop without padding). In the augmented ICA pipeline
+// it runs right after a deterministic Resize, so the expensive decode+resize
+// prefix stays cacheable while the crop re-rolls every epoch.
+type RandomCrop struct {
+	Size int
+}
+
+func (t *RandomCrop) Name() string { return "RandomCrop" }
+
+func (t *RandomCrop) Deterministic() bool { return false }
+
+func (t *RandomCrop) Kernels() []string { return []string{"ImagingCrop", "memcpy"} }
+
+func (t *RandomCrop) Apply(ctx *Ctx, s Sample) Sample {
+	r := ctx.OpRNG(s.Index, "rc")
+	cw, ch := t.Size, t.Size
+	if cw > s.Width {
+		cw = s.Width
+	}
+	if ch > s.Height {
+		ch = s.Height
+	}
+	x0, y0 := 0, 0
+	if s.Width > cw {
+		x0 = r.Intn(s.Width - cw + 1)
+	}
+	if s.Height > ch {
+		y0 = r.Intn(s.Height - ch + 1)
+	}
+	if ctx.Real() {
+		// A full-frame window is the identity: keep the buffer, no copy.
+		if x0 != 0 || y0 != 0 || cw != s.Image.W || ch != s.Image.H {
+			old := s.Image
+			s.Image = imaging.Crop(old, x0, y0, cw, ch)
+			old.Release()
+		}
+	} else {
+		out := cw * ch * 3
+		ctx.WorkCalls(append(ctx.Calls(),
+			native.Call{Kernel: "ImagingCrop", Bytes: out},
+			native.Call{Kernel: "memcpy", Bytes: out},
+		))
+	}
+	s.Width, s.Height = cw, ch
+	return s
+}
+
+// RandomPixelNoise perturbs every byte by a uniform offset in [-Amp, Amp]
+// with probability P per sample (default 0.5, amp 8) — the cheap additive
+// photometric augmentation of the ICA pipeline. One op-stream draw seeds a
+// splitmix-style LCG for the whole pass, so the noise is deterministic per
+// (seed, epoch, sample) without per-byte stream overhead.
+type RandomPixelNoise struct {
+	P   float64
+	Amp int
+}
+
+func (t *RandomPixelNoise) Name() string { return "RandomPixelNoise" }
+
+func (t *RandomPixelNoise) Deterministic() bool { return false }
+
+func (t *RandomPixelNoise) Kernels() []string { return []string{"pixel_noise_u8"} }
+
+func (t *RandomPixelNoise) Apply(ctx *Ctx, s Sample) Sample {
+	p := t.P
+	if p == 0 {
+		p = 0.5
+	}
+	r := ctx.OpRNG(s.Index, "rpn")
+	if !r.Bool(p) {
+		return s
+	}
+	amp := t.Amp
+	if amp <= 0 {
+		amp = 8
+	}
+	if ctx.Real() {
+		state := uint64(r.Int63())
+		span := uint64(2*amp + 1)
+		pix := s.Image.Pix
+		for i := range pix {
+			state = state*6364136223846793005 + 1442695040888963407
+			v := int(pix[i]) + int((state>>33)%span) - amp
+			if v < 0 {
+				v = 0
+			} else if v > 255 {
+				v = 255
+			}
+			pix[i] = uint8(v)
+		}
+	} else {
+		ctx.WorkCalls(append(ctx.Calls(),
+			native.Call{Kernel: "pixel_noise_u8", Bytes: s.Width * s.Height * 3}))
+	}
+	return s
+}
+
 // ToTensor converts the PIL-style image to a [3,H,W] float32 tensor scaled
 // to [0,1], as torchvision's ToTensor does.
 type ToTensor struct{}
 
 func (t *ToTensor) Name() string { return "ToTensor" }
+
+func (t *ToTensor) Deterministic() bool { return true }
 
 func (t *ToTensor) Kernels() []string {
 	return []string{"ImagingUnpackRGB", "convert_u8_f32", "memcpy"}
@@ -377,6 +559,8 @@ type Normalize struct {
 }
 
 func (t *Normalize) Name() string { return "Normalize" }
+
+func (t *Normalize) Deterministic() bool { return true }
 
 func (t *Normalize) Kernels() []string { return []string{"normalize_f32"} }
 
@@ -435,6 +619,8 @@ type CollateN struct {
 }
 
 func (c *CollateN) Name() string { return "Collate" }
+
+func (c *CollateN) Deterministic() bool { return true }
 
 func (c *CollateN) Kernels() []string { return (&Collate{}).Kernels() }
 

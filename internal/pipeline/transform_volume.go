@@ -16,6 +16,8 @@ type VolumeLoader struct {
 
 func (l *VolumeLoader) Name() string { return "Loader" }
 
+func (l *VolumeLoader) Deterministic() bool { return true }
+
 func (l *VolumeLoader) Kernels() []string {
 	return []string{"npy_parse", "memcpy", "memset"}
 }
@@ -61,6 +63,8 @@ type RandBalancedCrop struct {
 }
 
 func (t *RandBalancedCrop) Name() string { return "RandBalancedCrop" }
+
+func (t *RandBalancedCrop) Deterministic() bool { return false }
 
 func (t *RandBalancedCrop) Kernels() []string {
 	return []string{"argwhere_f32", "crop_copy_3d", "memcpy"}
@@ -130,6 +134,8 @@ type RandomFlip struct {
 
 func (t *RandomFlip) Name() string { return "RandomFlip" }
 
+func (t *RandomFlip) Deterministic() bool { return false }
+
 func (t *RandomFlip) Kernels() []string { return []string{"flip_3d"} }
 
 func (t *RandomFlip) Apply(ctx *Ctx, s Sample) Sample {
@@ -157,6 +163,8 @@ type Cast struct{}
 
 func (t *Cast) Name() string { return "Cast" }
 
+func (t *Cast) Deterministic() bool { return true }
+
 func (t *Cast) Kernels() []string { return []string{"cast_f32_u8"} }
 
 func (t *Cast) Apply(ctx *Ctx, s Sample) Sample {
@@ -182,6 +190,8 @@ type RandomBrightnessAugmentation struct {
 }
 
 func (t *RandomBrightnessAugmentation) Name() string { return "RandomBrightnessAugmentation" }
+
+func (t *RandomBrightnessAugmentation) Deterministic() bool { return false }
 
 func (t *RandomBrightnessAugmentation) Kernels() []string { return []string{"scale_f32"} }
 
@@ -218,6 +228,8 @@ type GaussianNoise struct {
 }
 
 func (t *GaussianNoise) Name() string { return "GaussianNoise" }
+
+func (t *GaussianNoise) Deterministic() bool { return false }
 
 func (t *GaussianNoise) Kernels() []string { return []string{"gaussian_noise_f32", "box_muller"} }
 

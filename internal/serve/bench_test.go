@@ -83,6 +83,59 @@ func benchServiceThroughput(b *testing.B, clients int, cacheBytes int64) {
 	}
 }
 
+// BenchmarkServiceThroughputAugmented measures the split-point sample cache's
+// effect on an augmented workload: the ICA pipeline in emulate mode (modeled
+// preprocessing latencies paced on the wall clock), batch cache off so every
+// epoch re-runs the pipeline. Each iteration streams a *fresh* epoch — the
+// augmented regime, where the batch cache can never hit — so the cold series
+// pays the full decode+resize prefix every epoch, while the sampleCached
+// series replays the materialized prefixes and pays only the random suffix.
+// scripts/bench.sh captures both into BENCH_PR6.json and gates sampleCached
+// at >= 5x cold.
+func BenchmarkServiceThroughputAugmented(b *testing.B) {
+	b.Run("cold", func(b *testing.B) { benchServiceAugmented(b, 0) })
+	b.Run("sampleCached", func(b *testing.B) { benchServiceAugmented(b, 512<<20) })
+}
+
+func benchServiceAugmented(b *testing.B, sampleCacheBytes int64) {
+	spec := workloads.ICASpec(256, 7)
+	spec.BatchSize = 16 // 16 batches per epoch
+	spec.NumWorkers = 4
+	srv := New(Config{Spec: spec, Mode: pipeline.Simulated, EmulateTime: true,
+		Prefetch: 4, BatchCacheBytes: 0, SampleCacheBytes: sampleCacheBytes})
+	if err := srv.Start("127.0.0.1:0", ""); err != nil {
+		b.Fatal(err)
+	}
+	defer srv.Close()
+
+	c := NewClient(ClientConfig{Addr: srv.Addr()})
+	if err := c.Connect(); err != nil {
+		b.Fatal(err)
+	}
+	defer c.Close()
+
+	// Epoch 0 pays the one-time materialization cost outside the timed
+	// region, so the cached series measures the steady state every later
+	// epoch of a training run sees.
+	if err := c.fetchEpoch(0, nil, nil); err != nil {
+		b.Fatal(err)
+	}
+
+	totalBatches := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var st FetchStats
+		if err := c.fetchEpoch(i+1, nil, &st); err != nil {
+			b.Fatal(err)
+		}
+		totalBatches += st.Batches
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(totalBatches)/sec, "batches/sec")
+	}
+}
+
 // benchBatch builds a materialize-sized wire batch (the shape the serving hot
 // path encodes): 64 samples, one 64x3x32x32 u8 tensor payload.
 func benchBatch() *Batch {

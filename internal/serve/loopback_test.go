@@ -58,7 +58,8 @@ func localEpochFrames(t *testing.T, spec workloads.Spec, epoch int) [][]byte {
 		NumWorkers:     spec.NumWorkers,
 		PrefetchFactor: spec.Prefetch,
 		PinMemory:      spec.PinMemory,
-		Seed:           EpochSeed(spec.Seed, epoch),
+		Seed:           spec.Seed,
+		Epoch:          epoch,
 		BatchPlan:      batchPlan,
 		Mode:           pipeline.Simulated,
 		Engine:         native.NewEngine(spec.Arch, native.DefaultCPU()),

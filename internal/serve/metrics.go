@@ -5,6 +5,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"lotus/internal/pipeline"
 )
 
 // Metrics aggregates live service counters for the /metrics endpoint:
@@ -227,8 +229,11 @@ type MetricsSnapshot struct {
 	TraceRecords   int64   `json:"trace_records"`
 	// Cache carries the materialized-batch cache counters (hits, misses,
 	// singleflight waits, evictions, bytes); nil when the cache is disabled.
-	Cache    *BatchCacheStats  `json:"cache,omitempty"`
-	Sessions []SessionSnapshot `json:"sessions"`
+	Cache *BatchCacheStats `json:"cache,omitempty"`
+	// SampleCache carries the split-point sample cache counters; nil when
+	// that cache is disabled.
+	SampleCache *pipeline.SampleCacheStats `json:"sample_cache,omitempty"`
+	Sessions    []SessionSnapshot          `json:"sessions"`
 }
 
 // Snapshot returns a consistent copy of every counter. traceRecords is

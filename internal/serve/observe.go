@@ -57,6 +57,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if st, ok := s.CacheStats(); ok {
 		snap.Cache = &st
 	}
+	if st, ok := s.SampleCacheStats(); ok {
+		snap.SampleCache = &st
+	}
 	writeJSON(w, http.StatusOK, snap)
 }
 

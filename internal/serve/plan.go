@@ -17,11 +17,12 @@ type PlanBatch struct {
 }
 
 // EpochSeed derives the per-epoch shuffle seed exactly as the local
-// multi-epoch trainer does (workloads.Spec.RunEpochs), so a served epoch's
-// plan — and therefore every batch streamed from it — is identical to what a
-// local DataLoader run would produce.
+// multi-epoch trainer does (pipeline.EpochSeed, used by every DataLoader's
+// plan builder), so a served epoch's plan — and therefore every batch
+// streamed from it — is identical to what a local DataLoader run would
+// produce.
 func EpochSeed(seed int64, epoch int) int64 {
-	return seed + int64(epoch)*1_000_003
+	return pipeline.EpochSeed(seed, epoch)
 }
 
 // BuildEpochPlan returns the full batch plan for one epoch over a dataset of
@@ -66,6 +67,37 @@ func SpecFingerprint(spec workloads.Spec, mode pipeline.Mode, materializeDim int
 		spec.Kind, spec.NumSamples, spec.BatchSize, spec.Seed, spec.Shuffle,
 		spec.Arch, spec.WorkScale, spec.OfflineDecode, mode, materializeDim)
 	return h.Sum64()
+}
+
+// PrefixFingerprint hashes the byte-affecting parameters of the spec's
+// deterministic prefix, keying the split-point sample cache. ok is false
+// when the pipeline has no usable prefix (its first transform is already
+// random, or splitting is disabled).
+//
+// The fingerprint covers the dataset identity (Kind, NumSamples, Seed — the
+// record geometry and per-sample content seeds derive from these), the
+// execution parameters that change prefix bytes (Arch, WorkScale,
+// OfflineDecode, mode, materializeDim), the split point, and the prefix op
+// names. Transform parameters (resize targets, normalization constants) are
+// a function of Spec.Kind by construction — workloads.Spec.Compose builds
+// each kind's chain from constants — so hashing the kind plus op names pins
+// them. BatchSize, Shuffle, and the epoch are deliberately excluded: prefix
+// bytes are per-sample and epoch-independent, which is what lets epochs
+// 2..N and concurrent sessions share entries.
+func PrefixFingerprint(spec workloads.Spec, mode pipeline.Mode, materializeDim int) (uint64, bool) {
+	c := spec.Compose(nil)
+	split := c.SplitPoint()
+	if split == 0 {
+		return 0, false
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "prefix|%s|%d|%d|%d|%g|%t|%d|%d|%d",
+		spec.Kind, spec.NumSamples, spec.Seed, spec.Arch, spec.WorkScale,
+		spec.OfflineDecode, mode, materializeDim, split)
+	for _, name := range c.Names()[:split] {
+		fmt.Fprintf(h, "|%s", name)
+	}
+	return h.Sum64(), true
 }
 
 // ShardSize reports len(Shard(plan, rank, world)) without building the

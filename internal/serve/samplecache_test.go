@@ -1,0 +1,128 @@
+package serve
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"lotus/internal/pipeline"
+	"lotus/internal/workloads"
+)
+
+// TestServedSampleCacheByteIdentityAndStats serves two real-mode augmented
+// epochs from a sample-cache-enabled server and from a plain one: every frame
+// must be byte-identical (the cache may change timing, never bytes), the
+// first epoch must materialize one prefix per sample, and the second must hit
+// on all of them. The counters are also checked through the public stats
+// surface the /metrics endpoint publishes.
+func TestServedSampleCacheByteIdentityAndStats(t *testing.T) {
+	spec := workloads.ICASpec(64, 7)
+	spec.BatchSize = 16
+	spec.NumWorkers = 2
+
+	mk := func(sampleCacheBytes int64) *Server {
+		srv := New(Config{
+			Spec: spec, Mode: pipeline.RealData, MaterializeDim: 48,
+			Prefetch: 2, SampleCacheBytes: sampleCacheBytes, Logf: t.Logf,
+		})
+		if err := srv.Start("127.0.0.1:0", ""); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		return srv
+	}
+
+	collect := func(srv *Server) map[string][]byte {
+		c := NewClient(ClientConfig{Addr: srv.Addr(), Name: "sample-cache-test"})
+		defer c.Close()
+		got := make(map[string][]byte)
+		if _, err := c.Run(2, func(b *Batch, payload []byte) {
+			got[fmt.Sprintf("%d/%d", b.Epoch, b.GlobalID)] = append([]byte(nil), payload...)
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+
+	plainSrv := mk(0)
+	if _, ok := plainSrv.SampleCacheStats(); ok {
+		t.Fatal("sample-cache stats published with the cache disabled")
+	}
+	plain := collect(plainSrv)
+
+	cachedSrv := mk(256 << 20)
+	cached := collect(cachedSrv)
+
+	if len(plain) != len(cached) || len(plain) == 0 {
+		t.Fatalf("frame counts diverge: %d vs %d", len(plain), len(cached))
+	}
+	for key, want := range plain {
+		got, ok := cached[key]
+		if !ok {
+			t.Fatalf("frame %s missing from the cached server", key)
+		}
+		if !bytes.Equal(want, got) {
+			t.Fatalf("frame %s: sample-cached server served different bytes", key)
+		}
+	}
+
+	st, ok := cachedSrv.SampleCacheStats()
+	if !ok {
+		t.Fatal("sample-cache stats unavailable on a cache-enabled server")
+	}
+	if st.Misses != int64(spec.NumSamples) {
+		t.Fatalf("misses %d, want %d (one prefix per sample in epoch 0)", st.Misses, spec.NumSamples)
+	}
+	if st.Hits != int64(spec.NumSamples) {
+		t.Fatalf("hits %d, want %d (every epoch-1 access must hit)", st.Hits, spec.NumSamples)
+	}
+	if st.Evicted != 0 {
+		t.Fatalf("unexpected evictions under an ample budget: %+v", st)
+	}
+}
+
+// TestPrefixFingerprintSeparatesConfigurations: any parameter that changes
+// prefix bytes must change the fingerprint, or two servers with different
+// configurations sharing a cache would serve each other's pixels.
+func TestPrefixFingerprintSeparatesConfigurations(t *testing.T) {
+	base := workloads.ICASpec(64, 7)
+	fpOf := func(spec workloads.Spec, mode pipeline.Mode, dim int) uint64 {
+		fp, ok := PrefixFingerprint(spec, mode, dim)
+		if !ok {
+			t.Fatalf("no usable prefix for %s", spec.Kind)
+		}
+		return fp
+	}
+	ref := fpOf(base, pipeline.RealData, 96)
+
+	seen := map[uint64]string{ref: "base"}
+	variants := map[string]uint64{}
+	s2 := base
+	s2.Seed = 8
+	variants["seed"] = fpOf(s2, pipeline.RealData, 96)
+	s3 := base
+	s3.NumSamples = 128
+	variants["samples"] = fpOf(s3, pipeline.RealData, 96)
+	s4 := workloads.ODSpec(64, 7)
+	variants["kind"] = fpOf(s4, pipeline.RealData, 96)
+	variants["mode"] = fpOf(base, pipeline.Simulated, 96)
+	variants["materialize-dim"] = fpOf(base, pipeline.RealData, 48)
+	s5 := base
+	s5.OfflineDecode = true
+	variants["offline-decode"] = fpOf(s5, pipeline.RealData, 96)
+
+	for name, fp := range variants {
+		if prev, dup := seen[fp]; dup {
+			t.Errorf("variant %q collides with %q (fp %x)", name, prev, fp)
+		}
+		seen[fp] = name
+	}
+	// Stability: the same configuration always fingerprints identically.
+	if again := fpOf(base, pipeline.RealData, 96); again != ref {
+		t.Fatalf("fingerprint not stable: %x vs %x", again, ref)
+	}
+	// IC's prefix is the bare loader — still cacheable (split 1).
+	if _, ok := PrefixFingerprint(workloads.ICSpec(64, 7), pipeline.RealData, 96); !ok {
+		t.Fatal("IC lost its cacheable prefix")
+	}
+}

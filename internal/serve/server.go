@@ -62,6 +62,15 @@ type Config struct {
 	// locally (default 30s). The fallback keeps every session live even if
 	// the claim's owner stalls indefinitely.
 	CacheWaitTimeout time.Duration
+	// SampleCacheBytes, when > 0, enables the server-wide split-point sample
+	// cache: each sample's deterministic prefix (storage read + decode +
+	// deterministic resize) is materialized once and shared across epochs,
+	// sessions, and workers, so augmented specs whose random suffix defeats
+	// the batch cache still skip the decode from epoch 2 on. 0 disables it.
+	// The cache layers under the batch cache: a batch-cache hit never
+	// consults it, and a batch-cache miss runs only the random suffix on
+	// prefix hits.
+	SampleCacheBytes int64
 	// Faults, when non-nil, is the deterministic fault-injection layer: it is
 	// threaded into every session's pipeline (read errors / stalls / panics)
 	// and consulted per outgoing batch frame for wire faults (drop, truncate,
@@ -87,10 +96,12 @@ type Server struct {
 	httpLn  net.Listener
 	httpSrv httpCloser
 
-	metrics *Metrics
-	ring    *trace.Ring
-	cache   *BatchCache // nil when Config.BatchCacheBytes == 0
-	specFP  uint64
+	metrics     *Metrics
+	ring        *trace.Ring
+	cache       *BatchCache // nil when Config.BatchCacheBytes == 0
+	specFP      uint64
+	sampleCache *pipeline.SampleCache // nil when Config.SampleCacheBytes == 0
+	prefixFP    uint64
 
 	ctx      context.Context
 	cancel   context.CancelFunc
@@ -145,6 +156,16 @@ func New(cfg Config) *Server {
 	if cfg.BatchCacheBytes > 0 {
 		s.cache = NewBatchCache(cfg.BatchCacheBytes)
 	}
+	if cfg.SampleCacheBytes > 0 {
+		if fp, ok := PrefixFingerprint(cfg.Spec, cfg.Mode, cfg.MaterializeDim); ok {
+			// Blocking single-flight only when pipeline procs run on the wall
+			// clock; pure-sim procs must never park on channels the virtual
+			// clock cannot see, so they bypass in-flight entries instead.
+			blocking := cfg.Mode == pipeline.RealData || cfg.EmulateTime
+			s.sampleCache = pipeline.NewSampleCache(cfg.SampleCacheBytes, blocking)
+			s.prefixFP = fp
+		}
+	}
 	return s
 }
 
@@ -155,6 +176,16 @@ func (s *Server) CacheStats() (BatchCacheStats, bool) {
 		return BatchCacheStats{}, false
 	}
 	return s.cache.Stats(), true
+}
+
+// SampleCacheStats reports the split-point sample cache counters; ok is
+// false when the cache is disabled (or the spec has no deterministic
+// prefix).
+func (s *Server) SampleCacheStats() (pipeline.SampleCacheStats, bool) {
+	if s.sampleCache == nil {
+		return pipeline.SampleCacheStats{}, false
+	}
+	return s.sampleCache.Stats(), true
 }
 
 // Start listens on addr for the wire protocol and, when httpAddr is
@@ -704,7 +735,8 @@ func (ss *session) produceClaimed(ctx context.Context, epoch int, claimed []Plan
 		NumWorkers:     spec.NumWorkers,
 		PrefetchFactor: spec.Prefetch,
 		PinMemory:      spec.PinMemory,
-		Seed:           EpochSeed(spec.Seed, epoch),
+		Seed:           spec.Seed,
+		Epoch:          epoch,
 		BatchPlan:      batchPlan,
 		Hooks:          ss.hks,
 		Mode:           ss.srv.cfg.Mode,
@@ -713,6 +745,8 @@ func (ss *session) produceClaimed(ctx context.Context, epoch int, claimed []Plan
 		MaterializeDim: ss.srv.cfg.MaterializeDim,
 		Dispatch:       spec.Dispatch,
 		Faults:         ss.srv.cfg.Faults,
+		SampleCache:    ss.srv.sampleCache,
+		PrefixFP:       ss.srv.prefixFP,
 	}
 	var clk clock.Clock
 	if ss.srv.cfg.Mode == pipeline.RealData || ss.srv.cfg.EmulateTime {
@@ -806,13 +840,16 @@ func (ss *session) computeBatchFrame(epoch int, pb PlanBatch) (f *Frame, err err
 		BatchSize:      spec.BatchSize,
 		NumWorkers:     1,
 		PinMemory:      spec.PinMemory,
-		Seed:           EpochSeed(spec.Seed, epoch),
+		Seed:           spec.Seed,
+		Epoch:          epoch,
 		BatchPlan:      [][]int{pb.Indices},
 		Mode:           ss.srv.cfg.Mode,
 		WorkScale:      spec.WorkScale,
 		MaterializeDim: ss.srv.cfg.MaterializeDim,
 		Dispatch:       spec.Dispatch,
 		Faults:         ss.srv.cfg.Faults,
+		SampleCache:    ss.srv.sampleCache,
+		PrefixFP:       ss.srv.prefixFP,
 	}
 	if ss.srv.cfg.Mode != pipeline.RealData {
 		cfg.Engine = native.NewEngine(spec.Arch, native.DefaultCPU())

@@ -90,7 +90,8 @@ func TestShardedLoadersCoverEpoch(t *testing.T) {
 			BatchSize:  spec.BatchSize,
 			NumWorkers: spec.NumWorkers,
 			PinMemory:  spec.PinMemory,
-			Seed:       EpochSeed(spec.Seed, epoch),
+			Seed:       spec.Seed,
+			Epoch:      epoch,
 			BatchPlan:  batchPlan,
 			Mode:       pipeline.Simulated,
 			Engine:     engine,

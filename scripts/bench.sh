@@ -2,7 +2,7 @@
 # bench.sh — run the headline microbenchmarks behind the PRs' performance
 # claims and capture benchstat-ready output plus JSON summaries.
 #
-# Usage: scripts/bench.sh [pr1-out.json] [pr2-out.json] [pr4-out.json] [pr5-out.json]
+# Usage: scripts/bench.sh [pr1-out.json] [pr2-out.json] [pr4-out.json] [pr5-out.json] [pr6-out.json]
 # Stage 1: the four PR-1 hot-path microbenchmarks -> BENCH_PR1.json.
 # Stage 2: the PR-2 service-throughput benchmark (batches/sec at 1, 2, and
 # 4 clients over loopback TCP) -> BENCH_PR2.json.
@@ -13,6 +13,10 @@
 # service throughput at 1..8 clients, plus the pooled-encode benchmarks)
 # -> BENCH_PR5.json, plus a check that cached clients=4 is at least 2x the
 # uncached clients=1 baseline.
+# Stage 5: the PR-6 split-point sample-cache comparison on the augmented
+# workload (every iteration is a fresh epoch, so the batch cache never hits)
+# -> BENCH_PR6.json, plus a check that the sampleCached series is at least
+# 5x the cold series.
 # The raw `go test -bench` output (6 repetitions, suitable for feeding to
 # benchstat old.txt new.txt) is written next to each JSON as <outfile>.txt.
 set -euo pipefail
@@ -27,6 +31,8 @@ CLUSTER_JSON="${3:-BENCH_PR4.json}"
 CLUSTER_TXT="${CLUSTER_JSON%.json}.txt"
 CACHE_JSON="${4:-BENCH_PR5.json}"
 CACHE_TXT="${CACHE_JSON%.json}.txt"
+SCACHE_JSON="${5:-BENCH_PR6.json}"
+SCACHE_TXT="${SCACHE_JSON%.json}.txt"
 
 BENCHES='BenchmarkBilinearResize|BenchmarkSJPGDecode|BenchmarkUntracedEpoch|BenchmarkTracerEmit'
 
@@ -202,3 +208,49 @@ END {
     printf "pooled encode: %d allocs/op\n", pooled_allocs
     if (pooled_allocs != 0) { print "FAIL: pooled batch encoder allocates" > "/dev/stderr"; exit 1 }
 }' "$CACHE_JSON"
+
+echo "running: BenchmarkServiceThroughputAugmented (6 reps) ..."
+go test -run '^$' -bench '^BenchmarkServiceThroughputAugmented$' -count=6 ./internal/serve | tee "$SCACHE_TXT"
+
+awk '
+/^BenchmarkServiceThroughputAugmented\// {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    if (!(name in seen)) { seen[name] = 1; order[++n_names] = name }
+    ns[name] = ns[name] " " $3
+    for (i = 4; i <= NF; i++) {
+        if ($(i+1) == "batches/sec") bps[name] = bps[name] " " $i
+    }
+}
+function median(s,   a, n, i, j, t) {
+    n = split(s, a, " ")
+    for (i = 2; i <= n; i++) {
+        t = a[i] + 0
+        for (j = i - 1; j >= 1 && a[j] + 0 > t; j--) a[j+1] = a[j]
+        a[j+1] = t
+    }
+    if (n % 2) return a[(n+1)/2]
+    return (a[n/2] + a[n/2+1]) / 2
+}
+END {
+    printf "{\n"
+    for (i = 1; i <= n_names; i++) {
+        name = order[i]
+        printf "  \"%s\": {\"ns_op\": %s, \"batches_per_sec\": %s}%s\n", \
+            name, median(ns[name]), median(bps[name]), \
+            (i < n_names ? "," : "")
+    }
+    printf "}\n"
+}' "$SCACHE_TXT" > "$SCACHE_JSON"
+
+echo "summary written to $SCACHE_JSON (raw benchstat input: $SCACHE_TXT)"
+
+# Acceptance check: the sample-cached augmented series must be at least 5x
+# the cold series — the split-point cache's reason to exist.
+awk -F'[:,}]' '
+/"BenchmarkServiceThroughputAugmented\/cold"/         { for (i = 1; i <= NF; i++) if ($i ~ /batches_per_sec/) cold = $(i+1) + 0 }
+/"BenchmarkServiceThroughputAugmented\/sampleCached"/ { for (i = 1; i <= NF; i++) if ($i ~ /batches_per_sec/) cached = $(i+1) + 0 }
+END {
+    printf "sample cache: cold %.1f batches/sec, sampleCached %.1f batches/sec (%.2fx)\n", cold, cached, cached / cold
+    if (!(cached >= 5 * cold)) { print "FAIL: sampleCached is not 5x the cold augmented baseline" > "/dev/stderr"; exit 1 }
+}' "$SCACHE_JSON"
