@@ -21,6 +21,15 @@
 // Nodes never coordinate work — the deterministic epoch plan plus the
 // consumer-side consistent-hash router (internal/cluster) partition it — so
 // joining is purely an observability concern here.
+//
+// Persistent cache: -disk-cache-dir roots a content-addressed disk tier
+// under the in-memory caches. Frames and sample snapshots spill there as
+// they are produced, survive restarts (even SIGKILL — the index rebuilds
+// from checksummed segment scans), and are shared by any job pointed at the
+// same directory:
+//
+//	lotus-serve -workload ICA -cache-mb 256 -sample-cache-mb 256 \
+//	    -disk-cache-dir /var/cache/lotus -disk-cache-gb 8
 package main
 
 import (
@@ -84,6 +93,8 @@ func main() {
 		ring     = flag.Int("ring", 16384, "live trace ring capacity in records")
 		cacheMB  = flag.Int64("cache-mb", 256, "materialized-batch cache budget in MiB (0 = disabled); cached epochs are served without re-running the pipeline")
 		scacheMB = flag.Int64("sample-cache-mb", 0, "split-point sample cache budget in MiB (0 = disabled); materializes each sample's deterministic prefix once so augmented epochs skip decode work")
+		diskDir  = flag.String("disk-cache-dir", "", "persistent cache directory (empty = disabled); spilled frames and sample snapshots survive restarts and are shared across jobs pointing at the same directory")
+		diskGB   = flag.Float64("disk-cache-gb", 4, "persistent cache budget in GiB (segment-granularity LRU eviction above it)")
 		drain    = flag.Duration("drain", 15*time.Second, "graceful drain budget on SIGINT/SIGTERM")
 		nodeID   = flag.String("node", "", "this node's cluster identity (default: -addr)")
 		join     = flag.String("join", "", "cluster member list ([id=]wire[/http] per entry, comma-separated); serves the membership view on /cluster")
@@ -164,6 +175,8 @@ func main() {
 		RingSize:         *ring,
 		BatchCacheBytes:  *cacheMB << 20,
 		SampleCacheBytes: *scacheMB << 20,
+		DiskCacheDir:     *diskDir,
+		DiskCacheBytes:   int64(*diskGB * float64(1<<30)),
 		ClusterInfo:      clusterInfo,
 		Logf:             log.Printf,
 	})

@@ -128,12 +128,20 @@ func Sweep(opts Options) []Result {
 	run(serveWireCell("wire-corrupt-scache", opts.Seed, faultinject.Spec{CorruptFrame: 4}, serverOpts{sampleCacheBytes: chaosCacheBytes}))
 	run(sampleCacheChurnCell(opts.Seed))
 
+	// Persistent disk tier crash cells (disk.go): SIGKILL-equivalent
+	// restarts rebuild the index and serve warm bytes; torn manifests and
+	// rotten records degrade to clean recomputes, never corrupt bytes.
+	run(diskRewarmCell(opts.Seed))
+	run(diskTornManifestCell(opts.Seed))
+	run(diskCorruptSegmentCell(opts.Seed))
+
 	// Cluster failover plane over three loopback nodes (cluster.go).
 	run(clusterNodeKillCell(opts.Seed, 0))
 	run(clusterNodeKillCell(opts.Seed, chaosCacheBytes))
 	run(clusterNodeKillWarmSampleCacheCell(opts.Seed))
 	run(clusterNodeSlowCell(opts.Seed))
 	run(clusterHeartbeatFlapCell(opts.Seed))
+	run(clusterNodeKillRewarmCell(opts.Seed))
 	return out
 }
 
@@ -352,6 +360,7 @@ func groundTruthFramesMode(spec workloads.Spec, epoch int, mode pipeline.Mode) (
 type serverOpts struct {
 	batchCacheBytes  int64
 	sampleCacheBytes int64
+	diskDir          string        // non-empty enables the persistent disk tier
 	mode             pipeline.Mode // zero value = Simulated
 }
 
@@ -365,7 +374,8 @@ func startServer(spec workloads.Spec, inj *faultinject.Injector, cacheBytes int6
 func startServerOpts(spec workloads.Spec, inj *faultinject.Injector, o serverOpts) (*serve.Server, error) {
 	srv := serve.New(serve.Config{Spec: spec, Mode: o.mode, MaterializeDim: chaosMaterializeDim,
 		Prefetch: 2, Faults: inj,
-		BatchCacheBytes: o.batchCacheBytes, SampleCacheBytes: o.sampleCacheBytes})
+		BatchCacheBytes: o.batchCacheBytes, SampleCacheBytes: o.sampleCacheBytes,
+		DiskCacheDir: o.diskDir})
 	if err := srv.Start("127.0.0.1:0", ""); err != nil {
 		return nil, err
 	}

@@ -23,7 +23,9 @@ func TestSweepAllInvariantsHold(t *testing.T) {
 	for _, class := range []string{
 		"read-error", "read-stall", "worker-panic", "worker-stall",
 		"wire-drop", "wire-truncate", "wire-corrupt", "server-panic", "client-disconnect",
+		"disk-rewarm", "disk-torn-manifest", "disk-corrupt-segment",
 		"cluster-node-kill", "cluster-node-slow", "cluster-heartbeat-flap",
+		"cluster-node-kill-rewarm",
 	} {
 		if injectedByClass[class] == 0 {
 			t.Errorf("fault class %q never injected a fault", class)

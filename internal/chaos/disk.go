@@ -1,0 +1,369 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"lotus/internal/cluster"
+	"lotus/internal/faultinject"
+	"lotus/internal/serve"
+	"lotus/internal/testutil"
+)
+
+// The disk cells exercise the persistent cache tier's crash story:
+//
+//   - disk-rewarm: a server killed without writing its manifest (the
+//     SIGKILL model) restarts on the same directory, rebuilds the index by
+//     scanning segments, and serves every warm frame byte-identical with
+//     zero recomputation;
+//   - disk-torn-manifest: a manifest write torn mid-rename (injected) is
+//     detected by the self-checksum on restart and recovered by rebuild;
+//   - disk-corrupt-segment: a record whose payload rotted after
+//     checksumming (injected bit flip) is dropped at read time — the server
+//     recomputes that one batch cleanly and never serves corrupt bytes;
+//   - cluster-node-kill-rewarm: all three cluster nodes are killed
+//     (manifests deleted) and restarted on their own directories; the
+//     re-routed epoch is exactly-once, byte-identical, and entirely
+//     disk-served on every node.
+
+// diskCellFetch streams one full epoch and byte-checks it against expected.
+// Returns the number of mismatched or missing frames appended as failures.
+func diskCellFetch(srv *serve.Server, name string, expected [][]byte, failures []string) []string {
+	c := serve.NewClient(serve.ClientConfig{Addr: srv.Addr(), Name: name})
+	defer c.Close()
+	got := 0
+	_, err := c.Run(1, func(b *serve.Batch, payload []byte) {
+		if b.GlobalID < 0 || b.GlobalID >= len(expected) {
+			failures = append(failures, fmt.Sprintf("%s: batch id %d out of plan", name, b.GlobalID))
+			return
+		}
+		got++
+		if !bytes.Equal(payload, expected[b.GlobalID]) {
+			failures = append(failures, fmt.Sprintf("%s: batch %d not byte-identical", name, b.GlobalID))
+		}
+	})
+	if err != nil {
+		failures = append(failures, fmt.Sprintf("%s: %v", name, err))
+	} else if got != len(expected) {
+		failures = append(failures, fmt.Sprintf("%s: %d of %d frames", name, got, len(expected)))
+	}
+	return failures
+}
+
+// diskRewarmCell: warm a disk directory, kill the server before its manifest
+// lands (delete MANIFEST after close — the SIGKILL-equivalent state), and
+// restart on the same directory. The restart must rebuild the index from
+// segment scans and serve the whole epoch from disk: zero disk misses,
+// byte-identical frames.
+func diskRewarmCell(seed int64) Result {
+	res := Result{Class: "disk-rewarm", Workload: "IC"}
+	spec := serveSpec(seed)
+	expected, err := groundTruthFramesMode(spec, 0, 0)
+	if err != nil {
+		res.Failures = append(res.Failures, fmt.Sprintf("ground truth: %v", err))
+		return res
+	}
+	dir, err := os.MkdirTemp("", "lotus-chaos-disk-*")
+	if err != nil {
+		res.Failures = append(res.Failures, err.Error())
+		return res
+	}
+	defer os.RemoveAll(dir)
+	baseline := testutil.Baseline()
+
+	warm, err := startServerOpts(spec, nil, serverOpts{batchCacheBytes: chaosCacheBytes, diskDir: dir})
+	if err != nil {
+		res.Failures = append(res.Failures, err.Error())
+		return res
+	}
+	res.Failures = diskCellFetch(warm, "disk-rewarm-warm", expected, res.Failures)
+	warm.Close()
+	// Close drained the spill queue and synced segments; deleting the
+	// manifest leaves exactly the on-disk state a SIGKILL would have.
+	if err := os.Remove(filepath.Join(dir, "MANIFEST")); err != nil {
+		res.Failures = append(res.Failures, fmt.Sprintf("remove manifest: %v", err))
+		return res
+	}
+	res.Injected = 1 // the deleted manifest is the injected fault
+
+	cold, err := startServerOpts(spec, nil, serverOpts{batchCacheBytes: chaosCacheBytes, diskDir: dir})
+	if err != nil {
+		res.Failures = append(res.Failures, err.Error())
+		return res
+	}
+	res.Failures = diskCellFetch(cold, "disk-rewarm-restart", expected, res.Failures)
+	st, ok := cold.DiskCacheStats()
+	cold.Close()
+	if !ok {
+		res.Failures = append(res.Failures, "disk-enabled cell reports the disk cache disabled")
+	} else {
+		if st.Rebuilds != 1 {
+			res.Failures = append(res.Failures, fmt.Sprintf("rebuilds %d, want 1", st.Rebuilds))
+		}
+		if st.BatchMisses != 0 {
+			res.Failures = append(res.Failures, fmt.Sprintf("restart recomputed: %d disk misses", st.BatchMisses))
+		}
+		if st.BatchHits != int64(len(expected)) {
+			res.Failures = append(res.Failures, fmt.Sprintf("disk hits %d, want %d", st.BatchHits, len(expected)))
+		}
+		res.Notes = append(res.Notes, fmt.Sprintf("rewarm hits=%d segments=%d", st.BatchHits, st.Segments))
+	}
+	if err := testutil.WaitNoLeaks(baseline, 5*time.Second); err != nil {
+		res.Failures = append(res.Failures, err.Error())
+	}
+	return res
+}
+
+// diskTornManifestCell: the injector tears the warm server's only manifest
+// write (truncating the temp file before the rename — the reordered-rename
+// crash). The restart must detect the damage via the manifest self-checksum,
+// rebuild from segment scans, and still serve everything warm.
+func diskTornManifestCell(seed int64) Result {
+	res := Result{Class: "disk-torn-manifest", Workload: "IC"}
+	spec := serveSpec(seed)
+	expected, err := groundTruthFramesMode(spec, 0, 0)
+	if err != nil {
+		res.Failures = append(res.Failures, fmt.Sprintf("ground truth: %v", err))
+		return res
+	}
+	dir, err := os.MkdirTemp("", "lotus-chaos-disk-*")
+	if err != nil {
+		res.Failures = append(res.Failures, err.Error())
+		return res
+	}
+	defer os.RemoveAll(dir)
+	baseline := testutil.Baseline()
+	inj := faultinject.New(faultinject.Spec{Seed: seed, TornManifest: 1})
+
+	warm, err := startServerOpts(spec, inj, serverOpts{batchCacheBytes: chaosCacheBytes, diskDir: dir})
+	if err != nil {
+		res.Failures = append(res.Failures, err.Error())
+		return res
+	}
+	res.Failures = diskCellFetch(warm, "disk-torn-warm", expected, res.Failures)
+	// Close writes the first (and only) manifest — the injector tears it.
+	warm.Close()
+
+	cold, err := startServerOpts(spec, nil, serverOpts{batchCacheBytes: chaosCacheBytes, diskDir: dir})
+	if err != nil {
+		res.Failures = append(res.Failures, err.Error())
+		return res
+	}
+	res.Failures = diskCellFetch(cold, "disk-torn-restart", expected, res.Failures)
+	st, ok := cold.DiskCacheStats()
+	cold.Close()
+	if !ok {
+		res.Failures = append(res.Failures, "disk-enabled cell reports the disk cache disabled")
+	} else {
+		if st.Rebuilds != 1 {
+			res.Failures = append(res.Failures, fmt.Sprintf("torn manifest not rebuilt: rebuilds %d", st.Rebuilds))
+		}
+		if st.BatchMisses != 0 {
+			res.Failures = append(res.Failures, fmt.Sprintf("restart recomputed: %d disk misses", st.BatchMisses))
+		}
+		res.Notes = append(res.Notes, fmt.Sprintf("rebuilt hits=%d", st.BatchHits))
+	}
+	if err := testutil.WaitNoLeaks(baseline, 5*time.Second); err != nil {
+		res.Failures = append(res.Failures, err.Error())
+	}
+	res.Injected = inj.Counts().DiskFaults
+	if res.Injected == 0 {
+		res.Failures = append(res.Failures, "fault class injected nothing")
+	}
+	return res
+}
+
+// diskCorruptSegmentCell: the injector flips one bit in one spilled record
+// AFTER its checksum was computed — silent media corruption. The restart's
+// read-time verification must drop exactly that record (a clean recompute),
+// and every served frame must still be byte-identical to ground truth:
+// corruption degrades to a miss, never to corrupt bytes.
+func diskCorruptSegmentCell(seed int64) Result {
+	res := Result{Class: "disk-corrupt-segment", Workload: "IC"}
+	spec := serveSpec(seed)
+	expected, err := groundTruthFramesMode(spec, 0, 0)
+	if err != nil {
+		res.Failures = append(res.Failures, fmt.Sprintf("ground truth: %v", err))
+		return res
+	}
+	dir, err := os.MkdirTemp("", "lotus-chaos-disk-*")
+	if err != nil {
+		res.Failures = append(res.Failures, err.Error())
+		return res
+	}
+	defer os.RemoveAll(dir)
+	baseline := testutil.Baseline()
+	inj := faultinject.New(faultinject.Spec{Seed: seed, CorruptDiskAppend: 3})
+
+	warm, err := startServerOpts(spec, inj, serverOpts{batchCacheBytes: chaosCacheBytes, diskDir: dir})
+	if err != nil {
+		res.Failures = append(res.Failures, err.Error())
+		return res
+	}
+	res.Failures = diskCellFetch(warm, "disk-corrupt-warm", expected, res.Failures)
+	warm.Close()
+
+	cold, err := startServerOpts(spec, nil, serverOpts{batchCacheBytes: chaosCacheBytes, diskDir: dir})
+	if err != nil {
+		res.Failures = append(res.Failures, err.Error())
+		return res
+	}
+	res.Failures = diskCellFetch(cold, "disk-corrupt-restart", expected, res.Failures)
+	st, ok := cold.DiskCacheStats()
+	cold.Close()
+	if !ok {
+		res.Failures = append(res.Failures, "disk-enabled cell reports the disk cache disabled")
+	} else {
+		if st.CorruptDropped != 1 {
+			res.Failures = append(res.Failures, fmt.Sprintf("corrupt records dropped %d, want 1", st.CorruptDropped))
+		}
+		if st.BatchMisses != 1 {
+			res.Failures = append(res.Failures, fmt.Sprintf("disk misses %d, want exactly the corrupted record", st.BatchMisses))
+		}
+		if st.BatchHits != int64(len(expected)-1) {
+			res.Failures = append(res.Failures, fmt.Sprintf("disk hits %d, want %d", st.BatchHits, len(expected)-1))
+		}
+		res.Notes = append(res.Notes, fmt.Sprintf("dropped=%d recomputed=%d", st.CorruptDropped, st.BatchMisses))
+	}
+	if err := testutil.WaitNoLeaks(baseline, 5*time.Second); err != nil {
+		res.Failures = append(res.Failures, err.Error())
+	}
+	res.Injected = inj.Counts().DiskFaults
+	if res.Injected == 0 {
+		res.Failures = append(res.Failures, "fault class injected nothing")
+	}
+	return res
+}
+
+// clusterNodeKillRewarmCell: three nodes, each with a batch cache and its own
+// disk directory, serve a routed epoch; then ALL of them are killed
+// (manifests deleted — the whole cluster SIGKILLed at once) and restarted on
+// their original directories with their original node IDs. The re-routed
+// epoch must be exactly-once and byte-identical, with every node serving its
+// shard entirely from its rebuilt disk tier: cluster-wide recomputation == 0.
+func clusterNodeKillRewarmCell(seed int64) Result {
+	res := Result{Class: "cluster-node-kill-rewarm", Workload: "IC"}
+	spec := serveSpec(seed)
+	expected, err := groundTruthFramesMode(spec, 0, 0)
+	if err != nil {
+		res.Failures = append(res.Failures, fmt.Sprintf("ground truth: %v", err))
+		return res
+	}
+	var dirs [3]string
+	for i := range dirs {
+		d, err := os.MkdirTemp("", "lotus-chaos-cluster-disk-*")
+		if err != nil {
+			res.Failures = append(res.Failures, err.Error())
+			return res
+		}
+		dirs[i] = d
+		defer os.RemoveAll(d)
+	}
+	baseline := testutil.Baseline()
+
+	boot := func() ([]*serve.Server, []cluster.Node, error) {
+		var srvs []*serve.Server
+		var nodes []cluster.Node
+		for i := 0; i < 3; i++ {
+			srv, err := startServerOpts(spec, nil, serverOpts{batchCacheBytes: chaosCacheBytes, diskDir: dirs[i]})
+			if err != nil {
+				for _, s := range srvs {
+					s.Close()
+				}
+				return nil, nil, err
+			}
+			srvs = append(srvs, srv)
+			nodes = append(nodes, cluster.Node{ID: fmt.Sprintf("node%d", i), Addr: srv.Addr()})
+		}
+		return srvs, nodes, nil
+	}
+	routeEpoch := func(nodes []cluster.Node, name string) (*clusterSink, *cluster.EpochStats, error) {
+		c, err := cluster.New(cluster.Config{Nodes: nodes, Name: name})
+		if err != nil {
+			return nil, nil, err
+		}
+		defer c.Close()
+		sink := newClusterSink()
+		stats, err := c.RunEpoch(0, sink.onBatch)
+		return sink, stats, err
+	}
+
+	// Warm pass: a healthy routed epoch populates every node's disk tier
+	// with exactly its ring shard.
+	srvs, nodes, err := boot()
+	if err != nil {
+		res.Failures = append(res.Failures, err.Error())
+		return res
+	}
+	sink, _, err := routeEpoch(nodes, "chaos-rewarm-warm")
+	if err != nil {
+		res.Failures = append(res.Failures, fmt.Sprintf("warm epoch: %v", err))
+		for _, s := range srvs {
+			s.Close()
+		}
+		return res
+	}
+	res.Failures = sink.check(expected, res.Failures)
+
+	// Kill the whole cluster: close (which syncs segments) then delete each
+	// manifest, leaving the SIGKILL on-disk state everywhere.
+	for i, s := range srvs {
+		s.Close()
+		if err := os.Remove(filepath.Join(dirs[i], "MANIFEST")); err != nil {
+			res.Failures = append(res.Failures, fmt.Sprintf("remove manifest %d: %v", i, err))
+			return res
+		}
+		res.Injected++
+	}
+
+	// Restart on the same directories with the same IDs; the ring reproduces
+	// the original shard assignment, so every claim lands on warm disk.
+	srvs2, nodes2, err := boot()
+	if err != nil {
+		res.Failures = append(res.Failures, err.Error())
+		return res
+	}
+	sink2, stats2, err := routeEpoch(nodes2, "chaos-rewarm-restart")
+	if err != nil {
+		res.Failures = append(res.Failures, fmt.Sprintf("rewarm epoch: %v", err))
+	} else {
+		res.Failures = sink2.check(expected, res.Failures)
+		if stats2.NodeFailures != 0 || stats2.Rerouted != 0 {
+			res.Failures = append(res.Failures, fmt.Sprintf(
+				"restarted cluster misbehaved: failures=%d rerouted=%d", stats2.NodeFailures, stats2.Rerouted))
+		}
+		if stats2.Ignored != 0 {
+			res.Failures = append(res.Failures, fmt.Sprintf("%d frames hit the exactly-once filter", stats2.Ignored))
+		}
+		var hits int64
+		for i, s := range srvs2 {
+			st, ok := s.DiskCacheStats()
+			if !ok {
+				res.Failures = append(res.Failures, fmt.Sprintf("node%d reports the disk cache disabled", i))
+				continue
+			}
+			if st.Rebuilds != 1 {
+				res.Failures = append(res.Failures, fmt.Sprintf("node%d rebuilds %d, want 1", i, st.Rebuilds))
+			}
+			if st.BatchMisses != 0 {
+				res.Failures = append(res.Failures, fmt.Sprintf("node%d recomputed %d batches after rewarm", i, st.BatchMisses))
+			}
+			hits += st.BatchHits
+		}
+		if hits != int64(len(expected)) {
+			res.Failures = append(res.Failures, fmt.Sprintf(
+				"cluster-wide disk hits %d, want the whole plan (%d)", hits, len(expected)))
+		}
+		res.Notes = append(res.Notes, fmt.Sprintf("disk_hits=%d rounds=%d", hits, stats2.Rounds))
+	}
+	for _, s := range srvs2 {
+		s.Close()
+	}
+	if err := testutil.WaitNoLeaks(baseline, 5*time.Second); err != nil {
+		res.Failures = append(res.Failures, err.Error())
+	}
+	return res
+}

@@ -67,6 +67,18 @@ type Spec struct {
 	// the stream checksum is taken — the wire delivers garbage that the
 	// client must catch by decode failure or checksum mismatch.
 	CorruptFrame int
+
+	// CorruptDiskAppend: the Nth record appended to the persistent disk
+	// cache has one payload byte flipped after its checksum is taken — bit
+	// rot that the store must catch at read time (checksum mismatch → clean
+	// miss and recompute, never stale bytes served).
+	CorruptDiskAppend int
+	// TornManifest: the Nth disk-cache manifest write is torn — only the
+	// first half of the manifest bytes land before the atomic rename, as if
+	// the machine died mid-write on a filesystem that reordered the rename.
+	// The manifest's self-checksum must catch it on the next open and force
+	// a rebuild from segment scans.
+	TornManifest int
 }
 
 // WireAction is the fault applied to one outgoing wire frame.
@@ -100,11 +112,13 @@ type Counts struct {
 	Panics       int64
 	WorkerStalls int64
 	WireFaults   int64
+	DiskFaults   int64
 }
 
 // Total sums every class.
 func (c Counts) Total() int64 {
-	return c.ReadErrors + c.ReadStalls + c.Panics + c.WorkerStalls + c.WireFaults
+	return c.ReadErrors + c.ReadStalls + c.Panics + c.WorkerStalls +
+		c.WireFaults + c.DiskFaults
 }
 
 // Injector makes fault decisions for one run. Methods are safe for
@@ -113,11 +127,14 @@ type Injector struct {
 	spec Spec
 
 	frames       atomic.Int64 // outgoing wire frames observed
+	appends      atomic.Int64 // disk-cache records appended
+	manifests    atomic.Int64 // disk-cache manifest writes observed
 	readErrors   atomic.Int64
 	readStalls   atomic.Int64
 	panics       atomic.Int64
 	workerStalls atomic.Int64
 	wireFaults   atomic.Int64
+	diskFaults   atomic.Int64
 }
 
 // New builds an injector from spec. A zero spec (or a nil *Injector) injects
@@ -143,6 +160,7 @@ func (in *Injector) Counts() Counts {
 		Panics:       in.panics.Load(),
 		WorkerStalls: in.workerStalls.Load(),
 		WireFaults:   in.wireFaults.Load(),
+		DiskFaults:   in.diskFaults.Load(),
 	}
 }
 
@@ -263,6 +281,36 @@ func (in *Injector) NextWireAction() WireAction {
 		return WireCorrupt
 	}
 	return WireNone
+}
+
+// NextDiskAppendCorrupt advances the disk-append counter and reports whether
+// this record's payload should be bit-flipped after checksumming. Fires
+// exactly once, on the configured 1-based append number.
+func (in *Injector) NextDiskAppendCorrupt() bool {
+	if in == nil {
+		return false
+	}
+	n := in.appends.Add(1)
+	if in.spec.CorruptDiskAppend > 0 && n == int64(in.spec.CorruptDiskAppend) {
+		in.diskFaults.Add(1)
+		return true
+	}
+	return false
+}
+
+// NextManifestTorn advances the manifest-write counter and reports whether
+// this manifest write should be torn (truncated mid-file before the rename).
+// Fires exactly once, on the configured 1-based write number.
+func (in *Injector) NextManifestTorn() bool {
+	if in == nil {
+		return false
+	}
+	n := in.manifests.Add(1)
+	if in.spec.TornManifest > 0 && n == int64(in.spec.TornManifest) {
+		in.diskFaults.Add(1)
+		return true
+	}
+	return false
 }
 
 // FailingBatches returns the positions (in plan order) of batches containing

@@ -8,6 +8,7 @@ import (
 
 	"lotus/internal/imaging"
 	"lotus/internal/native"
+	"lotus/internal/store"
 	"lotus/internal/tensor"
 )
 
@@ -41,6 +42,11 @@ type SampleCache struct {
 	waitTimeout time.Duration
 	entries     map[SampleKey]*sampleEntry
 	lru         *list.List // of *sampleEntry; only ready entries are listed
+	// disk is the optional persistent tier below this cache: claimed keys
+	// consult it before running the prefix, fulfilled snapshots spill to it
+	// asynchronously, and memory evictions re-spill so a restart (or a
+	// sibling job on the same spec) warm-starts instead of recomputing.
+	disk *store.Store
 
 	hits, misses, waits, evicted, abandoned, bypassed int64
 }
@@ -169,9 +175,38 @@ func NewSampleCache(budget int64, blocking bool) *SampleCache {
 	}
 }
 
+// SetDisk attaches the persistent tier. Call before the cache is shared
+// across goroutines (the field is read without synchronization afterwards).
+func (sc *SampleCache) SetDisk(st *store.Store) { sc.disk = st }
+
+func diskSampleKey(key SampleKey) store.Key {
+	return store.Key{Kind: store.KindSample, FP: key.PrefixFP, A: uint64(key.Index)}
+}
+
+// diskLoad tries to restore a claimed key's snapshot from the persistent
+// tier. An undecodable record (despite the store's checksum, e.g. a codec
+// version skew) is dropped from the disk index so it is recomputed and
+// re-spilled instead of failing forever.
+func (sc *SampleCache) diskLoad(key SampleKey) *cachedSample {
+	if sc.disk == nil {
+		return nil
+	}
+	raw, ok := sc.disk.Get(diskSampleKey(key), nil)
+	if !ok {
+		return nil
+	}
+	cs, err := decodeSnapshot(raw)
+	if err != nil {
+		sc.disk.Drop(diskSampleKey(key))
+		return nil
+	}
+	return cs
+}
+
 // materialize returns the post-prefix sample for s, from the cache when
-// possible: hit (copy out), claim (run the prefix once, publish), wait
-// (blocking mode), or bypass (non-blocking mode / timed-out wait).
+// possible: hit (copy out), claim (consult the disk tier, else run the
+// prefix once, publish), wait (blocking mode), or bypass (non-blocking mode
+// / timed-out wait).
 func (sc *SampleCache) materialize(ctx *Ctx, c *Compose, pid, batchID, split int, s Sample) Sample {
 	key := SampleKey{PrefixFP: ctx.PrefixFP, Index: s.Index}
 	for {
@@ -182,6 +217,16 @@ func (sc *SampleCache) materialize(ctx *Ctx, c *Compose, pid, batchID, split int
 			return out
 		}
 		if claimed {
+			if cs := sc.diskLoad(key); cs != nil {
+				// Publish the disk copy as the memory entry. The extra
+				// retain pays for our own restore; fulfill's spill is
+				// skipped since the bytes are already on disk.
+				cs.retain()
+				sc.fulfill(key, cs, false)
+				out := cs.restore(ctx)
+				cs.release()
+				return out
+			}
 			return sc.computeAndFulfill(ctx, c, pid, batchID, split, key, s)
 		}
 		if !sc.blocking {
@@ -219,7 +264,7 @@ func (sc *SampleCache) computeAndFulfill(ctx *Ctx, c *Compose, pid, batchID, spl
 		}
 	}()
 	out := c.applyRange(ctx, pid, batchID, s, 0, split)
-	sc.fulfill(key, snapshotSample(out))
+	sc.fulfill(key, snapshotSample(out), true)
 	done = true
 	return out
 }
@@ -291,8 +336,10 @@ func (sc *SampleCache) unregister(e *sampleEntry) {
 // fulfill publishes the snapshot for a claimed key: the snapshot arrives
 // holding the cache's reference, one more is pre-paid per registered waiter,
 // the entry joins the LRU, and overflow victims are released outside the
-// lock.
-func (sc *SampleCache) fulfill(key SampleKey, cs *cachedSample) {
+// lock. spill asks for an async write-through to the disk tier (false when
+// the snapshot itself came from disk); eviction victims re-spill regardless
+// so budget pressure demotes entries instead of destroying them.
+func (sc *SampleCache) fulfill(key SampleKey, cs *cachedSample, spill bool) {
 	sc.mu.Lock()
 	e, ok := sc.entries[key]
 	if !ok || e.state != sampleInFlight {
@@ -310,8 +357,14 @@ func (sc *SampleCache) fulfill(key SampleKey, cs *cachedSample) {
 	victims := sc.evictOverLocked()
 	close(e.ready)
 	sc.mu.Unlock()
+	if spill && sc.disk != nil {
+		sc.disk.PutAsync(diskSampleKey(key), encodeSnapshot(cs))
+	}
 	for _, v := range victims {
-		v.release()
+		if sc.disk != nil && !sc.disk.Contains(diskSampleKey(v.key)) {
+			sc.disk.PutAsync(diskSampleKey(v.key), encodeSnapshot(v.sample))
+		}
+		v.sample.release()
 	}
 }
 
@@ -332,17 +385,18 @@ func (sc *SampleCache) abandon(key SampleKey) {
 }
 
 // evictOverLocked pops LRU entries until used fits the budget, returning the
-// victims' cache references for release outside the lock. Only ready entries
-// are listed; refcounts keep a victim's pixels alive for readers still
-// copying them out.
-func (sc *SampleCache) evictOverLocked() []*cachedSample {
-	var victims []*cachedSample
+// victim entries (key + snapshot) so the caller can re-spill them to the
+// disk tier and release the cache references outside the lock. Only ready
+// entries are listed; refcounts keep a victim's pixels alive for readers
+// still copying them out.
+func (sc *SampleCache) evictOverLocked() []*sampleEntry {
+	var victims []*sampleEntry
 	for sc.used > sc.budget && sc.lru.Len() > 0 {
 		e := sc.lru.Remove(sc.lru.Front()).(*sampleEntry)
 		delete(sc.entries, e.key)
 		sc.used -= e.size
 		sc.evicted++
-		victims = append(victims, e.sample)
+		victims = append(victims, e)
 	}
 	return victims
 }

@@ -1,0 +1,143 @@
+package pipeline
+
+import (
+	"bytes"
+	"testing"
+
+	"lotus/internal/imaging"
+	"lotus/internal/tensor"
+)
+
+func snapMeta(idx int) Sample {
+	return Sample{Index: idx, Label: idx % 7, FileBytes: 1000 + idx, Seed: int64(42 + idx),
+		Width: 8, Height: 6, Channels: 3, Dtype: tensor.Uint8}
+}
+
+func roundTrip(t *testing.T, cs *cachedSample) *cachedSample {
+	t.Helper()
+	got, err := decodeSnapshot(encodeSnapshot(cs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.meta != cs.meta {
+		t.Fatalf("meta mismatch: %+v vs %+v", got.meta, cs.meta)
+	}
+	if got.size != cs.size {
+		t.Fatalf("size mismatch: %d vs %d", got.size, cs.size)
+	}
+	return got
+}
+
+func TestSnapshotRoundTripImage(t *testing.T) {
+	s := snapMeta(3)
+	s.Image = imaging.NewImage(8, 6)
+	for i := range s.Image.Pix {
+		s.Image.Pix[i] = byte(i * 3)
+	}
+	cs := snapshotSample(s)
+	got := roundTrip(t, cs)
+	if got.img == nil || !bytes.Equal(got.img.Pix, s.Image.Pix) {
+		t.Fatal("image pixels did not survive the round trip")
+	}
+	got.release()
+	cs.release()
+}
+
+func TestSnapshotRoundTripVolume(t *testing.T) {
+	s := snapMeta(4)
+	s.Dtype = tensor.Float32
+	s.Depth, s.Channels = 3, 1
+	s.Volume = imaging.NewVolume(3, 6, 8)
+	for i := range s.Volume.Vox {
+		s.Volume.Vox[i] = float32(i) * 0.25
+	}
+	cs := snapshotSample(s)
+	got := roundTrip(t, cs)
+	if got.vol == nil || got.vol.D != 3 || got.vol.H != 6 || got.vol.W != 8 {
+		t.Fatal("volume geometry lost")
+	}
+	for i, v := range got.vol.Vox {
+		if v != s.Volume.Vox[i] {
+			t.Fatalf("vox %d: %v != %v", i, v, s.Volume.Vox[i])
+		}
+	}
+	got.release()
+	cs.release()
+}
+
+func TestSnapshotRoundTripTensor(t *testing.T) {
+	for _, dt := range []tensor.DType{tensor.Uint8, tensor.Float32} {
+		s := snapMeta(5)
+		s.Dtype = dt
+		tt := tensor.Zeros(dt, 2, 3, 4)
+		for i := 0; i < tt.Len(); i++ {
+			if dt == tensor.Uint8 {
+				tt.U8[i] = byte(i)
+			} else {
+				tt.F32[i] = float32(i) * 1.5
+			}
+		}
+		s.Tensor = tt
+		cs := snapshotSample(s)
+		got := roundTrip(t, cs)
+		if got.ten == nil || got.ten.Dtype != dt || got.ten.Len() != tt.Len() {
+			t.Fatalf("tensor shape/dtype lost for %v", dt)
+		}
+		if dt == tensor.Uint8 && !bytes.Equal(got.ten.U8, tt.U8) {
+			t.Fatal("u8 tensor data lost")
+		}
+		if dt == tensor.Float32 {
+			for i := range tt.F32 {
+				if got.ten.F32[i] != tt.F32[i] {
+					t.Fatalf("f32 tensor elem %d lost", i)
+				}
+			}
+		}
+		got.release()
+		cs.release()
+	}
+}
+
+func TestSnapshotRoundTripSimulatedMeta(t *testing.T) {
+	// Simulated-mode samples carry no payload but keep their modeled size.
+	s := snapMeta(6)
+	cs := snapshotSample(s)
+	got := roundTrip(t, cs)
+	if got.img != nil || got.vol != nil || got.ten != nil {
+		t.Fatal("meta-only snapshot grew a payload")
+	}
+	if got.size != int64(s.RawBytes()) {
+		t.Fatalf("modeled size lost: %d != %d", got.size, s.RawBytes())
+	}
+	got.release()
+	cs.release()
+}
+
+func TestSnapshotDecodeRejectsDamage(t *testing.T) {
+	s := snapMeta(7)
+	s.Image = imaging.NewImage(8, 6)
+	cs := snapshotSample(s)
+	defer cs.release()
+	enc := encodeSnapshot(cs)
+	cases := map[string][]byte{
+		"empty":      {},
+		"badVersion": append([]byte{99}, enc[1:]...),
+		"truncMeta":  enc[:20],
+		"truncPix":   enc[:len(enc)-5],
+		"trailing":   append(append([]byte(nil), enc...), 0xFF),
+		// Layout: [0] version, [1:65) meta i64s, [65] dtype, [66] tag,
+		// [67:71) image width.
+		"badTag":  func() []byte { b := append([]byte(nil), enc...); b[66] = 77; return b }(),
+		"zeroDim": func() []byte { b := append([]byte(nil), enc...); copy(b[67:71], []byte{0, 0, 0, 0}); return b }(),
+		"hugeDim": func() []byte {
+			b := append([]byte(nil), enc...)
+			copy(b[67:71], []byte{0xFF, 0xFF, 0xFF, 0xFF})
+			return b
+		}(),
+	}
+	for name, data := range cases {
+		if _, err := decodeSnapshot(data); err == nil {
+			t.Fatalf("%s: decode accepted damaged snapshot", name)
+		}
+	}
+}

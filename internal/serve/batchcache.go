@@ -29,6 +29,10 @@ type BatchCache struct {
 	used    int64
 	entries map[BatchKey]*cacheEntry
 	lru     *list.List // of *cacheEntry; only ready entries are listed
+	// spill, when set, receives every published frame and every eviction
+	// victim (outside mu, frame reference NOT transferred) so a persistent
+	// tier can write-through asynchronously.
+	spill func(BatchKey, *Frame)
 
 	hits, misses, waits, evicted, abandoned int64
 }
@@ -78,6 +82,13 @@ func NewBatchCache(budget int64) *BatchCache {
 		lru:     list.New(),
 	}
 }
+
+// SetSpill installs the write-through hook for the persistent tier. Call
+// before the cache is shared across goroutines (the field is read without
+// synchronization afterwards). The hook runs outside the cache lock, on the
+// fulfilling goroutine, and must not retain the frame beyond the call
+// unless it takes its own reference.
+func (c *BatchCache) SetSpill(fn func(BatchKey, *Frame)) { c.spill = fn }
 
 // Claim registers owner as the computer of key if and only if no entry
 // exists, without blocking and without touching any frame. Sessions claim
@@ -196,8 +207,14 @@ func (c *BatchCache) Fulfill(key BatchKey, f *Frame) {
 	victims := c.evictOverLocked()
 	close(e.ready)
 	c.mu.Unlock()
+	if c.spill != nil {
+		c.spill(key, f)
+	}
 	for _, v := range victims {
-		v.Release()
+		if c.spill != nil {
+			c.spill(v.key, v.frame)
+		}
+		v.frame.Release()
 	}
 }
 
@@ -257,17 +274,18 @@ func (c *BatchCache) Acquire(key BatchKey, owner int, cancel <-chan struct{}, ti
 }
 
 // evictOverLocked pops LRU entries until used fits the budget, returning the
-// victims' cache references for release outside the lock. In-flight entries
+// victim entries (key + frame) so the caller can offer them to the spill
+// hook and release the cache references outside the lock. In-flight entries
 // are never listed, so only ready frames are evictable; refcounts keep a
 // victim's bytes alive for any session still streaming them.
-func (c *BatchCache) evictOverLocked() []*Frame {
-	var victims []*Frame
+func (c *BatchCache) evictOverLocked() []*cacheEntry {
+	var victims []*cacheEntry
 	for c.used > c.budget && c.lru.Len() > 0 {
 		e := c.lru.Remove(c.lru.Front()).(*cacheEntry)
 		delete(c.entries, e.key)
 		c.used -= e.size
 		c.evicted++
-		victims = append(victims, e.frame)
+		victims = append(victims, e)
 	}
 	return victims
 }

@@ -136,6 +136,67 @@ func benchServiceAugmented(b *testing.B, sampleCacheBytes int64) {
 	}
 }
 
+// BenchmarkServiceWarmRestart measures restart warming from the persistent
+// tier: both series bring up a FRESH server per iteration and stream epoch 0
+// of the augmented ICA workload in emulate mode. The cold series has no disk
+// directory, so every restart re-runs the paced pipeline from scratch; the
+// warmRestart series points each fresh server at a directory warmed once
+// outside the timer, so restarts serve every frame from the disk tier and
+// skip the pipeline (and its pacing) entirely. scripts/bench.sh captures
+// both into BENCH_PR7.json and gates warmRestart at >= 5x cold.
+func BenchmarkServiceWarmRestart(b *testing.B) {
+	b.Run("cold", func(b *testing.B) { benchServiceRestart(b, false) })
+	b.Run("warmRestart", func(b *testing.B) { benchServiceRestart(b, true) })
+}
+
+func benchServiceRestart(b *testing.B, warm bool) {
+	spec := workloads.ICASpec(256, 7)
+	spec.BatchSize = 16 // 16 batches per epoch
+	spec.NumWorkers = 4
+	start := func(dir string) *Server {
+		srv := New(Config{Spec: spec, Mode: pipeline.Simulated, EmulateTime: true,
+			Prefetch: 4, BatchCacheBytes: 256 << 20, DiskCacheDir: dir})
+		if err := srv.Start("127.0.0.1:0", ""); err != nil {
+			b.Fatal(err)
+		}
+		return srv
+	}
+	fetch := func(srv *Server, st *FetchStats) {
+		c := NewClient(ClientConfig{Addr: srv.Addr()})
+		defer c.Close()
+		if err := c.fetchEpoch(0, nil, st); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	dir := ""
+	if warm {
+		// Warm the directory once, outside the timed region: the one-time
+		// cost every long-running job has already paid before it restarts.
+		dir = b.TempDir()
+		srv := start(dir)
+		fetch(srv, nil)
+		if err := srv.FlushDiskCache(); err != nil {
+			b.Fatal(err)
+		}
+		srv.Close()
+	}
+
+	totalBatches := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		srv := start(dir)
+		var st FetchStats
+		fetch(srv, &st)
+		totalBatches += st.Batches
+		srv.Close()
+	}
+	b.StopTimer()
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(totalBatches)/sec, "batches/sec")
+	}
+}
+
 // benchBatch builds a materialize-sized wire batch (the shape the serving hot
 // path encodes): 64 samples, one 64x3x32x32 u8 tensor payload.
 func benchBatch() *Batch {

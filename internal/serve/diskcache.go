@@ -1,0 +1,73 @@
+package serve
+
+import (
+	"lotus/internal/store"
+)
+
+// Disk-tier glue: the persistent store sits under both memory caches.
+//
+//   - Batch frames: every frame the BatchCache publishes (and every eviction
+//     victim) spills asynchronously via the SetSpill hook; a session that
+//     wins a Claim consults the disk tier before running its pipeline, so a
+//     restarted (or sibling) server serves previously produced frames
+//     byte-identical without recomputing — the tf.data-service cross-job
+//     reuse model over a Seneca-style SSD tier.
+//   - Sample snapshots: the SampleCache owns its own disk path (SetDisk);
+//     the server only threads the store through.
+//
+// Both tiers share one Store (one budget, one segment sequence, one
+// manifest); the Kind byte in the key keeps the namespaces disjoint.
+
+func diskBatchKey(k BatchKey) store.Key {
+	return store.Key{Kind: store.KindBatch, FP: k.Fingerprint,
+		A: uint64(k.Epoch), B: uint64(k.GlobalID)}
+}
+
+// diskLoadBatch tries to read one encoded batch frame from the persistent
+// tier into a pooled Frame. The store verifies the record checksum; a miss
+// (or corruption, degraded to a miss) returns nil and the pooled buffer
+// goes straight back to its pool.
+func (s *Server) diskLoadBatch(key BatchKey) *Frame {
+	if s.disk == nil {
+		return nil
+	}
+	var box *[]byte
+	_, ok := s.disk.Get(diskBatchKey(key), func(n int) []byte {
+		box = frameBufFor(n)
+		*box = (*box)[:n]
+		return *box
+	})
+	if !ok {
+		if box != nil {
+			*box = (*box)[:0]
+			frameBufPool.Put(box)
+		}
+		return nil
+	}
+	return newFrame(box)
+}
+
+// spillBatchFrame is the BatchCache write-through hook: every published
+// frame heads for disk without blocking the serving path (the store copies
+// the bytes before PutAsync returns and dedups keys already on disk).
+func (s *Server) spillBatchFrame(key BatchKey, f *Frame) {
+	s.disk.PutAsync(diskBatchKey(key), f.Bytes())
+}
+
+// DiskCacheStats reports the persistent tier's counters; ok is false when
+// the disk cache is disabled.
+func (s *Server) DiskCacheStats() (store.Stats, bool) {
+	if s.disk == nil {
+		return store.Stats{}, false
+	}
+	return s.disk.Stats(), true
+}
+
+// FlushDiskCache drains queued spills and durably writes the store
+// manifest — test and checkpoint hook; the server also flushes on Shutdown.
+func (s *Server) FlushDiskCache() error {
+	if s.disk == nil {
+		return nil
+	}
+	return s.disk.Flush()
+}

@@ -1,0 +1,326 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"lotus/internal/pipeline"
+	"lotus/internal/testutil"
+	"lotus/internal/workloads"
+)
+
+// startDiskCachedServer brings up a server with the persistent tier rooted
+// at dir (plus the given memory caches).
+func startDiskCachedServer(t *testing.T, spec workloads.Spec, dir string,
+	batchBytes, sampleBytes int64, mode pipeline.Mode, materializeDim int, withHTTP bool) *Server {
+	t.Helper()
+	srv := New(Config{Spec: spec, Mode: mode, MaterializeDim: materializeDim,
+		Prefetch: 2, BatchCacheBytes: batchBytes, SampleCacheBytes: sampleBytes,
+		DiskCacheDir: dir, Logf: t.Logf})
+	httpAddr := ""
+	if withHTTP {
+		httpAddr = "127.0.0.1:0"
+	}
+	if err := srv.Start("127.0.0.1:0", httpAddr); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+// TestDiskCacheCrossJobSharing is the two-process sharing acceptance test:
+// job A computes two epochs and spills every frame; job B — a fresh Server
+// over the same directory, the "second job" — must serve the same epochs
+// byte-identical to ground truth with ZERO pipeline recomputation: every
+// one of its claims is satisfied by the disk tier (disk batch misses == 0).
+func TestDiskCacheCrossJobSharing(t *testing.T) {
+	t.Cleanup(testutil.CheckGoroutines(t))
+	spec := loopbackSpec()
+	dir := t.TempDir()
+	const epochs = 2
+
+	expected := make([][][]byte, epochs)
+	for e := 0; e < epochs; e++ {
+		expected[e] = localEpochFrames(t, spec, e)
+	}
+	planLen := len(expected[0])
+
+	run := func(srv *Server, name string) int {
+		c := NewClient(ClientConfig{Addr: srv.Addr(), Name: name})
+		defer c.Close()
+		frames := 0
+		if _, err := c.Run(epochs, func(b *Batch, payload []byte) {
+			frames++
+			if !bytes.Equal(payload, expected[b.Epoch][b.GlobalID]) {
+				t.Fatalf("%s: epoch %d batch %d differs from ground truth", name, b.Epoch, b.GlobalID)
+			}
+		}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return frames
+	}
+
+	// Job A: cold directory, computes everything, spills write-through.
+	jobA := startDiskCachedServer(t, spec, dir, 64<<20, 0, pipeline.Simulated, 0, true)
+	if n := run(jobA, "job-a"); n != epochs*planLen {
+		t.Fatalf("job A saw %d frames, want %d", n, epochs*planLen)
+	}
+	if err := jobA.FlushDiskCache(); err != nil {
+		t.Fatal(err)
+	}
+	stA, ok := jobA.DiskCacheStats()
+	if !ok {
+		t.Fatal("disk stats unavailable on a disk-enabled server")
+	}
+	if stA.BatchMisses != int64(epochs*planLen) {
+		t.Fatalf("job A should miss disk on every claim: %+v", stA)
+	}
+	if stA.Spills != int64(epochs*planLen) {
+		t.Fatalf("job A should spill every frame: %+v", stA)
+	}
+
+	// The /metrics sidecar publishes the disk_cache block.
+	resp, err := http.Get("http://" + jobA.HTTPAddr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if _, ok := snap["disk_cache"]; !ok {
+		t.Fatal("/metrics is missing the disk_cache block")
+	}
+
+	if err := jobA.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Job B: a different process's server over the same directory. Every
+	// claim must land on disk — cluster-wide recomputes == 0.
+	jobB := startDiskCachedServer(t, spec, dir, 64<<20, 0, pipeline.Simulated, 0, false)
+	if n := run(jobB, "job-b"); n != epochs*planLen {
+		t.Fatalf("job B saw %d frames, want %d", n, epochs*planLen)
+	}
+	stB, _ := jobB.DiskCacheStats()
+	if stB.BatchMisses != 0 {
+		t.Fatalf("job B recomputed: disk misses %+v", stB)
+	}
+	if stB.BatchHits != int64(epochs*planLen) {
+		t.Fatalf("job B should have hit disk %d times: %+v", epochs*planLen, stB)
+	}
+	if stB.Rebuilds != 0 {
+		t.Fatalf("clean handoff must not rebuild: %+v", stB)
+	}
+	if err := jobB.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDiskCacheKillRewarm is the SIGKILL-equivalent restart: the manifest
+// never made it to disk, so the restarted server rebuilds the index from
+// segment scans — and still serves byte-identical frames with zero
+// recomputation.
+func TestDiskCacheKillRewarm(t *testing.T) {
+	t.Cleanup(testutil.CheckGoroutines(t))
+	spec := loopbackSpec()
+	dir := t.TempDir()
+	expected := localEpochFrames(t, spec, 0)
+
+	fetch := func(srv *Server, name string) {
+		c := NewClient(ClientConfig{Addr: srv.Addr(), Name: name})
+		defer c.Close()
+		if _, err := c.Run(1, func(b *Batch, payload []byte) {
+			if !bytes.Equal(payload, expected[b.GlobalID]) {
+				t.Fatalf("%s: batch %d differs from ground truth", name, b.GlobalID)
+			}
+		}); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+	}
+
+	warm := startDiskCachedServer(t, spec, dir, 64<<20, 0, pipeline.Simulated, 0, false)
+	fetch(warm, "warm")
+	if err := warm.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// SIGKILL-equivalent: the manifest write never happened.
+	if err := os.Remove(filepath.Join(dir, "MANIFEST")); err != nil {
+		t.Fatal(err)
+	}
+
+	restarted := startDiskCachedServer(t, spec, dir, 64<<20, 0, pipeline.Simulated, 0, false)
+	fetch(restarted, "restarted")
+	st, _ := restarted.DiskCacheStats()
+	if st.Rebuilds != 1 {
+		t.Fatalf("restart without manifest must rebuild once: %+v", st)
+	}
+	if st.BatchMisses != 0 {
+		t.Fatalf("restart recomputed warm entries: %+v", st)
+	}
+	if st.BatchHits != int64(len(expected)) {
+		t.Fatalf("restart should serve all %d batches from disk: %+v", len(expected), st)
+	}
+}
+
+// TestDiskSampleTierCrossJobSharing exercises the sample-snapshot tier in
+// real mode: job A materializes every prefix in epoch 0; job B, a fresh
+// server on the same directory asked for a DIFFERENT epoch, restores all
+// its prefixes from disk (sample misses == 0) and still serves bytes
+// identical to an uncached server's.
+func TestDiskSampleTierCrossJobSharing(t *testing.T) {
+	spec := workloads.ICASpec(64, 7)
+	spec.BatchSize = 16
+	spec.NumWorkers = 2
+	dir := t.TempDir()
+
+	fetchEpochFrames := func(srv *Server, epoch int, name string) map[int][]byte {
+		c := NewClient(ClientConfig{Addr: srv.Addr(), Name: name})
+		defer c.Close()
+		if err := c.Connect(); err != nil {
+			t.Fatal(err)
+		}
+		got := make(map[int][]byte)
+		if err := c.fetchEpoch(epoch, func(b *Batch, payload []byte) {
+			got[b.GlobalID] = append([]byte(nil), payload...)
+		}, nil); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return got
+	}
+
+	// Ground truth for epoch 1: a plain server with no caches at all.
+	plain := New(Config{Spec: spec, Mode: pipeline.RealData, MaterializeDim: 48,
+		Prefetch: 2, Logf: t.Logf})
+	if err := plain.Start("127.0.0.1:0", ""); err != nil {
+		t.Fatal(err)
+	}
+	want := fetchEpochFrames(plain, 1, "plain")
+	plain.Close()
+
+	// Job A warms the sample tier with epoch 0.
+	jobA := startDiskCachedServer(t, spec, dir, 0, 256<<20, pipeline.RealData, 48, false)
+	fetchEpochFrames(jobA, 0, "job-a")
+	stA, _ := jobA.DiskCacheStats()
+	if stA.SampleMisses != int64(spec.NumSamples) {
+		t.Fatalf("job A should miss disk once per sample: %+v", stA)
+	}
+	if err := jobA.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Job B runs a different epoch: the batch tier could never help, but
+	// every deterministic prefix comes back from disk.
+	jobB := startDiskCachedServer(t, spec, dir, 0, 256<<20, pipeline.RealData, 48, false)
+	got := fetchEpochFrames(jobB, 1, "job-b")
+	if len(got) != len(want) || len(got) == 0 {
+		t.Fatalf("frame counts diverge: %d vs %d", len(got), len(want))
+	}
+	for gid, w := range want {
+		if !bytes.Equal(got[gid], w) {
+			t.Fatalf("epoch 1 batch %d: disk-restored prefixes changed the bytes", gid)
+		}
+	}
+	stB, _ := jobB.DiskCacheStats()
+	if stB.SampleMisses != 0 {
+		t.Fatalf("job B recomputed prefixes: %+v", stB)
+	}
+	if stB.SampleHits != int64(spec.NumSamples) {
+		t.Fatalf("job B should restore all %d prefixes from disk: %+v", spec.NumSamples, stB)
+	}
+	memB, ok := jobB.SampleCacheStats()
+	if !ok {
+		t.Fatal("sample cache stats unavailable")
+	}
+	if memB.Misses != int64(spec.NumSamples) {
+		t.Fatalf("job B memory-tier misses %d, want %d (each claimed once, then disk-filled)",
+			memB.Misses, spec.NumSamples)
+	}
+	if err := jobB.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDiskCacheBudgetEviction keeps the disk tier under a tiny budget and
+// verifies the server still serves correct bytes when old segments are
+// evicted mid-run — budget pressure degrades to recompute, never to error.
+func TestDiskCacheBudgetEviction(t *testing.T) {
+	spec := loopbackSpec()
+	dir := t.TempDir()
+	expected := make([][][]byte, 2)
+	for e := 0; e < 2; e++ {
+		expected[e] = localEpochFrames(t, spec, e)
+	}
+	srv := New(Config{Spec: spec, Mode: pipeline.Simulated, Prefetch: 2,
+		BatchCacheBytes: 64 << 20, DiskCacheDir: dir, DiskCacheBytes: 8 << 10,
+		DiskSegmentBytes: 4 << 10, Logf: t.Logf})
+	if err := srv.Start("127.0.0.1:0", ""); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := NewClient(ClientConfig{Addr: srv.Addr(), Name: "evict"})
+	defer c.Close()
+	if _, err := c.Run(2, func(b *Batch, payload []byte) {
+		if !bytes.Equal(payload, expected[b.Epoch][b.GlobalID]) {
+			t.Fatalf("epoch %d batch %d differs under disk eviction", b.Epoch, b.GlobalID)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.FlushDiskCache(); err != nil {
+		t.Fatal(err)
+	}
+	st, _ := srv.DiskCacheStats()
+	if st.SegmentsEvicted == 0 {
+		t.Fatalf("tiny budget should have evicted segments: %+v", st)
+	}
+	if st.BytesUsed > (8<<10)+(4<<10)+int64(len(expected[0][0]))+64 {
+		t.Fatalf("disk usage way over budget: %+v", st)
+	}
+}
+
+// TestDiskCacheFingerprintIsolation: two servers with different specs over
+// the same directory must not see each other's frames — the fingerprint in
+// the key keeps the namespaces disjoint.
+func TestDiskCacheFingerprintIsolation(t *testing.T) {
+	dir := t.TempDir()
+	specA := loopbackSpec()
+	expectedA := localEpochFrames(t, specA, 0)
+
+	a := startDiskCachedServer(t, specA, dir, 64<<20, 0, pipeline.Simulated, 0, false)
+	ca := NewClient(ClientConfig{Addr: a.Addr(), Name: "fp-a"})
+	if _, err := ca.Run(1, nil); err != nil {
+		t.Fatal(err)
+	}
+	ca.Close()
+	a.Close()
+
+	// Same workload, different seed: every frame changes, so job B must
+	// miss the disk everywhere and serve its own (different) ground truth.
+	specB := loopbackSpec()
+	specB.Seed = specA.Seed + 1
+	expectedB := localEpochFrames(t, specB, 0)
+	b := startDiskCachedServer(t, specB, dir, 64<<20, 0, pipeline.Simulated, 0, false)
+	cb := NewClient(ClientConfig{Addr: b.Addr(), Name: "fp-b"})
+	if _, err := cb.Run(1, func(bb *Batch, payload []byte) {
+		if !bytes.Equal(payload, expectedB[bb.GlobalID]) {
+			t.Fatalf("batch %d: wrong bytes under a shared directory", bb.GlobalID)
+		}
+		if bytes.Equal(payload, expectedA[bb.GlobalID]) && !bytes.Equal(expectedA[bb.GlobalID], expectedB[bb.GlobalID]) {
+			t.Fatalf("batch %d: served the OTHER spec's frame", bb.GlobalID)
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	cb.Close()
+	st, _ := b.DiskCacheStats()
+	if st.BatchHits != 0 {
+		t.Fatalf("different fingerprint must never hit: %+v", st)
+	}
+	b.Close()
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"lotus/internal/pipeline"
+	"lotus/internal/store"
 )
 
 // Metrics aggregates live service counters for the /metrics endpoint:
@@ -233,7 +234,11 @@ type MetricsSnapshot struct {
 	// SampleCache carries the split-point sample cache counters; nil when
 	// that cache is disabled.
 	SampleCache *pipeline.SampleCacheStats `json:"sample_cache,omitempty"`
-	Sessions    []SessionSnapshot          `json:"sessions"`
+	// DiskCache carries the persistent disk tier counters (hits, misses,
+	// spills, bytes, segments, rebuilds); nil when the disk cache is
+	// disabled.
+	DiskCache *store.Stats      `json:"disk_cache,omitempty"`
+	Sessions  []SessionSnapshot `json:"sessions"`
 }
 
 // Snapshot returns a consistent copy of every counter. traceRecords is

@@ -60,6 +60,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if st, ok := s.SampleCacheStats(); ok {
 		snap.SampleCache = &st
 	}
+	if st, ok := s.DiskCacheStats(); ok {
+		snap.DiskCache = &st
+	}
 	writeJSON(w, http.StatusOK, snap)
 }
 

@@ -18,6 +18,7 @@ import (
 	"lotus/internal/faultinject"
 	"lotus/internal/native"
 	"lotus/internal/pipeline"
+	"lotus/internal/store"
 	"lotus/internal/workloads"
 )
 
@@ -62,6 +63,22 @@ type Config struct {
 	// locally (default 30s). The fallback keeps every session live even if
 	// the claim's owner stalls indefinitely.
 	CacheWaitTimeout time.Duration
+	// DiskCacheDir, when non-empty, enables the persistent disk tier under
+	// both memory caches: encoded batch frames and sample snapshots are
+	// spilled to a content-addressed segment store in this directory and
+	// consulted before recomputing, so restarts — and other jobs pointed at
+	// the same directory with the same spec — warm-start instead of
+	// re-paying the preprocessing bill. Keys embed the spec/prefix
+	// fingerprints, so a reconfigured server can never alias stale bytes.
+	// The batch tier engages only when BatchCacheBytes > 0 (it publishes
+	// through the memory cache); the sample tier only when SampleCacheBytes
+	// > 0.
+	DiskCacheDir string
+	// DiskCacheBytes is the disk tier's soft byte budget (segment-granular
+	// LRU eviction); <= 0 means unlimited.
+	DiskCacheBytes int64
+	// DiskSegmentBytes overrides the store's segment roll size (tests).
+	DiskSegmentBytes int64
 	// SampleCacheBytes, when > 0, enables the server-wide split-point sample
 	// cache: each sample's deterministic prefix (storage read + decode +
 	// deterministic resize) is materialized once and shared across epochs,
@@ -102,6 +119,7 @@ type Server struct {
 	specFP      uint64
 	sampleCache *pipeline.SampleCache // nil when Config.SampleCacheBytes == 0
 	prefixFP    uint64
+	disk        *store.Store // nil when Config.DiskCacheDir == ""
 
 	ctx      context.Context
 	cancel   context.CancelFunc
@@ -192,14 +210,40 @@ func (s *Server) SampleCacheStats() (pipeline.SampleCacheStats, bool) {
 // non-empty, on httpAddr for the observability sidecar. It returns once both
 // listeners are live.
 func (s *Server) Start(addr, httpAddr string) error {
+	if s.cfg.DiskCacheDir != "" {
+		st, err := store.Open(s.cfg.DiskCacheDir, store.Options{
+			Budget:       s.cfg.DiskCacheBytes,
+			SegmentBytes: s.cfg.DiskSegmentBytes,
+			Faults:       s.cfg.Faults,
+			Logf:         s.cfg.Logf,
+		})
+		if err != nil {
+			return fmt.Errorf("serve: disk cache: %w", err)
+		}
+		s.disk = st
+		if s.cache != nil {
+			s.cache.SetSpill(s.spillBatchFrame)
+		}
+		if s.sampleCache != nil {
+			s.sampleCache.SetDisk(st)
+		}
+	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
+		if s.disk != nil {
+			s.disk.Close()
+			s.disk = nil
+		}
 		return fmt.Errorf("serve: listen %s: %w", addr, err)
 	}
 	s.ln = ln
 	if httpAddr != "" {
 		if err := s.startHTTP(httpAddr); err != nil {
 			ln.Close()
+			if s.disk != nil {
+				s.disk.Close()
+				s.disk = nil
+			}
 			return err
 		}
 	}
@@ -269,6 +313,14 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	s.cancel()
 	if s.httpSrv != nil {
 		s.httpSrv.Close()
+	}
+	if s.disk != nil {
+		// Sessions are gone; drain queued spills and land the manifest so
+		// the next open warm-starts without a rebuild. (Store.Close is
+		// idempotent, so a second Shutdown is harmless.)
+		if derr := s.disk.Close(); derr != nil {
+			s.cfg.Logf("lotus-serve: disk cache close: %v", derr)
+		}
 	}
 	s.cfg.Logf("lotus-serve: drained")
 	return err
@@ -629,10 +681,21 @@ func (ss *session) streamShard(epoch, planLen int, shard []PlanBatch) error {
 		}
 	} else {
 		for i, pb := range shard {
-			if cache.Claim(ss.cacheKey(epoch, pb.GlobalID), ss.id) {
-				mine[i] = true
-				claimed = append(claimed, pb)
+			key := ss.cacheKey(epoch, pb.GlobalID)
+			if !cache.Claim(key, ss.id) {
+				continue
 			}
+			// Won the claim: consult the persistent tier before paying for
+			// the pipeline. A disk hit publishes straight into the memory
+			// cache (waking any cross-session waiters) and the write loop
+			// picks it up as an ordinary cache hit below.
+			if f := ss.srv.diskLoadBatch(key); f != nil {
+				cache.Fulfill(key, f)
+				f.Release()
+				continue
+			}
+			mine[i] = true
+			claimed = append(claimed, pb)
 		}
 	}
 	// The trace hooks map positional batch ids through the pipeline's plan,

@@ -1,0 +1,531 @@
+// Package store is the persistent disk tier under the in-memory LRU caches:
+// a content-addressed, checksummed segment store that survives process
+// restarts and is shared across jobs with the same pipeline spec.
+//
+// Layout: records (encoded batch frames and split-point sample snapshots)
+// are appended to segment files (seg-NNNNNN.seg) with a fixed header and a
+// per-record FNV-1a payload checksum — the same hash the wire protocol uses
+// for its stream checksums. A MANIFEST file indexes the records; it is
+// written via write-temp + fsync + atomic rename and carries its own
+// trailing checksum, so a torn or truncated manifest is detected on open
+// and the index is rebuilt by scanning the segments, dropping any record
+// that fails its checksum.
+//
+// Crash-safety contract: after any sequence of kills the store reopens to a
+// consistent index containing only checksum-clean records. Get re-verifies
+// the payload checksum on every read, so corrupt or stale bytes are never
+// served — corruption degrades to a miss (and recompute upstream), never to
+// wrong data.
+//
+// Eviction is segment-granular: when the byte budget is exceeded the
+// least-recently-used sealed segment is deleted whole, together with its
+// index entries. The active segment is never evicted.
+package store
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"lotus/internal/faultinject"
+)
+
+// Kind tags the record namespace so batch frames and sample snapshots can
+// never alias even with colliding fingerprints.
+type Kind uint8
+
+const (
+	// KindBatch records hold encoded wire frames keyed by
+	// (SpecFingerprint, epoch, globalID).
+	KindBatch Kind = 1
+	// KindSample records hold split-point sample snapshots keyed by
+	// (PrefixFingerprint, sample index).
+	KindSample Kind = 2
+)
+
+// Key addresses one record. FP is the spec or prefix fingerprint; A and B
+// carry the per-kind coordinates (epoch/globalID for batches, sample
+// index/0 for samples).
+type Key struct {
+	Kind Kind
+	FP   uint64
+	A    uint64
+	B    uint64
+}
+
+// Options configures Open. The zero value means: unlimited budget, default
+// segment size, default queue depth, no fault injection.
+type Options struct {
+	// Budget is the soft byte budget across all segment files; <= 0 means
+	// unlimited. Exceeding it evicts whole LRU sealed segments.
+	Budget int64
+	// SegmentBytes is the roll-over threshold for the active segment
+	// (default 4 MiB).
+	SegmentBytes int64
+	// QueueDepth bounds the async spill queue (default 256); PutAsync drops
+	// (and counts) spills when the queue is full rather than blocking the
+	// serving path.
+	QueueDepth int
+	// Faults injects torn-manifest and corrupt-append failures in chaos
+	// runs. Nil injects nothing.
+	Faults *faultinject.Injector
+	// Logf receives recovery and I/O-error diagnostics. Nil discards.
+	Logf func(format string, args ...any)
+}
+
+// Stats is the /metrics disk_cache block.
+type Stats struct {
+	BatchHits       int64 `json:"batch_hits"`
+	BatchMisses     int64 `json:"batch_misses"`
+	SampleHits      int64 `json:"sample_hits"`
+	SampleMisses    int64 `json:"sample_misses"`
+	Spills          int64 `json:"spills"`           // records appended
+	SpillsDeduped   int64 `json:"spills_deduped"`   // already on disk
+	SpillsDropped   int64 `json:"spills_dropped"`   // queue full or I/O error
+	CorruptDropped  int64 `json:"corrupt_dropped"`  // checksum-failing records dropped
+	Rebuilds        int64 `json:"rebuilds"`         // full index rebuilds from segment scans
+	Segments        int   `json:"segments"`         // live segment files
+	SegmentsEvicted int64 `json:"segments_evicted"` // segments deleted for budget
+	Entries         int   `json:"entries"`          // indexed records
+	BytesUsed       int64 `json:"bytes_used"`
+	BytesBudget     int64 `json:"bytes_budget"`
+}
+
+// loc points at one record inside a segment. off is the record start (the
+// header); the payload follows at off+recordHeaderSize.
+type loc struct {
+	seg uint32
+	off int64
+	len uint32
+	sum uint64
+}
+
+type segment struct {
+	id      uint32
+	f       *os.File
+	size    int64
+	sealed  bool
+	lastUse int64 // monotonic tick, for LRU eviction
+}
+
+type putReq struct {
+	key     Key
+	payload []byte // store-owned copy; nil means flush
+	flush   bool
+	done    chan error
+}
+
+// Store is a persistent cache tier. All methods are safe for concurrent
+// use. Appends are serialized through one writer goroutine so the serving
+// path never blocks on disk I/O (PutAsync) unless it asks to (Put/Flush).
+type Store struct {
+	dir  string
+	opts Options
+
+	// life guards the closed flag and the queue send against Close closing
+	// the channel mid-send.
+	life   sync.RWMutex
+	closed bool
+	queue  chan putReq
+	wg     sync.WaitGroup
+
+	// mu guards everything below, including reads of segment files: record
+	// payloads are small and local, so holding mu across ReadAt keeps the
+	// eviction/read race trivially correct.
+	mu      sync.Mutex
+	idx     map[Key]loc
+	segs    map[uint32]*segment
+	active  *segment
+	nextSeg uint32
+	tick    int64
+	bytes   int64
+
+	batchHits      int64
+	batchMisses    int64
+	sampleHits     int64
+	sampleMisses   int64
+	spills         int64
+	spillsDeduped  int64
+	spillsDropped  int64
+	corruptDropped int64
+	rebuilds       int64
+	segsEvicted    int64
+}
+
+const defaultSegmentBytes = 4 << 20
+
+// Open opens (or creates) the store at dir, recovering the index from the
+// manifest plus a scan of any bytes appended after the last manifest write.
+// A missing or corrupt manifest triggers a full rebuild from segment scans.
+// All recovered segments are sealed; appends always go to a fresh segment,
+// so recovery never overwrites bytes it just indexed.
+func Open(dir string, opts Options) (*Store, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: mkdir %s: %w", dir, err)
+	}
+	if opts.SegmentBytes <= 0 {
+		opts.SegmentBytes = defaultSegmentBytes
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 256
+	}
+	s := &Store{
+		dir:   dir,
+		opts:  opts,
+		queue: make(chan putReq, opts.QueueDepth),
+		idx:   make(map[Key]loc),
+		segs:  make(map[uint32]*segment),
+	}
+	if err := s.recover(); err != nil {
+		for _, seg := range s.segs {
+			seg.f.Close()
+		}
+		return nil, err
+	}
+	s.wg.Add(1)
+	go s.writer()
+	return s, nil
+}
+
+func (s *Store) logf(format string, args ...any) {
+	if s.opts.Logf != nil {
+		s.opts.Logf(format, args...)
+	}
+}
+
+// Get reads the record for key, verifying its checksum. alloc, when
+// non-nil, provides the destination buffer (e.g. a pooled frame box) and
+// must return a slice of at least the requested length; on a miss after
+// alloc was called the caller's buffer is simply not returned, so callers
+// that pool should allocate lazily via the callback. Corrupt records are
+// dropped from the index and reported as misses — never served.
+func (s *Store) Get(key Key, alloc func(n int) []byte) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l, ok := s.idx[key]
+	if !ok {
+		s.missLocked(key.Kind)
+		return nil, false
+	}
+	seg, ok := s.segs[l.seg]
+	if !ok {
+		delete(s.idx, key)
+		s.missLocked(key.Kind)
+		return nil, false
+	}
+	s.tick++
+	seg.lastUse = s.tick
+	var buf []byte
+	if alloc != nil {
+		buf = alloc(int(l.len))[:l.len]
+	} else {
+		buf = make([]byte, l.len)
+	}
+	if _, err := seg.f.ReadAt(buf, l.off+recordHeaderSize); err != nil {
+		s.logf("store: read seg %d off %d: %v", l.seg, l.off, err)
+		delete(s.idx, key)
+		s.corruptDropped++
+		s.missLocked(key.Kind)
+		return nil, false
+	}
+	if fnv1a(buf) != l.sum {
+		s.logf("store: checksum mismatch seg %d off %d, dropping record", l.seg, l.off)
+		delete(s.idx, key)
+		s.corruptDropped++
+		s.missLocked(key.Kind)
+		return nil, false
+	}
+	s.hitLocked(key.Kind)
+	return buf, true
+}
+
+func (s *Store) hitLocked(k Kind) {
+	if k == KindBatch {
+		s.batchHits++
+	} else {
+		s.sampleHits++
+	}
+}
+
+func (s *Store) missLocked(k Kind) {
+	if k == KindBatch {
+		s.batchMisses++
+	} else {
+		s.sampleMisses++
+	}
+}
+
+// Contains reports whether key is indexed (without checksum verification or
+// LRU touch).
+func (s *Store) Contains(key Key) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.idx[key]
+	return ok
+}
+
+// Drop removes key from the index (the bytes stay until the segment is
+// evicted). Used when a stored record turns out to be undecodable.
+func (s *Store) Drop(key Key) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.idx[key]; ok {
+		delete(s.idx, key)
+		s.corruptDropped++
+	}
+}
+
+// PutAsync enqueues payload for appending without blocking: if the spill
+// queue is full the record is dropped and counted. The payload is copied
+// before PutAsync returns; the caller keeps ownership of its slice.
+func (s *Store) PutAsync(key Key, payload []byte) {
+	s.life.RLock()
+	defer s.life.RUnlock()
+	if s.closed {
+		return
+	}
+	s.mu.Lock()
+	if _, ok := s.idx[key]; ok {
+		s.spillsDeduped++
+		s.mu.Unlock()
+		return
+	}
+	s.mu.Unlock()
+	cp := append([]byte(nil), payload...)
+	select {
+	case s.queue <- putReq{key: key, payload: cp}:
+	default:
+		s.mu.Lock()
+		s.spillsDropped++
+		s.mu.Unlock()
+	}
+}
+
+// Put appends payload synchronously (waits for the write, not for fsync).
+func (s *Store) Put(key Key, payload []byte) error {
+	s.life.RLock()
+	defer s.life.RUnlock()
+	if s.closed {
+		return fmt.Errorf("store: closed")
+	}
+	done := make(chan error, 1)
+	cp := append([]byte(nil), payload...)
+	s.queue <- putReq{key: key, payload: cp, done: done}
+	return <-done
+}
+
+// Flush drains queued spills and durably writes the manifest.
+func (s *Store) Flush() error {
+	s.life.RLock()
+	if s.closed {
+		s.life.RUnlock()
+		return nil
+	}
+	done := make(chan error, 1)
+	s.queue <- putReq{flush: true, done: done}
+	s.life.RUnlock()
+	return <-done
+}
+
+// Close drains the spill queue, writes a final manifest, and closes every
+// segment file. Safe to call twice.
+func (s *Store) Close() error {
+	s.life.Lock()
+	if s.closed {
+		s.life.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.queue)
+	s.life.Unlock()
+	s.wg.Wait()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.active != nil {
+		s.active.f.Sync()
+		s.active.sealed = true
+		s.active = nil
+	}
+	err := s.writeManifestLocked()
+	for _, seg := range s.segs {
+		seg.f.Close()
+	}
+	return err
+}
+
+// Stats snapshots the counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		BatchHits:       s.batchHits,
+		BatchMisses:     s.batchMisses,
+		SampleHits:      s.sampleHits,
+		SampleMisses:    s.sampleMisses,
+		Spills:          s.spills,
+		SpillsDeduped:   s.spillsDeduped,
+		SpillsDropped:   s.spillsDropped,
+		CorruptDropped:  s.corruptDropped,
+		Rebuilds:        s.rebuilds,
+		Segments:        len(s.segs),
+		SegmentsEvicted: s.segsEvicted,
+		Entries:         len(s.idx),
+		BytesUsed:       s.bytes,
+		BytesBudget:     s.opts.Budget,
+	}
+}
+
+// writer is the single appender: it serializes segment writes, manifest
+// writes, roll-over, and eviction, so the serving path never contends on
+// disk I/O.
+func (s *Store) writer() {
+	defer s.wg.Done()
+	for req := range s.queue {
+		if req.flush {
+			s.mu.Lock()
+			err := s.writeManifestLocked()
+			s.mu.Unlock()
+			req.done <- err
+			continue
+		}
+		err := s.append(req.key, req.payload)
+		if req.done != nil {
+			req.done <- err
+		}
+	}
+}
+
+// append writes one record to the active segment, rolling and evicting as
+// needed. Runs only on the writer goroutine.
+func (s *Store) append(key Key, payload []byte) error {
+	s.mu.Lock()
+	if _, ok := s.idx[key]; ok {
+		s.spillsDeduped++
+		s.mu.Unlock()
+		return nil
+	}
+	if s.active == nil {
+		seg, err := s.newSegmentLocked()
+		if err != nil {
+			s.spillsDropped++
+			s.mu.Unlock()
+			s.logf("store: create segment: %v", err)
+			return err
+		}
+		s.active = seg
+	}
+	seg := s.active
+	off := seg.size
+	s.mu.Unlock()
+
+	sum := fnv1a(payload)
+	hdr := encodeRecordHeader(key, uint32(len(payload)), sum)
+	if s.opts.Faults.NextDiskAppendCorrupt() && len(payload) > 0 {
+		// Bit rot after checksumming: the record lands structurally valid
+		// but its payload no longer matches its checksum.
+		payload[len(payload)/2] ^= 0x40
+	}
+	if _, err := seg.f.WriteAt(hdr[:], off); err != nil {
+		s.countDrop(err)
+		return err
+	}
+	if _, err := seg.f.WriteAt(payload, off+recordHeaderSize); err != nil {
+		s.countDrop(err)
+		return err
+	}
+	recLen := recordHeaderSize + int64(len(payload))
+
+	s.mu.Lock()
+	seg.size += recLen
+	s.bytes += recLen
+	s.tick++
+	seg.lastUse = s.tick
+	s.idx[key] = loc{seg: seg.id, off: off, len: uint32(len(payload)), sum: sum}
+	s.spills++
+	roll := seg.size >= s.opts.SegmentBytes
+	if roll {
+		seg.sealed = true
+		s.active = nil
+	}
+	s.evictLocked()
+	s.mu.Unlock()
+
+	if roll {
+		seg.f.Sync()
+		s.mu.Lock()
+		err := s.writeManifestLocked()
+		s.mu.Unlock()
+		if err != nil {
+			s.logf("store: manifest write: %v", err)
+		}
+	}
+	return nil
+}
+
+func (s *Store) countDrop(err error) {
+	s.mu.Lock()
+	s.spillsDropped++
+	s.mu.Unlock()
+	s.logf("store: append: %v", err)
+}
+
+func (s *Store) newSegmentLocked() (*segment, error) {
+	id := s.nextSeg
+	s.nextSeg++
+	path := filepath.Join(s.dir, segmentName(id))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	seg := &segment{id: id, f: f}
+	s.segs[id] = seg
+	return seg, nil
+}
+
+// evictLocked deletes LRU sealed segments until the byte budget holds. The
+// active segment is never evicted.
+func (s *Store) evictLocked() {
+	if s.opts.Budget <= 0 {
+		return
+	}
+	for s.bytes > s.opts.Budget {
+		var victim *segment
+		for _, seg := range s.segs {
+			if !seg.sealed {
+				continue
+			}
+			if victim == nil || seg.lastUse < victim.lastUse {
+				victim = seg
+			}
+		}
+		if victim == nil {
+			return
+		}
+		victim.f.Close()
+		os.Remove(filepath.Join(s.dir, segmentName(victim.id)))
+		for k, l := range s.idx {
+			if l.seg == victim.id {
+				delete(s.idx, k)
+			}
+		}
+		s.bytes -= victim.size
+		delete(s.segs, victim.id)
+		s.segsEvicted++
+	}
+}
+
+func segmentName(id uint32) string { return fmt.Sprintf("seg-%06d.seg", id) }
+
+// fnv1a is the FNV-1a 64 hash — the same checksum family the wire protocol
+// uses for its per-epoch stream checksums.
+func fnv1a(b []byte) uint64 {
+	const offset64, prime64 = uint64(14695981039346656037), uint64(1099511628211)
+	h := offset64
+	for _, c := range b {
+		h ^= uint64(c)
+		h *= prime64
+	}
+	return h
+}

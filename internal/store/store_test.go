@@ -1,0 +1,443 @@
+package store
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"lotus/internal/faultinject"
+)
+
+func batchKey(i int) Key {
+	return Key{Kind: KindBatch, FP: 0xABCD, A: 0, B: uint64(i)}
+}
+
+func sampleKey(i int) Key {
+	return Key{Kind: KindSample, FP: 0x1234, A: uint64(i)}
+}
+
+// payloadFor builds a deterministic, content-distinct payload per key.
+func payloadFor(k Key, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(int(k.Kind)*31 + int(k.FP) + int(k.A)*7 + int(k.B)*13 + i)
+	}
+	return b
+}
+
+func mustOpen(t *testing.T, dir string, opts Options) *Store {
+	t.Helper()
+	s, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	defer s.Close()
+
+	want := map[Key][]byte{}
+	for i := 0; i < 10; i++ {
+		for _, k := range []Key{batchKey(i), sampleKey(i)} {
+			p := payloadFor(k, 100+i)
+			want[k] = p
+			if err := s.Put(k, p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for k, p := range want {
+		got, ok := s.Get(k, nil)
+		if !ok {
+			t.Fatalf("miss for %+v", k)
+		}
+		if !bytes.Equal(got, p) {
+			t.Fatalf("payload mismatch for %+v", k)
+		}
+	}
+	st := s.Stats()
+	if st.Spills != 20 || st.Entries != 20 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.BatchHits != 10 || st.SampleHits != 10 {
+		t.Fatalf("hit stats: %+v", st)
+	}
+	if _, ok := s.Get(batchKey(99), nil); ok {
+		t.Fatal("unexpected hit")
+	}
+	if s.Stats().BatchMisses != 1 {
+		t.Fatalf("miss stats: %+v", s.Stats())
+	}
+}
+
+func TestGetWithAllocCallback(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	defer s.Close()
+	k := batchKey(0)
+	p := payloadFor(k, 64)
+	if err := s.Put(k, p); err != nil {
+		t.Fatal(err)
+	}
+	backing := make([]byte, 0, 128)
+	got, ok := s.Get(k, func(n int) []byte { return backing[:0][:n] })
+	if !ok || !bytes.Equal(got, p) {
+		t.Fatal("alloc-callback get failed")
+	}
+	if &got[0] != &backing[:1][0] {
+		t.Fatal("Get did not use the caller-provided buffer")
+	}
+}
+
+func TestPutDedup(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	defer s.Close()
+	k := batchKey(1)
+	p := payloadFor(k, 32)
+	for i := 0; i < 3; i++ {
+		if err := s.Put(k, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.Spills != 1 || st.SpillsDeduped != 2 {
+		t.Fatalf("dedup stats: %+v", st)
+	}
+}
+
+func TestPutAsyncAndFlush(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	defer s.Close()
+	k := sampleKey(7)
+	p := payloadFor(k, 48)
+	s.PutAsync(k, p)
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get(k, nil)
+	if !ok || !bytes.Equal(got, p) {
+		t.Fatal("PutAsync record not readable after Flush")
+	}
+}
+
+func TestReopenWarmFromManifest(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	want := map[Key][]byte{}
+	for i := 0; i < 8; i++ {
+		k := batchKey(i)
+		p := payloadFor(k, 200)
+		want[k] = p
+		if err := s.Put(k, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	st := s2.Stats()
+	if st.Rebuilds != 0 {
+		t.Fatalf("clean reopen should not rebuild: %+v", st)
+	}
+	if st.Entries != len(want) {
+		t.Fatalf("expected %d entries, got %+v", len(want), st)
+	}
+	for k, p := range want {
+		got, ok := s2.Get(k, nil)
+		if !ok || !bytes.Equal(got, p) {
+			t.Fatalf("warm reopen lost %+v", k)
+		}
+	}
+}
+
+func TestReopenRebuildsWithoutManifest(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	want := map[Key][]byte{}
+	for i := 0; i < 8; i++ {
+		k := sampleKey(i)
+		p := payloadFor(k, 150)
+		want[k] = p
+		if err := s.Put(k, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// SIGKILL-equivalent: the manifest never made it to disk.
+	if err := os.Remove(filepath.Join(dir, "MANIFEST")); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	st := s2.Stats()
+	if st.Rebuilds != 1 {
+		t.Fatalf("expected one rebuild: %+v", st)
+	}
+	for k, p := range want {
+		got, ok := s2.Get(k, nil)
+		if !ok || !bytes.Equal(got, p) {
+			t.Fatalf("rebuild lost %+v", k)
+		}
+	}
+}
+
+// TestRecoverAppendsBeyondManifest covers the crash window between an
+// append and the next manifest write: the manifest is stale but valid, and
+// the suffix scan must pick up the newer records.
+func TestRecoverAppendsBeyondManifest(t *testing.T) {
+	dir := t.TempDir()
+	s := mustOpen(t, dir, Options{})
+	k0 := batchKey(0)
+	p0 := payloadFor(k0, 100)
+	if err := s.Put(k0, p0); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil { // manifest covers k0 only
+		t.Fatal(err)
+	}
+	man, err := os.ReadFile(filepath.Join(dir, "MANIFEST"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1 := batchKey(1)
+	p1 := payloadFor(k1, 100)
+	if err := s.Put(k1, p1); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Roll back the manifest to the pre-k1 image, as if the process died
+	// right after the k1 append.
+	if err := os.WriteFile(filepath.Join(dir, "MANIFEST"), man, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	if st := s2.Stats(); st.Rebuilds != 0 {
+		t.Fatalf("stale-but-valid manifest should not count as rebuild: %+v", st)
+	}
+	for _, kv := range []struct {
+		k Key
+		p []byte
+	}{{k0, p0}, {k1, p1}} {
+		got, ok := s2.Get(kv.k, nil)
+		if !ok || !bytes.Equal(got, kv.p) {
+			t.Fatalf("suffix scan lost %+v", kv.k)
+		}
+	}
+}
+
+func TestSegmentRollAndEviction(t *testing.T) {
+	dir := t.TempDir()
+	// ~1KiB records, 4KiB segments, 12KiB budget: forces rolls and evictions.
+	s := mustOpen(t, dir, Options{SegmentBytes: 4 << 10, Budget: 12 << 10})
+	defer s.Close()
+	n := 40
+	for i := 0; i < n; i++ {
+		k := batchKey(i)
+		if err := s.Put(k, payloadFor(k, 1024)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.Stats()
+	if st.SegmentsEvicted == 0 {
+		t.Fatalf("expected evictions: %+v", st)
+	}
+	if st.BytesUsed > st.BytesBudget+(4<<10)+recordHeaderSize+1024 {
+		t.Fatalf("bytes way over budget: %+v", st)
+	}
+	// Recent entries survive (LRU evicts oldest segments first).
+	k := batchKey(n - 1)
+	got, ok := s.Get(k, nil)
+	if !ok || !bytes.Equal(got, payloadFor(k, 1024)) {
+		t.Fatal("most recent entry evicted")
+	}
+	// Evicted entries are clean misses.
+	if _, ok := s.Get(batchKey(0), nil); ok {
+		t.Fatal("oldest entry should have been evicted")
+	}
+}
+
+func TestCorruptAppendDetectedOnRead(t *testing.T) {
+	inj := faultinject.New(faultinject.Spec{CorruptDiskAppend: 2})
+	s := mustOpen(t, t.TempDir(), Options{Faults: inj})
+	defer s.Close()
+	for i := 0; i < 4; i++ {
+		k := batchKey(i)
+		if err := s.Put(k, payloadFor(k, 128)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hits := 0
+	for i := 0; i < 4; i++ {
+		k := batchKey(i)
+		got, ok := s.Get(k, nil)
+		if ok {
+			if !bytes.Equal(got, payloadFor(k, 128)) {
+				t.Fatalf("served corrupt bytes for %+v", k)
+			}
+			hits++
+		}
+	}
+	if hits != 3 {
+		t.Fatalf("expected exactly one corrupt record, got %d hits", hits)
+	}
+	st := s.Stats()
+	if st.CorruptDropped != 1 {
+		t.Fatalf("corrupt stats: %+v", st)
+	}
+	if got := inj.Counts().DiskFaults; got != 1 {
+		t.Fatalf("expected 1 injected disk fault, got %d", got)
+	}
+	// The dropped record stays dropped: a second Get is a plain miss.
+	misses := s.Stats().BatchMisses
+	for i := 0; i < 4; i++ {
+		s.Get(batchKey(i), nil)
+	}
+	if s.Stats().BatchMisses != misses+1 {
+		t.Fatalf("re-read stats: %+v", s.Stats())
+	}
+}
+
+func TestTornManifestForcesRebuild(t *testing.T) {
+	dir := t.TempDir()
+	inj := faultinject.New(faultinject.Spec{TornManifest: 1})
+	s := mustOpen(t, dir, Options{Faults: inj})
+	want := map[Key][]byte{}
+	for i := 0; i < 6; i++ {
+		k := sampleKey(i)
+		p := payloadFor(k, 90)
+		want[k] = p
+		if err := s.Put(k, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close() // first (and only) manifest write is torn
+	if got := inj.Counts().DiskFaults; got != 1 {
+		t.Fatalf("expected 1 injected disk fault, got %d", got)
+	}
+
+	s2 := mustOpen(t, dir, Options{})
+	defer s2.Close()
+	st := s2.Stats()
+	if st.Rebuilds != 1 {
+		t.Fatalf("torn manifest must force a rebuild: %+v", st)
+	}
+	for k, p := range want {
+		got, ok := s2.Get(k, nil)
+		if !ok || !bytes.Equal(got, p) {
+			t.Fatalf("rebuild after torn manifest lost %+v", k)
+		}
+	}
+}
+
+func TestDropRemovesEntry(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	defer s.Close()
+	k := sampleKey(3)
+	if err := s.Put(k, payloadFor(k, 40)); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Contains(k) {
+		t.Fatal("Contains miss")
+	}
+	s.Drop(k)
+	if s.Contains(k) {
+		t.Fatal("Drop did not remove entry")
+	}
+	if _, ok := s.Get(k, nil); ok {
+		t.Fatal("dropped entry served")
+	}
+}
+
+func TestCloseIdempotentAndRejectsWrites(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{})
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s.PutAsync(batchKey(0), []byte("x")) // must not panic
+	if err := s.Put(batchKey(0), []byte("x")); err == nil {
+		t.Fatal("Put after Close should error")
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentPutGet(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), Options{SegmentBytes: 8 << 10})
+	defer s.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			k := batchKey(i)
+			s.PutAsync(k, payloadFor(k, 256))
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		k := sampleKey(i)
+		if err := s.Put(k, payloadFor(k, 64)); err != nil {
+			t.Fatal(err)
+		}
+		if got, ok := s.Get(k, nil); !ok || !bytes.Equal(got, payloadFor(k, 64)) {
+			t.Fatalf("lost own write %d", i)
+		}
+		s.Get(batchKey(i), nil) // may hit or miss; must never be wrong
+	}
+	<-done
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStableAcrossManyReopens(t *testing.T) {
+	dir := t.TempDir()
+	want := map[Key][]byte{}
+	for round := 0; round < 5; round++ {
+		s := mustOpen(t, dir, Options{SegmentBytes: 2 << 10})
+		for k, p := range want {
+			got, ok := s.Get(k, nil)
+			if !ok || !bytes.Equal(got, p) {
+				t.Fatalf("round %d lost %+v", round, k)
+			}
+		}
+		k := batchKey(round)
+		p := payloadFor(k, 300+round)
+		want[k] = p
+		if err := s.Put(k, p); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var segs int
+	for _, de := range names {
+		if strings.HasPrefix(de.Name(), "seg-") {
+			segs++
+		}
+	}
+	if segs != 5 {
+		t.Fatalf("each reopen should start one fresh segment, got %d files", segs)
+	}
+}

@@ -2,7 +2,7 @@
 # bench.sh — run the headline microbenchmarks behind the PRs' performance
 # claims and capture benchstat-ready output plus JSON summaries.
 #
-# Usage: scripts/bench.sh [pr1-out.json] [pr2-out.json] [pr4-out.json] [pr5-out.json] [pr6-out.json]
+# Usage: scripts/bench.sh [pr1-out.json] [pr2-out.json] [pr4-out.json] [pr5-out.json] [pr6-out.json] [pr7-out.json]
 # Stage 1: the four PR-1 hot-path microbenchmarks -> BENCH_PR1.json.
 # Stage 2: the PR-2 service-throughput benchmark (batches/sec at 1, 2, and
 # 4 clients over loopback TCP) -> BENCH_PR2.json.
@@ -17,11 +17,32 @@
 # workload (every iteration is a fresh epoch, so the batch cache never hits)
 # -> BENCH_PR6.json, plus a check that the sampleCached series is at least
 # 5x the cold series.
+# Stage 6: the PR-7 warm-restart comparison (fresh server per iteration,
+# cold recompute vs a disk directory warmed once) -> BENCH_PR7.json, plus a
+# check that warmRestart is at least 5x cold.
 # The raw `go test -bench` output (6 repetitions, suitable for feeding to
 # benchstat old.txt new.txt) is written next to each JSON as <outfile>.txt.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+# Fail loudly before any stage runs: a package that no longer builds would
+# otherwise surface as a confusing mid-run awk parse of go's error text.
+echo "preflight: go build ./... ..."
+if ! go build ./...; then
+    echo "FAIL: go build ./... failed — fix the build before benchmarking" >&2
+    exit 1
+fi
+
+# require_bench FILE STAGE: a stage whose `go test -bench` output contains no
+# benchmark lines produced nothing to summarize (regex typo, build failure
+# swallowed by tee, benchmark renamed) — fail instead of writing empty JSON.
+require_bench() {
+    if ! grep -q '^Benchmark' "$1"; then
+        echo "FAIL: $2 produced no benchmark lines in $1" >&2
+        exit 1
+    fi
+}
 
 OUT_JSON="${1:-BENCH_PR1.json}"
 OUT_TXT="${OUT_JSON%.json}.txt"
@@ -33,11 +54,14 @@ CACHE_JSON="${4:-BENCH_PR5.json}"
 CACHE_TXT="${CACHE_JSON%.json}.txt"
 SCACHE_JSON="${5:-BENCH_PR6.json}"
 SCACHE_TXT="${SCACHE_JSON%.json}.txt"
+DISK_JSON="${6:-BENCH_PR7.json}"
+DISK_TXT="${DISK_JSON%.json}.txt"
 
 BENCHES='BenchmarkBilinearResize|BenchmarkSJPGDecode|BenchmarkUntracedEpoch|BenchmarkTracerEmit'
 
 echo "running: $BENCHES (6 reps, -benchmem) ..."
 go test -run '^$' -bench "$BENCHES" -benchmem -count=6 . | tee "$OUT_TXT"
+require_bench "$OUT_TXT" "stage 1"
 
 # Summarize medians into JSON (portable awk, no gawk extensions).
 awk '
@@ -78,6 +102,7 @@ echo "running: BenchmarkServiceThroughput (6 reps) ..."
 # Anchored so the PR-5 BenchmarkServiceThroughputCached does not pollute the
 # PR-2 baseline series.
 go test -run '^$' -bench '^BenchmarkServiceThroughput$' -count=6 ./internal/serve | tee "$SERVE_TXT"
+require_bench "$SERVE_TXT" "stage 2"
 
 awk '
 /^BenchmarkServiceThroughput\// {
@@ -114,6 +139,7 @@ echo "summary written to $SERVE_JSON (raw benchstat input: $SERVE_TXT)"
 
 echo "running: BenchmarkClusterThroughput (3 reps) ..."
 go test -run '^$' -bench 'BenchmarkClusterThroughput' -count=3 ./internal/cluster | tee "$CLUSTER_TXT"
+require_bench "$CLUSTER_TXT" "stage 3"
 
 awk '
 /^BenchmarkClusterThroughput/ {
@@ -160,6 +186,7 @@ END {
 echo "running: BenchmarkServiceThroughput(Cached)? + encode benchmarks (6 reps) ..."
 go test -run '^$' -bench '^(BenchmarkServiceThroughput|BenchmarkServiceThroughputCached|BenchmarkEncodeBatch|BenchmarkEncodeBatchPooled)$' \
     -benchmem -count=6 ./internal/serve | tee "$CACHE_TXT"
+require_bench "$CACHE_TXT" "stage 4"
 
 awk '
 /^Benchmark(ServiceThroughput|EncodeBatch)/ {
@@ -211,6 +238,7 @@ END {
 
 echo "running: BenchmarkServiceThroughputAugmented (6 reps) ..."
 go test -run '^$' -bench '^BenchmarkServiceThroughputAugmented$' -count=6 ./internal/serve | tee "$SCACHE_TXT"
+require_bench "$SCACHE_TXT" "stage 5"
 
 awk '
 /^BenchmarkServiceThroughputAugmented\// {
@@ -254,3 +282,50 @@ END {
     printf "sample cache: cold %.1f batches/sec, sampleCached %.1f batches/sec (%.2fx)\n", cold, cached, cached / cold
     if (!(cached >= 5 * cold)) { print "FAIL: sampleCached is not 5x the cold augmented baseline" > "/dev/stderr"; exit 1 }
 }' "$SCACHE_JSON"
+
+echo "running: BenchmarkServiceWarmRestart (6 reps) ..."
+go test -run '^$' -bench '^BenchmarkServiceWarmRestart$' -count=6 ./internal/serve | tee "$DISK_TXT"
+require_bench "$DISK_TXT" "stage 6"
+
+awk '
+/^BenchmarkServiceWarmRestart\// {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    if (!(name in seen)) { seen[name] = 1; order[++n_names] = name }
+    ns[name] = ns[name] " " $3
+    for (i = 4; i <= NF; i++) {
+        if ($(i+1) == "batches/sec") bps[name] = bps[name] " " $i
+    }
+}
+function median(s,   a, n, i, j, t) {
+    n = split(s, a, " ")
+    for (i = 2; i <= n; i++) {
+        t = a[i] + 0
+        for (j = i - 1; j >= 1 && a[j] + 0 > t; j--) a[j+1] = a[j]
+        a[j+1] = t
+    }
+    if (n % 2) return a[(n+1)/2]
+    return (a[n/2] + a[n/2+1]) / 2
+}
+END {
+    printf "{\n"
+    for (i = 1; i <= n_names; i++) {
+        name = order[i]
+        printf "  \"%s\": {\"ns_op\": %s, \"batches_per_sec\": %s}%s\n", \
+            name, median(ns[name]), median(bps[name]), \
+            (i < n_names ? "," : "")
+    }
+    printf "}\n"
+}' "$DISK_TXT" > "$DISK_JSON"
+
+echo "summary written to $DISK_JSON (raw benchstat input: $DISK_TXT)"
+
+# Acceptance check: a restart onto a warmed disk directory must stream at
+# least 5x the cold-restart recompute — the persistent tier's reason to exist.
+awk -F'[:,}]' '
+/"BenchmarkServiceWarmRestart\/cold"/        { for (i = 1; i <= NF; i++) if ($i ~ /batches_per_sec/) cold = $(i+1) + 0 }
+/"BenchmarkServiceWarmRestart\/warmRestart"/ { for (i = 1; i <= NF; i++) if ($i ~ /batches_per_sec/) warm = $(i+1) + 0 }
+END {
+    printf "warm restart: cold %.1f batches/sec, warmRestart %.1f batches/sec (%.2fx)\n", cold, warm, warm / cold
+    if (!(warm >= 5 * cold)) { print "FAIL: warmRestart is not 5x the cold restart baseline" > "/dev/stderr"; exit 1 }
+}' "$DISK_JSON"
