@@ -24,6 +24,12 @@
 //
 // -rank/-world are ignored in cluster mode (the router consumes whole
 // plans).
+//
+// -hedge-quantile arms straggler hedging in cluster mode: when a node goes
+// quiet past that quantile of the observed batch-arrival latency, its
+// unserved batches are speculatively re-requested from their ring successors
+// and the first byte-identical answer wins (duplicates are absorbed by the
+// exactly-once ledger and reported as wasted hedges).
 package main
 
 import (
@@ -46,6 +52,7 @@ func main() {
 		clustered   = flag.Bool("cluster", false, "consistent-hash route whole epoch plans across the -addrs nodes with mid-epoch failover")
 		replication = flag.Int("replication", 1, "cluster mode: preferred replica-set size per batch on the hash ring")
 		heartbeat   = flag.Duration("heartbeat", 500*time.Millisecond, "cluster mode: node heartbeat interval")
+		hedgeQ      = flag.Float64("hedge-quantile", 0, "cluster mode: hedge a node's unserved batches to its ring successor once it lags past this latency quantile (e.g. 0.95; 0 disables)")
 		epochs      = flag.Int("epochs", 2, "epochs to stream")
 		rank        = flag.Int("rank", 0, "this client's shard rank")
 		world       = flag.Int("world", 1, "total shard count")
@@ -67,7 +74,7 @@ func main() {
 	}
 
 	if *clustered {
-		runCluster(endpoints, *epochs, *replication, *heartbeat, *name, *quiet)
+		runCluster(endpoints, *epochs, *replication, *heartbeat, *hedgeQ, *name, *quiet)
 		return
 	}
 
@@ -125,7 +132,7 @@ func main() {
 
 // runCluster consumes epochs through the consistent-hash cluster router
 // instead of a single rank/world session.
-func runCluster(endpoints []string, epochs, replication int, heartbeat time.Duration, name string, quiet bool) {
+func runCluster(endpoints []string, epochs, replication int, heartbeat time.Duration, hedgeQuantile float64, name string, quiet bool) {
 	nodes := make([]cluster.Node, len(endpoints))
 	for i, a := range endpoints {
 		nodes[i] = cluster.Node{ID: a, Addr: a}
@@ -142,11 +149,12 @@ func runCluster(endpoints []string, epochs, replication int, heartbeat time.Dura
 		name = "lotus-fetch"
 	}
 	c, err := cluster.New(cluster.Config{
-		Nodes:       nodes,
-		Replication: replication,
-		Name:        name,
-		Membership:  mem,
-		Logf:        log.Printf,
+		Nodes:         nodes,
+		Replication:   replication,
+		Name:          name,
+		Membership:    mem,
+		HedgeQuantile: hedgeQuantile,
+		Logf:          log.Printf,
 		OnReroute: func(epoch int, ids []int) {
 			log.Printf("lotus-fetch: epoch %d: rerouting %d batches to survivors", epoch, len(ids))
 		},
@@ -176,6 +184,10 @@ func runCluster(endpoints []string, epochs, replication int, heartbeat time.Dura
 		stats.Epochs, stats.Batches, float64(stats.Bytes)/(1<<20),
 		stats.Elapsed.Round(time.Millisecond), stats.BatchesPerSec(),
 		stats.Rerouted, stats.NodeFailures)
+	if hedgeQuantile > 0 {
+		fmt.Printf("lotus-fetch: hedged=%d won=%d wasted=%d\n",
+			stats.Hedged, stats.HedgeWon, stats.HedgeWasted)
+	}
 	ids := make([]string, 0, len(stats.PerNode))
 	for id := range stats.PerNode {
 		ids = append(ids, id)

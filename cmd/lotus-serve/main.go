@@ -87,6 +87,7 @@ func main() {
 		prefetch = flag.Int("prefetch", 0, "DataLoader prefetch factor (0 = default)")
 		queue    = flag.Int("queue", 4, "per-session server prefetch queue depth in batches")
 		mode     = flag.String("mode", "sim", "preprocessing mode: sim (meta tensors), real (pixel payloads), or emulate (sim pipeline paced on the wall clock)")
+		dispatch = flag.String("dispatch", "producer", "DataLoader index-dispatch policy: producer (static round-robin), leastwork (lightest backlog), or steal (work-stealing: idle workers drain the most-backlogged peer)")
 		seed     = flag.Int64("seed", 1, "randomness root")
 		arch     = flag.String("arch", "intel", "simulated CPU vendor: intel or amd")
 		matDim   = flag.Int("materialize-dim", 96, "real mode: synthesized image resolution cap")
@@ -127,6 +128,16 @@ func main() {
 	}
 	if *arch == "amd" {
 		spec.Arch = native.AMD
+	}
+	switch *dispatch {
+	case "producer":
+	case "leastwork":
+		spec.Dispatch = pipeline.DispatchLeastWork
+	case "steal":
+		spec.Dispatch = pipeline.DispatchWorkStealing
+	default:
+		fmt.Fprintf(os.Stderr, "lotus-serve: unknown dispatch %q (want producer, leastwork, or steal)\n", *dispatch)
+		os.Exit(2)
 	}
 
 	pmode := pipeline.Simulated

@@ -26,6 +26,7 @@ func TestSweepAllInvariantsHold(t *testing.T) {
 		"disk-rewarm", "disk-torn-manifest", "disk-corrupt-segment",
 		"cluster-node-kill", "cluster-node-slow", "cluster-heartbeat-flap",
 		"cluster-node-kill-rewarm",
+		"slow-read-steal", "cluster-hedge-slow-node",
 	} {
 		if injectedByClass[class] == 0 {
 			t.Errorf("fault class %q never injected a fault", class)

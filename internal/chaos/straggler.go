@@ -1,0 +1,214 @@
+package chaos
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"lotus/internal/clock"
+	"lotus/internal/cluster"
+	"lotus/internal/faultinject"
+	"lotus/internal/native"
+	"lotus/internal/pipeline"
+	"lotus/internal/serve"
+	"lotus/internal/testutil"
+	"lotus/internal/workloads"
+)
+
+// The straggler cells exercise the two mitigation layers from PR 8: worker
+// work-stealing under the virtual clock, and hedged cluster fetches over
+// loopback TCP. Both mitigations are pure scheduling moves — batch bytes
+// depend only on (spec, seed, epoch, plan), so a stolen or hedged batch must
+// be byte-identical to the unmitigated run, and every duplicate a hedge
+// produces must be absorbed by the exactly-once ledger.
+
+// stealFrames runs one real-mode epoch through a DataLoader with the given
+// dispatch policy and injector, returning the encoded frames plus the
+// loader's steal and credit-drift counters.
+func stealFrames(spec workloads.Spec, dispatch pipeline.DispatchPolicy, inj *faultinject.Injector) (frames [][]byte, steals, drift int, err error) {
+	plan := serve.BuildEpochPlan(spec.NumSamples, spec.BatchSize, spec.Shuffle, false, spec.Seed, 0)
+	batchPlan := make([][]int, len(plan))
+	for i, pb := range plan {
+		batchPlan[i] = pb.Indices
+	}
+	frames = make([][]byte, 0, len(plan))
+	sim := clock.NewSim()
+	sim.Run("chaos-steal", func(p clock.Proc) {
+		dl := pipeline.NewDataLoader(sim, spec.Dataset(nil), pipeline.Config{
+			BatchSize:      spec.BatchSize,
+			NumWorkers:     spec.NumWorkers,
+			PinMemory:      spec.PinMemory,
+			Seed:           spec.Seed,
+			BatchPlan:      batchPlan,
+			Dispatch:       dispatch,
+			Mode:           pipeline.RealData,
+			MaterializeDim: chaosMaterializeDim,
+			Engine:         native.NewEngine(spec.Arch, native.DefaultCPU()),
+			Faults:         inj,
+		})
+		it := dl.Start(p)
+		for i := 0; ; i++ {
+			b, ok := it.Next(p)
+			if !ok {
+				err = it.Err()
+				steals, drift = dl.Steals(), dl.CreditDrift()
+				return
+			}
+			wb := &serve.Batch{Epoch: 0, GlobalID: i, Indices: b.Indices, Labels: b.Labels}
+			if b.Data != nil {
+				wb.Dtype = b.Data.Dtype
+				wb.Shape = b.Data.Shape
+				wb.U8 = b.Data.U8
+				wb.F32 = b.Data.F32
+			}
+			frames = append(frames, serve.EncodeBatch(wb))
+		}
+	})
+	return frames, steals, drift, err
+}
+
+// slowReadStealCell degrades worker 0 persistently (it stalls after every
+// batch it handles) and asserts work-stealing drains its backlog without
+// changing a byte: the stealing run must match the static-dispatch no-fault
+// run frame for frame, steal at least once, and close the epoch with the
+// outstanding-work ledger balanced to zero (the PR 8 credit-drift fix).
+func slowReadStealCell(seed int64) Result {
+	res := Result{Class: "slow-read-steal", Workload: "IC"}
+	spec := serveSpec(seed)
+
+	baseline := testutil.Baseline()
+	expected, _, _, err := stealFrames(spec, pipeline.DispatchProducer, nil)
+	if err != nil {
+		res.Failures = append(res.Failures, fmt.Sprintf("ground truth: %v", err))
+		return res
+	}
+
+	// The stall is virtual time (sim clock) and worker-keyed, so the healthy
+	// worker always finds a backlog to steal — the window is guaranteed, not
+	// seed-lucky like a batch-keyed StallNth.
+	inj := faultinject.New(faultinject.Spec{Seed: seed, SlowWorkerID: 1, SlowWorkerStall: 500 * time.Millisecond})
+	got, steals, drift, err := stealFrames(spec, pipeline.DispatchWorkStealing, inj)
+	if err != nil {
+		res.Failures = append(res.Failures, fmt.Sprintf("stealing run: %v", err))
+	}
+	if len(got) != len(expected) {
+		res.Failures = append(res.Failures, fmt.Sprintf("delivered %d frames, want %d", len(got), len(expected)))
+	} else {
+		for i := range got {
+			if !bytes.Equal(got[i], expected[i]) {
+				res.Failures = append(res.Failures, fmt.Sprintf("frame %d not byte-identical under stealing", i))
+				break
+			}
+		}
+	}
+	if steals == 0 {
+		res.Failures = append(res.Failures, "stalled workers never had work stolen")
+	}
+	if drift != 0 {
+		res.Failures = append(res.Failures, fmt.Sprintf("outstanding-work ledger drifted %d times", drift))
+	}
+	if err := testutil.WaitNoLeaks(baseline, 5*time.Second); err != nil {
+		res.Failures = append(res.Failures, err.Error())
+	}
+	res.Injected = inj.Counts().WorkerStalls
+	if res.Injected == 0 {
+		res.Failures = append(res.Failures, "fault class injected nothing")
+	}
+	res.Notes = append(res.Notes, fmt.Sprintf("steals=%d batches=%d", steals, len(got)))
+	return res
+}
+
+// clusterHedgeSlowNodeCell degrades the busiest node with a real wall-clock
+// stall on every batch it produces (RealData servers, so the stall actually
+// blocks the stream) and turns hedging on. The routed epoch must finish
+// byte-identical and exactly-once, at least one batch must be hedged, every
+// exactly-once rejection must be a hedge loser (Ignored == HedgeWasted), and
+// the merely-slow node must never be declared dead or rerouted away from —
+// hedging is a latency move, not a failover.
+func clusterHedgeSlowNodeCell(seed int64) Result {
+	res := Result{Class: "cluster-hedge-slow-node", Workload: "IC"}
+	// The stall must make the victim a clear outlier against its peers'
+	// latency quantiles even on a loaded single-core host, where healthy
+	// first frames already cost a few hundred ms of warm-up: the monitor
+	// judges relative progress, not absolute lateness, so a marginal stall
+	// would (correctly) never be flagged. The kick severs the victim once
+	// its batches are hedged and the stall interrupt releases its sleeping
+	// workers, so a fat stall does not linger into teardown.
+	inj := faultinject.New(faultinject.Spec{Seed: seed, StallNth: 1, WorkerStall: 2 * time.Second})
+	baseline := testutil.Baseline()
+	h, err := startClusterHarness(serveSpec(seed), func() *faultinject.Injector { return inj },
+		serverOpts{mode: pipeline.RealData})
+	if err != nil {
+		res.Failures = append(res.Failures, err.Error())
+		return res
+	}
+	defer h.close()
+
+	c, err := cluster.New(cluster.Config{
+		Nodes:           h.nodes,
+		Name:            "chaos-hedge",
+		HedgeQuantile:   0.95,
+		HedgeMinSamples: 2,
+		HedgeInterval:   2 * time.Millisecond,
+		// High enough that a healthy peer's scheduling hiccup rarely draws
+		// a noise hedge (wasted recompute steals CPU from the real one on
+		// this host), far below the 2s stall train.
+		HedgeMinDelay: 250 * time.Millisecond,
+	})
+	if err != nil {
+		res.Failures = append(res.Failures, err.Error())
+		return res
+	}
+	defer c.Close()
+
+	sink := newClusterSink()
+	stats, err := c.RunEpoch(0, sink.onBatch)
+	if err != nil {
+		res.Failures = append(res.Failures, fmt.Sprintf("hedged epoch failed: %v", err))
+	} else {
+		res.Failures = sink.check(h.expected, res.Failures)
+		if stats.Hedged == 0 {
+			res.Failures = append(res.Failures, "no batches hedged off a node stalling every batch")
+		}
+		if stats.Ignored != stats.HedgeWasted {
+			res.Failures = append(res.Failures, fmt.Sprintf(
+				"Ignored=%d HedgeWasted=%d: a duplicate was not a hedge loser", stats.Ignored, stats.HedgeWasted))
+		}
+		if stats.NodeFailures != 0 || stats.Rerouted != 0 {
+			res.Failures = append(res.Failures, fmt.Sprintf(
+				"hedging escalated to failover: failures=%d rerouted=%d", stats.NodeFailures, stats.Rerouted))
+		}
+		// The successors served the speculative requests; their /metrics hedge
+		// block must have surfaced them.
+		var hedgeServed int64
+		for i, n := range h.nodes {
+			if n.ID == h.victim {
+				continue
+			}
+			snap := h.srvs[i].Metrics().Snapshot(time.Now(), 0)
+			if snap.Hedge != nil {
+				hedgeServed += snap.Hedge.Batches
+			}
+		}
+		if hedgeServed == 0 {
+			res.Failures = append(res.Failures, "no successor's /metrics recorded a hedged ShardReq")
+		}
+		res.Notes = append(res.Notes, fmt.Sprintf("hedged=%d won=%d wasted=%d served=%d",
+			stats.Hedged, stats.HedgeWon, stats.HedgeWasted, hedgeServed))
+	}
+	c.Close()
+	h.close()
+	if err := testutil.WaitNoLeaks(baseline, 5*time.Second); err != nil {
+		res.Failures = append(res.Failures, err.Error())
+	}
+	// The kick severs the victim's stream at a wall-clock point, so the raw
+	// stall count varies run to run; report injection as a binary to keep
+	// sweeps seed-deterministic.
+	if inj.Counts().WorkerStalls > 0 {
+		res.Injected = 1
+	}
+	if res.Injected == 0 {
+		res.Failures = append(res.Failures, "fault class injected nothing")
+	}
+	return res
+}

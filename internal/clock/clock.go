@@ -156,6 +156,15 @@ func (p *realProc) Sleep(d time.Duration) {
 	}
 }
 
+// IsReal reports whether p executes on the real clock (an ordinary
+// goroutine). Code that must block on channels or OS events — which would
+// stall the simulated scheduler — can branch on it to take a real-clock
+// select path while staying deterministic under simulation.
+func IsReal(p Proc) bool {
+	_, ok := p.(*realProc)
+	return ok
+}
+
 func (p *realProc) Go(name string, fn func(p Proc)) {
 	p.clk.wg.Add(1)
 	go func() {

@@ -46,6 +46,26 @@ type Config struct {
 	// MaxRounds caps routing rounds per epoch (default 4 + 2*len(Nodes)) —
 	// the brake against a node flapping alive-but-broken forever.
 	MaxRounds int
+	// HedgeQuantile, when > 0, enables hedged fetches — the consumer-side
+	// straggler mitigation: a node whose in-flight shard has made no
+	// progress for longer than this quantile of the cluster's recent batch
+	// inter-arrival latency gets its still-unserved IDs speculatively
+	// re-issued to each batch's ring successor. The exactly-once ledger
+	// deduplicates, so the first byte-identical answer wins; the loser's
+	// frames land in Ignored/HedgeWasted. A primary whose remaining work a
+	// hedge fully delivered is severed (Kick) so the round does not wait out
+	// its stall. 0.95 is the conventional choice. 0 disables hedging.
+	HedgeQuantile float64
+	// HedgeMinSamples is how many peer latency observations must exist in
+	// the judging population (warm-up gaps for a node with no frame yet this
+	// round, steady inter-arrivals otherwise) before hedging arms (default
+	// 8): hedging off a cold histogram would fire on noise.
+	HedgeMinSamples int
+	// HedgeInterval is the hedge monitor's poll period (default 2ms).
+	HedgeInterval time.Duration
+	// HedgeMinDelay floors the hedge threshold (default 1ms) so a uniformly
+	// fast cluster never hedges on microsecond jitter.
+	HedgeMinDelay time.Duration
 	// OnFetchError observes every failed shard fetch attempt.
 	OnFetchError func(node string, epoch, attempt int, err error)
 	// OnReroute observes each failover: the batch IDs being moved away from
@@ -72,9 +92,16 @@ type EpochStats struct {
 	// Spilled counts batches served outside their preferred replica set.
 	Spilled int
 	// Ignored counts frames dropped by the exactly-once filter (duplicate or
-	// out-of-plan global IDs). Zero in a correct cluster: the router only
-	// ever re-requests unserved IDs.
+	// out-of-plan global IDs). Zero in a correct cluster without hedging:
+	// the router only ever re-requests unserved IDs. With hedging, a
+	// primary and its hedge can race the same ID, so Ignored equals
+	// HedgeWasted — anything beyond that is a protocol violation.
 	Ignored int
+	// Hedged counts batches speculatively re-issued to a ring successor
+	// while their primary was still in flight. HedgeWon counts hedged
+	// batches whose speculative copy arrived first; HedgeWasted counts the
+	// duplicate frames hedging caused (every one is also Ignored).
+	Hedged, HedgeWon, HedgeWasted int
 	// PerNode maps node ID to batches delivered by it.
 	PerNode map[string]int
 }
@@ -87,6 +114,9 @@ type Stats struct {
 	NodeFailures int
 	Rerouted     int
 	Ignored      int
+	Hedged       int
+	HedgeWon     int
+	HedgeWasted  int
 	Elapsed      time.Duration
 	PerNode      map[string]int
 }
@@ -111,11 +141,30 @@ type Client struct {
 	ring    *Ring
 	mem     *Membership
 	clients map[string]*serve.Client
+	addrOf  map[string]string
 	jitter  *rng.Stream
 
 	planLen int
 	ack     serve.HelloAck
 	haveAck bool
+
+	// histMu guards the per-node latency histograms the hedge monitor
+	// derives its thresholds from. They accumulate across rounds and epochs:
+	// recent latency, not per-round latency, defines "abnormally slow". Two
+	// populations are kept apart because they differ by an order of
+	// magnitude: firstHists holds each round's start-to-first-frame gap
+	// (dial, handshake, pipeline spin-up, first batch), hists holds the
+	// steady mid-stream inter-arrival cadence. A node that has not produced
+	// its first frame yet is judged against peers' first-frame quantile —
+	// folding warm-up gaps into the steady histogram would either inflate
+	// the mid-stream threshold to warm-up scale or, kept apart but applied
+	// uniformly, flag every node as stalled during round start. The
+	// threshold for judging a node is always computed from its PEERS' merged
+	// histograms — a consistent straggler must not be able to normalize its
+	// own cadence into the quantile and dodge hedging.
+	histMu     sync.Mutex
+	hists      map[string]*serve.LatencyHist
+	firstHists map[string]*serve.LatencyHist
 }
 
 // New builds a cluster client. No connections are made until the first run.
@@ -143,6 +192,15 @@ func New(cfg Config) (*Client, error) {
 	if cfg.Sleep == nil {
 		cfg.Sleep = time.Sleep
 	}
+	if cfg.HedgeMinSamples <= 0 {
+		cfg.HedgeMinSamples = 8
+	}
+	if cfg.HedgeInterval <= 0 {
+		cfg.HedgeInterval = 2 * time.Millisecond
+	}
+	if cfg.HedgeMinDelay <= 0 {
+		cfg.HedgeMinDelay = time.Millisecond
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
@@ -151,10 +209,13 @@ func New(cfg Config) (*Client, error) {
 		seed = int64(fnv1a(cfg.Name)) ^ 0x636c7573746572 // "cluster"
 	}
 	c := &Client{
-		cfg:     cfg,
-		ring:    NewRing(cfg.VNodes),
-		clients: make(map[string]*serve.Client),
-		jitter:  rng.New(seed, "cluster/retry"),
+		cfg:        cfg,
+		ring:       NewRing(cfg.VNodes),
+		clients:    make(map[string]*serve.Client),
+		addrOf:     make(map[string]string),
+		hists:      make(map[string]*serve.LatencyHist),
+		firstHists: make(map[string]*serve.LatencyHist),
+		jitter:     rng.New(seed, "cluster/retry"),
 	}
 	for i := range cfg.Nodes {
 		if cfg.Nodes[i].ID == "" {
@@ -165,6 +226,7 @@ func New(cfg Config) (*Client, error) {
 			return nil, fmt.Errorf("cluster: duplicate node id %q", id)
 		}
 		c.ring.Add(id)
+		c.addrOf[id] = cfg.Nodes[i].Addr
 		c.clients[id] = serve.NewClient(serve.ClientConfig{
 			Addr:        cfg.Nodes[i].Addr,
 			Name:        cfg.Name + "@" + id,
@@ -250,7 +312,238 @@ func (c *Client) backoff(attempt int) time.Duration {
 type epochState struct {
 	mu       sync.Mutex
 	received map[int]bool
-	stats    *EpochStats
+	// hedged marks IDs a speculative fetch was issued for, so a late primary
+	// frame for one of them is attributed to HedgeWasted, not to a protocol
+	// violation.
+	hedged map[int]bool
+	stats  *EpochStats
+}
+
+// unserved filters ids down to those not yet received.
+func (st *epochState) unserved(ids []int) []int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]int, 0, len(ids))
+	for _, id := range ids {
+		if !st.received[id] {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// allReceived reports whether every id has been delivered.
+func (st *epochState) allReceived(ids []int) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, id := range ids {
+		if !st.received[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// addHedged marks ids as speculatively re-issued and counts them once each.
+func (st *epochState) addHedged(ids []int) {
+	st.mu.Lock()
+	for _, id := range ids {
+		if !st.hedged[id] {
+			st.hedged[id] = true
+			st.stats.Hedged++
+		}
+	}
+	st.mu.Unlock()
+}
+
+// roundCtl tracks one routing round's in-flight node fetches for the hedge
+// monitor: per-node progress timestamps, completion, and deliberate aborts.
+type roundCtl struct {
+	mu      sync.Mutex
+	byNode  map[string][]int
+	last    map[string]time.Time
+	seen    map[string]bool
+	done    map[string]bool
+	hedged  map[string]bool
+	aborted map[string]bool
+	hedges  []*serve.Client
+	closed  bool
+}
+
+func newRoundCtl(byNode map[string][]int, now time.Time) *roundCtl {
+	rc := &roundCtl{
+		byNode:  byNode,
+		last:    make(map[string]time.Time, len(byNode)),
+		seen:    make(map[string]bool, len(byNode)),
+		done:    make(map[string]bool, len(byNode)),
+		hedged:  make(map[string]bool, len(byNode)),
+		aborted: make(map[string]bool, len(byNode)),
+	}
+	for node := range byNode {
+		rc.last[node] = now
+	}
+	return rc
+}
+
+// touch stamps progress on node and returns the previous stamp.
+func (rc *roundCtl) touch(node string) (prev time.Time) {
+	now := time.Now()
+	rc.mu.Lock()
+	prev = rc.last[node]
+	rc.last[node] = now
+	rc.mu.Unlock()
+	return prev
+}
+
+// frameTouch stamps a frame arrival on node, returning the previous stamp
+// and whether this was the node's first frame of the round (which marks the
+// end of its warm-up: dial, handshake, pipeline spin-up, first batch).
+func (rc *roundCtl) frameTouch(node string) (prev time.Time, first bool) {
+	now := time.Now()
+	rc.mu.Lock()
+	prev = rc.last[node]
+	rc.last[node] = now
+	first = !rc.seen[node]
+	rc.seen[node] = true
+	rc.mu.Unlock()
+	return prev, first
+}
+
+func (rc *roundCtl) markDone(node string) {
+	rc.mu.Lock()
+	rc.done[node] = true
+	rc.mu.Unlock()
+}
+
+func (rc *roundCtl) isAborted(node string) bool {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.aborted[node]
+}
+
+// abortIfRunning marks node's primary as deliberately severed unless it
+// already finished; the caller Kicks only on true, so a completed fetch's
+// idle connection is (almost) never closed under it.
+func (rc *roundCtl) abortIfRunning(node string) bool {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.done[node] {
+		return false
+	}
+	rc.aborted[node] = true
+	return true
+}
+
+// registerHedge records a hedge stream's client so the round can sever it at
+// teardown. False means the round is already over: the hedge must not start.
+func (rc *roundCtl) registerHedge(hc *serve.Client) bool {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	if rc.closed {
+		return false
+	}
+	rc.hedges = append(rc.hedges, hc)
+	return true
+}
+
+// unflag retracts a stall flag that produced no hedge (every candidate
+// successor was itself flagged, dead, or the slow node). Without retraction,
+// a monitor pass that flags several warming-up nodes at once deadlocks: each
+// node's target walk excludes the others and nobody gets hedged for the rest
+// of the round. Retracted nodes are re-judged on the next poll, by which
+// time false positives have delivered frames and dropped out of the set.
+func (rc *roundCtl) unflag(node string) {
+	rc.mu.Lock()
+	rc.hedged[node] = false
+	rc.mu.Unlock()
+}
+
+// flaggedNodes snapshots the set of nodes this round has flagged as stalled.
+func (rc *roundCtl) flaggedNodes() map[string]bool {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	out := make(map[string]bool, len(rc.hedged))
+	for node, f := range rc.hedged {
+		if f {
+			out[node] = true
+		}
+	}
+	return out
+}
+
+func (rc *roundCtl) isClosed() bool {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.closed
+}
+
+// closeRound severs every in-flight hedge stream. Once the primaries are
+// done the round's outcome is decided — anything still unserved goes to the
+// next routing round — and waiting for a speculative stream to drain would
+// add the successor's recompute tail to the epoch's critical path (a hedged
+// epoch must never be slower than an unhedged one because of its own
+// insurance).
+func (rc *roundCtl) closeRound() {
+	rc.mu.Lock()
+	hedges := rc.hedges
+	rc.hedges = nil
+	rc.closed = true
+	rc.mu.Unlock()
+	for _, hc := range hedges {
+		hc.Kick()
+	}
+}
+
+// laggard is one stalled node and the threshold it was judged against.
+type laggard struct {
+	node      string
+	threshold time.Duration
+}
+
+// stalled returns the nodes that are still running, have not been hedged
+// yet, and have made no progress for longer than their threshold (false from
+// threshold means the node cannot be judged yet). The threshold callback
+// receives whether the node has delivered a frame this round, so warm-up
+// quiet and mid-stream quiet are judged against different populations.
+//
+// A node is only a straggler RELATIVE to peers that are making progress: if
+// every node in the round is quiet past its threshold, the slowness is
+// correlated — a loaded box, a consumer-side pause, round-start warm-up —
+// and hedging would only add load to whatever is already saturated (worse,
+// simultaneous flags used to exclude each other as hedge targets, so the
+// one genuinely degraded node could end up with nowhere to hedge to). So a
+// quiet node is flagged only while at least one other node is current:
+// finished, or heard from within its own threshold.
+func (rc *roundCtl) stalled(now time.Time, threshold func(node string, seen bool) (time.Duration, bool)) []laggard {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	current := 0
+	var candidates []laggard
+	for node := range rc.byNode {
+		if rc.done[node] {
+			current++
+			continue
+		}
+		th, ok := threshold(node, rc.seen[node])
+		if !ok {
+			continue
+		}
+		if now.Sub(rc.last[node]) <= th {
+			current++
+			continue
+		}
+		if rc.hedged[node] || rc.aborted[node] {
+			continue
+		}
+		candidates = append(candidates, laggard{node: node, threshold: th})
+	}
+	if current == 0 {
+		return nil
+	}
+	for _, lag := range candidates {
+		rc.hedged[lag.node] = true
+	}
+	return candidates
 }
 
 // RunEpoch routes one epoch: every batch of the plan is delivered to onBatch
@@ -266,7 +559,11 @@ func (c *Client) RunEpoch(epoch int, onBatch func(node string, b *serve.Batch, p
 	for i := range remaining {
 		remaining[i] = i
 	}
-	st := &epochState{received: make(map[int]bool, c.planLen), stats: stats}
+	st := &epochState{
+		received: make(map[int]bool, c.planLen),
+		hedged:   make(map[int]bool),
+		stats:    stats,
+	}
 
 	for round := 0; len(remaining) > 0; round++ {
 		if round >= c.cfg.MaxRounds {
@@ -290,12 +587,14 @@ func (c *Client) RunEpoch(epoch int, onBatch func(node string, b *serve.Batch, p
 		stats.Spilled += asn.Spilled
 		stats.Rounds = round + 1
 
+		rc := newRoundCtl(asn.ByNode, time.Now())
 		var wg sync.WaitGroup
 		for node, ids := range asn.ByNode {
 			wg.Add(1)
 			go func(node string, ids []int) {
 				defer wg.Done()
-				if err := c.fetchNode(epoch, node, ids, st, onBatch); err != nil {
+				defer rc.markDone(node)
+				if err := c.fetchNode(epoch, node, ids, st, rc, onBatch); err != nil {
 					st.mu.Lock()
 					stats.NodeFailures++
 					st.mu.Unlock()
@@ -303,7 +602,26 @@ func (c *Client) RunEpoch(epoch int, onBatch func(node string, b *serve.Batch, p
 				}
 			}(node, ids)
 		}
+		// The hedge monitor breaks the wg.Wait barrier's head-of-line
+		// blocking: while primaries stream, it watches per-node progress and
+		// speculatively re-issues a stalled node's unserved IDs to ring
+		// successors, severing the stalled primary once its work is covered.
+		// A single-node round has no successor to hedge to.
+		var monDone chan struct{}
+		stop := make(chan struct{})
+		if c.cfg.HedgeQuantile > 0 && len(asn.ByNode) > 1 {
+			monDone = make(chan struct{})
+			go func() {
+				defer close(monDone)
+				c.hedgeMonitor(epoch, rc, st, onBatch, stop)
+			}()
+		}
 		wg.Wait()
+		close(stop)
+		rc.closeRound()
+		if monDone != nil {
+			<-monDone
+		}
 
 		next := remaining[:0]
 		st.mu.Lock()
@@ -318,45 +636,82 @@ func (c *Client) RunEpoch(epoch int, onBatch func(node string, b *serve.Batch, p
 	return stats, nil
 }
 
+// deliver runs a received frame through the exactly-once filter and credits
+// it. hedge marks frames arriving on a speculative stream: a duplicate on
+// either side of a hedged ID is the race's loser and lands in HedgeWasted as
+// well as Ignored.
+func (c *Client) deliver(st *epochState, node string, b *serve.Batch, payload []byte, hedge bool, onBatch func(string, *serve.Batch, []byte)) {
+	st.mu.Lock()
+	if b.GlobalID < 0 || b.GlobalID >= c.planLen || st.received[b.GlobalID] {
+		st.stats.Ignored++
+		if hedge || st.hedged[b.GlobalID] {
+			st.stats.HedgeWasted++
+		}
+		st.mu.Unlock()
+		return
+	}
+	st.received[b.GlobalID] = true
+	if hedge {
+		st.stats.HedgeWon++
+	}
+	st.stats.Batches++
+	st.stats.Bytes += int64(len(payload)) + 4
+	st.stats.PerNode[node]++
+	st.mu.Unlock()
+	if onBatch != nil {
+		onBatch(node, b, payload)
+	}
+}
+
+// observe stamps progress on node and feeds the frame gap into the right
+// latency histogram: the round's first frame measures warm-up (firstHists),
+// every later frame measures steady inter-arrival cadence (hists).
+func (c *Client) observe(rc *roundCtl, node string) {
+	prev, first := rc.frameTouch(node)
+	if prev.IsZero() {
+		return
+	}
+	c.histMu.Lock()
+	m := c.hists
+	if first {
+		m = c.firstHists
+	}
+	h := m[node]
+	if h == nil {
+		h = &serve.LatencyHist{}
+		m[node] = h
+	}
+	h.Record(time.Since(prev))
+	c.histMu.Unlock()
+}
+
 // fetchNode streams one node's assigned IDs, retrying the node itself (with
 // only the still-unserved IDs) NodeRetries times before giving it up. The
 // serve.Client is owned by this goroutine for the duration of the round —
-// Assign hands each node to exactly one fetchNode call per round.
-func (c *Client) fetchNode(epoch int, node string, ids []int, st *epochState, onBatch func(string, *serve.Batch, []byte)) error {
+// Assign hands each node to exactly one fetchNode call per round; hedges use
+// fresh clients. A fetch severed by the hedge monitor (abortIfRunning+Kick)
+// is not a node failure: its work was delivered elsewhere, and reporting it
+// would wrongly push a merely-degraded node toward dead.
+func (c *Client) fetchNode(epoch int, node string, ids []int, st *epochState, rc *roundCtl, onBatch func(string, *serve.Batch, []byte)) error {
 	sc := c.clients[node]
 	var lastErr error
 	for attempt := 0; attempt <= c.cfg.NodeRetries; attempt++ {
-		need := make([]int, 0, len(ids))
-		st.mu.Lock()
-		for _, id := range ids {
-			if !st.received[id] {
-				need = append(need, id)
-			}
-		}
-		st.mu.Unlock()
+		need := st.unserved(ids)
 		if len(need) == 0 {
 			return nil
 		}
 		if attempt > 0 {
 			c.cfg.Sleep(c.backoff(attempt))
 		}
+		rc.touch(node)
 		err := sc.FetchShard(epoch, need, func(b *serve.Batch, payload []byte) {
-			st.mu.Lock()
-			if b.GlobalID < 0 || b.GlobalID >= c.planLen || st.received[b.GlobalID] {
-				st.stats.Ignored++
-				st.mu.Unlock()
-				return
-			}
-			st.received[b.GlobalID] = true
-			st.stats.Batches++
-			st.stats.Bytes += int64(len(payload)) + 4
-			st.stats.PerNode[node]++
-			st.mu.Unlock()
-			if onBatch != nil {
-				onBatch(node, b, payload)
-			}
+			c.observe(rc, node)
+			c.deliver(st, node, b, payload, false, onBatch)
 		})
 		if err == nil {
+			return nil
+		}
+		if rc.isAborted(node) {
 			return nil
 		}
 		lastErr = err
@@ -366,6 +721,134 @@ func (c *Client) fetchNode(epoch int, node string, ids []int, st *epochState, on
 		c.cfg.Logf("cluster: epoch %d node %s attempt %d: %v", epoch, node, attempt+1, err)
 	}
 	return lastErr
+}
+
+// hedgeThreshold returns the no-progress bound for judging node, or false
+// while its peers' histograms are too cold to trust. The quantile is taken
+// over the merged latencies of every OTHER node: a straggler is a node slow
+// relative to its peers. Folding the judged node's own cadence in would let
+// a consistently degraded node drag the quantile up to its own pace and
+// never look stalled. seen selects the population: a node still in warm-up
+// (no frame this round) is compared against peers' warm-up gaps, a
+// mid-stream node against peers' steady inter-arrival cadence — so hedging
+// fires at tens of milliseconds mid-stream without storming at round start,
+// when every node is legitimately quiet for a warm-up's worth of time.
+func (c *Client) hedgeThreshold(node string, seen bool) (time.Duration, bool) {
+	c.histMu.Lock()
+	defer c.histMu.Unlock()
+	m := c.hists
+	if !seen {
+		m = c.firstHists
+	}
+	var peers serve.LatencyHist
+	for id, h := range m {
+		if id != node {
+			peers.Merge(h)
+		}
+	}
+	if peers.Total < int64(c.cfg.HedgeMinSamples) {
+		return 0, false
+	}
+	th := peers.Quantile(c.cfg.HedgeQuantile)
+	if th < c.cfg.HedgeMinDelay {
+		th = c.cfg.HedgeMinDelay
+	}
+	return th, true
+}
+
+// hedgeTargets groups a slow node's unserved IDs by ring successor: for each
+// batch, the first alive node on its ownership walk that is not the slow
+// node and is not itself flagged as stalled this round — insurance bought
+// from a node already known to be struggling is worthless. Batches with no
+// such successor are left to the normal reroute path.
+func (c *Client) hedgeTargets(rc *roundCtl, slow string, ids []int) map[string][]int {
+	alive := c.mem.Alive()
+	flagged := rc.flaggedNodes()
+	out := make(map[string][]int)
+	for _, id := range ids {
+		for _, n := range c.ring.Owners(BatchKey(id), 0) {
+			if n != slow && alive[n] && !flagged[n] {
+				out[n] = append(out[n], id)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// hedgeMonitor watches a round's in-flight fetches and speculatively
+// re-issues a stalled node's unserved IDs. It polls on the real clock —
+// stalls it exists to catch are wall-clock stalls.
+func (c *Client) hedgeMonitor(epoch int, rc *roundCtl, st *epochState, onBatch func(string, *serve.Batch, []byte), stop <-chan struct{}) {
+	var hwg sync.WaitGroup
+	defer hwg.Wait()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-time.After(c.cfg.HedgeInterval):
+		}
+		for _, lag := range rc.stalled(time.Now(), c.hedgeThreshold) {
+			slow := lag.node
+			unserved := st.unserved(rc.byNode[slow])
+			if len(unserved) == 0 {
+				continue
+			}
+			targets := c.hedgeTargets(rc, slow, unserved)
+			hedging := make([]int, 0, len(unserved))
+			for _, ids := range targets {
+				hedging = append(hedging, ids...)
+			}
+			if len(hedging) == 0 {
+				rc.unflag(slow)
+				continue
+			}
+			st.addHedged(hedging)
+			c.cfg.Logf("cluster: epoch %d: node %s stalled past %v; hedging %d batches to %d successors",
+				epoch, slow, lag.threshold, len(hedging), len(targets))
+			for succ, ids := range targets {
+				hwg.Add(1)
+				go func(succ string, ids []int) {
+					defer hwg.Done()
+					c.hedgeFetch(epoch, slow, succ, ids, rc, st, onBatch)
+				}(succ, ids)
+			}
+		}
+	}
+}
+
+// hedgeFetch streams a slow node's unserved IDs from one ring successor on a
+// fresh connection (the successor's primary client is busy with its own
+// shard). On success, if nothing assigned to the slow node remains unserved,
+// the slow primary is severed so the round stops waiting for it. Hedge
+// failures are advisory — the primary and the normal reroute path still
+// stand — so they are never reported to membership.
+func (c *Client) hedgeFetch(epoch int, slow, succ string, ids []int, rc *roundCtl, st *epochState, onBatch func(string, *serve.Batch, []byte)) {
+	hc := serve.NewClient(serve.ClientConfig{
+		Addr:        c.addrOf[succ],
+		Name:        c.cfg.Name + "@" + succ + "/hedge",
+		MaxFrame:    c.cfg.MaxFrame,
+		DialTimeout: c.cfg.DialTimeout,
+	})
+	defer hc.Close()
+	if !rc.registerHedge(hc) {
+		return
+	}
+	err := hc.FetchShardHedged(epoch, ids, func(b *serve.Batch, payload []byte) {
+		c.deliver(st, succ, b, payload, true, onBatch)
+	})
+	if err != nil {
+		// A round-teardown kick is the expected end of a hedge that lost the
+		// race; only a hedge that died on its own is worth a log line.
+		if !rc.isClosed() {
+			c.cfg.Logf("cluster: epoch %d: hedge to %s for %s failed: %v", epoch, succ, slow, err)
+		}
+		return
+	}
+	if st.allReceived(rc.byNode[slow]) && rc.abortIfRunning(slow) {
+		c.cfg.Logf("cluster: epoch %d: hedges covered node %s; severing its in-flight fetch", epoch, slow)
+		c.clients[slow].Kick()
+	}
 }
 
 // Run routes epochs 0..epochs-1 and aggregates their stats.
@@ -380,6 +863,9 @@ func (c *Client) Run(epochs int, onBatch func(node string, b *serve.Batch, paylo
 		out.NodeFailures += es.NodeFailures
 		out.Rerouted += es.Rerouted
 		out.Ignored += es.Ignored
+		out.Hedged += es.Hedged
+		out.HedgeWon += es.HedgeWon
+		out.HedgeWasted += es.HedgeWasted
 		for n, b := range es.PerNode {
 			out.PerNode[n] += b
 		}

@@ -57,6 +57,15 @@ type Spec struct {
 	StallNth    int
 	WorkerStall time.Duration
 
+	// SlowWorkerID / SlowWorkerStall: worker SlowWorkerID-1 stalls
+	// SlowWorkerStall after preprocessing every batch it handles (1-based so
+	// the zero Spec stays inert; SlowWorkerID 1 slows worker 0). Unlike the
+	// batch-keyed StallNth, this models a persistently degraded worker — a
+	// throttled core, a noisy neighbor — so straggler-mitigation tests get a
+	// guaranteed, schedule-independent laggard instead of a seed-lucky one.
+	SlowWorkerID    int
+	SlowWorkerStall time.Duration
+
 	// DropFrame: the server closes the connection instead of writing the Nth
 	// outgoing batch frame (1-based; 0 disables).
 	DropFrame int
@@ -257,6 +266,21 @@ func (in *Injector) BatchStall(batchID int) time.Duration {
 		selected(in.spec.Seed, classStall, int64(batchID), in.spec.StallNth) {
 		in.workerStalls.Add(1)
 		return in.spec.WorkerStall
+	}
+	return 0
+}
+
+// WorkerSlowdown returns the per-batch stall for a persistently degraded
+// worker (0 when this worker is healthy or the class is disabled). Counted
+// with the WorkerStalls class: both are worker-execution stalls, differing
+// only in what selects them.
+func (in *Injector) WorkerSlowdown(workerID int) time.Duration {
+	if in == nil {
+		return 0
+	}
+	if in.spec.SlowWorkerStall > 0 && in.spec.SlowWorkerID == workerID+1 {
+		in.workerStalls.Add(1)
+		return in.spec.SlowWorkerStall
 	}
 	return 0
 }

@@ -19,6 +19,9 @@ func TestNilInjectorIsInert(t *testing.T) {
 	if d := in.BatchStall(3); d != 0 {
 		t.Fatalf("nil BatchStall = %v", d)
 	}
+	if d := in.WorkerSlowdown(0); d != 0 {
+		t.Fatalf("nil WorkerSlowdown = %v", d)
+	}
 	if a := in.NextWireAction(); a != WireNone {
 		t.Fatalf("nil NextWireAction = %v", a)
 	}
@@ -133,5 +136,26 @@ func TestFailingBatchesMatchesPerSampleDecisions(t *testing.T) {
 		if !want[pos] {
 			t.Fatalf("position %d reported failing but no sample is selected", pos)
 		}
+	}
+}
+
+// TestWorkerSlowdownIsWorkerKeyed: only the 1-based selected worker stalls,
+// it stalls on every call, and the zero spec selects nobody — including
+// worker 0, which a 0-based field would have conflated with "disabled".
+func TestWorkerSlowdownIsWorkerKeyed(t *testing.T) {
+	in := New(Spec{SlowWorkerID: 1, SlowWorkerStall: 40 * time.Millisecond})
+	for call := 0; call < 3; call++ {
+		if d := in.WorkerSlowdown(0); d != 40*time.Millisecond {
+			t.Fatalf("slow worker 0 call %d: stall %v", call, d)
+		}
+	}
+	if d := in.WorkerSlowdown(1); d != 0 {
+		t.Fatalf("healthy worker stalled %v", d)
+	}
+	if got := in.Counts().WorkerStalls; got != 3 {
+		t.Fatalf("WorkerStalls = %d, want 3", got)
+	}
+	if d := New(Spec{SlowWorkerStall: time.Second}).WorkerSlowdown(0); d != 0 {
+		t.Fatalf("zero SlowWorkerID selected worker 0: stall %v", d)
 	}
 }

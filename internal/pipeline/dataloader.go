@@ -2,6 +2,7 @@ package pipeline
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"lotus/internal/clock"
@@ -26,6 +27,14 @@ const (
 	// outstanding work reduces completion-order inversions and hence
 	// out-of-order stalls.
 	DispatchLeastWork
+	// DispatchWorkStealing places index batches like DispatchProducer but
+	// lets a worker that drains its own lane steal the oldest undispatched
+	// batch from the most-backlogged peer (ties break to the lowest worker
+	// id, so sim runs stay deterministic). This kills the head-of-line shape
+	// MinatoLoader targets — one slow sample no longer stalls every batch
+	// queued behind its worker — while the Iterator's reorder buffer keeps
+	// delivery order, and hence bytes, identical to the other policies.
+	DispatchWorkStealing
 )
 
 // Config parameterizes a DataLoader, mirroring torch.utils.data.DataLoader's
@@ -139,6 +148,76 @@ type workerResult struct {
 	err     error
 }
 
+// stealBoard is the index-dispatch structure behind DispatchWorkStealing:
+// per-worker FIFO lanes under one condition variable. A worker takes from its
+// own lane first; when that lane is empty it steals the oldest task from the
+// deepest peer lane. Like clock.Queue, Close drains — Get keeps returning
+// tasks until every lane is empty, then reports ok=false.
+type stealBoard struct {
+	cond   clock.Cond
+	lanes  [][]indexTask
+	closed bool
+	steals int
+}
+
+func newStealBoard(clk clock.Clock, workers int) *stealBoard {
+	return &stealBoard{cond: clk.NewCond(), lanes: make([][]indexTask, workers)}
+}
+
+// Put appends t to worker w's lane. Lanes are unbounded, so Put never blocks.
+func (sb *stealBoard) Put(w int, t indexTask) {
+	sb.cond.Lock()
+	defer sb.cond.Unlock()
+	if sb.closed {
+		panic("pipeline: Put on closed steal board")
+	}
+	sb.lanes[w] = append(sb.lanes[w], t)
+	sb.cond.Broadcast()
+}
+
+// Get returns the next task for worker w and the lane it came from
+// (from != w is a steal). ok is false once the board is closed and drained.
+func (sb *stealBoard) Get(p clock.Proc, w int) (t indexTask, from int, ok bool) {
+	sb.cond.Lock()
+	defer sb.cond.Unlock()
+	for {
+		if len(sb.lanes[w]) > 0 {
+			t, sb.lanes[w] = sb.lanes[w][0], sb.lanes[w][1:]
+			return t, w, true
+		}
+		victim, depth := -1, 0
+		for i, lane := range sb.lanes {
+			if len(lane) > depth {
+				victim, depth = i, len(lane)
+			}
+		}
+		if victim >= 0 {
+			t, sb.lanes[victim] = sb.lanes[victim][0], sb.lanes[victim][1:]
+			sb.steals++
+			return t, victim, true
+		}
+		if sb.closed {
+			return t, -1, false
+		}
+		sb.cond.Wait(p)
+	}
+}
+
+// Close marks the board closed; idle workers drain remaining lanes and exit.
+func (sb *stealBoard) Close() {
+	sb.cond.Lock()
+	defer sb.cond.Unlock()
+	sb.closed = true
+	sb.cond.Broadcast()
+}
+
+// Steals reports how many tasks were taken from a peer's lane.
+func (sb *stealBoard) Steals() int {
+	sb.cond.Lock()
+	defer sb.cond.Unlock()
+	return sb.steals
+}
+
 // DataLoader reproduces the multi-worker PyTorch loader: the main process
 // dispatches index batches to per-worker index queues; workers fetch,
 // preprocess, collate, and put completed batches on a shared data queue; the
@@ -151,20 +230,43 @@ type DataLoader struct {
 
 	batches [][]int
 	indexQs []*clock.Queue[indexTask]
+	// board replaces indexQs under DispatchWorkStealing.
+	board   *stealBoard
 	dataQ   *clock.Queue[workerResult]
 	started bool
 	sendIdx int
+	// mu guards outstanding and creditDrift: under DispatchWorkStealing the
+	// worker procs move charges at steal time, concurrently with the main
+	// proc's dispatch/credit path in real mode. The critical sections never
+	// block, so the mutex is also safe under the cooperative sim clock.
+	mu sync.Mutex
 	// outstanding tracks estimated queued work per worker for
-	// DispatchLeastWork.
+	// DispatchLeastWork and steal accounting.
 	outstanding []float64
+	// creditDrift counts accounting violations in the outstanding ledger:
+	// credits that would drive a worker's estimate below zero (a double
+	// credit), and nonzero residue left after every dispatched batch has been
+	// credited. Always zero in a correct loader; a nonzero value means the
+	// load estimates steering DispatchLeastWork and stealing are corrupt.
+	creditDrift int
 	// batchCost caches the per-batch work estimates.
 	batchCost []float64
+	// stallAbort is closed by Iterator.Abort: real-clock workers sleeping
+	// out an injected fault stall select against it, so an aborted epoch (a
+	// severed session, a draining server) is not pinned for the remainder of
+	// a long stall it no longer has any reason to honor.
+	stallAbort chan struct{}
+	stallOnce  sync.Once
 }
+
+// creditEpsilon separates real accounting drift from float64 rounding noise
+// when batch costs are credited back in a different order than charged.
+const creditEpsilon = 1e-6
 
 // NewDataLoader constructs a loader over ds under clk.
 func NewDataLoader(clk clock.Clock, ds Dataset, cfg Config) *DataLoader {
 	cfg = cfg.validate()
-	dl := &DataLoader{cfg: cfg, dataset: ds, clk: clk}
+	dl := &DataLoader{cfg: cfg, dataset: ds, clk: clk, stallAbort: make(chan struct{})}
 	dl.buildBatches()
 	return dl
 }
@@ -238,9 +340,13 @@ func (dl *DataLoader) Start(p clock.Proc) *Iterator {
 	}
 	dl.started = true
 	dl.outstanding = make([]float64, dl.cfg.NumWorkers)
-	dl.indexQs = make([]*clock.Queue[indexTask], dl.cfg.NumWorkers)
-	for w := range dl.indexQs {
-		dl.indexQs[w] = clock.NewQueue[indexTask](dl.clk, 0)
+	if dl.cfg.Dispatch == DispatchWorkStealing {
+		dl.board = newStealBoard(dl.clk, dl.cfg.NumWorkers)
+	} else {
+		dl.indexQs = make([]*clock.Queue[indexTask], dl.cfg.NumWorkers)
+		for w := range dl.indexQs {
+			dl.indexQs[w] = clock.NewQueue[indexTask](dl.clk, 0)
+		}
 	}
 	dl.dataQ = clock.NewQueue[workerResult](dl.clk, 0)
 
@@ -260,21 +366,21 @@ func (dl *DataLoader) Start(p clock.Proc) *Iterator {
 	// close-on-last-dispatch path never runs; close here or the workers would
 	// block forever on their index queues.
 	if len(dl.batches) == 0 {
-		for _, q := range dl.indexQs {
-			q.Close()
-		}
+		dl.closeIndex()
 	}
 	return &Iterator{dl: dl, cached: make(map[int]*Batch), cachedWorker: make(map[int]int), cachedErr: make(map[int]error)}
 }
 
 // dispatch sends the next undistributed batch to a worker — the hinted one
-// under DispatchProducer, or the least-loaded one under DispatchLeastWork —
-// and closes all index queues once everything is dispatched.
+// under DispatchProducer/DispatchWorkStealing, or the least-loaded one under
+// DispatchLeastWork — and closes the index structure once everything is
+// dispatched.
 func (dl *DataLoader) dispatch(p clock.Proc, hint int) {
 	if dl.sendIdx >= len(dl.batches) {
 		return
 	}
 	w := hint
+	dl.mu.Lock()
 	if dl.cfg.Dispatch == DispatchLeastWork {
 		w = 0
 		for i := 1; i < dl.cfg.NumWorkers; i++ {
@@ -283,24 +389,92 @@ func (dl *DataLoader) dispatch(p clock.Proc, hint int) {
 			}
 		}
 	}
-	task := indexTask{batchID: dl.sendIdx, indices: dl.batches[dl.sendIdx]}
 	dl.outstanding[w] += dl.batchCost[dl.sendIdx]
+	dl.mu.Unlock()
+	task := indexTask{batchID: dl.sendIdx, indices: dl.batches[dl.sendIdx]}
 	dl.sendIdx++
-	dl.indexQs[w].Put(p, task)
+	if dl.board != nil {
+		dl.board.Put(w, task)
+	} else {
+		dl.indexQs[w].Put(p, task)
+	}
 	if dl.sendIdx == len(dl.batches) {
-		for _, q := range dl.indexQs {
-			q.Close()
-		}
+		dl.closeIndex()
+	}
+}
+
+// closeIndex closes the index-dispatch structure (queues or steal board) so
+// workers drain what was already dispatched and exit.
+func (dl *DataLoader) closeIndex() {
+	if dl.board != nil {
+		dl.board.Close()
+		return
+	}
+	for _, q := range dl.indexQs {
+		q.Close()
 	}
 }
 
 // completed credits a finished batch back against its worker's outstanding
-// work estimate.
+// work estimate. A credit that would drive the estimate below zero is a
+// double credit — a real accounting bug that would corrupt every
+// DispatchLeastWork and stealing decision afterwards — so it is counted in
+// creditDrift rather than silently clamped away.
 func (dl *DataLoader) completed(batchID, worker int) {
+	dl.mu.Lock()
 	dl.outstanding[worker] -= dl.batchCost[batchID]
+	if dl.outstanding[worker] < -creditEpsilon {
+		dl.creditDrift++
+	}
 	if dl.outstanding[worker] < 0 {
 		dl.outstanding[worker] = 0
 	}
+	dl.mu.Unlock()
+}
+
+// stealCharge moves a batch's outstanding charge from the lane it was queued
+// on to the worker that stole it, so completed() credits the right ledger
+// entry when the thief's result arrives.
+func (dl *DataLoader) stealCharge(from, to, batchID int) {
+	dl.mu.Lock()
+	dl.outstanding[from] -= dl.batchCost[batchID]
+	if dl.outstanding[from] < -creditEpsilon {
+		dl.creditDrift++
+	}
+	if dl.outstanding[from] < 0 {
+		dl.outstanding[from] = 0
+	}
+	dl.outstanding[to] += dl.batchCost[batchID]
+	dl.mu.Unlock()
+}
+
+// noteResidual audits the outstanding ledger once every dispatched batch has
+// been credited: residue beyond float rounding at that point is drift.
+func (dl *DataLoader) noteResidual() {
+	dl.mu.Lock()
+	for _, o := range dl.outstanding {
+		if o > creditEpsilon || o < -creditEpsilon {
+			dl.creditDrift++
+		}
+	}
+	dl.mu.Unlock()
+}
+
+// Steals reports how many batches were taken from a peer's lane under
+// DispatchWorkStealing (always zero for the other policies).
+func (dl *DataLoader) Steals() int {
+	if dl.board == nil {
+		return 0
+	}
+	return dl.board.Steals()
+}
+
+// CreditDrift reports outstanding-ledger accounting violations observed so
+// far (see the field doc). Zero in a correct loader.
+func (dl *DataLoader) CreditDrift() int {
+	dl.mu.Lock()
+	defer dl.mu.Unlock()
+	return dl.creditDrift
 }
 
 // workerLoop is the DataLoader worker body (_utils.worker._worker_loop): it
@@ -322,7 +496,17 @@ func (dl *DataLoader) workerLoop(p clock.Proc, workerID int) {
 	}
 	collate := &Collate{}
 	for {
-		task, ok := dl.indexQs[workerID].Get(p)
+		var task indexTask
+		var ok bool
+		if dl.board != nil {
+			var from int
+			task, from, ok = dl.board.Get(p, workerID)
+			if ok && from != workerID {
+				dl.stealCharge(from, workerID, task.batchID)
+			}
+		} else {
+			task, ok = dl.indexQs[workerID].Get(p)
+		}
 		if !ok {
 			return
 		}
@@ -366,7 +550,10 @@ func (dl *DataLoader) workerLoop(p clock.Proc, workerID int) {
 		// (GC pause / CPU contention), delaying its arrival on the data
 		// queue without changing the batch's preprocessing span.
 		if stall := dl.cfg.Faults.BatchStall(task.batchID + dl.cfg.BatchIDOffset); stall > 0 {
-			p.Sleep(stall)
+			dl.faultSleep(p, stall)
+		}
+		if stall := dl.cfg.Faults.WorkerSlowdown(workerID); stall > 0 {
+			dl.faultSleep(p, stall)
 		}
 		if err != nil {
 			dl.dataQ.Put(p, workerResult{batchID: task.batchID, worker: workerID, err: err})
@@ -393,6 +580,37 @@ func (dl *DataLoader) workerLoop(p clock.Proc, workerID int) {
 			}
 		}
 		dl.dataQ.Put(p, workerResult{batchID: task.batchID, batch: batch, worker: workerID})
+	}
+}
+
+// InterruptStalls releases every worker currently sleeping out an injected
+// real-clock fault stall, and makes all future fault stalls on this loader
+// return immediately. Unlike Iterator.Abort it touches no iterator state, so
+// it is safe to call from any goroutine — the serving layer calls it from a
+// connection watcher when a session's socket dies mid-epoch, where the main
+// proc is itself blocked waiting on the stalled worker and cannot run Abort.
+func (dl *DataLoader) InterruptStalls() {
+	dl.stallOnce.Do(func() { close(dl.stallAbort) })
+}
+
+// faultSleep pauses a worker for an injected fault stall. Simulated-clock
+// stalls are virtual — they cost teardown nothing and must stay on the
+// deterministic scheduler — so they sleep normally. Real-clock stalls race
+// the epoch abort: a node degraded enough to get its session severed (a
+// hedged straggler, a disconnecting client) must not keep the worker
+// goroutine — and the Drain waiting behind it — pinned for the remainder of
+// a stall nobody will consume.
+func (dl *DataLoader) faultSleep(p clock.Proc, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if !clock.IsReal(p) {
+		p.Sleep(d)
+		return
+	}
+	select {
+	case <-time.After(d):
+	case <-dl.stallAbort:
 	}
 }
 
@@ -493,6 +711,11 @@ restart:
 	// Replenish: hand the next index batch to the worker that produced the
 	// batch we just consumed (§ II-B).
 	dl.dispatch(p, fromWorker)
+	if it.rcvdIdx == len(dl.batches) && it.seen == dl.sendIdx {
+		// Natural epoch end with every dispatched batch credited: the
+		// outstanding ledger must be back to zero.
+		dl.noteResidual()
+	}
 
 	// Consumption: pin the desired batch (if configured) and log the
 	// consumption marker.
@@ -522,11 +745,9 @@ func (it *Iterator) handleError(p clock.Proc, batchID, worker int, err error) bo
 		return true
 	}
 	it.err = err
-	// Tear down: close every index queue so the workers exit instead of
+	// Tear down: close the index structure so the workers exit instead of
 	// waiting for tokens that will never come.
-	for _, q := range dl.indexQs {
-		q.Close()
-	}
+	dl.closeIndex()
 	return false
 }
 
@@ -549,9 +770,8 @@ func (it *Iterator) logWait(p clock.Proc, batchID int, start time.Time, dur time
 // client disconnects or the server drains mid-epoch.
 func (it *Iterator) Abort() {
 	it.rcvdIdx = len(it.dl.batches)
-	for _, q := range it.dl.indexQs {
-		q.Close()
-	}
+	it.dl.InterruptStalls()
+	it.dl.closeIndex()
 }
 
 // Drain consumes every in-flight result after Abort (or an early stop) and
@@ -571,6 +791,9 @@ func (it *Iterator) Drain(p clock.Proc) {
 		}
 		it.seen++
 		dl.completed(res.batchID, res.worker)
+	}
+	if it.seen == dl.sendIdx {
+		dl.noteResidual()
 	}
 	// Results already received and parked in the caches were counted when
 	// they arrived; release them so an aborted epoch does not pin batches.

@@ -1,0 +1,173 @@
+package pipeline
+
+import (
+	"testing"
+	"time"
+
+	"lotus/internal/clock"
+	"lotus/internal/data"
+	"lotus/internal/faultinject"
+)
+
+// stragglerLoader builds a real-pixel loader under the sim clock (virtual
+// stalls, real bytes) so byte-identity across dispatch policies is checked on
+// actual tensor contents.
+func stragglerLoader(clk clock.Clock, n, batch, workers int, policy DispatchPolicy, faults *faultinject.Injector) *DataLoader {
+	ds := data.NewImageDataset(data.ImageConfig{
+		Name: "steal", N: n, MeanFileKB: 20, StdFileKB: 5, MinFileKB: 10, MaxFileKB: 40,
+		CompressionRatio: 10, Classes: 4, Seed: 3,
+		IO: data.IOModel{BaseLatency: time.Millisecond, BandwidthMBps: 200},
+	})
+	c := NewCompose(
+		&Loader{IO: ds.IO},
+		&RandomResizedCrop{Size: 24},
+		&RandomHorizontalFlip{},
+		&ToTensor{},
+	)
+	return NewDataLoader(clk, NewImageFolder(ds, c), Config{
+		BatchSize: batch, NumWorkers: workers, Seed: 7, Dispatch: policy,
+		Mode: RealData, MaterializeDim: 32, Faults: faults,
+	})
+}
+
+func runStragglerEpoch(t *testing.T, policy DispatchPolicy, faults *faultinject.Injector) (batches []*Batch, steals, drift int) {
+	t.Helper()
+	sim := clock.NewSim()
+	dl := stragglerLoader(sim, 48, 4, 3, policy, faults)
+	sim.Run("main", func(p clock.Proc) {
+		it := dl.Start(p)
+		for {
+			b, ok := it.Next(p)
+			if !ok {
+				break
+			}
+			batches = append(batches, b)
+		}
+	})
+	return batches, dl.Steals(), dl.CreditDrift()
+}
+
+// TestWorkStealingByteIdenticalUnderSlowReads is the worker-layer straggler
+// contract: with injected slow batches, DispatchWorkStealing must steal work
+// off the stalled worker's lane and still deliver bytes identical to an
+// unfaulted DispatchProducer epoch (batch bytes depend only on spec, seed,
+// epoch, and plan indices — never on which worker ran them).
+func TestWorkStealingByteIdenticalUnderSlowReads(t *testing.T) {
+	want, _, _ := runStragglerEpoch(t, DispatchProducer, nil)
+
+	faults := faultinject.New(faultinject.Spec{
+		Seed: 11, StallNth: 3, WorkerStall: 250 * time.Millisecond,
+	})
+	got, steals, drift := runStragglerEpoch(t, DispatchWorkStealing, faults)
+
+	if steals == 0 {
+		t.Fatal("no steals under an injected straggler; work-stealing never engaged")
+	}
+	if drift != 0 {
+		t.Fatalf("credit drift %d after a clean epoch", drift)
+	}
+	if faults.Counts().WorkerStalls == 0 {
+		t.Fatal("fault injection never fired; the test exercises nothing")
+	}
+	if len(got) != len(want) {
+		t.Fatalf("delivered %d batches, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].ID != want[i].ID {
+			t.Fatalf("batch %d delivered out of order: id %d, want %d", i, got[i].ID, want[i].ID)
+		}
+		if len(got[i].Indices) != len(want[i].Indices) {
+			t.Fatalf("batch %d has %d indices, want %d", i, len(got[i].Indices), len(want[i].Indices))
+		}
+		for j := range want[i].Indices {
+			if got[i].Indices[j] != want[i].Indices[j] {
+				t.Fatalf("batch %d index %d differs", i, j)
+			}
+			if got[i].Labels[j] != want[i].Labels[j] {
+				t.Fatalf("batch %d label %d differs", i, j)
+			}
+		}
+		a, b := want[i].Data, got[i].Data
+		if a.IsMeta() || b.IsMeta() {
+			t.Fatalf("batch %d carries no pixel data", i)
+		}
+		if len(a.F32) != len(b.F32) {
+			t.Fatalf("batch %d tensor length %d, want %d", i, len(b.F32), len(a.F32))
+		}
+		for j := range a.F32 {
+			if a.F32[j] != b.F32[j] {
+				t.Fatalf("batch %d byte-diverges at element %d under work-stealing", i, j)
+			}
+		}
+	}
+}
+
+// TestWorkStealingDeterministicInSim pins the sim-mode schedule: identical
+// configs must produce identical steal counts run over run.
+func TestWorkStealingDeterministicInSim(t *testing.T) {
+	mk := func() *faultinject.Injector {
+		return faultinject.New(faultinject.Spec{
+			Seed: 11, StallNth: 3, WorkerStall: 250 * time.Millisecond,
+		})
+	}
+	_, s1, d1 := runStragglerEpoch(t, DispatchWorkStealing, mk())
+	_, s2, d2 := runStragglerEpoch(t, DispatchWorkStealing, mk())
+	if s1 != s2 {
+		t.Fatalf("steal count not deterministic under the sim clock: %d vs %d", s1, s2)
+	}
+	if d1 != 0 || d2 != 0 {
+		t.Fatalf("credit drift: %d, %d", d1, d2)
+	}
+}
+
+// TestWorkStealingAbortDrains mirrors the teardown contract for the steal
+// board: Abort closes it, workers drain already-dispatched tasks, and Drain
+// leaves the outstanding ledger at zero.
+func TestWorkStealingAbortDrains(t *testing.T) {
+	sim := clock.NewSim()
+	dl := stragglerLoader(sim, 48, 4, 3, DispatchWorkStealing, nil)
+	sim.Run("main", func(p clock.Proc) {
+		it := dl.Start(p)
+		if _, ok := it.Next(p); !ok {
+			t.Error("epoch ended before the first batch")
+			return
+		}
+		it.Abort()
+		it.Drain(p)
+	})
+	if drift := dl.CreditDrift(); drift != 0 {
+		t.Fatalf("credit drift %d after Abort+Drain", drift)
+	}
+}
+
+// TestCompletedDoubleCreditCountsDrift is the regression test for the
+// satellite fix: completed() used to clamp a negative outstanding estimate to
+// zero silently, hiding double-credit bugs. A clean epoch must report zero
+// drift, and an injected double credit must be surfaced, not swallowed.
+func TestCompletedDoubleCreditCountsDrift(t *testing.T) {
+	sim := clock.NewSim()
+	dl := stragglerLoader(sim, 16, 4, 2, DispatchLeastWork, nil)
+	sim.Run("main", func(p clock.Proc) {
+		it := dl.Start(p)
+		for {
+			if _, ok := it.Next(p); !ok {
+				break
+			}
+		}
+	})
+	if drift := dl.CreditDrift(); drift != 0 {
+		t.Fatalf("clean epoch reports drift %d", drift)
+	}
+	// Credit batch 0 a second time: the ledger goes negative by a full batch
+	// cost, far beyond rounding noise.
+	dl.completed(0, 0)
+	if drift := dl.CreditDrift(); drift == 0 {
+		t.Fatal("double credit was clamped silently; drift counter never fired")
+	}
+	// The clamp itself must survive (estimates stay usable for dispatch).
+	dl.mu.Lock()
+	defer dl.mu.Unlock()
+	if dl.outstanding[0] != 0 {
+		t.Fatalf("outstanding[0] = %v, want clamped 0", dl.outstanding[0])
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"hash/fnv"
 	"net"
 	"strings"
+	"sync"
 	"time"
 
 	"lotus/internal/rng"
@@ -59,11 +60,17 @@ type ServerError struct{ Message string }
 func (e *ServerError) Error() string { return "serve: server error: " + e.Message }
 
 // Client streams preprocessed batches from a lotus-serve instance. Not safe
-// for concurrent use; run one Client per goroutine.
+// for concurrent use; run one Client per goroutine. The one concession to
+// concurrency is Kick, which may be called from any goroutine to sever the
+// live connection and unblock the owner.
 type Client struct {
 	cfg     ClientConfig
 	addrs   []string
 	addrIdx int
+	// connMu guards the conn pointer itself (not the stream): the owner
+	// goroutine reads and writes it freely between operations, while Kick
+	// snapshots it from outside.
+	connMu  sync.Mutex
 	conn    net.Conn
 	ack     HelloAck
 	haveAck bool
@@ -171,10 +178,32 @@ func (c *Client) connectTo(addr string) error {
 		conn.Close()
 		return fmt.Errorf("serve: handshake: expected HelloAck, got %T", msg)
 	}
-	c.conn = conn
+	c.setConn(conn)
 	c.ack = ack
 	c.haveAck = true
 	return nil
+}
+
+// setConn publishes the conn pointer under connMu so Kick sees a consistent
+// snapshot from other goroutines.
+func (c *Client) setConn(conn net.Conn) {
+	c.connMu.Lock()
+	c.conn = conn
+	c.connMu.Unlock()
+}
+
+// Kick severs the live connection from any goroutine: the owner's blocking
+// read fails with a closed-connection error and its next call redials. The
+// cluster router uses it to release a round from a degraded node whose
+// outstanding work a hedge already delivered. Kick never clears the pointer —
+// teardown stays with the owning goroutine (drop/Close).
+func (c *Client) Kick() {
+	c.connMu.Lock()
+	conn := c.conn
+	c.connMu.Unlock()
+	if conn != nil {
+		conn.Close()
+	}
 }
 
 // Close says goodbye and closes the connection.
@@ -185,7 +214,7 @@ func (c *Client) Close() error {
 	c.conn.SetWriteDeadline(time.Now().Add(time.Second))
 	WriteFrame(c.conn, EncodeBye())
 	err := c.conn.Close()
-	c.conn = nil
+	c.setConn(nil)
 	return err
 }
 
@@ -195,7 +224,7 @@ func (c *Client) Close() error {
 func (c *Client) drop() {
 	if c.conn != nil {
 		c.conn.Close()
-		c.conn = nil
+		c.setConn(nil)
 	}
 	if len(c.addrs) > 1 {
 		c.addrIdx = (c.addrIdx + 1) % len(c.addrs)
@@ -301,10 +330,21 @@ func (c *Client) backoff(attempt int) time.Duration {
 // are still unserved before re-requesting, possibly from a different node.
 // The connection is dropped on error so the next call redials.
 func (c *Client) FetchShard(epoch int, ids []int, onBatch func(b *Batch, payload []byte)) error {
+	return c.fetchShard(epoch, ids, false, onBatch)
+}
+
+// FetchShardHedged is FetchShard with the request marked speculative, so the
+// serving node accounts hedge traffic separately on /metrics. The stream
+// itself is identical — hedged batches are byte-identical to primaries.
+func (c *Client) FetchShardHedged(epoch int, ids []int, onBatch func(b *Batch, payload []byte)) error {
+	return c.fetchShard(epoch, ids, true, onBatch)
+}
+
+func (c *Client) fetchShard(epoch int, ids []int, hedge bool, onBatch func(b *Batch, payload []byte)) error {
 	if err := c.Connect(); err != nil {
 		return err
 	}
-	if err := WriteFrame(c.conn, EncodeShardReq(ShardReq{Epoch: epoch, IDs: ids})); err != nil {
+	if err := WriteFrame(c.conn, EncodeShardReq(ShardReq{Epoch: epoch, IDs: ids, Hedge: hedge})); err != nil {
 		c.drop()
 		return err
 	}
@@ -433,6 +473,68 @@ func (h *LatencyHist) Mean() time.Duration {
 	return h.Sum / time.Duration(h.Total)
 }
 
+// Quantile returns the latency at quantile p (clamped to [0,1]) by linear
+// interpolation inside the owning log bucket: the fraction f of the bucket's
+// count below the target maps to lo + f*(hi-lo), where (lo, hi] are the
+// bucket bounds. Observations that all land on a bucket boundary 2^k µs are
+// reported exactly (Quantile(1) of such a histogram is 2^k µs), and the
+// result is monotone in p. The open last bucket interpolates toward Max.
+// The cluster router's hedging trigger is built on this: a node whose
+// in-flight shard exceeds Quantile(HedgeQuantile) of recent cluster latency
+// is presumed degraded.
+func (h *LatencyHist) Quantile(p float64) time.Duration {
+	if h.Total == 0 {
+		return 0
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	target := p * float64(h.Total)
+	var cum float64
+	for i, n := range h.Counts {
+		if n == 0 {
+			continue
+		}
+		prev := cum
+		cum += float64(n)
+		if cum < target {
+			continue
+		}
+		f := (target - prev) / float64(n)
+		if f < 0 {
+			f = 0
+		}
+		lo, hi := bucketBounds(i, h.Max)
+		q := lo + time.Duration(f*float64(hi-lo))
+		// A sparse top bucket interpolates past the largest observation;
+		// no quantile can exceed it.
+		if q > h.Max {
+			q = h.Max
+		}
+		return q
+	}
+	return h.Max
+}
+
+// bucketBounds returns bucket i's (lo, hi] latency bounds; the open last
+// bucket is capped by the observed max.
+func bucketBounds(i int, max time.Duration) (lo, hi time.Duration) {
+	if i > 0 {
+		lo = time.Duration(1<<(i-1)) * time.Microsecond
+	}
+	if i == len(LatencyHist{}.Counts)-1 {
+		hi = max
+		if hi < lo {
+			hi = lo
+		}
+		return lo, hi
+	}
+	return lo, time.Duration(1<<i) * time.Microsecond
+}
+
 func bucketOf(d time.Duration) int {
 	us := d.Microseconds()
 	for i := 0; i < len(LatencyHist{}.Counts)-1; i++ {
@@ -463,7 +565,12 @@ func (h *LatencyHist) String() string {
 		}
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "batch latency: n=%d mean=%v max=%v\n", h.Total, h.Mean().Round(time.Microsecond), h.Max.Round(time.Microsecond))
+	fmt.Fprintf(&b, "batch latency: n=%d mean=%v p50=%v p95=%v p99=%v max=%v\n",
+		h.Total, h.Mean().Round(time.Microsecond),
+		h.Quantile(0.50).Round(time.Microsecond),
+		h.Quantile(0.95).Round(time.Microsecond),
+		h.Quantile(0.99).Round(time.Microsecond),
+		h.Max.Round(time.Microsecond))
 	for i, n := range h.Counts {
 		if n == 0 {
 			continue

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"lotus/internal/faultinject"
 	"lotus/internal/pipeline"
 	"lotus/internal/testutil"
 )
@@ -144,4 +145,63 @@ func TestHelloDeadlineDoesNotClipSlowButValidHandshake(t *testing.T) {
 		t.Fatalf("idle session was cut by a leaked handshake deadline: %v", err)
 	}
 	WriteFrame(conn, EncodeBye())
+}
+
+// TestSeveredSessionInterruptsInjectedStall pins the straggler-teardown fix:
+// a session whose socket dies mid-epoch used to be discovered only at the
+// next write — and with a degraded worker mid-stall, that write could be a
+// full injected stall away, pinning the producer pipeline (and the server's
+// drain) for the stall's duration. The connection watcher must now notice
+// the dead socket immediately, and the stall interrupt must wake the
+// sleeping worker, so the epoch aborts in seconds rather than the 30s the
+// fault injector dictates.
+func TestSeveredSessionInterruptsInjectedStall(t *testing.T) {
+	defer testutil.CheckGoroutines(t)()
+
+	spec := loopbackSpec()
+	inj := faultinject.New(faultinject.Spec{Seed: 1, StallNth: 1, WorkerStall: 30 * time.Second})
+	srv := New(Config{
+		Spec: spec, Mode: pipeline.Simulated, EmulateTime: true, Prefetch: 2,
+		Faults: inj, Logf: t.Logf,
+	})
+	if err := srv.Start("127.0.0.1:0", ""); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteFrame(conn, EncodeHello(Hello{Version: ProtocolVersion, Rank: 0, World: 1})); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	if payload, err := ReadFrame(conn, 0); err != nil {
+		t.Fatal(err)
+	} else if msg, err := DecodeMessage(payload); err != nil {
+		t.Fatal(err)
+	} else if _, ok := msg.(HelloAck); !ok {
+		t.Fatalf("server replied %T, want HelloAck", msg)
+	}
+	if err := WriteFrame(conn, EncodeEpochReq(EpochReq{Epoch: 0})); err != nil {
+		t.Fatal(err)
+	}
+	// Give the epoch time to dispatch: by now every worker is asleep inside
+	// its injected 30s stall. Then vanish without a Bye.
+	time.Sleep(300 * time.Millisecond)
+	conn.Close()
+
+	// The abort must land well inside the injected stall. Pre-fix, the
+	// severed socket sat undiscovered until the first post-stall write.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if srv.Metrics().Snapshot(time.Now(), 0).EpochsAborted >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("severed session's epoch was not aborted within 10s of the disconnect")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
 }

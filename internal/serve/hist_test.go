@@ -1,0 +1,96 @@
+package serve
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestQuantileExactOnBucketBoundaries: observations that all land exactly on
+// a bucket's upper bound 2^k µs are reported exactly — interpolation must not
+// smear a degenerate distribution.
+func TestQuantileExactOnBucketBoundaries(t *testing.T) {
+	var h LatencyHist
+	for i := 0; i < 100; i++ {
+		h.Record(1024 * time.Microsecond)
+	}
+	if got := h.Quantile(1); got != 1024*time.Microsecond {
+		t.Fatalf("Quantile(1) = %v, want 1024µs exactly", got)
+	}
+	if got := h.Quantile(0); got != 512*time.Microsecond {
+		t.Fatalf("Quantile(0) = %v, want the bucket's 512µs lower bound", got)
+	}
+
+	// Two boundary-valued populations: the p at the split lands exactly on
+	// the lower population's upper bound; p=1 on the upper population's.
+	var h2 LatencyHist
+	for i := 0; i < 50; i++ {
+		h2.Record(1024 * time.Microsecond)
+		h2.Record(4096 * time.Microsecond)
+	}
+	if got := h2.Quantile(0.5); got != 1024*time.Microsecond {
+		t.Fatalf("Quantile(0.5) = %v, want 1024µs", got)
+	}
+	if got := h2.Quantile(1); got != 4096*time.Microsecond {
+		t.Fatalf("Quantile(1) = %v, want 4096µs", got)
+	}
+	// Midway into the upper bucket (2048, 4096]: linear interpolation.
+	if got := h2.Quantile(0.75); got != 3072*time.Microsecond {
+		t.Fatalf("Quantile(0.75) = %v, want 3072µs", got)
+	}
+}
+
+// TestQuantileMonotone: Quantile must be non-decreasing in p and bounded by
+// [0, Max] for an arbitrary mixed distribution.
+func TestQuantileMonotone(t *testing.T) {
+	var h LatencyHist
+	ds := []time.Duration{
+		3 * time.Microsecond, 17 * time.Microsecond, 90 * time.Microsecond,
+		250 * time.Microsecond, 900 * time.Microsecond, 3 * time.Millisecond,
+		7 * time.Millisecond, 40 * time.Millisecond, 300 * time.Millisecond,
+		2 * time.Second,
+	}
+	for i, d := range ds {
+		for j := 0; j <= i; j++ {
+			h.Record(d)
+		}
+	}
+	prev := time.Duration(-1)
+	for p := 0.0; p <= 1.0; p += 0.01 {
+		q := h.Quantile(p)
+		if q < prev {
+			t.Fatalf("Quantile not monotone: Quantile(%.2f) = %v < %v", p, q, prev)
+		}
+		if q < 0 || q > h.Max {
+			t.Fatalf("Quantile(%.2f) = %v outside [0, %v]", p, q, h.Max)
+		}
+		prev = q
+	}
+	if got := h.Quantile(1); got != h.Max {
+		t.Fatalf("Quantile(1) = %v, want Max %v (last bucket interpolates to Max)", got, h.Max)
+	}
+}
+
+func TestQuantileEmptyAndClamp(t *testing.T) {
+	var h LatencyHist
+	if got := h.Quantile(0.95); got != 0 {
+		t.Fatalf("empty histogram Quantile = %v, want 0", got)
+	}
+	h.Record(100 * time.Microsecond)
+	if h.Quantile(-3) != h.Quantile(0) || h.Quantile(42) != h.Quantile(1) {
+		t.Fatal("out-of-range p must clamp to [0, 1]")
+	}
+}
+
+func TestHistStringPrintsPercentiles(t *testing.T) {
+	var h LatencyHist
+	for i := 0; i < 10; i++ {
+		h.Record(time.Duration(1+i) * time.Millisecond)
+	}
+	s := h.String()
+	for _, want := range []string{"p50=", "p95=", "p99=", "mean=", "max="} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() missing %q:\n%s", want, s)
+		}
+	}
+}

@@ -23,6 +23,8 @@ type Metrics struct {
 	epochsServed   int64
 	epochsAborted  int64
 	reconnects     int64
+	hedgeRequests  int64
+	hedgeBatches   int64
 	opensByName    map[string]int
 	sessions       map[int]*SessionMetrics
 }
@@ -92,6 +94,24 @@ func (m *Metrics) AddEpochAbort() {
 	m.mu.Lock()
 	m.epochsAborted++
 	m.mu.Unlock()
+}
+
+// AddHedge counts one speculative ShardReq (a straggler-mitigating router
+// re-issuing ids it already asked another node for) covering the given
+// number of batch IDs. A high hedge rate on a node means its *peers* look
+// slow to the routers — or the routers' hedge quantile is tuned too low.
+func (m *Metrics) AddHedge(ids int) {
+	m.mu.Lock()
+	m.hedgeRequests++
+	m.hedgeBatches += int64(ids)
+	m.mu.Unlock()
+}
+
+// HedgeStats is the /metrics hedge block: speculative shard requests served
+// by this node.
+type HedgeStats struct {
+	Requests int64 `json:"requests"`
+	Batches  int64 `json:"batches"`
 }
 
 // SessionMetrics tracks one session's live counters. The queue gauge reads
@@ -237,8 +257,11 @@ type MetricsSnapshot struct {
 	// DiskCache carries the persistent disk tier counters (hits, misses,
 	// spills, bytes, segments, rebuilds); nil when the disk cache is
 	// disabled.
-	DiskCache *store.Stats      `json:"disk_cache,omitempty"`
-	Sessions  []SessionSnapshot `json:"sessions"`
+	DiskCache *store.Stats `json:"disk_cache,omitempty"`
+	// Hedge carries the speculative-fetch counters; nil until the first
+	// hedged ShardReq arrives.
+	Hedge    *HedgeStats       `json:"hedge,omitempty"`
+	Sessions []SessionSnapshot `json:"sessions"`
 }
 
 // Snapshot returns a consistent copy of every counter. traceRecords is
@@ -255,6 +278,9 @@ func (m *Metrics) Snapshot(now time.Time, traceRecords int64) MetricsSnapshot {
 		BatchesSent:    m.batchesSent,
 		BytesSent:      m.bytesSent,
 		TraceRecords:   traceRecords,
+	}
+	if m.hedgeRequests > 0 {
+		out.Hedge = &HedgeStats{Requests: m.hedgeRequests, Batches: m.hedgeBatches}
 	}
 	live := make([]*SessionMetrics, 0, len(m.sessions))
 	for _, sm := range m.sessions {

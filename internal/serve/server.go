@@ -460,6 +460,9 @@ func (s *Server) handleConn(conn net.Conn) {
 				s.sendError(conn, "server draining")
 				return
 			}
+			if m.Hedge {
+				s.metrics.AddHedge(len(m.IDs))
+			}
 			if err := sess.streamShardReq(m); err != nil {
 				sess.sm.AddEpochAbort()
 				s.metrics.AddEpochAbort()
@@ -704,6 +707,8 @@ func (ss *session) streamShard(epoch, planLen int, shard []PlanBatch) error {
 
 	ctx, cancelEpoch := context.WithCancel(ss.srv.ctx)
 	defer cancelEpoch()
+	unwatch := ss.watchConn(cancelEpoch)
+	defer unwatch()
 	frames := make(chan *Frame, ss.srv.cfg.Prefetch)
 	ss.sm.SetQueueGauge(func() int { return len(frames) })
 	defer ss.sm.SetQueueGauge(nil)
@@ -758,7 +763,47 @@ func (ss *session) streamShard(epoch, planLen int, shard []PlanBatch) error {
 	}
 	ss.sm.AddEpoch()
 	ss.srv.metrics.AddEpoch()
+	// The watcher must be off the socket before EpochEnd goes out: once the
+	// client sees it, the very next bytes on this connection are its next
+	// request, and those belong to the session loop's reader.
+	unwatch()
 	return WriteFrame(ss.conn, EncodeEpochEnd(EpochEnd{Epoch: epoch, Batches: sent, Checksum: sum.Sum64()}))
+}
+
+// watchConn watches the session's socket for death while a stream is in
+// flight. The protocol is strictly half-duplex — the client sends nothing
+// between its request and the EpochEnd reply — so any read activity
+// mid-stream means the peer hung up, was severed (a hedged straggler kicked
+// by the cluster client), or broke protocol; all of those cancel the epoch
+// so the pipeline aborts instead of computing — or sleeping out an injected
+// stall — for a socket nobody is reading. Without it, a dead connection is
+// only discovered at the next write, which can be arbitrarily far away when
+// the producer is stuck behind a degraded worker.
+//
+// The returned stop function is idempotent; it forces the watcher off the
+// socket via a read deadline and must be called before the connection is
+// next used for a request/response exchange.
+func (ss *session) watchConn(cancel context.CancelFunc) (stop func()) {
+	done := make(chan struct{})
+	var stopping atomic.Bool
+	go func() {
+		defer close(done)
+		var buf [1]byte
+		_, err := ss.conn.Read(buf[:])
+		if ne, ok := err.(net.Error); ok && ne.Timeout() && stopping.Load() {
+			return // kicked off the socket by stop(), stream still healthy
+		}
+		cancel()
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			stopping.Store(true)
+			ss.conn.SetReadDeadline(time.Now())
+			<-done
+			ss.conn.SetReadDeadline(time.Time{})
+		})
+	}
 }
 
 // produceClaimed runs the session's pipeline over exactly the batches it
@@ -819,6 +864,22 @@ func (ss *session) produceClaimed(ctx context.Context, epoch int, claimed []Plan
 	}
 	clk.Run("serve-producer", func(p clock.Proc) {
 		dl := pipeline.NewDataLoader(clk, ss.ds, cfg)
+		// The ctx.Done branch below only runs between batches, but a
+		// worker can be mid-way through a long injected stall when the
+		// epoch is cancelled — and the main proc is then blocked in
+		// it.Next waiting on that very worker. Bridge the cancellation to
+		// the loader's stall interrupt from a plain goroutine so the
+		// sleeping worker wakes, its result lands, and the abort path
+		// gets to run.
+		watchDone := make(chan struct{})
+		defer close(watchDone)
+		go func() {
+			select {
+			case <-ctx.Done():
+				dl.InterruptStalls()
+			case <-watchDone:
+			}
+		}()
 		it := dl.Start(p)
 		// Whatever ends the epoch — completion, failure, or abort —
 		// consume every in-flight worker result so no batch is left

@@ -137,6 +137,10 @@ type EpochReq struct {
 type ShardReq struct {
 	Epoch int
 	IDs   []int
+	// Hedge marks the request as a speculative re-issue by a straggler-
+	// mitigating router: the stream is identical, but the server accounts the
+	// traffic separately so hedge storms are visible on /metrics.
+	Hedge bool
 }
 
 // Batch is the wire form of one collated batch. U8/F32 mirror
@@ -267,16 +271,23 @@ func EncodeEpochReq(r EpochReq) []byte {
 	return appendU32(b, uint32(r.Epoch))
 }
 
-// EncodeShardReq renders a ShardReq frame payload.
+// EncodeShardReq renders a ShardReq frame payload. The trailing hedge byte
+// rides inside the same additive message (every ShardReq peer in this
+// codebase emits and expects it; a strict pre-hedge decoder would reject the
+// frame with a clean Error, which a router treats as a node failure).
 func EncodeShardReq(r ShardReq) []byte {
-	b := make([]byte, 0, 1+4+4+4*len(r.IDs))
+	b := make([]byte, 0, 1+4+4+4*len(r.IDs)+1)
 	b = append(b, byte(MsgShardReq))
 	b = appendU32(b, uint32(r.Epoch))
 	b = appendU32(b, uint32(len(r.IDs)))
 	for _, id := range r.IDs {
 		b = appendU32(b, uint32(id))
 	}
-	return b
+	hedge := byte(0)
+	if r.Hedge {
+		hedge = 1
+	}
+	return append(b, hedge)
 }
 
 // batchWireSize returns the exact encoded length of a Batch frame payload,
@@ -538,6 +549,13 @@ func DecodeMessage(payload []byte) (any, error) {
 			for i := range r.IDs {
 				r.IDs[i] = int(d.u32())
 			}
+		}
+		switch h := d.u8(); h {
+		case 0:
+		case 1:
+			r.Hedge = true
+		default:
+			d.fail("shardreq hedge flag %d", h)
 		}
 		if err := d.done(); err != nil {
 			return nil, err

@@ -42,6 +42,7 @@ func TestMessageRoundTrips(t *testing.T) {
 		EpochReq{Epoch: 3},
 		ShardReq{Epoch: 4, IDs: []int{7, 0, 3}},
 		ShardReq{Epoch: 0, IDs: []int{}},
+		ShardReq{Epoch: 2, IDs: []int{5, 1}, Hedge: true},
 		&Batch{Epoch: 1, GlobalID: 7, Indices: []int{4, 9, 1}, Labels: []int{0, -1, 2},
 			Dtype: tensor.Float32, Shape: []int{3, 3, 224, 224}},
 		&Batch{Epoch: 0, GlobalID: 0, Indices: []int{1}, Labels: []int{5},
@@ -83,6 +84,12 @@ func TestDecodeRejectsMalformed(t *testing.T) {
 		{"shardreq forged count", func() []byte {
 			b := EncodeShardReq(ShardReq{Epoch: 1, IDs: []int{1}})
 			b[5+3] = 0xff // inflate the id count far past the payload
+			return b
+		}()},
+		{"shardreq missing hedge flag", EncodeShardReq(ShardReq{Epoch: 1, IDs: []int{1}})[:13]},
+		{"shardreq bogus hedge flag", func() []byte {
+			b := EncodeShardReq(ShardReq{Epoch: 1, IDs: []int{1}})
+			b[len(b)-1] = 7
 			return b
 		}()},
 		{"batch forged count", func() []byte {

@@ -468,8 +468,9 @@ func NewIterableLoader(clk Clock, ds IterableDataset, cfg LoaderConfig) *Iterabl
 
 // Dispatch policies for LoaderConfig.Dispatch.
 const (
-	DispatchProducer  = pipeline.DispatchProducer
-	DispatchLeastWork = pipeline.DispatchLeastWork
+	DispatchProducer     = pipeline.DispatchProducer
+	DispatchLeastWork    = pipeline.DispatchLeastWork
+	DispatchWorkStealing = pipeline.DispatchWorkStealing
 )
 
 // Refined attribution (per-function mix weighting) and its validation

@@ -2,7 +2,7 @@
 # bench.sh — run the headline microbenchmarks behind the PRs' performance
 # claims and capture benchstat-ready output plus JSON summaries.
 #
-# Usage: scripts/bench.sh [pr1-out.json] [pr2-out.json] [pr4-out.json] [pr5-out.json] [pr6-out.json] [pr7-out.json]
+# Usage: scripts/bench.sh [pr1-out.json] [pr2-out.json] [pr4-out.json] [pr5-out.json] [pr6-out.json] [pr7-out.json] [pr8-out.json]
 # Stage 1: the four PR-1 hot-path microbenchmarks -> BENCH_PR1.json.
 # Stage 2: the PR-2 service-throughput benchmark (batches/sec at 1, 2, and
 # 4 clients over loopback TCP) -> BENCH_PR2.json.
@@ -20,6 +20,9 @@
 # Stage 6: the PR-7 warm-restart comparison (fresh server per iteration,
 # cold recompute vs a disk directory warmed once) -> BENCH_PR7.json, plus a
 # check that warmRestart is at least 5x cold.
+# Stage 7: the PR-8 straggler-tail comparison (p99 epoch latency across a
+# 3-node cluster with one degraded node, hedged vs unhedged) ->
+# BENCH_PR8.json, plus a check that hedging cuts the p99 at least 2x.
 # The raw `go test -bench` output (6 repetitions, suitable for feeding to
 # benchstat old.txt new.txt) is written next to each JSON as <outfile>.txt.
 set -euo pipefail
@@ -56,6 +59,8 @@ SCACHE_JSON="${5:-BENCH_PR6.json}"
 SCACHE_TXT="${SCACHE_JSON%.json}.txt"
 DISK_JSON="${6:-BENCH_PR7.json}"
 DISK_TXT="${DISK_JSON%.json}.txt"
+STRAG_JSON="${7:-BENCH_PR8.json}"
+STRAG_TXT="${STRAG_JSON%.json}.txt"
 
 BENCHES='BenchmarkBilinearResize|BenchmarkSJPGDecode|BenchmarkUntracedEpoch|BenchmarkTracerEmit'
 
@@ -329,3 +334,56 @@ END {
     printf "warm restart: cold %.1f batches/sec, warmRestart %.1f batches/sec (%.2fx)\n", cold, warm, warm / cold
     if (!(warm >= 5 * cold)) { print "FAIL: warmRestart is not 5x the cold restart baseline" > "/dev/stderr"; exit 1 }
 }' "$DISK_JSON"
+
+echo "running: BenchmarkStragglerTail (3 reps) ..."
+# Each iteration routes a full epoch through a 3-node cluster whose busiest
+# node stalls 1.5s per batch, so reps are expensive; 3 medians are enough for
+# a >=2x gate.
+go test -run '^$' -bench '^BenchmarkStragglerTail$' -benchtime 4x -count=3 -timeout 30m ./internal/cluster | tee "$STRAG_TXT"
+require_bench "$STRAG_TXT" "stage 7"
+
+awk '
+/^BenchmarkStragglerTail\// {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    if (!(name in seen)) { seen[name] = 1; order[++n_names] = name }
+    ns[name] = ns[name] " " $3
+    for (i = 4; i <= NF; i++) {
+        if ($(i+1) == "p99-epoch-ms") p99[name] = p99[name] " " $i
+        if ($(i+1) == "batches/sec")  bps[name] = bps[name] " " $i
+    }
+}
+function median(s,   a, n, i, j, t) {
+    n = split(s, a, " ")
+    for (i = 2; i <= n; i++) {
+        t = a[i] + 0
+        for (j = i - 1; j >= 1 && a[j] + 0 > t; j--) a[j+1] = a[j]
+        a[j+1] = t
+    }
+    if (n % 2) return a[(n+1)/2]
+    return (a[n/2] + a[n/2+1]) / 2
+}
+END {
+    printf "{\n"
+    for (i = 1; i <= n_names; i++) {
+        name = order[i]
+        printf "  \"%s\": {\"ns_op\": %s, \"p99_epoch_ms\": %s, \"batches_per_sec\": %s}%s\n", \
+            name, median(ns[name]), median(p99[name]), median(bps[name]), \
+            (i < n_names ? "," : "")
+    }
+    printf "}\n"
+}' "$STRAG_TXT" > "$STRAG_JSON"
+
+echo "summary written to $STRAG_JSON (raw benchstat input: $STRAG_TXT)"
+
+# Acceptance check: hedged fetches must cut the straggler cluster's p99 epoch
+# latency at least in half — the PR-8 headline claim. Output bytes are
+# verified inside the benchmark itself (every epoch is compared to a healthy
+# node's ground truth).
+awk -F'[:,}]' '
+/"BenchmarkStragglerTail\/hedge=off"/ { for (i = 1; i <= NF; i++) if ($i ~ /p99_epoch_ms/) off = $(i+1) + 0 }
+/"BenchmarkStragglerTail\/hedge=on"/  { for (i = 1; i <= NF; i++) if ($i ~ /p99_epoch_ms/) on = $(i+1) + 0 }
+END {
+    printf "straggler tail: hedge=off p99 %.0f ms, hedge=on p99 %.0f ms (%.2fx)\n", off, on, off / on
+    if (!(off >= 2 * on)) { print "FAIL: hedged fetches do not cut straggler p99 epoch latency 2x" > "/dev/stderr"; exit 1 }
+}' "$STRAG_JSON"
