@@ -60,6 +60,7 @@ func main() {
 		retries     = flag.Int("retries", 4, "reconnect attempts per epoch on transient failures")
 		backoff     = flag.Duration("backoff", 50*time.Millisecond, "retry backoff base (doubles per attempt)")
 		quiet       = flag.Bool("quiet", false, "suppress per-epoch progress lines")
+		autotune    = flag.Bool("autotune", false, "cluster mode: re-weight each node's hash-ring share from its observed per-batch cadence so slow nodes shed load until throughput converges")
 	)
 	flag.Parse()
 
@@ -74,7 +75,7 @@ func main() {
 	}
 
 	if *clustered {
-		runCluster(endpoints, *epochs, *replication, *heartbeat, *hedgeQ, *name, *quiet)
+		runCluster(endpoints, *epochs, *replication, *heartbeat, *hedgeQ, *name, *quiet, *autotune)
 		return
 	}
 
@@ -132,7 +133,7 @@ func main() {
 
 // runCluster consumes epochs through the consistent-hash cluster router
 // instead of a single rank/world session.
-func runCluster(endpoints []string, epochs, replication int, heartbeat time.Duration, hedgeQuantile float64, name string, quiet bool) {
+func runCluster(endpoints []string, epochs, replication int, heartbeat time.Duration, hedgeQuantile float64, name string, quiet, autotune bool) {
 	nodes := make([]cluster.Node, len(endpoints))
 	for i, a := range endpoints {
 		nodes[i] = cluster.Node{ID: a, Addr: a}
@@ -154,6 +155,7 @@ func runCluster(endpoints []string, epochs, replication int, heartbeat time.Dura
 		Name:          name,
 		Membership:    mem,
 		HedgeQuantile: hedgeQuantile,
+		AutoTune:      autotune,
 		Logf:          log.Printf,
 		OnReroute: func(epoch int, ids []int) {
 			log.Printf("lotus-fetch: epoch %d: rerouting %d batches to survivors", epoch, len(ids))
@@ -193,7 +195,12 @@ func runCluster(endpoints []string, epochs, replication int, heartbeat time.Dura
 		ids = append(ids, id)
 	}
 	sort.Strings(ids)
+	weights := c.Weights()
 	for _, id := range ids {
-		fmt.Printf("lotus-fetch:   %-24s %6d batches (%s)\n", id, stats.PerNode[id], mem.State(id))
+		line := fmt.Sprintf("lotus-fetch:   %-24s %6d batches (%s)", id, stats.PerNode[id], mem.State(id))
+		if autotune {
+			line += fmt.Sprintf(" weight %.2f", weights[id])
+		}
+		fmt.Println(line)
 	}
 }

@@ -100,6 +100,8 @@ func main() {
 		nodeID   = flag.String("node", "", "this node's cluster identity (default: -addr)")
 		join     = flag.String("join", "", "cluster member list ([id=]wire[/http] per entry, comma-separated); serves the membership view on /cluster")
 		interval = flag.Duration("heartbeat", 500*time.Millisecond, "peer heartbeat interval in cluster mode")
+		autotune = flag.Bool("autotune", false, "closed-loop controller: observe wait/queue/cache signals at every completed epoch and retune workers, prefetch, and cache budgets at runtime")
+		longWait = flag.Duration("autotune-long-wait", 0, "wait duration the controller counts as a stall (0 = 500ms default)")
 	)
 	flag.Parse()
 
@@ -188,6 +190,8 @@ func main() {
 		SampleCacheBytes: *scacheMB << 20,
 		DiskCacheDir:     *diskDir,
 		DiskCacheBytes:   int64(*diskGB * float64(1<<30)),
+		AutoTune:         *autotune,
+		AutoTuneLongWait: *longWait,
 		ClusterInfo:      clusterInfo,
 		Logf:             log.Printf,
 	})

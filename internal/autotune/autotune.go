@@ -16,6 +16,10 @@
 // An e2e-only tuner cannot distinguish "no improvement because the GPU is
 // now the bottleneck" from "no improvement because of noise"; the trace
 // signals make the stopping decision explicit.
+//
+// The classification and selection rules live in internal/control — this
+// package is the offline driver of the same bottleneck model the live
+// controller closes its loop with.
 package autotune
 
 import (
@@ -24,6 +28,7 @@ import (
 	"strings"
 	"time"
 
+	"lotus/internal/control"
 	"lotus/internal/core/trace"
 	"lotus/internal/workloads"
 )
@@ -61,16 +66,9 @@ func (c Config) defaults() Config {
 	return c
 }
 
-// Step is one evaluated configuration.
-type Step struct {
-	Workers int
-	// Prefetch is the prefetch factor (0 = the DataLoader default of 2).
-	Prefetch     int
-	E2E          time.Duration
-	CPUSeconds   float64
-	GPUUtil      float64
-	LongWaitFrac float64
-}
+// Step is one evaluated configuration — the shared model's Sample, produced
+// here by a virtual-clock run instead of live counters.
+type Step = control.Sample
 
 // Result is the tuning outcome.
 type Result struct {
@@ -99,17 +97,14 @@ func (r Result) String() string {
 	return b.String()
 }
 
-// evaluatePrefetch evaluates a (workers, prefetch) pair.
-func evaluatePrefetch(spec workloads.Spec, workers, prefetch int, longWait time.Duration) Step {
-	spec.Prefetch = prefetch
-	st := evaluate(spec, workers, longWait)
-	st.Prefetch = prefetch
-	return st
-}
-
-// evaluate runs one candidate configuration and extracts the signals.
-func evaluate(spec workloads.Spec, workers int, longWait time.Duration) Step {
+// evaluate runs one candidate (workers, prefetch) configuration on the
+// virtual clock and extracts the model's signals (prefetch 0 keeps the
+// spec's own setting).
+func evaluate(spec workloads.Spec, workers, prefetch int, longWait time.Duration) Step {
 	spec.NumWorkers = workers
+	if prefetch > 0 {
+		spec.Prefetch = prefetch
+	}
 	var buf bytes.Buffer
 	tr := trace.NewTracer(&buf)
 	stats, _, _ := spec.Run(tr.Hooks())
@@ -121,6 +116,7 @@ func evaluate(spec workloads.Spec, workers int, longWait time.Duration) Step {
 	a := trace.Analyze(recs)
 	return Step{
 		Workers:      workers,
+		Prefetch:     prefetch,
 		E2E:          stats.Elapsed,
 		CPUSeconds:   a.TotalCPUSeconds(),
 		GPUUtil:      stats.GPUUtilization(),
@@ -128,11 +124,11 @@ func evaluate(spec workloads.Spec, workers int, longWait time.Duration) Step {
 	}
 }
 
-// Tune searches worker counts by doubling while the trace signals say the
-// pipeline is still preprocessing-bound, then refines between the last two
-// candidates. The returned Best is the cheapest configuration (fewest CPU
-// seconds) within Tolerance of the best epoch time and within the CPU
-// budget.
+// Tune searches worker counts by doubling while the bottleneck model says
+// the pipeline is still preprocessing-bound, then refines between the last
+// two candidates. The returned Best is control.SelectCheapest's pick: the
+// cheapest configuration (fewest CPU seconds) within Tolerance of the best
+// epoch time and within the CPU budget.
 func Tune(spec workloads.Spec, cfg Config) Result {
 	cfg = cfg.defaults()
 	res := Result{}
@@ -141,19 +137,23 @@ func Tune(spec workloads.Spec, cfg Config) Result {
 		return cfg.CPUBudgetSeconds <= 0 || s.CPUSeconds <= cfg.CPUBudgetSeconds
 	}
 
-	// Phase 1: doubling.
+	// Phase 1: doubling, with the stopping decision delegated to the shared
+	// bottleneck classification.
 	w := cfg.MinWorkers
 	var prev *Step
 	for {
-		step := evaluate(spec, w, cfg.LongWait)
+		step := evaluate(spec, w, 0, cfg.LongWait)
 		res.Steps = append(res.Steps, step)
 		if !withinBudget(step) {
 			res.StopReason = fmt.Sprintf("CPU budget exceeded at %d workers (%.1fs > %.1fs)",
 				w, step.CPUSeconds, cfg.CPUBudgetSeconds)
 			break
 		}
-		if step.GPUUtil > 0.9 {
+		if verdict := control.Classify(step); verdict == control.BottleneckAccelerator {
 			res.StopReason = fmt.Sprintf("accelerator saturated at %d workers (%.0f%% utilization)", w, 100*step.GPUUtil)
+			break
+		} else if verdict == control.BottleneckBalanced {
+			res.StopReason = fmt.Sprintf("stalls eliminated at %d workers", w)
 			break
 		}
 		if prev != nil {
@@ -162,10 +162,6 @@ func Tune(spec workloads.Spec, cfg Config) Result {
 				res.StopReason = fmt.Sprintf("diminishing returns at %d workers (%.1f%% improvement)", w, 100*improve)
 				break
 			}
-		}
-		if step.LongWaitFrac < 0.05 && step.GPUUtil > 0.5 {
-			res.StopReason = fmt.Sprintf("stalls eliminated at %d workers", w)
-			break
 		}
 		if w >= cfg.MaxWorkers {
 			res.StopReason = fmt.Sprintf("search bound reached (%d workers)", w)
@@ -183,7 +179,7 @@ func Tune(spec workloads.Spec, cfg Config) Result {
 	if n := len(res.Steps); n >= 2 {
 		lo, hi := res.Steps[n-2].Workers, res.Steps[n-1].Workers
 		if mid := (lo + hi) / 2; mid != lo && mid != hi {
-			res.Steps = append(res.Steps, evaluate(spec, mid, cfg.LongWait))
+			res.Steps = append(res.Steps, evaluate(spec, mid, 0, cfg.LongWait))
 		}
 	}
 
@@ -194,41 +190,21 @@ func Tune(spec workloads.Spec, cfg Config) Result {
 	if cfg.TunePrefetch {
 		provisional := res.Steps[len(res.Steps)-1].Workers
 		for _, pf := range []int{1, 4} {
-			s2 := spec
-			s2.NumWorkers = provisional
-			step := evaluatePrefetch(s2, provisional, pf, cfg.LongWait)
-			res.Steps = append(res.Steps, step)
+			res.Steps = append(res.Steps, evaluate(spec, provisional, pf, cfg.LongWait))
 		}
 	}
 
-	// Selection: cheapest CPU within tolerance of the fastest in-budget run.
-	var bestE2E time.Duration
+	// Selection: the shared rule — cheapest CPU within tolerance of the
+	// fastest in-budget run.
+	chosen := control.SelectCheapest(res.Steps, cfg.Tolerance, cfg.CPUBudgetSeconds)
+	inBudget := false
 	for _, s := range res.Steps {
-		if !withinBudget(s) {
-			continue
-		}
-		if bestE2E == 0 || s.E2E < bestE2E {
-			bestE2E = s.E2E
+		if withinBudget(s) {
+			inBudget = true
+			break
 		}
 	}
-	chosen := -1
-	for i, s := range res.Steps {
-		if !withinBudget(s) {
-			continue
-		}
-		if float64(s.E2E) <= float64(bestE2E)*(1+cfg.Tolerance) {
-			if chosen < 0 || s.CPUSeconds < res.Steps[chosen].CPUSeconds {
-				chosen = i
-			}
-		}
-	}
-	if chosen < 0 {
-		// Nothing in budget: fall back to the cheapest configuration tried.
-		for i, s := range res.Steps {
-			if chosen < 0 || s.CPUSeconds < res.Steps[chosen].CPUSeconds {
-				chosen = i
-			}
-		}
+	if !inBudget {
 		res.StopReason += "; no configuration met the CPU budget"
 	}
 	res.Best = res.Steps[chosen]

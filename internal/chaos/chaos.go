@@ -152,6 +152,9 @@ func Sweep(opts Options) []Result {
 	run(clusterNodeSlowCell(opts.Seed))
 	run(clusterHeartbeatFlapCell(opts.Seed))
 	run(clusterNodeKillRewarmCell(opts.Seed))
+	// Closed-loop balancer convergence: a slowed-but-alive node sheds ring
+	// weight until throughput converges, with byte-identity every epoch.
+	run(clusterAutotuneSlowNodeCell(opts.Seed))
 	return out
 }
 
@@ -372,6 +375,7 @@ type serverOpts struct {
 	sampleCacheBytes int64
 	diskDir          string        // non-empty enables the persistent disk tier
 	mode             pipeline.Mode // zero value = Simulated
+	emulate          bool          // Simulated pipeline paced on the wall clock
 }
 
 // startServer boots a loopback server with the given injector; cacheBytes > 0
@@ -382,8 +386,9 @@ func startServer(spec workloads.Spec, inj *faultinject.Injector, cacheBytes int6
 
 // startServerOpts is startServer with the full feature selection.
 func startServerOpts(spec workloads.Spec, inj *faultinject.Injector, o serverOpts) (*serve.Server, error) {
-	srv := serve.New(serve.Config{Spec: spec, Mode: o.mode, MaterializeDim: chaosMaterializeDim,
-		Prefetch: 2, Faults: inj,
+	srv := serve.New(serve.Config{Spec: spec, Mode: o.mode, EmulateTime: o.emulate,
+		MaterializeDim: chaosMaterializeDim,
+		Prefetch:       2, Faults: inj,
 		BatchCacheBytes: o.batchCacheBytes, SampleCacheBytes: o.sampleCacheBytes,
 		DiskCacheDir: o.diskDir})
 	if err := srv.Start("127.0.0.1:0", ""); err != nil {

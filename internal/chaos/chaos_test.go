@@ -27,6 +27,7 @@ func TestSweepAllInvariantsHold(t *testing.T) {
 		"cluster-node-kill", "cluster-node-slow", "cluster-heartbeat-flap",
 		"cluster-node-kill-rewarm",
 		"slow-read-steal", "cluster-hedge-slow-node",
+		"cluster-autotune-slow-node",
 	} {
 		if injectedByClass[class] == 0 {
 			t.Errorf("fault class %q never injected a fault", class)
@@ -76,4 +77,14 @@ func TestPredictionIndependentOfWorkerCount(t *testing.T) {
 			t.Errorf("workers=%d changed the outcome: %v vs %v", workers, res.Notes, first)
 		}
 	}
+}
+
+// TestClusterAutotuneSlowNodeCell runs the balancer-convergence cell on its
+// own so CI can gate it (and a failure reproduces) without a full sweep.
+func TestClusterAutotuneSlowNodeCell(t *testing.T) {
+	r := clusterAutotuneSlowNodeCell(1)
+	if !r.OK() {
+		t.Fatalf("chaos cell failed: %s", r)
+	}
+	t.Logf("chaos: %s", r)
 }

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"lotus/internal/cluster"
+	"lotus/internal/control"
 	"lotus/internal/faultinject"
 	"lotus/internal/pipeline"
 	"lotus/internal/serve"
@@ -364,6 +365,127 @@ func clusterNodeSlowCell(seed int64) Result {
 		}
 		res.Notes = append(res.Notes, fmt.Sprintf("victim served %d batches through stalls", stats.PerNode[h.victim]))
 	}
+	c.Close()
+	h.close()
+	if err := testutil.WaitNoLeaks(baseline, 5*time.Second); err != nil {
+		res.Failures = append(res.Failures, err.Error())
+	}
+	res.Injected = inj.Counts().WorkerStalls
+	if res.Injected == 0 {
+		res.Failures = append(res.Failures, "fault class injected nothing")
+	}
+	return res
+}
+
+// clusterAutotuneSlowNodeCell degrades the busiest node with a stall on
+// every batch it produces and turns the closed-loop balancer on. The nodes
+// serve in emulate-time mode — the Simulated pipeline paced on the wall
+// clock — so each node's frame cadence reflects its own modeled service
+// rate rather than this host's CPU contention (three RealData servers on
+// one machine are CPU-coupled, which makes the busiest node's inter-arrival
+// gaps look FASTEST and would invert the signal). Across four routed epochs
+// the balancer must shift ring weight away from the slowed-but-alive node —
+// no operator input, no failover, no hedging — until its batch share drops,
+// while every epoch still delivers the plan exactly once and byte-identical
+// to the ground truth. This is the convergence cell for the autotuner:
+// re-weighting is a throughput move and must never become a correctness
+// event.
+func clusterAutotuneSlowNodeCell(seed int64) Result {
+	res := Result{Class: "cluster-autotune-slow-node", Workload: "IC"}
+	// Enough batches per epoch that every node clears the balancer's
+	// MinSamples window even after weight has shifted.
+	spec := workloads.ICSpec(256, seed)
+	spec.BatchSize = 8 // 32 batches per epoch
+	spec.NumWorkers = 2
+	// The stall is virtual time, which emulate mode pays on the wall clock:
+	// every victim batch costs an extra 60ms real, dwarfing the healthy
+	// modeled per-batch cadence so the victim is an unambiguous outlier.
+	// Warm-up frames are excluded from the cadence histograms, so only the
+	// steady stalls register.
+	inj := faultinject.New(faultinject.Spec{Seed: seed, StallNth: 1, WorkerStall: 60 * time.Millisecond})
+	baseline := testutil.Baseline()
+	h, err := startClusterHarness(spec, func() *faultinject.Injector { return inj },
+		serverOpts{emulate: true})
+	if err != nil {
+		res.Failures = append(res.Failures, err.Error())
+		return res
+	}
+	defer h.close()
+
+	c, err := cluster.New(cluster.Config{
+		Nodes:    h.nodes,
+		Name:     "chaos-autotune",
+		AutoTune: true,
+		// Tight windows so four epochs are plenty: trust two steady frames,
+		// allow a re-weight every epoch.
+		Balancer: control.BalancerConfig{MinSamples: 2, Cooldown: 1},
+	})
+	if err != nil {
+		res.Failures = append(res.Failures, err.Error())
+		return res
+	}
+	defer c.Close()
+
+	const epochs = 4
+	shares := make([]int, epochs)
+	for e := 0; e < epochs; e++ {
+		expected, err := groundTruthFrames(spec, e)
+		if err != nil {
+			res.Failures = append(res.Failures, fmt.Sprintf("epoch %d ground truth: %v", e, err))
+			return res
+		}
+		sink := newClusterSink()
+		stats, err := c.RunEpoch(e, sink.onBatch)
+		if err != nil {
+			res.Failures = append(res.Failures, fmt.Sprintf("epoch %d failed: %v", e, err))
+			return res
+		}
+		res.Failures = sink.check(expected, res.Failures)
+		if stats.NodeFailures != 0 || stats.Rerouted != 0 {
+			res.Failures = append(res.Failures, fmt.Sprintf(
+				"epoch %d: re-weighting became failover: failures=%d rerouted=%d",
+				e, stats.NodeFailures, stats.Rerouted))
+		}
+		if stats.Ignored != 0 {
+			res.Failures = append(res.Failures, fmt.Sprintf(
+				"epoch %d: %d frames hit the exactly-once filter", e, stats.Ignored))
+		}
+		shares[e] = stats.PerNode[h.victim]
+	}
+
+	// Convergence: the balancer noticed (at least one applied re-weight),
+	// the victim's ring weight dropped while healthy peers kept full weight,
+	// and its routed share shrank — yet it stayed alive and serving.
+	if c.WeightMoves() == 0 {
+		res.Failures = append(res.Failures, "balancer never re-weighted a 60ms-stalled node")
+	}
+	weights := c.Weights()
+	if w := weights[h.victim]; w > 0.75 {
+		res.Failures = append(res.Failures, fmt.Sprintf("victim weight %.2f never dropped", w))
+	}
+	// Healthy peers may trade a few percent on scheduling jitter, but the
+	// stalled node must be an unambiguous outlier below all of them.
+	for _, n := range h.nodes {
+		if n.ID == h.victim {
+			continue
+		}
+		w := weights[n.ID]
+		if w < 0.75 {
+			res.Failures = append(res.Failures, fmt.Sprintf("healthy node %s lost weight: %.2f", n.ID, w))
+		}
+		if weights[h.victim] >= w {
+			res.Failures = append(res.Failures, fmt.Sprintf(
+				"victim weight %.2f not below healthy %s (%.2f)", weights[h.victim], n.ID, w))
+		}
+	}
+	if shares[epochs-1] >= shares[0] {
+		res.Failures = append(res.Failures, fmt.Sprintf(
+			"victim share never converged down: epoch 0 served %d, epoch %d served %d",
+			shares[0], epochs-1, shares[epochs-1]))
+	}
+	res.Notes = append(res.Notes, fmt.Sprintf(
+		"victim=%s weight=%.2f shares=%v moves=%d", h.victim, weights[h.victim], shares, c.WeightMoves()))
+
 	c.Close()
 	h.close()
 	if err := testutil.WaitNoLeaks(baseline, 5*time.Second); err != nil {

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"lotus/internal/control"
 	"lotus/internal/faultinject"
 	"lotus/internal/pipeline"
 	"lotus/internal/serve"
@@ -205,6 +206,135 @@ func BenchmarkStragglerTail(b *testing.B) {
 			}
 			if hedged && totalHedged == 0 {
 				b.Fatal("hedge=on series never hedged a batch")
+			}
+		})
+	}
+}
+
+// BenchmarkAutotuneImbalanced quantifies the PR 9 claim: on a 3-node cluster
+// whose busiest node pays ~3x the per-batch cost, the closed-loop balancer
+// lifts aggregate routed throughput at least 1.5x over the static ring, with
+// every served byte unchanged. The nodes run in emulate-time mode (the
+// Simulated pipeline paced on the wall clock) so each node's cadence is its
+// own modeled service rate, not this host's core count; the victim's extra
+// cost is a virtual stall per preprocessed batch, which emulate mode pays in
+// real time. The autotune=off series eats the imbalance every epoch; the
+// autotune=on series sheds ring weight from the slow node across epochs and
+// settles with the cluster throughput-bound, not victim-bound. Both series
+// get the same untimed warm-up epochs, so convergence happens inside the
+// measured region for the "on" series too. scripts/bench.sh captures the
+// batches/sec metric into BENCH_PR9.json and gates the 1.5x ratio.
+func BenchmarkAutotuneImbalanced(b *testing.B) {
+	spec := workloads.ICSpec(256, 7)
+	spec.BatchSize = 8 // 32 batches per epoch
+	spec.NumWorkers = 2
+	// ~2x the healthy modeled per-batch cost on top of base: the victim runs
+	// at roughly 3x per batch.
+	const stall = 100 * time.Millisecond
+
+	// Ground truth once from a plain Simulated server (same bytes, unpaced).
+	gtSrv := serve.New(serve.Config{Spec: spec, Mode: pipeline.Simulated, Prefetch: 4})
+	if err := gtSrv.Start("127.0.0.1:0", ""); err != nil {
+		b.Fatal(err)
+	}
+	gt := serve.NewClient(serve.ClientConfig{Addr: gtSrv.Addr(), Name: "bench-ground-truth"})
+	want := make(map[int][]byte)
+	if _, err := gt.Run(1, func(batch *serve.Batch, payload []byte) {
+		want[batch.GlobalID] = append([]byte(nil), payload...)
+	}); err != nil {
+		b.Fatal(err)
+	}
+	gt.Close()
+	gtSrv.Close()
+
+	// The ring decides the victim the same way regardless of tuning config.
+	ring := NewRing(0)
+	alive := map[string]bool{}
+	for i := 0; i < 3; i++ {
+		id := fmt.Sprintf("node%d", i)
+		ring.Add(id)
+		alive[id] = true
+	}
+	ids := make([]int, len(want))
+	for i := range ids {
+		ids[i] = i
+	}
+	asn := ring.Assign(ids, alive, 1)
+	victim, best := "", -1
+	for i := 0; i < 3; i++ {
+		id := fmt.Sprintf("node%d", i)
+		if l := len(asn.ByNode[id]); l > best {
+			best, victim = l, id
+		}
+	}
+
+	for _, tune := range []bool{false, true} {
+		b.Run(fmt.Sprintf("autotune=%v", tune), func(b *testing.B) {
+			nodes := make([]Node, 3)
+			for i := range nodes {
+				id := fmt.Sprintf("node%d", i)
+				var inj *faultinject.Injector
+				if id == victim {
+					inj = faultinject.New(faultinject.Spec{Seed: 7, StallNth: 1, WorkerStall: stall})
+				}
+				srv := serve.New(serve.Config{
+					Spec: spec, Mode: pipeline.Simulated, EmulateTime: true, Prefetch: 4, Faults: inj,
+				})
+				if err := srv.Start("127.0.0.1:0", ""); err != nil {
+					b.Fatal(err)
+				}
+				defer srv.Close()
+				nodes[i] = Node{ID: id, Addr: srv.Addr()}
+			}
+			c, err := New(Config{
+				Nodes:    nodes,
+				Name:     fmt.Sprintf("bench-autotune-%v", tune),
+				AutoTune: tune,
+				Balancer: control.BalancerConfig{MinSamples: 2, Cooldown: 1},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+
+			// Equal untimed warm-up for both series: connections dialed,
+			// histograms primed. The "on" series has NOT converged yet — its
+			// re-weighting epochs are measured.
+			for i := 0; i < 2; i++ {
+				if _, err := c.RunEpoch(0, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+
+			total := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				got := make(map[int][]byte, len(want))
+				stats, err := c.RunEpoch(0, func(node string, batch *serve.Batch, payload []byte) {
+					got[batch.GlobalID] = append([]byte(nil), payload...)
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if stats.NodeFailures > 0 || stats.Ignored > 0 {
+					b.Fatalf("benchmark epoch saw failures: %+v", stats)
+				}
+				if len(got) != len(want) {
+					b.Fatalf("delivered %d of %d batches", len(got), len(want))
+				}
+				for gid, w := range want {
+					if !bytes.Equal(got[gid], w) {
+						b.Fatalf("batch %d not byte-identical under autotune=%v", gid, tune)
+					}
+				}
+				total += stats.Batches
+			}
+			b.StopTimer()
+			if sec := b.Elapsed().Seconds(); sec > 0 {
+				b.ReportMetric(float64(total)/sec, "batches/sec")
+			}
+			if tune {
+				b.ReportMetric(c.Weights()[victim], "victim-weight")
 			}
 		})
 	}

@@ -3,9 +3,11 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
+	"lotus/internal/control"
 	"lotus/internal/rng"
 	"lotus/internal/serve"
 )
@@ -66,6 +68,20 @@ type Config struct {
 	// HedgeMinDelay floors the hedge threshold (default 1ms) so a uniformly
 	// fast cluster never hedges on microsecond jitter.
 	HedgeMinDelay time.Duration
+	// AutoTune enables the router-side ring balancer: at every epoch end the
+	// per-node steady frame cadence (the same histograms the hedge monitor
+	// judges stragglers by) is folded into an EWMA service-time model, and
+	// each node's vnode weight on the ring is retargeted to
+	// fastest/service_time — so shard sizes converge to be proportional to
+	// service rate and a slowed-but-alive node sheds load until every node
+	// finishes its shard at about the same time. Weight changes are queued
+	// and applied only at round/epoch boundaries on the router goroutine;
+	// the exactly-once ledger makes a mid-epoch re-weight safe by
+	// construction (only still-unserved IDs are ever re-requested).
+	AutoTune bool
+	// Balancer overrides the balancer's smoothing, dead-band, and pacing
+	// (zero values take control.BalancerConfig defaults).
+	Balancer control.BalancerConfig
 	// OnFetchError observes every failed shard fetch attempt.
 	OnFetchError func(node string, epoch, attempt int, err error)
 	// OnReroute observes each failover: the batch IDs being moved away from
@@ -165,6 +181,26 @@ type Client struct {
 	histMu     sync.Mutex
 	hists      map[string]*serve.LatencyHist
 	firstHists map[string]*serve.LatencyHist
+
+	// balancer, when Config.AutoTune is set, converts per-epoch windows of
+	// the steady histograms into ring vnode weights. balSnap remembers each
+	// histogram's (sum, total) at the last epoch boundary so the window is a
+	// delta, not the lifetime aggregate.
+	balancer *control.Balancer
+	balSnap  map[string]histSnap
+
+	// pendMu guards weight changes queued for the next safe point — a round
+	// or epoch boundary on the router goroutine, when no fetch or hedge
+	// goroutine can be walking the ring — plus the applied-move counter.
+	pendMu      sync.Mutex
+	pending     map[string]float64
+	weightMoves int
+}
+
+// histSnap is one histogram's cumulative (sum, total) at a window boundary.
+type histSnap struct {
+	sum   time.Duration
+	total int64
 }
 
 // New builds a cluster client. No connections are made until the first run.
@@ -216,6 +252,10 @@ func New(cfg Config) (*Client, error) {
 		hists:      make(map[string]*serve.LatencyHist),
 		firstHists: make(map[string]*serve.LatencyHist),
 		jitter:     rng.New(seed, "cluster/retry"),
+	}
+	if cfg.AutoTune {
+		c.balancer = control.NewBalancer(cfg.Balancer)
+		c.balSnap = make(map[string]histSnap)
 	}
 	for i := range cfg.Nodes {
 		if cfg.Nodes[i].ID == "" {
@@ -306,6 +346,104 @@ func (c *Client) backoff(attempt int) time.Duration {
 	}
 	half := d / 2
 	return half + time.Duration(c.jitter.Float64()*float64(half))
+}
+
+// SetNodeWeight queues a ring weight override for node (w in [0, 1] of full
+// vnode weight), applied at the next round or epoch boundary. Safe to call
+// from any goroutine — including mid-epoch from an onBatch callback or an
+// operator control surface — because the ring itself is only ever touched at
+// safe points on the router goroutine; the exactly-once ledger guarantees a
+// re-weighted reroute never re-delivers a batch. Returns false for a node
+// the client does not know.
+func (c *Client) SetNodeWeight(node string, w float64) bool {
+	if _, ok := c.clients[node]; !ok {
+		return false
+	}
+	c.pendMu.Lock()
+	if c.pending == nil {
+		c.pending = make(map[string]float64)
+	}
+	c.pending[node] = w
+	c.pendMu.Unlock()
+	return true
+}
+
+// applyPendingWeights drains the queued weight changes into the ring. Called
+// only from the router goroutine at round/epoch boundaries, while no fetch,
+// hedge, or monitor goroutine is live to walk the ring concurrently.
+func (c *Client) applyPendingWeights() {
+	c.pendMu.Lock()
+	pending := c.pending
+	c.pending = nil
+	c.pendMu.Unlock()
+	if len(pending) == 0 {
+		return
+	}
+	nodes := make([]string, 0, len(pending))
+	for n := range pending {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	for _, n := range nodes {
+		if c.ring.SetWeight(n, pending[n]) {
+			c.pendMu.Lock()
+			c.weightMoves++
+			c.pendMu.Unlock()
+			c.cfg.Logf("cluster: ring weight %s -> %.2f", n, pending[n])
+		}
+	}
+}
+
+// Weights reports the ring's current per-node weights. Call it from the
+// router's goroutine (between runs); it reads the ring unlocked.
+func (c *Client) Weights() map[string]float64 {
+	out := make(map[string]float64, len(c.clients))
+	for _, n := range c.ring.Nodes() {
+		out[n] = c.ring.Weight(n)
+	}
+	return out
+}
+
+// WeightMoves reports how many applied weight changes actually moved ring
+// points.
+func (c *Client) WeightMoves() int {
+	c.pendMu.Lock()
+	defer c.pendMu.Unlock()
+	return c.weightMoves
+}
+
+// observeBalance is the balancer's epoch tick: it windows each node's steady
+// histogram since the last boundary, feeds the window to the balancer, and
+// queues any proposed re-weight for the next epoch's first round.
+func (c *Client) observeBalance() {
+	if c.balancer == nil {
+		return
+	}
+	c.histMu.Lock()
+	nodes := make([]string, 0, len(c.hists))
+	for n := range c.hists {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	samples := make([]control.NodeSample, 0, len(nodes))
+	for _, node := range nodes {
+		h := c.hists[node]
+		prev := c.balSnap[node]
+		dTotal := h.Total - prev.total
+		dSum := h.Sum - prev.sum
+		c.balSnap[node] = histSnap{sum: h.Sum, total: h.Total}
+		if dTotal > 0 {
+			samples = append(samples, control.NodeSample{
+				Node: node, Batches: dTotal, PerBatch: dSum / time.Duration(dTotal)})
+		}
+	}
+	c.histMu.Unlock()
+	if weights := c.balancer.Observe(samples); weights != nil {
+		for node, w := range weights {
+			c.SetNodeWeight(node, w)
+		}
+		c.cfg.Logf("cluster: autotune re-weight: %s", c.balancer)
+	}
 }
 
 // epochState is the shared exactly-once ledger for one routed epoch.
@@ -566,6 +704,11 @@ func (c *Client) RunEpoch(epoch int, onBatch func(node string, b *serve.Batch, p
 	}
 
 	for round := 0; len(remaining) > 0; round++ {
+		// Round start is a safe point: the previous round's fetch, hedge, and
+		// monitor goroutines are fully joined, so queued re-weights (from the
+		// balancer or SetNodeWeight) land on the ring before Assign partitions
+		// the remaining work.
+		c.applyPendingWeights()
 		if round >= c.cfg.MaxRounds {
 			return stats, fmt.Errorf("cluster: epoch %d: %d batches still unserved after %d routing rounds",
 				epoch, len(remaining), round)
@@ -633,6 +776,7 @@ func (c *Client) RunEpoch(epoch int, onBatch func(node string, b *serve.Batch, p
 		st.mu.Unlock()
 		remaining = next
 	}
+	c.observeBalance()
 	return stats, nil
 }
 

@@ -590,3 +590,101 @@ func TestClusterHedgedFetchSlowNode(t *testing.T) {
 	t.Logf("hedged epoch: %v (victim shard %d) hedged=%d won=%d wasted=%d",
 		elapsed, victimShard, stats.Hedged, stats.HedgeWon, stats.HedgeWasted)
 }
+
+// TestWeightShiftProperty is the weighted-ring mirror of
+// TestRebalanceProperty: shifting a node's vnode weight mid-epoch — alone
+// and combined with a mid-epoch node death — preserves exactly-once
+// delivery and byte-identity with single-node ground truth, and the shifted
+// weight governs the next epoch's partition. Run under -race in CI.
+func TestWeightShiftProperty(t *testing.T) {
+	spec := clusterSpec()
+	want := groundTruth(t, spec, 2)
+	weights := []float64{0, 1.0 / 16, 0.3, 0.66}
+
+	trials := 4
+	if testing.Short() {
+		trials = 2
+	}
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			baseline := testutil.Baseline()
+			victimID := fmt.Sprintf("node%d", trial%3)
+			w := weights[trial%len(weights)]
+			killTrial := trial%2 == 1 // odd trials also kill another node mid-epoch
+			var killID string
+			srvs := make([]*serve.Server, 3)
+			var killSrv *serve.Server
+			for i := range srvs {
+				id := fmt.Sprintf("node%d", i)
+				var inj *faultinject.Injector
+				if killTrial && id != victimID && killID == "" {
+					killID = id
+					inj = faultinject.New(faultinject.Spec{Seed: int64(trial + 1), DropFrame: 2})
+				}
+				srvs[i] = startNode(t, spec, inj)
+				if id == killID {
+					killSrv = srvs[i]
+				}
+			}
+			nodes := testNodes(srvs)
+			cfg := Config{
+				Nodes: nodes, Name: fmt.Sprintf("reweight-%d", trial),
+				Sleep: func(time.Duration) {},
+			}
+			if killTrial {
+				kill := &killSwitch{victim: killID, srv: killSrv}
+				cfg.OnFetchError = kill.onFetchError
+			}
+			c, err := New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer c.Close()
+
+			// The weight shift fires from the delivery callback — i.e. from a
+			// fetch goroutine mid-epoch, the hardest point to re-weight at.
+			// The queue/safe-point discipline applies it at the next round or
+			// epoch boundary.
+			sink := newFrameSink()
+			var once sync.Once
+			stats, err := c.RunEpoch(0, func(node string, b *serve.Batch, payload []byte) {
+				once.Do(func() {
+					if !c.SetNodeWeight(victimID, w) {
+						t.Errorf("SetNodeWeight(%q) rejected a known node", victimID)
+					}
+				})
+				sink.onBatch(node, b, payload)
+			})
+			if err != nil {
+				t.Fatalf("trial %d (victim=%s w=%.2f kill=%v): %v", trial, victimID, w, killTrial, err)
+			}
+			sink.verifyEpoch(t, 0, want[0])
+			if stats.Ignored != 0 {
+				t.Fatalf("trial %d: %d frames hit the exactly-once filter", trial, stats.Ignored)
+			}
+
+			// Epoch 1 runs fully under the shifted weight.
+			sink2 := newFrameSink()
+			stats2, err := c.RunEpoch(1, sink2.onBatch)
+			if err != nil {
+				t.Fatalf("trial %d epoch 1: %v", trial, err)
+			}
+			sink2.verifyEpoch(t, 1, want[1])
+			wantW := float64(quantizeWeight(w, DefaultVNodes)) / DefaultVNodes
+			if got := c.Weights()[victimID]; got != wantW {
+				t.Fatalf("trial %d: victim weight %.4f after shift, want %.4f", trial, got, wantW)
+			}
+			if w == 0 && stats2.PerNode[victimID] != 0 {
+				t.Fatalf("trial %d: weight-0 node still served %d batches", trial, stats2.PerNode[victimID])
+			}
+			for _, s := range srvs {
+				s.Close()
+			}
+			c.Close()
+			if err := testutil.WaitNoLeaks(baseline, 5*time.Second); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}

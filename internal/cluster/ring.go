@@ -44,6 +44,11 @@ type Ring struct {
 	vnodes int
 	points []ringPoint
 	nodes  map[string]bool
+	// vcount is each member's current virtual-node count. Full weight is
+	// r.vnodes points; a degraded member keeps a prefix of its point set
+	// (node#0..node#k-1), so re-weighting moves only the keys on the dropped
+	// arcs — the same minimal-disruption property Remove has.
+	vcount map[string]int
 }
 
 // NewRing returns an empty ring with the given virtual-node count per node
@@ -52,7 +57,7 @@ func NewRing(vnodes int) *Ring {
 	if vnodes <= 0 {
 		vnodes = DefaultVNodes
 	}
-	return &Ring{vnodes: vnodes, nodes: make(map[string]bool)}
+	return &Ring{vnodes: vnodes, nodes: make(map[string]bool), vcount: make(map[string]int)}
 }
 
 // fnv1a is FNV-1a 64 over a byte string — the same mix every deterministic
@@ -89,15 +94,21 @@ func BatchKey(globalID int) uint64 {
 	return mix64(fnv1a(fmt.Sprintf("batch/%d", globalID)))
 }
 
-// Add inserts a node's virtual points. Adding a present node is a no-op.
+// Add inserts a node's virtual points at full weight. Adding a present node
+// is a no-op.
 func (r *Ring) Add(node string) {
 	if r.nodes[node] {
 		return
 	}
 	r.nodes[node] = true
+	r.vcount[node] = r.vnodes
 	for v := 0; v < r.vnodes; v++ {
 		r.points = append(r.points, ringPoint{hash: mix64(fnv1a(fmt.Sprintf("%s#%d", node, v))), node: node})
 	}
+	r.sortPoints()
+}
+
+func (r *Ring) sortPoints() {
 	sort.Slice(r.points, func(i, j int) bool {
 		if r.points[i].hash != r.points[j].hash {
 			return r.points[i].hash < r.points[j].hash
@@ -114,6 +125,7 @@ func (r *Ring) Remove(node string) {
 		return
 	}
 	delete(r.nodes, node)
+	delete(r.vcount, node)
 	kept := r.points[:0]
 	for _, p := range r.points {
 		if p.node != node {
@@ -121,6 +133,65 @@ func (r *Ring) Remove(node string) {
 		}
 	}
 	r.points = kept
+}
+
+// SetWeight scales a member's share of the keyspace to w in [0, 1] of full
+// weight. The weight is quantized to a virtual-node count so every consumer
+// that applies the same weight computes the same partition (no float drift).
+// A nonzero weight always keeps at least one point, so a degraded-but-alive
+// node still owns a sliver and keeps its caches warm; weight 0 removes the
+// member from key walks entirely while leaving it in the member set (it can
+// still serve spilled or hedged work addressed to it explicitly). Returns
+// true when the point set changed.
+func (r *Ring) SetWeight(node string, w float64) bool {
+	if !r.nodes[node] {
+		return false
+	}
+	count := quantizeWeight(w, r.vnodes)
+	if count == r.vcount[node] {
+		return false
+	}
+	r.vcount[node] = count
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.node != node {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+	for v := 0; v < count; v++ {
+		r.points = append(r.points, ringPoint{hash: mix64(fnv1a(fmt.Sprintf("%s#%d", node, v))), node: node})
+	}
+	r.sortPoints()
+	return true
+}
+
+// Weight reports a member's current weight in [0, 1] (quantized). Absent
+// members report 0.
+func (r *Ring) Weight(node string) float64 {
+	if !r.nodes[node] {
+		return 0
+	}
+	return float64(r.vcount[node]) / float64(r.vnodes)
+}
+
+// quantizeWeight maps a weight in [0, 1] to a vnode count in [0, vnodes],
+// rounding to nearest but never rounding a positive weight down to zero.
+func quantizeWeight(w float64, vnodes int) int {
+	if w <= 0 {
+		return 0
+	}
+	if w >= 1 {
+		return vnodes
+	}
+	count := int(w*float64(vnodes) + 0.5)
+	if count < 1 {
+		count = 1
+	}
+	if count > vnodes {
+		count = vnodes
+	}
+	return count
 }
 
 // Nodes returns the member IDs in sorted order.

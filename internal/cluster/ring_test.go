@@ -247,3 +247,125 @@ func TestRingSequentialKeysDisperse(t *testing.T) {
 		}
 	}
 }
+
+// TestRingSetWeightMinimalDisruption: shrinking one node's weight moves only
+// keys that node owned (its dropped arcs); every key owned by another node
+// keeps its owner. This is the property that makes a live re-weight cheap —
+// the rest of the epoch's cache affinity survives.
+func TestRingSetWeightMinimalDisruption(t *testing.T) {
+	r := NewRing(0)
+	nodes := []string{"n1", "n2", "n3"}
+	for _, n := range nodes {
+		r.Add(n)
+	}
+	const keys = 1000
+	before := make([]string, keys)
+	for id := 0; id < keys; id++ {
+		before[id] = r.Owners(BatchKey(id), 1)[0]
+	}
+	const victim = "n2"
+	if !r.SetWeight(victim, 1.0/3) {
+		t.Fatal("SetWeight reported no change for a 1/3 weight")
+	}
+	moved, kept := 0, 0
+	for id := 0; id < keys; id++ {
+		after := r.Owners(BatchKey(id), 1)[0]
+		if before[id] != victim {
+			if after != before[id] {
+				t.Fatalf("batch %d moved %s -> %s though only %s was re-weighted",
+					id, before[id], after, victim)
+			}
+			continue
+		}
+		if after == victim {
+			kept++
+		} else {
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatal("down-weighting moved no keys off the victim")
+	}
+	if kept == 0 {
+		t.Fatal("a 1/3-weight member should keep a share of its keys")
+	}
+}
+
+// TestRingSetWeightDeterministic: two rings that arrive at the same weight
+// state through different histories partition identically — the property
+// that lets any consumer replay a weight log and agree on ownership.
+func TestRingSetWeightDeterministic(t *testing.T) {
+	a := NewRing(0)
+	b := NewRing(0)
+	for _, n := range []string{"n1", "n2", "n3"} {
+		a.Add(n)
+		b.Add(n)
+	}
+	a.SetWeight("n2", 0.8)
+	a.SetWeight("n2", 0.25) // via an intermediate step
+	b.SetWeight("n2", 0.25) // directly
+	for id := 0; id < 500; id++ {
+		ao, bo := a.Owners(BatchKey(id), 2), b.Owners(BatchKey(id), 2)
+		if !reflect.DeepEqual(ao, bo) {
+			t.Fatalf("batch %d: owners %v vs %v across weight histories", id, ao, bo)
+		}
+	}
+}
+
+// TestRingWeightZeroAndRestore: weight 0 removes a member from every key
+// walk while keeping it in the member set; restoring full weight reproduces
+// the original partition exactly (the vnode prefix scheme has no memory).
+func TestRingWeightZeroAndRestore(t *testing.T) {
+	r := NewRing(0)
+	for _, n := range []string{"n1", "n2", "n3"} {
+		r.Add(n)
+	}
+	const keys = 500
+	before := make([][]string, keys)
+	for id := 0; id < keys; id++ {
+		before[id] = r.Owners(BatchKey(id), 0)
+	}
+	r.SetWeight("n2", 0)
+	if r.Weight("n2") != 0 {
+		t.Fatalf("Weight(n2) = %v after SetWeight 0", r.Weight("n2"))
+	}
+	if got := r.Nodes(); len(got) != 3 {
+		t.Fatalf("weight 0 must not remove membership, Nodes() = %v", got)
+	}
+	for id := 0; id < keys; id++ {
+		for _, owner := range r.Owners(BatchKey(id), 0) {
+			if owner == "n2" {
+				t.Fatalf("batch %d walk still visits a weight-0 member", id)
+			}
+		}
+	}
+	r.SetWeight("n2", 1)
+	for id := 0; id < keys; id++ {
+		if got := r.Owners(BatchKey(id), 0); !reflect.DeepEqual(got, before[id]) {
+			t.Fatalf("batch %d: owners %v after restore, want %v", id, got, before[id])
+		}
+	}
+}
+
+// TestQuantizeWeight pins the quantization contract: nearest vnode count,
+// positive weights never round to zero, and everything clamps to [0, vnodes].
+func TestQuantizeWeight(t *testing.T) {
+	cases := []struct {
+		w      float64
+		vnodes int
+		want   int
+	}{
+		{0, 64, 0},
+		{-1, 64, 0},
+		{1, 64, 64},
+		{2, 64, 64},
+		{0.5, 64, 32},
+		{0.001, 64, 1}, // tiny but positive keeps a sliver
+		{1.0 / 3, 64, 21},
+	}
+	for _, c := range cases {
+		if got := quantizeWeight(c.w, c.vnodes); got != c.want {
+			t.Errorf("quantizeWeight(%v, %d) = %d, want %d", c.w, c.vnodes, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,257 @@
+package control
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+func TestClassify(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Sample
+		want Bottleneck
+	}{
+		{"saturated gpu wins", Sample{GPUUtil: 0.95, LongWaitFrac: 0.9}, BottleneckAccelerator},
+		{"long waits", Sample{GPUUtil: 0.3, LongWaitFrac: 0.5}, BottleneckPreprocessing},
+		{"balanced", Sample{GPUUtil: 0.8, LongWaitFrac: 0.01}, BottleneckBalanced},
+		{"stall-free but idle gpu", Sample{GPUUtil: 0.2, LongWaitFrac: 0.01}, BottleneckUnknown},
+		{"hysteresis band", Sample{GPUUtil: 0.8, LongWaitFrac: 0.15}, BottleneckUnknown},
+	}
+	for _, c := range cases {
+		if got := Classify(c.s); got != c.want {
+			t.Errorf("%s: Classify(%+v) = %v, want %v", c.name, c.s, got, c.want)
+		}
+	}
+}
+
+func TestSelectCheapest(t *testing.T) {
+	samples := []Sample{
+		{Workers: 1, E2E: 10 * time.Second, CPUSeconds: 1},
+		{Workers: 4, E2E: 4 * time.Second, CPUSeconds: 5},
+		{Workers: 8, E2E: 3900 * time.Millisecond, CPUSeconds: 11},
+	}
+	// 4 workers is within 8% of the fastest and much cheaper.
+	if got := SelectCheapest(samples, 0.08, 0); got != 1 {
+		t.Fatalf("SelectCheapest = %d, want 1", got)
+	}
+	// A CPU budget of 2s leaves only the 1-worker run in budget.
+	if got := SelectCheapest(samples, 0.08, 2); got != 0 {
+		t.Fatalf("SelectCheapest(budget=2) = %d, want 0", got)
+	}
+	// Nothing in budget: fall back to the cheapest outright.
+	if got := SelectCheapest(samples, 0.08, 0.5); got != 0 {
+		t.Fatalf("SelectCheapest(budget=0.5) = %d, want 0", got)
+	}
+	if got := SelectCheapest(nil, 0.08, 0); got != -1 {
+		t.Fatalf("SelectCheapest(nil) = %d, want -1", got)
+	}
+}
+
+// boundSig builds a preprocessing-bound observation at the given tick.
+func boundSig(tick int64) Signals {
+	return Signals{Counter: tick, WaitCount: 100, LongWaitFrac: 0.6, MeanWait: 50 * time.Millisecond}
+}
+
+// idleSig builds a consumer-bound observation (no stalls, full queue).
+func idleSig(tick int64) Signals {
+	return Signals{Counter: tick, WaitCount: 100, LongWaitFrac: 0.0, QueueFill: 1.0}
+}
+
+func TestControllerGrowsWorkersUnderStalls(t *testing.T) {
+	c := NewController(Config{Cooldown: 1}, Knobs{Workers: 2, Prefetch: 2})
+	if acts := c.Observe(boundSig(1)); acts != nil {
+		t.Fatalf("first observation must only set the baseline, got %v", acts)
+	}
+	acts := c.Observe(boundSig(2))
+	if len(acts) != 1 || acts[0].Knob != "workers" || acts[0].To != 3 {
+		t.Fatalf("expected workers 2->3, got %v", acts)
+	}
+	if k := c.Knobs(); k.Workers != 3 {
+		t.Fatalf("Knobs().Workers = %d, want 3", k.Workers)
+	}
+}
+
+func TestControllerCooldownAndRepeatedTicks(t *testing.T) {
+	c := NewController(Config{Cooldown: 3}, Knobs{Workers: 2, Prefetch: 2})
+	c.Observe(boundSig(1))
+	if acts := c.Observe(boundSig(2)); len(acts) != 1 {
+		t.Fatalf("expected one action, got %v", acts)
+	}
+	// Same counter again: no decision, whatever the signals say.
+	if acts := c.Observe(boundSig(2)); acts != nil {
+		t.Fatalf("non-advancing counter must be ignored, got %v", acts)
+	}
+	// Within the cooldown window: the knob rests.
+	if acts := c.Observe(boundSig(3)); acts != nil {
+		t.Fatalf("cooldown must hold the knob, got %v", acts)
+	}
+	if acts := c.Observe(boundSig(5)); len(acts) != 1 || acts[0].To != 4 {
+		t.Fatalf("expected workers 3->4 after cooldown, got %v", acts)
+	}
+}
+
+func TestControllerPrefetchAtWorkerCap(t *testing.T) {
+	c := NewController(Config{MaxWorkers: 2, Cooldown: 1}, Knobs{Workers: 2, Prefetch: 2})
+	c.Observe(boundSig(1))
+	acts := c.Observe(boundSig(2))
+	if len(acts) != 1 || acts[0].Knob != "prefetch" || acts[0].To != 3 {
+		t.Fatalf("expected prefetch 2->3 at worker cap, got %v", acts)
+	}
+}
+
+func TestControllerShrinkNeedsStreak(t *testing.T) {
+	c := NewController(Config{Cooldown: 1, ShrinkStreak: 2}, Knobs{Workers: 4, Prefetch: 2})
+	c.Observe(idleSig(1))
+	if acts := c.Observe(idleSig(2)); acts != nil {
+		t.Fatalf("one idle window must not shrink, got %v", acts)
+	}
+	acts := c.Observe(idleSig(3))
+	if len(acts) != 1 || acts[0].Knob != "workers" || acts[0].To != 3 {
+		t.Fatalf("expected workers 4->3 after streak, got %v", acts)
+	}
+	// A bound window resets the streak.
+	c2 := NewController(Config{Cooldown: 1, ShrinkStreak: 2}, Knobs{Workers: 4, Prefetch: 2})
+	c2.Observe(idleSig(1))
+	c2.Observe(idleSig(2))
+	c2.Observe(boundSig(3)) // grows workers, resets streak
+	if acts := c2.Observe(idleSig(5)); acts != nil {
+		t.Fatalf("streak must restart after a bound window, got %v", acts)
+	}
+}
+
+func TestControllerUntrustedWaitSignal(t *testing.T) {
+	c := NewController(Config{Cooldown: 1, MinWaitSamples: 50}, Knobs{Workers: 2, Prefetch: 2})
+	sig := boundSig(1)
+	sig.WaitCount = 10 // below MinWaitSamples
+	c.Observe(sig)
+	sig.Counter = 2
+	if acts := c.Observe(sig); acts != nil {
+		t.Fatalf("untrusted wait signal must not act, got %v", acts)
+	}
+}
+
+func TestControllerCacheGrowAndReclaim(t *testing.T) {
+	c := NewController(Config{Cooldown: 1, MaxCacheGrowth: 4},
+		Knobs{Workers: 2, Prefetch: 2, BatchBytes: 1000})
+	cacheSig := func(tick, hits, misses, evicts, used int64) Signals {
+		return Signals{Counter: tick,
+			Batch: CacheSignals{Enabled: true, Hits: hits, Misses: misses, Evictions: evicts, BytesUsed: used}}
+	}
+	c.Observe(cacheSig(1, 0, 0, 0, 900))
+	// Window: 5 hits / 45 misses with evictions -> capacity-starved, grow 1.5x.
+	acts := c.Observe(cacheSig(2, 5, 45, 10, 1000))
+	if len(acts) != 1 || acts[0].Knob != "cache.batch" || acts[0].To != 1500 {
+		t.Fatalf("expected cache.batch 1000->1500, got %v", acts)
+	}
+	// Growth is capped at MaxCacheGrowth * initial.
+	acts = c.Observe(cacheSig(4, 10, 90, 20, 1500))
+	if len(acts) != 1 || acts[0].To != 2250 {
+		t.Fatalf("expected cache.batch 1500->2250, got %v", acts)
+	}
+	// Reclaim path: near-perfect hit rate with half the budget idle, twice.
+	c.Observe(cacheSig(6, 110, 91, 20, 300))
+	acts = c.Observe(cacheSig(8, 210, 92, 20, 300))
+	if len(acts) != 1 || acts[0].Knob != "cache.batch" || acts[0].To >= 2250 {
+		t.Fatalf("expected cache.batch reclaim below 2250, got %v", acts)
+	}
+	// Budgets never fall below the operator's initial value.
+	if k := c.Knobs(); k.BatchBytes < 1000 {
+		t.Fatalf("budget shrank below initial: %d", k.BatchBytes)
+	}
+}
+
+func TestControllerDeterministic(t *testing.T) {
+	run := func() []Action {
+		c := NewController(Config{Cooldown: 1}, Knobs{Workers: 1, Prefetch: 2, BatchBytes: 1 << 20})
+		for tick := int64(1); tick <= 10; tick++ {
+			sig := boundSig(tick)
+			sig.Batch = CacheSignals{Enabled: true, Hits: tick * 10, Misses: tick * 30, Evictions: tick, BytesUsed: 1 << 20}
+			c.Observe(sig)
+		}
+		return c.History()
+	}
+	a, b := run(), run()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same observation sequence produced different actions:\n%v\n%v", a, b)
+	}
+	if len(a) == 0 {
+		t.Fatal("expected at least one action")
+	}
+}
+
+func TestBalancerConvergesOnSlowNode(t *testing.T) {
+	b := NewBalancer(BalancerConfig{})
+	sample := func(ms map[string]int) []NodeSample {
+		out := make([]NodeSample, 0, len(ms))
+		for n, m := range ms {
+			out = append(out, NodeSample{Node: n, Batches: 10, PerBatch: time.Duration(m) * time.Millisecond})
+		}
+		return out
+	}
+	var weights map[string]float64
+	for i := 0; i < 6; i++ {
+		if w := b.Observe(sample(map[string]int{"a": 10, "b": 10, "c": 30})); w != nil {
+			weights = w
+		}
+	}
+	if weights == nil {
+		t.Fatal("balancer never proposed a re-weight for a 3x-slow node")
+	}
+	if weights["a"] != 1 || weights["b"] != 1 {
+		t.Fatalf("fast nodes must keep full weight, got %v", weights)
+	}
+	// 3x slower -> weight converges to ~1/3.
+	if w := weights["c"]; w < 0.25 || w > 0.45 {
+		t.Fatalf("slow node weight = %.2f, want ~0.33", w)
+	}
+}
+
+func TestBalancerDeadBandSuppressesNoise(t *testing.T) {
+	b := NewBalancer(BalancerConfig{})
+	moves := 0
+	for i := 0; i < 10; i++ {
+		// +-5% jitter around a balanced cluster: inside the dead band.
+		m := 10 + i%2
+		if w := b.Observe([]NodeSample{
+			{Node: "a", Batches: 10, PerBatch: time.Duration(m) * time.Millisecond},
+			{Node: "b", Batches: 10, PerBatch: 10 * time.Millisecond},
+		}); w != nil {
+			moves++
+		}
+	}
+	if moves != 0 {
+		t.Fatalf("balanced cluster with jitter inside the dead band re-weighted %d times", moves)
+	}
+}
+
+func TestBalancerMinWeightFloor(t *testing.T) {
+	b := NewBalancer(BalancerConfig{})
+	var weights map[string]float64
+	for i := 0; i < 4; i++ {
+		if w := b.Observe([]NodeSample{
+			{Node: "fast", Batches: 10, PerBatch: time.Millisecond},
+			{Node: "dead-slow", Batches: 10, PerBatch: time.Second},
+		}); w != nil {
+			weights = w
+		}
+	}
+	if weights == nil {
+		t.Fatal("expected a re-weight")
+	}
+	if w := weights["dead-slow"]; w != 1.0/16 {
+		t.Fatalf("slow node floored at %.4f, want 1/16", w)
+	}
+}
+
+func TestBalancerNeedsMinSamples(t *testing.T) {
+	b := NewBalancer(BalancerConfig{})
+	for i := 0; i < 5; i++ {
+		if w := b.Observe([]NodeSample{
+			{Node: "a", Batches: 1, PerBatch: time.Millisecond}, // below MinSamples
+			{Node: "b", Batches: 1, PerBatch: 30 * time.Millisecond},
+		}); w != nil {
+			t.Fatalf("cold windows must not re-weight, got %v", w)
+		}
+	}
+}

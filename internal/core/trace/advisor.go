@@ -5,6 +5,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"lotus/internal/control"
 )
 
 // This file implements the automated log analysis the paper's conclusion
@@ -86,8 +88,10 @@ func (a *Analysis) Advise(cfg AdvisorConfig) []Finding {
 	}
 
 	// Rule: preprocessing-bound — large fraction of long main-process waits
-	// means the accelerator starves (§ V-C2).
-	if frac := a.WaitsOver(cfg.LongWait); frac > 0.25 {
+	// means the accelerator starves (§ V-C2). The threshold is the shared
+	// bottleneck model's: the live controller grows workers at exactly the
+	// point this advisor would have told the operator to.
+	if frac := a.WaitsOver(cfg.LongWait); frac > control.HighWaitFrac {
 		out = append(out, Finding{
 			Severity: Critical,
 			Rule:     "preprocessing-bound",
@@ -98,7 +102,7 @@ func (a *Analysis) Advise(cfg AdvisorConfig) []Finding {
 
 	// Rule: gpu-bound — batches consistently sit preprocessed long before
 	// consumption (§ V-B, Figure 2 b/c).
-	if frac := a.DelaysOver(cfg.LongDelay); frac > 0.5 && a.WaitsOver(cfg.LongWait) < 0.05 {
+	if frac := a.DelaysOver(cfg.LongDelay); frac > 0.5 && a.WaitsOver(cfg.LongWait) < control.StallFreeWaitFrac {
 		out = append(out, Finding{
 			Severity: Info,
 			Rule:     "gpu-bound",

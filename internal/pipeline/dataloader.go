@@ -3,6 +3,7 @@ package pipeline
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lotus/internal/clock"
@@ -100,12 +101,22 @@ func EpochSeed(seed int64, epoch int) int64 {
 	return seed + int64(epoch)*1_000_003
 }
 
+// DefaultAutoWorkers is the worker count an auto-managed loader starts with
+// when Config.NumWorkers is zero. The controller (internal/control) resizes
+// from there; without a controller it is simply a sane small default.
+const DefaultAutoWorkers = 2
+
 func (c Config) validate() Config {
 	if c.BatchSize <= 0 {
 		panic("pipeline: BatchSize must be positive")
 	}
-	if c.NumWorkers <= 0 {
-		panic("pipeline: NumWorkers must be positive (the single-process DataLoader path is not modeled)")
+	if c.NumWorkers < 0 {
+		panic("pipeline: NumWorkers must not be negative")
+	}
+	if c.NumWorkers == 0 {
+		// Zero means "auto": start at the default and let a controller grow
+		// or shrink the pool at runtime via RequestResize.
+		c.NumWorkers = DefaultAutoWorkers
 	}
 	if c.PrefetchFactor <= 0 {
 		c.PrefetchFactor = 2
@@ -158,10 +169,14 @@ type stealBoard struct {
 	lanes  [][]indexTask
 	closed bool
 	steals int
+	// retired marks lanes whose worker is shrinking away: the worker drains
+	// its own lane (peers may still steal from it) and then exits instead of
+	// stealing more work.
+	retired []bool
 }
 
 func newStealBoard(clk clock.Clock, workers int) *stealBoard {
-	return &stealBoard{cond: clk.NewCond(), lanes: make([][]indexTask, workers)}
+	return &stealBoard{cond: clk.NewCond(), lanes: make([][]indexTask, workers), retired: make([]bool, workers)}
 }
 
 // Put appends t to worker w's lane. Lanes are unbounded, so Put never blocks.
@@ -175,8 +190,26 @@ func (sb *stealBoard) Put(w int, t indexTask) {
 	sb.cond.Broadcast()
 }
 
+// AddLane appends an empty lane for a newly grown worker and returns its id.
+func (sb *stealBoard) AddLane() int {
+	sb.cond.Lock()
+	defer sb.cond.Unlock()
+	sb.lanes = append(sb.lanes, nil)
+	sb.retired = append(sb.retired, false)
+	return len(sb.lanes) - 1
+}
+
+// Retire marks worker w's lane as shrinking away (see the retired field).
+func (sb *stealBoard) Retire(w int) {
+	sb.cond.Lock()
+	defer sb.cond.Unlock()
+	sb.retired[w] = true
+	sb.cond.Broadcast()
+}
+
 // Get returns the next task for worker w and the lane it came from
-// (from != w is a steal). ok is false once the board is closed and drained.
+// (from != w is a steal). ok is false once the board is closed and drained,
+// or — for a retired worker — once its own lane is empty.
 func (sb *stealBoard) Get(p clock.Proc, w int) (t indexTask, from int, ok bool) {
 	sb.cond.Lock()
 	defer sb.cond.Unlock()
@@ -184,6 +217,9 @@ func (sb *stealBoard) Get(p clock.Proc, w int) (t indexTask, from int, ok bool) 
 		if len(sb.lanes[w]) > 0 {
 			t, sb.lanes[w] = sb.lanes[w][0], sb.lanes[w][1:]
 			return t, w, true
+		}
+		if sb.retired[w] {
+			return t, -1, false
 		}
 		victim, depth := -1, 0
 		for i, lane := range sb.lanes {
@@ -257,6 +293,22 @@ type DataLoader struct {
 	// a long stall it no longer has any reason to honor.
 	stallAbort chan struct{}
 	stallOnce  sync.Once
+
+	// workerTarget is the requested live worker count. RequestResize stores
+	// it from any goroutine; the main proc applies it at the next dispatch
+	// point — the one place where forking new worker procs and retiring lanes
+	// cannot race the scheduler.
+	workerTarget atomic.Int64
+	// active lists the live (non-retired) worker ids in ascending order;
+	// retired marks ids shrunk away. Guarded by mu (reads on the dispatch
+	// path share the lock the outstanding ledger already takes).
+	active  []int
+	retired []bool
+	// totalWorkers is the high-water worker id count: retired ids are never
+	// reused, grown workers get fresh ids. Main proc only after Start.
+	totalWorkers int
+	// grown/shrunk count applied resize events (under mu).
+	grown, shrunk int
 }
 
 // creditEpsilon separates real accounting drift from float64 rounding noise
@@ -267,6 +319,7 @@ const creditEpsilon = 1e-6
 func NewDataLoader(clk clock.Clock, ds Dataset, cfg Config) *DataLoader {
 	cfg = cfg.validate()
 	dl := &DataLoader{cfg: cfg, dataset: ds, clk: clk, stallAbort: make(chan struct{})}
+	dl.workerTarget.Store(int64(cfg.NumWorkers))
 	dl.buildBatches()
 	return dl
 }
@@ -339,28 +392,37 @@ func (dl *DataLoader) Start(p clock.Proc) *Iterator {
 		panic("pipeline: DataLoader.Start called twice (one epoch per loader)")
 	}
 	dl.started = true
-	dl.outstanding = make([]float64, dl.cfg.NumWorkers)
+	// A RequestResize issued before Start simply adjusts the construction
+	// count — no fork-then-retire churn.
+	n := int(dl.workerTarget.Load())
+	if n < 1 {
+		n = 1
+	}
+	dl.totalWorkers = n
+	dl.retired = make([]bool, n)
+	dl.outstanding = make([]float64, n)
+	dl.active = make([]int, n)
+	for w := range dl.active {
+		dl.active[w] = w
+	}
 	if dl.cfg.Dispatch == DispatchWorkStealing {
-		dl.board = newStealBoard(dl.clk, dl.cfg.NumWorkers)
+		dl.board = newStealBoard(dl.clk, n)
 	} else {
-		dl.indexQs = make([]*clock.Queue[indexTask], dl.cfg.NumWorkers)
+		dl.indexQs = make([]*clock.Queue[indexTask], n)
 		for w := range dl.indexQs {
 			dl.indexQs[w] = clock.NewQueue[indexTask](dl.clk, 0)
 		}
 	}
 	dl.dataQ = clock.NewQueue[workerResult](dl.clk, 0)
 
-	for w := 0; w < dl.cfg.NumWorkers; w++ {
-		w := w
-		p.Go(fmt.Sprintf("dataloader-worker-%d", w), func(wp clock.Proc) {
-			dl.workerLoop(wp, w)
-		})
+	for w := 0; w < n; w++ {
+		dl.forkWorker(p, w)
 	}
 
 	// Initial prefetch: prefetch_factor batches per worker, round-robin by
 	// batch id (PyTorch's _try_put_index startup behaviour).
-	for i := 0; i < dl.cfg.PrefetchFactor*dl.cfg.NumWorkers && dl.sendIdx < len(dl.batches); i++ {
-		dl.dispatch(p, dl.sendIdx%dl.cfg.NumWorkers)
+	for i := 0; i < dl.cfg.PrefetchFactor*n && dl.sendIdx < len(dl.batches); i++ {
+		dl.enqueueNext(p, dl.sendIdx%n)
 	}
 	// An empty plan (a shard with zero batches) dispatches nothing, so the
 	// close-on-last-dispatch path never runs; close here or the workers would
@@ -371,19 +433,42 @@ func (dl *DataLoader) Start(p clock.Proc) *Iterator {
 	return &Iterator{dl: dl, cached: make(map[int]*Batch), cachedWorker: make(map[int]int), cachedErr: make(map[int]error)}
 }
 
-// dispatch sends the next undistributed batch to a worker — the hinted one
-// under DispatchProducer/DispatchWorkStealing, or the least-loaded one under
-// DispatchLeastWork — and closes the index structure once everything is
-// dispatched.
+// forkWorker starts worker w's proc, capturing its index queue at fork time
+// (the indexQs slice may be appended to by a later grow, so the worker must
+// not chase the slice header).
+func (dl *DataLoader) forkWorker(p clock.Proc, w int) {
+	var q *clock.Queue[indexTask]
+	if dl.board == nil {
+		q = dl.indexQs[w]
+	}
+	p.Go(fmt.Sprintf("dataloader-worker-%d", w), func(wp clock.Proc) {
+		dl.workerLoop(wp, w, q)
+	})
+}
+
+// dispatch applies any pending resize, then sends the next undistributed
+// batch to a worker — the hinted one under DispatchProducer /
+// DispatchWorkStealing, or the least-loaded one under DispatchLeastWork —
+// and closes the index structure once everything is dispatched.
 func (dl *DataLoader) dispatch(p clock.Proc, hint int) {
+	dl.applyResize(p)
+	dl.enqueueNext(p, hint)
+}
+
+// enqueueNext is the dispatch body without the resize check. A hint naming a
+// retired worker is remapped deterministically onto the active set.
+func (dl *DataLoader) enqueueNext(p clock.Proc, hint int) {
 	if dl.sendIdx >= len(dl.batches) {
 		return
 	}
 	w := hint
 	dl.mu.Lock()
+	if w >= len(dl.retired) || dl.retired[w] {
+		w = dl.active[w%len(dl.active)]
+	}
 	if dl.cfg.Dispatch == DispatchLeastWork {
-		w = 0
-		for i := 1; i < dl.cfg.NumWorkers; i++ {
+		w = dl.active[0]
+		for _, i := range dl.active[1:] {
 			if dl.outstanding[i] < dl.outstanding[w] {
 				w = i
 			}
@@ -400,6 +485,97 @@ func (dl *DataLoader) dispatch(p clock.Proc, hint int) {
 	}
 	if dl.sendIdx == len(dl.batches) {
 		dl.closeIndex()
+	}
+}
+
+// RequestResize asks the loader to grow or shrink to n live workers. Safe
+// from any goroutine and any clock: the target is only applied by the main
+// proc at its next dispatch point, so worker forking and lane retirement
+// never race the scheduler. Growing workers get fresh ids (and a prefetch
+// top-up so they have work immediately); shrinking retires the highest
+// active ids, which drain their queued backlog and exit. The live count
+// never drops below 1. Changing the worker count never changes batch bytes —
+// the schedule-independence contract the loader already holds across worker
+// counts.
+func (dl *DataLoader) RequestResize(n int) {
+	if n < 1 {
+		n = 1
+	}
+	dl.workerTarget.Store(int64(n))
+}
+
+// Workers reports the current live (non-retired) worker count.
+func (dl *DataLoader) Workers() int {
+	dl.mu.Lock()
+	defer dl.mu.Unlock()
+	if dl.active == nil {
+		return int(dl.workerTarget.Load())
+	}
+	return len(dl.active)
+}
+
+// Resizes reports how many workers were grown and retired at runtime.
+func (dl *DataLoader) Resizes() (grown, shrunk int) {
+	dl.mu.Lock()
+	defer dl.mu.Unlock()
+	return dl.grown, dl.shrunk
+}
+
+// applyResize reconciles the live worker set with the requested target. Main
+// proc only. Once every batch is dispatched the epoch is draining and a
+// resize would be pure churn, so it is skipped.
+func (dl *DataLoader) applyResize(p clock.Proc) {
+	target := int(dl.workerTarget.Load())
+	if dl.sendIdx >= len(dl.batches) {
+		return
+	}
+	dl.mu.Lock()
+	cur := len(dl.active)
+	dl.mu.Unlock()
+	if target == cur {
+		return
+	}
+	if target > cur {
+		fresh := make([]int, 0, target-cur)
+		for i := cur; i < target; i++ {
+			w := dl.totalWorkers
+			dl.totalWorkers++
+			dl.retired = append(dl.retired, false)
+			if dl.board != nil {
+				dl.board.AddLane()
+			} else {
+				dl.indexQs = append(dl.indexQs, clock.NewQueue[indexTask](dl.clk, 0))
+			}
+			dl.mu.Lock()
+			dl.outstanding = append(dl.outstanding, 0)
+			dl.active = append(dl.active, w)
+			dl.grown++
+			dl.mu.Unlock()
+			dl.forkWorker(p, w)
+			fresh = append(fresh, w)
+		}
+		// Top up the prefetch window so the new workers have work now rather
+		// than after the next PrefetchFactor consumption rounds.
+		for i := 0; i < dl.cfg.PrefetchFactor; i++ {
+			for _, w := range fresh {
+				dl.enqueueNext(p, w)
+			}
+		}
+		return
+	}
+	for cur > target && cur > 1 {
+		dl.mu.Lock()
+		w := dl.active[len(dl.active)-1]
+		dl.active = dl.active[:len(dl.active)-1]
+		dl.shrunk++
+		cur = len(dl.active)
+		dl.mu.Unlock()
+		dl.retired[w] = true
+		if dl.board != nil {
+			dl.board.Retire(w)
+		} else {
+			dl.indexQs[w].Close()
+		}
 	}
 }
 
@@ -478,8 +654,10 @@ func (dl *DataLoader) CreditDrift() int {
 }
 
 // workerLoop is the DataLoader worker body (_utils.worker._worker_loop): it
-// creates a fetcher and serves index tasks until its queue closes.
-func (dl *DataLoader) workerLoop(p clock.Proc, workerID int) {
+// creates a fetcher and serves index tasks until its queue closes (or, for a
+// retired worker, until its backlog drains). q is the worker's own index
+// queue, nil under DispatchWorkStealing.
+func (dl *DataLoader) workerLoop(p clock.Proc, workerID int, q *clock.Queue[indexTask]) {
 	pid := WorkerPID(workerID)
 	ctx := &Ctx{
 		Proc:           p,
@@ -505,7 +683,7 @@ func (dl *DataLoader) workerLoop(p clock.Proc, workerID int) {
 				dl.stealCharge(from, workerID, task.batchID)
 			}
 		} else {
-			task, ok = dl.indexQs[workerID].Get(p)
+			task, ok = q.Get(p)
 		}
 		if !ok {
 			return

@@ -411,7 +411,7 @@ func TestConfigValidation(t *testing.T) {
 	ds := data.NewImageDataset(data.ImageNetConfig(4, 1))
 	for _, cfg := range []Config{
 		{BatchSize: 0, NumWorkers: 1},
-		{BatchSize: 2, NumWorkers: 0},
+		{BatchSize: 2, NumWorkers: -1},
 	} {
 		func() {
 			defer func() {
@@ -421,5 +421,11 @@ func TestConfigValidation(t *testing.T) {
 			}()
 			NewDataLoader(sim, NewImageFolder(ds, icCompose(nil)), cfg)
 		}()
+	}
+	// Zero workers means "auto" (controller-managed), not a panic: the loader
+	// starts at the default and can be resized from there.
+	dl := NewDataLoader(sim, NewImageFolder(ds, icCompose(nil)), Config{BatchSize: 2})
+	if got := dl.Workers(); got != DefaultAutoWorkers {
+		t.Fatalf("NumWorkers=0 should mean auto (%d workers), got %d", DefaultAutoWorkers, got)
 	}
 }

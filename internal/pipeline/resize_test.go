@@ -1,0 +1,157 @@
+package pipeline
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"lotus/internal/clock"
+	"lotus/internal/data"
+	"lotus/internal/native"
+)
+
+// resizeLoader builds a sim loader with an explicit dispatch policy, mirroring
+// simLoader but exposing the knobs the resize tests vary.
+func resizeLoader(t *testing.T, n, batch, workers int, dispatch DispatchPolicy) (*clock.Sim, *DataLoader) {
+	t.Helper()
+	sim := clock.NewSim()
+	ds := data.NewImageDataset(data.ImageNetConfig(n, 1))
+	folder := NewImageFolder(ds, icCompose(nil))
+	dl := NewDataLoader(sim, folder, Config{
+		BatchSize:  batch,
+		NumWorkers: workers,
+		Seed:       1,
+		Mode:       Simulated,
+		Dispatch:   dispatch,
+		Engine:     native.NewEngine(native.Intel, native.DefaultCPU()),
+	})
+	return sim, dl
+}
+
+// runEpochResizing consumes one epoch, invoking resizeAt[batchID] (if set)
+// right after that batch is delivered — i.e. mid-epoch, from the main proc.
+func runEpochResizing(sim *clock.Sim, dl *DataLoader, resizeAt map[int]int) []*Batch {
+	var batches []*Batch
+	sim.Run("main", func(p clock.Proc) {
+		it := dl.Start(p)
+		for {
+			b, ok := it.Next(p)
+			if !ok {
+				break
+			}
+			batches = append(batches, b)
+			if target, ok := resizeAt[b.ID]; ok {
+				dl.RequestResize(target)
+			}
+		}
+	})
+	return batches
+}
+
+// batchFingerprint captures everything about a batch that must be independent
+// of the worker schedule: consumption order, sample membership, labels, and
+// collated shape. (Simulated-mode tensors are meta, so the shape is the
+// payload identity.)
+func batchFingerprint(b *Batch) string {
+	return fmt.Sprintf("%d|%v|%v|%v", b.ID, b.Indices, b.Labels, b.Data.Shape)
+}
+
+func TestResizeMidEpochPreservesDelivery(t *testing.T) {
+	policies := map[string]DispatchPolicy{
+		"producer":  DispatchProducer,
+		"leastwork": DispatchLeastWork,
+		"steal":     DispatchWorkStealing,
+	}
+	for name, policy := range policies {
+		t.Run(name, func(t *testing.T) {
+			sim, dl := resizeLoader(t, 320, 8, 2, policy)
+			// Grow 2->5 early, then shrink 5->2 while batches remain
+			// undispatched, so both paths run inside one epoch.
+			batches := runEpochResizing(sim, dl, map[int]int{4: 5, 11: 2})
+			if len(batches) != 40 {
+				t.Fatalf("got %d batches, want 40", len(batches))
+			}
+			seen := make(map[int]bool)
+			for i, b := range batches {
+				if b.ID != i {
+					t.Fatalf("batch %d delivered with ID %d — order broken by resize", i, b.ID)
+				}
+				for _, idx := range b.Indices {
+					if seen[idx] {
+						t.Fatalf("index %d delivered twice after resize", idx)
+					}
+					seen[idx] = true
+				}
+			}
+			if len(seen) != 320 {
+				t.Fatalf("delivered %d distinct indices, want 320", len(seen))
+			}
+			grown, shrunk := dl.Resizes()
+			if grown != 3 || shrunk != 3 {
+				t.Fatalf("Resizes() = (%d, %d), want (3, 3)", grown, shrunk)
+			}
+			if got := dl.Workers(); got != 2 {
+				t.Fatalf("Workers() = %d after shrink back, want 2", got)
+			}
+		})
+	}
+}
+
+func TestResizeMatchesFixedWorkerRun(t *testing.T) {
+	for name, policy := range map[string]DispatchPolicy{
+		"producer": DispatchProducer,
+		"steal":    DispatchWorkStealing,
+	} {
+		t.Run(name, func(t *testing.T) {
+			fixed := func() []string {
+				sim, dl := resizeLoader(t, 120, 8, 3, policy)
+				bs := runEpochResizing(sim, dl, nil)
+				out := make([]string, len(bs))
+				for i, b := range bs {
+					out[i] = batchFingerprint(b)
+				}
+				return out
+			}()
+			resized := func() []string {
+				sim, dl := resizeLoader(t, 120, 8, 3, policy)
+				bs := runEpochResizing(sim, dl, map[int]int{2: 6, 8: 1})
+				out := make([]string, len(bs))
+				for i, b := range bs {
+					out[i] = batchFingerprint(b)
+				}
+				return out
+			}()
+			if !reflect.DeepEqual(fixed, resized) {
+				t.Fatalf("resizing changed batch content:\nfixed:   %v\nresized: %v",
+					fixed, resized)
+			}
+		})
+	}
+}
+
+func TestResizeBeforeStartSetsConstructionCount(t *testing.T) {
+	sim, dl := resizeLoader(t, 80, 8, 2, DispatchProducer)
+	dl.RequestResize(4)
+	batches := runEpochResizing(sim, dl, nil)
+	if len(batches) != 10 {
+		t.Fatalf("got %d batches, want 10", len(batches))
+	}
+	if got := dl.Workers(); got != 4 {
+		t.Fatalf("Workers() = %d, want 4 (pre-Start resize adjusts construction)", got)
+	}
+	grown, shrunk := dl.Resizes()
+	if grown != 0 || shrunk != 0 {
+		t.Fatalf("pre-Start resize must not count as runtime churn, got (%d, %d)", grown, shrunk)
+	}
+}
+
+func TestResizeNeverDropsBelowOneWorker(t *testing.T) {
+	sim, dl := resizeLoader(t, 80, 8, 3, DispatchLeastWork)
+	batches := runEpochResizing(sim, dl, map[int]int{2: 0})
+	if len(batches) != 10 {
+		t.Fatalf("got %d batches, want 10", len(batches))
+	}
+	if got := dl.Workers(); got != 1 {
+		t.Fatalf("Workers() = %d, want 1 (resize clamps at one live worker)", got)
+	}
+}

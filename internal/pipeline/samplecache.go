@@ -179,6 +179,26 @@ func NewSampleCache(budget int64, blocking bool) *SampleCache {
 // across goroutines (the field is read without synchronization afterwards).
 func (sc *SampleCache) SetDisk(st *store.Store) { sc.disk = st }
 
+// SetBudget retargets the byte budget at runtime (the controller's cache
+// knob). Shrinking evicts LRU-first down to the new bound immediately;
+// victims re-spill to the disk tier, so a budget cut demotes entries
+// instead of destroying them.
+func (sc *SampleCache) SetBudget(budget int64) {
+	if budget <= 0 {
+		return
+	}
+	sc.mu.Lock()
+	sc.budget = budget
+	victims := sc.evictOverLocked()
+	sc.mu.Unlock()
+	for _, v := range victims {
+		if sc.disk != nil && !sc.disk.Contains(diskSampleKey(v.key)) {
+			sc.disk.PutAsync(diskSampleKey(v.key), encodeSnapshot(v.sample))
+		}
+		v.sample.release()
+	}
+}
+
 func diskSampleKey(key SampleKey) store.Key {
 	return store.Key{Kind: store.KindSample, FP: key.PrefixFP, A: uint64(key.Index)}
 }

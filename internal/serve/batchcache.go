@@ -90,6 +90,26 @@ func NewBatchCache(budget int64) *BatchCache {
 // unless it takes its own reference.
 func (c *BatchCache) SetSpill(fn func(BatchKey, *Frame)) { c.spill = fn }
 
+// SetBudget retargets the byte budget at runtime (the controller's cache
+// knob). Shrinking evicts LRU-first down to the new bound immediately;
+// victims spill to the disk tier like any other eviction, so a budget cut
+// demotes bytes instead of destroying them.
+func (c *BatchCache) SetBudget(budget int64) {
+	if budget <= 0 {
+		return
+	}
+	c.mu.Lock()
+	c.budget = budget
+	victims := c.evictOverLocked()
+	c.mu.Unlock()
+	for _, v := range victims {
+		if c.spill != nil {
+			c.spill(v.key, v.frame)
+		}
+		v.frame.Release()
+	}
+}
+
 // Claim registers owner as the computer of key if and only if no entry
 // exists, without blocking and without touching any frame. Sessions claim
 // their whole shard up front at epoch start, which partitions the epoch's

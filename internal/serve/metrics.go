@@ -86,6 +86,46 @@ func (m *Metrics) AddEpoch() {
 	m.mu.Unlock()
 }
 
+// EpochsServed reads the completed-epoch counter — the controller's
+// observation key.
+func (m *Metrics) EpochsServed() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.epochsServed
+}
+
+// QueueFill reports the mean prefetch-queue fill fraction (0..1) across
+// sessions with a stream in flight, given the per-session queue capacity.
+// Sessions between epochs (no gauge installed) are skipped; 0 means no
+// stream is live.
+func (m *Metrics) QueueFill(capacity int) float64 {
+	if capacity <= 0 {
+		return 0
+	}
+	m.mu.Lock()
+	live := make([]*SessionMetrics, 0, len(m.sessions))
+	for _, sm := range m.sessions {
+		live = append(live, sm)
+	}
+	m.mu.Unlock()
+	var sum float64
+	n := 0
+	for _, sm := range live {
+		sm.mu.Lock()
+		gauge := sm.queueDepth
+		sm.mu.Unlock()
+		if gauge == nil {
+			continue
+		}
+		sum += float64(gauge()) / float64(capacity)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
 // AddEpochAbort counts one epoch stream that ended in an error (client gone,
 // write failure, or producer failure) instead of a clean EpochEnd. Paired
 // with the reconnect counter, a rising abort rate is the server-side
@@ -260,7 +300,10 @@ type MetricsSnapshot struct {
 	DiskCache *store.Stats `json:"disk_cache,omitempty"`
 	// Hedge carries the speculative-fetch counters; nil until the first
 	// hedged ShardReq arrives.
-	Hedge    *HedgeStats       `json:"hedge,omitempty"`
+	Hedge *HedgeStats `json:"hedge,omitempty"`
+	// Control carries the autotuner's current knob settings and actuation
+	// history; nil when autotuning is disabled.
+	Control  *ControlStats     `json:"control,omitempty"`
 	Sessions []SessionSnapshot `json:"sessions"`
 }
 

@@ -63,6 +63,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if st, ok := s.DiskCacheStats(); ok {
 		snap.DiskCache = &st
 	}
+	if st, ok := s.ControlStats(); ok {
+		snap.Control = &st
+	}
 	writeJSON(w, http.StatusOK, snap)
 }
 

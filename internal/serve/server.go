@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"lotus/internal/clock"
+	"lotus/internal/control"
 	"lotus/internal/core/trace"
 	"lotus/internal/faultinject"
 	"lotus/internal/native"
@@ -93,6 +94,20 @@ type Config struct {
 	// and consulted per outgoing batch frame for wire faults (drop, truncate,
 	// corrupt). Production servers leave it nil.
 	Faults *faultinject.Injector
+	// AutoTune enables the closed-loop controller: at every completed epoch
+	// the server observes its own T2 wait records, prefetch-queue fill, and
+	// cache counters, and actuates the pipeline worker count (including live
+	// resizes of epochs in flight), the prefetch factor, and the three cache
+	// byte budgets. Decisions are keyed off the epochs-served counter, so a
+	// sim-mode server tunes deterministically.
+	AutoTune bool
+	// AutoTuneLongWait classifies a main-process batch wait as a stall for
+	// the controller's wait-fraction signal (default 500ms, the advisor's
+	// threshold).
+	AutoTuneLongWait time.Duration
+	// AutoTuneControl overrides the controller's bounds and pacing (zero
+	// values take control.Config defaults). Tests tighten the cooldowns.
+	AutoTuneControl control.Config
 	// ClusterInfo, when non-nil, is served as JSON on the sidecar's /cluster
 	// endpoint — a func (not a value) so cluster membership state stays live.
 	// It keeps internal/serve free of a cluster dependency: the cluster layer
@@ -120,6 +135,7 @@ type Server struct {
 	sampleCache *pipeline.SampleCache // nil when Config.SampleCacheBytes == 0
 	prefixFP    uint64
 	disk        *store.Store // nil when Config.DiskCacheDir == ""
+	tuner       *tuner       // nil when Config.AutoTune is false
 
 	ctx      context.Context
 	cancel   context.CancelFunc
@@ -183,6 +199,9 @@ func New(cfg Config) *Server {
 			s.sampleCache = pipeline.NewSampleCache(cfg.SampleCacheBytes, blocking)
 			s.prefixFP = fp
 		}
+	}
+	if cfg.AutoTune {
+		s.tuner = newTuner(s, cfg.AutoTuneControl, cfg.AutoTuneLongWait)
 	}
 	return s
 }
@@ -763,6 +782,9 @@ func (ss *session) streamShard(epoch, planLen int, shard []PlanBatch) error {
 	}
 	ss.sm.AddEpoch()
 	ss.srv.metrics.AddEpoch()
+	if t := ss.srv.tuner; t != nil {
+		t.observe()
+	}
 	// The watcher must be off the socket before EpochEnd goes out: once the
 	// client sees it, the very next bytes on this connection are its next
 	// request, and those belong to the session loop's reader.
@@ -838,10 +860,14 @@ func (ss *session) produceClaimed(ctx context.Context, epoch int, claimed []Plan
 	for i, pb := range claimed {
 		batchPlan[i] = pb.Indices
 	}
+	numWorkers, prefetch := spec.NumWorkers, spec.Prefetch
+	if t := ss.srv.tuner; t != nil {
+		numWorkers, prefetch = t.pipelineKnobs()
+	}
 	cfg := pipeline.Config{
 		BatchSize:      spec.BatchSize,
-		NumWorkers:     spec.NumWorkers,
-		PrefetchFactor: spec.Prefetch,
+		NumWorkers:     numWorkers,
+		PrefetchFactor: prefetch,
 		PinMemory:      spec.PinMemory,
 		Seed:           spec.Seed,
 		Epoch:          epoch,
@@ -864,6 +890,13 @@ func (ss *session) produceClaimed(ctx context.Context, epoch int, claimed []Plan
 	}
 	clk.Run("serve-producer", func(p clock.Proc) {
 		dl := pipeline.NewDataLoader(clk, ss.ds, cfg)
+		// A worker-count action taken while this epoch streams resizes the
+		// loader through the registry; the loader applies it at its next
+		// dispatch point.
+		if t := ss.srv.tuner; t != nil {
+			t.register(dl)
+			defer t.unregister(dl)
+		}
 		// The ctx.Done branch below only runs between batches, but a
 		// worker can be mid-way through a long injected stall when the
 		// epoch is cancelled — and the main proc is then blocked in

@@ -2,7 +2,7 @@
 # bench.sh — run the headline microbenchmarks behind the PRs' performance
 # claims and capture benchstat-ready output plus JSON summaries.
 #
-# Usage: scripts/bench.sh [pr1-out.json] [pr2-out.json] [pr4-out.json] [pr5-out.json] [pr6-out.json] [pr7-out.json] [pr8-out.json]
+# Usage: scripts/bench.sh [pr1-out.json] [pr2-out.json] [pr4-out.json] [pr5-out.json] [pr6-out.json] [pr7-out.json] [pr8-out.json] [pr9-out.json]
 # Stage 1: the four PR-1 hot-path microbenchmarks -> BENCH_PR1.json.
 # Stage 2: the PR-2 service-throughput benchmark (batches/sec at 1, 2, and
 # 4 clients over loopback TCP) -> BENCH_PR2.json.
@@ -23,6 +23,10 @@
 # Stage 7: the PR-8 straggler-tail comparison (p99 epoch latency across a
 # 3-node cluster with one degraded node, hedged vs unhedged) ->
 # BENCH_PR8.json, plus a check that hedging cuts the p99 at least 2x.
+# Stage 8: the PR-9 closed-loop balancer comparison (aggregate throughput of
+# an imbalanced 3-node emulate cluster whose busiest node pays ~3x per
+# batch, autotune off vs on) -> BENCH_PR9.json, plus a check that the
+# balancer lifts throughput at least 1.5x.
 # The raw `go test -bench` output (6 repetitions, suitable for feeding to
 # benchstat old.txt new.txt) is written next to each JSON as <outfile>.txt.
 set -euo pipefail
@@ -61,6 +65,8 @@ DISK_JSON="${6:-BENCH_PR7.json}"
 DISK_TXT="${DISK_JSON%.json}.txt"
 STRAG_JSON="${7:-BENCH_PR8.json}"
 STRAG_TXT="${STRAG_JSON%.json}.txt"
+TUNE_JSON="${8:-BENCH_PR9.json}"
+TUNE_TXT="${TUNE_JSON%.json}.txt"
 
 BENCHES='BenchmarkBilinearResize|BenchmarkSJPGDecode|BenchmarkUntracedEpoch|BenchmarkTracerEmit'
 
@@ -387,3 +393,58 @@ END {
     printf "straggler tail: hedge=off p99 %.0f ms, hedge=on p99 %.0f ms (%.2fx)\n", off, on, off / on
     if (!(off >= 2 * on)) { print "FAIL: hedged fetches do not cut straggler p99 epoch latency 2x" > "/dev/stderr"; exit 1 }
 }' "$STRAG_JSON"
+
+echo "running: BenchmarkAutotuneImbalanced (3 reps) ..."
+# Each iteration routes a full epoch through an imbalanced 3-node emulate
+# cluster (the busiest node stalls 100ms per batch); the autotune=on series
+# re-weights the ring as it goes, so 4 iterations per rep cover convergence
+# plus the settled regime.
+go test -run '^$' -bench '^BenchmarkAutotuneImbalanced$' -benchtime 4x -count=3 -timeout 30m ./internal/cluster | tee "$TUNE_TXT"
+require_bench "$TUNE_TXT" "stage 8"
+
+awk '
+/^BenchmarkAutotuneImbalanced\// {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    if (!(name in seen)) { seen[name] = 1; order[++n_names] = name }
+    ns[name] = ns[name] " " $3
+    for (i = 4; i <= NF; i++) {
+        if ($(i+1) == "batches/sec")   bps[name] = bps[name] " " $i
+        if ($(i+1) == "victim-weight") vw[name]  = vw[name] " " $i
+    }
+}
+function median(s,   a, n, i, j, t) {
+    n = split(s, a, " ")
+    for (i = 2; i <= n; i++) {
+        t = a[i] + 0
+        for (j = i - 1; j >= 1 && a[j] + 0 > t; j--) a[j+1] = a[j]
+        a[j+1] = t
+    }
+    if (n % 2) return a[(n+1)/2]
+    return (a[n/2] + a[n/2+1]) / 2
+}
+END {
+    printf "{\n"
+    for (i = 1; i <= n_names; i++) {
+        name = order[i]
+        printf "  \"%s\": {\"ns_op\": %s, \"batches_per_sec\": %s", \
+            name, median(ns[name]), median(bps[name])
+        if (vw[name] != "") printf ", \"victim_weight\": %s", median(vw[name])
+        printf "}%s\n", (i < n_names ? "," : "")
+    }
+    printf "}\n"
+}' "$TUNE_TXT" > "$TUNE_JSON"
+
+echo "summary written to $TUNE_JSON (raw benchstat input: $TUNE_TXT)"
+
+# Acceptance check: the closed-loop balancer must lift the imbalanced
+# cluster'"'"'s aggregate throughput at least 1.5x — the PR-9 headline claim.
+# Output bytes are verified inside the benchmark itself (every epoch is
+# compared to ground truth).
+awk -F'"'"'[:,}]'"'"' '
+/"BenchmarkAutotuneImbalanced\/autotune=false"/ { for (i = 1; i <= NF; i++) if ($i ~ /batches_per_sec/) off = $(i+1) + 0 }
+/"BenchmarkAutotuneImbalanced\/autotune=true"/  { for (i = 1; i <= NF; i++) if ($i ~ /batches_per_sec/) on = $(i+1) + 0 }
+END {
+    printf "autotune imbalance: off %.1f batches/sec, on %.1f batches/sec (%.2fx)\n", off, on, on / off
+    if (!(on >= 1.5 * off)) { print "FAIL: the balancer does not lift imbalanced-cluster throughput 1.5x" > "/dev/stderr"; exit 1 }
+}' "$TUNE_JSON"
