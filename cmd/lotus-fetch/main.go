@@ -33,6 +33,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -57,6 +58,7 @@ func main() {
 		rank        = flag.Int("rank", 0, "this client's shard rank")
 		world       = flag.Int("world", 1, "total shard count")
 		name        = flag.String("name", "", "session label in server metrics")
+		tenant      = flag.String("tenant", "", "QoS tenant this session bills to (empty = server default tenant)")
 		retries     = flag.Int("retries", 4, "reconnect attempts per epoch on transient failures")
 		backoff     = flag.Duration("backoff", 50*time.Millisecond, "retry backoff base (doubles per attempt)")
 		quiet       = flag.Bool("quiet", false, "suppress per-epoch progress lines")
@@ -75,7 +77,7 @@ func main() {
 	}
 
 	if *clustered {
-		runCluster(endpoints, *epochs, *replication, *heartbeat, *hedgeQ, *name, *quiet, *autotune)
+		runCluster(endpoints, *epochs, *replication, *heartbeat, *hedgeQ, *name, *tenant, *quiet, *autotune)
 		return
 	}
 
@@ -85,6 +87,7 @@ func main() {
 		Rank:        *rank,
 		World:       *world,
 		Name:        *name,
+		Tenant:      *tenant,
 		Retries:     *retries,
 		BackoffBase: *backoff,
 		OnRetry: func(epoch, attempt int, err error) {
@@ -93,7 +96,10 @@ func main() {
 	})
 	defer client.Close()
 
-	if err := client.Connect(); err != nil {
+	// The initial connect honors the same busy-retry contract as Run: a
+	// CodeBusy refusal is the server's admission control asking this client
+	// to come back, not a fatal error.
+	if err := connectRetryingBusy(client, *retries, *backoff); err != nil {
 		fmt.Fprintf(os.Stderr, "lotus-fetch: connect %s: %v\n", strings.Join(endpoints, ","), err)
 		os.Exit(1)
 	}
@@ -133,7 +139,27 @@ func main() {
 
 // runCluster consumes epochs through the consistent-hash cluster router
 // instead of a single rank/world session.
-func runCluster(endpoints []string, epochs, replication int, heartbeat time.Duration, hedgeQuantile float64, name string, quiet, autotune bool) {
+// connectRetryingBusy dials with up to retries extra attempts when the
+// server answers the handshake with a retryable CodeBusy refusal, backing
+// off exponentially from base. Every other error — including fatal server
+// refusals — surfaces immediately.
+func connectRetryingBusy(c *serve.Client, retries int, base time.Duration) error {
+	for attempt := 0; ; attempt++ {
+		err := c.Connect()
+		if err == nil {
+			return nil
+		}
+		var se *serve.ServerError
+		if !errors.As(err, &se) || se.Code != serve.CodeBusy || attempt >= retries {
+			return err
+		}
+		d := base << attempt
+		log.Printf("lotus-fetch: server busy, retrying in %v (attempt %d/%d)", d, attempt+1, retries)
+		time.Sleep(d)
+	}
+}
+
+func runCluster(endpoints []string, epochs, replication int, heartbeat time.Duration, hedgeQuantile float64, name, tenant string, quiet, autotune bool) {
 	nodes := make([]cluster.Node, len(endpoints))
 	for i, a := range endpoints {
 		nodes[i] = cluster.Node{ID: a, Addr: a}
@@ -153,6 +179,7 @@ func runCluster(endpoints []string, epochs, replication int, heartbeat time.Dura
 		Nodes:         nodes,
 		Replication:   replication,
 		Name:          name,
+		Tenant:        tenant,
 		Membership:    mem,
 		HedgeQuantile: hedgeQuantile,
 		AutoTune:      autotune,

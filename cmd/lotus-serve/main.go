@@ -39,6 +39,7 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
@@ -102,7 +103,54 @@ func main() {
 		interval = flag.Duration("heartbeat", 500*time.Millisecond, "peer heartbeat interval in cluster mode")
 		autotune = flag.Bool("autotune", false, "closed-loop controller: observe wait/queue/cache signals at every completed epoch and retune workers, prefetch, and cache budgets at runtime")
 		longWait = flag.Duration("autotune-long-wait", 0, "wait duration the controller counts as a stall (0 = 500ms default)")
+
+		maxSessions = flag.Int("max-sessions", 0, "admission control: concurrent session cap (0 = unlimited); excess connections queue briefly, then get a retryable busy reply")
+		admitQueue  = flag.Int("admit-queue", 16, "admission control: connections allowed to wait for a session slot before busy-rejection (negative = reject immediately when full)")
+		admitWait   = flag.Duration("admit-wait", 2*time.Second, "admission control: how long a queued connection waits for a slot before busy-rejection")
+		qos         = flag.Bool("qos", false, "enable per-tenant QoS (fair scheduling + rate limits) even with no -tenant-limit entries")
+		qosLeadKB   = flag.Int("qos-lead-kb", 0, "max weighted KiB a tenant may run ahead of the slowest active tenant (0 = 1024; negative disables lead pacing)")
+		pidStride   = flag.Int("pid-stride", 0, "trace-pid stride between streaming sessions (0 = 1000); raised automatically if the worker count needs more pid space")
+		coalesceN   = flag.Int("coalesce-frames", 0, "max batch frames folded into one vectored write (0 = 8; negative = one write per frame)")
+		coalesceKB  = flag.Int("coalesce-kb", 0, "max pending KiB before a coalesced write flushes (0 = 64)")
+		coalesceWin = flag.Duration("coalesce-window", 0, "max latency a frame may wait in the coalescing buffer (0 = 1ms)")
+		logRate     = flag.Float64("log-rate", 0, "per-session server log lines per second before suppression (0 = 50; negative = unlimited)")
+		pprofOn     = flag.Bool("pprof", false, "expose /debug/pprof on the observability sidecar")
 	)
+	tenants := map[string]serve.TenantLimit{}
+	flag.Func("tenant-limit",
+		"per-tenant QoS limit, repeatable: name:weight=W,bytes=N,batches=N (rates per second, 0 = unlimited); implies -qos",
+		func(s string) error {
+			name, spec, _ := strings.Cut(s, ":")
+			if name = strings.TrimSpace(name); name == "" {
+				return fmt.Errorf("tenant-limit %q: empty tenant name", s)
+			}
+			var lim serve.TenantLimit
+			for _, kv := range strings.Split(spec, ",") {
+				if kv = strings.TrimSpace(kv); kv == "" {
+					continue
+				}
+				k, v, ok := strings.Cut(kv, "=")
+				if !ok {
+					return fmt.Errorf("tenant-limit %q: %q is not key=value", s, kv)
+				}
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					return fmt.Errorf("tenant-limit %q: %q: %v", s, kv, err)
+				}
+				switch k {
+				case "weight":
+					lim.Weight = n
+				case "bytes":
+					lim.BytesPerSec = int64(n)
+				case "batches":
+					lim.BatchesPerSec = int64(n)
+				default:
+					return fmt.Errorf("tenant-limit %q: unknown key %q (want weight, bytes, or batches)", s, k)
+				}
+			}
+			tenants[name] = lim
+			return nil
+		})
 	flag.Parse()
 
 	var spec workloads.Spec
@@ -192,6 +240,18 @@ func main() {
 		DiskCacheBytes:   int64(*diskGB * float64(1<<30)),
 		AutoTune:         *autotune,
 		AutoTuneLongWait: *longWait,
+		MaxSessions:      *maxSessions,
+		AdmitQueue:       *admitQueue,
+		AdmitWait:        *admitWait,
+		QoS:              *qos,
+		QoSLeadBytes:     int64(*qosLeadKB) << 10,
+		Tenants:          tenants,
+		TracePIDStride:   *pidStride,
+		CoalesceFrames:   *coalesceN,
+		CoalesceBytes:    *coalesceKB << 10,
+		CoalesceWindow:   *coalesceWin,
+		LogLinesPerSec:   *logRate,
+		Pprof:            *pprofOn,
 		ClusterInfo:      clusterInfo,
 		Logf:             log.Printf,
 	})

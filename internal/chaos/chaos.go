@@ -30,6 +30,7 @@ import (
 	"net"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"lotus/internal/clock"
@@ -132,6 +133,11 @@ func Sweep(opts Options) []Result {
 	// materialized prefixes; eviction churn must never change served bytes.
 	run(serveWireCell("wire-corrupt-scache", opts.Seed, faultinject.Spec{CorruptFrame: 4}, serverOpts{sampleCacheBytes: chaosCacheBytes}))
 	run(sampleCacheChurnCell(opts.Seed))
+
+	// Multi-tenant QoS adversary: a rate-capped tenant floods from three
+	// sessions; the cap must hold tenant-wide, the polite tenant must run
+	// uncapped, and every session still completes byte-identically.
+	run(tenantGreedyCell(opts.Seed))
 
 	// Persistent disk tier crash cells (disk.go): SIGKILL-equivalent
 	// restarts rebuild the index and serve warm bytes; torn manifests and
@@ -376,6 +382,8 @@ type serverOpts struct {
 	diskDir          string        // non-empty enables the persistent disk tier
 	mode             pipeline.Mode // zero value = Simulated
 	emulate          bool          // Simulated pipeline paced on the wall clock
+	qos              bool          // per-tenant fair scheduling
+	tenants          map[string]serve.TenantLimit
 }
 
 // startServer boots a loopback server with the given injector; cacheBytes > 0
@@ -390,7 +398,7 @@ func startServerOpts(spec workloads.Spec, inj *faultinject.Injector, o serverOpt
 		MaterializeDim: chaosMaterializeDim,
 		Prefetch:       2, Faults: inj,
 		BatchCacheBytes: o.batchCacheBytes, SampleCacheBytes: o.sampleCacheBytes,
-		DiskCacheDir: o.diskDir})
+		DiskCacheDir: o.diskDir, QoS: o.qos, Tenants: o.tenants})
 	if err := srv.Start("127.0.0.1:0", ""); err != nil {
 		return nil, err
 	}
@@ -514,6 +522,124 @@ func serveWireCell(class string, seed int64, fspec faultinject.Spec, o serverOpt
 	if stats != nil {
 		res.Notes = append(res.Notes, fmt.Sprintf("retries=%d batches=%d", stats.Retries, stats.Batches))
 	}
+	return res
+}
+
+// tenantGreedyCell is the multi-tenancy adversary cell: a rate-capped greedy
+// tenant floods the server from three concurrent sessions while a polite
+// tenant streams alongside. The QoS layer must hold the cap across all the
+// greedy tenant's sessions (its /metrics row shows throttled time), must
+// never rate-limit the polite tenant, and every session — greedy included —
+// must still complete byte-identically to local ground truth: QoS is
+// schedule, never content.
+func tenantGreedyCell(seed int64) Result {
+	spec := serveSpec(seed)
+	res := Result{Class: "tenant-greedy", Workload: string(spec.Kind)}
+	const (
+		epochs         = 2
+		greedySessions = 3
+	)
+
+	expected := make([][][]byte, epochs)
+	for e := 0; e < epochs; e++ {
+		frames, err := groundTruthFramesMode(spec, e, pipeline.Simulated)
+		if err != nil {
+			res.Failures = append(res.Failures, fmt.Sprintf("ground truth epoch %d: %v", e, err))
+			return res
+		}
+		expected[e] = frames
+	}
+
+	baseline := testutil.Baseline()
+	srv, err := startServerOpts(spec, nil, serverOpts{
+		batchCacheBytes: chaosCacheBytes,
+		qos:             true,
+		tenants: map[string]serve.TenantLimit{
+			"greedy": {BatchesPerSec: 100, BurstBatches: 4},
+		},
+	})
+	if err != nil {
+		res.Failures = append(res.Failures, err.Error())
+		return res
+	}
+
+	var mu sync.Mutex
+	fail := func(format string, args ...any) {
+		mu.Lock()
+		res.Failures = append(res.Failures, fmt.Sprintf(format, args...))
+		mu.Unlock()
+	}
+	runSession := func(name, tenant string) {
+		got := make([][][]byte, epochs)
+		c := serve.NewClient(serve.ClientConfig{Addr: srv.Addr(), Name: name, Tenant: tenant,
+			OnRetry: func(epoch, attempt int, err error) { got[epoch] = nil }})
+		defer c.Close()
+		if _, err := c.Run(epochs, func(b *serve.Batch, payload []byte) {
+			if b.Epoch >= 0 && b.Epoch < epochs {
+				got[b.Epoch] = append(got[b.Epoch], append([]byte(nil), payload...))
+			}
+		}); err != nil {
+			fail("%s: session failed under QoS: %v", name, err)
+			return
+		}
+		for e := 0; e < epochs; e++ {
+			if len(got[e]) != len(expected[e]) {
+				fail("%s: epoch %d: %d frames, want %d", name, e, len(got[e]), len(expected[e]))
+				return
+			}
+			for i := range got[e] {
+				if !bytes.Equal(got[e][i], expected[e][i]) {
+					fail("%s: epoch %d frame %d not byte-identical under QoS", name, e, i)
+					return
+				}
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < greedySessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			runSession(fmt.Sprintf("greedy-%d", i), "greedy")
+		}(i)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		runSession("polite-0", "polite")
+	}()
+	wg.Wait()
+
+	snap := srv.Snapshot(time.Now())
+	var greedyMs, politeMs float64
+	var seen int
+	for _, row := range snap.Tenants {
+		switch row.Tenant {
+		case "greedy":
+			greedyMs = row.ThrottledMs
+			seen++
+		case "polite":
+			politeMs = row.ThrottledMs
+			seen++
+		}
+	}
+	if seen != 2 {
+		res.Failures = append(res.Failures, fmt.Sprintf("tenant rows on /metrics: %d, want greedy and polite", seen))
+	}
+	if greedyMs <= 0 {
+		res.Failures = append(res.Failures, "greedy tenant was never throttled: the cap did not hold across its sessions")
+	}
+	if politeMs != 0 {
+		res.Failures = append(res.Failures, fmt.Sprintf("polite tenant throttled %.1fms by the greedy tenant's cap", politeMs))
+	}
+	srv.Close()
+
+	if err := testutil.WaitNoLeaks(baseline, 5*time.Second); err != nil {
+		res.Failures = append(res.Failures, err.Error())
+	}
+	res.Injected = greedySessions
+	res.Notes = append(res.Notes, fmt.Sprintf("greedy throttled=%.0fms polite=%.0fms", greedyMs, politeMs))
 	return res
 }
 

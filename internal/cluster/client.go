@@ -27,6 +27,11 @@ type Config struct {
 	VNodes int
 	// Name labels this consumer's sessions in node metrics.
 	Name string
+	// Tenant is the QoS accounting bucket every node session (primary and
+	// hedge) bills to; empty means each node's default tenant. Pure
+	// passthrough — quotas live server-side, so a router cannot exempt
+	// itself by misconfiguration.
+	Tenant string
 	// NodeRetries is how many extra same-node attempts a failed shard fetch
 	// gets before the node is declared dead and its unserved batches are
 	// rerouted (default 1). Only the still-unserved IDs are re-requested, so
@@ -270,6 +275,7 @@ func New(cfg Config) (*Client, error) {
 		c.clients[id] = serve.NewClient(serve.ClientConfig{
 			Addr:        cfg.Nodes[i].Addr,
 			Name:        cfg.Name + "@" + id,
+			Tenant:      cfg.Tenant,
 			MaxFrame:    cfg.MaxFrame,
 			DialTimeout: cfg.DialTimeout,
 			JitterSeed:  seed + int64(i) + 1,
@@ -971,6 +977,7 @@ func (c *Client) hedgeFetch(epoch int, slow, succ string, ids []int, rc *roundCt
 	hc := serve.NewClient(serve.ClientConfig{
 		Addr:        c.addrOf[succ],
 		Name:        c.cfg.Name + "@" + succ + "/hedge",
+		Tenant:      c.cfg.Tenant,
 		MaxFrame:    c.cfg.MaxFrame,
 		DialTimeout: c.cfg.DialTimeout,
 	})

@@ -132,6 +132,22 @@ func (c *BatchCache) Claim(key BatchKey, owner int) bool {
 	return true
 }
 
+// TryGet is a non-blocking probe: a ready entry returns a retained frame
+// (counted as a hit and freshened in the LRU); an absent or in-flight entry
+// returns nil without registering the caller as anything. The coalescing
+// write path uses it to keep batching frames that are already materialized
+// without committing to a blocking Wait.
+func (c *BatchCache) TryGet(key BatchKey) *Frame {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.entries[key]; ok && e.state == entryReady {
+		c.hits++
+		c.lru.MoveToBack(e.elem)
+		return e.frame.Retain()
+	}
+	return nil
+}
+
 // GetOrClaim is the streaming-side lookup. Exactly one of the three results
 // is meaningful:
 //

@@ -29,6 +29,9 @@ type ClientConfig struct {
 	Rank, World int
 	// Name labels the session in server metrics.
 	Name string
+	// Tenant identifies the QoS accounting bucket this session bills to.
+	// Empty means the server's default tenant; servers without QoS ignore it.
+	Tenant string
 	// MaxFrame bounds accepted frames (default DefaultMaxFrame).
 	MaxFrame int
 	// DialTimeout bounds each connection attempt (default 5s).
@@ -53,9 +56,15 @@ type ClientConfig struct {
 	Sleep func(time.Duration)
 }
 
-// ServerError is a fatal error the server reported in an Error frame. It is
-// not retried: the server is alive and has deliberately refused the request.
-type ServerError struct{ Message string }
+// ServerError is an error the server reported in an Error frame. Code
+// distinguishes deliberate refusals (CodeFatal — never retried: the server is
+// alive and said no) from transient overload (CodeBusy — admission control
+// turned the connection away; the client retries it through the same jittered
+// backoff as a dropped socket).
+type ServerError struct {
+	Message string
+	Code    byte
+}
 
 func (e *ServerError) Error() string { return "serve: server error: " + e.Message }
 
@@ -163,7 +172,8 @@ func (c *Client) connectTo(addr string) error {
 	if err != nil {
 		return err
 	}
-	hello := Hello{Version: ProtocolVersion, Rank: c.cfg.Rank, World: c.cfg.World, Name: c.cfg.Name}
+	hello := Hello{Version: ProtocolVersion, Rank: c.cfg.Rank, World: c.cfg.World,
+		Name: c.cfg.Name, Tenant: c.cfg.Tenant}
 	if err := WriteFrame(conn, EncodeHello(hello)); err != nil {
 		conn.Close()
 		return err
@@ -241,7 +251,7 @@ func (c *Client) readMessage(conn net.Conn) (any, error) {
 		return nil, err
 	}
 	if e, ok := msg.(ErrorMsg); ok {
-		return nil, &ServerError{Message: e.Message}
+		return nil, &ServerError{Message: e.Message, Code: e.Code}
 	}
 	return msg, nil
 }
@@ -284,9 +294,12 @@ func (c *Client) Run(epochs int, onBatch func(b *Batch, payload []byte)) (*Fetch
 				break
 			}
 			var se *ServerError
-			if errors.As(err, &se) {
+			if errors.As(err, &se) && se.Code != CodeBusy {
 				return stats, err
 			}
+			// CodeBusy falls through: admission control asked this client to
+			// come back later, and the jittered backoff below is exactly the
+			// desynchronized retry the server is counting on.
 			c.drop()
 			if attempt >= c.cfg.Retries {
 				return stats, fmt.Errorf("serve: epoch %d failed after %d attempts: %w", e, attempt+1, err)
@@ -424,7 +437,7 @@ func (c *Client) consumeEpoch(epoch, wantBatches int, onBatch func(*Batch, []byt
 			}
 			return nil
 		case ErrorMsg:
-			return &ServerError{Message: m.Message}
+			return &ServerError{Message: m.Message, Code: m.Code}
 		default:
 			return fmt.Errorf("serve: unexpected %T in epoch stream", msg)
 		}

@@ -25,8 +25,10 @@ import (
 // anything.
 
 // controlPID is the trace PID actuation records are filed under; it sits
-// outside every session's private pid range (sessions start at id*1000 with
-// id >= 1) so controller spans never collide with pipeline spans.
+// below every session's private pid range (session pids are
+// pipeline.MainPID + streamSeq*Config.TracePIDStride, so never below
+// pipeline.MainPID = 4000) and controller spans can never collide with
+// pipeline spans regardless of the configured stride.
 const controlPID = 999
 
 // tuner binds one Server to one control.Controller.

@@ -25,6 +25,10 @@ type Metrics struct {
 	reconnects     int64
 	hedgeRequests  int64
 	hedgeBatches   int64
+	busyRejections int64
+	admitQueued    int64
+	writevCalls    int64
+	writevFrames   int64
 	opensByName    map[string]int
 	sessions       map[int]*SessionMetrics
 }
@@ -43,8 +47,8 @@ func NewMetrics(now time.Time) *Metrics {
 // the server-side observable of a client retry loop. Client-side OnRetry
 // callbacks see each retry decision, but only this counter lets an operator
 // spot a reconnect storm from the serving side.
-func (m *Metrics) OpenSession(id int, name string, rank, world int, now time.Time) *SessionMetrics {
-	sm := &SessionMetrics{id: id, name: name, rank: rank, world: world, connectedAt: now}
+func (m *Metrics) OpenSession(id int, name, tenant string, rank, world int, now time.Time) *SessionMetrics {
+	sm := &SessionMetrics{id: id, name: name, tenant: tenant, rank: rank, world: world, connectedAt: now}
 	identity := fmt.Sprintf("%s/%d", name, rank)
 	m.mu.Lock()
 	m.sessionsTotal++
@@ -147,6 +151,33 @@ func (m *Metrics) AddHedge(ids int) {
 	m.mu.Unlock()
 }
 
+// AddBusy counts one connection turned away by admission control (full
+// session table and full — or disabled — accept queue). A rising rate is the
+// intended overload signature: fast rejection, not collapse.
+func (m *Metrics) AddBusy() {
+	m.mu.Lock()
+	m.busyRejections++
+	m.mu.Unlock()
+}
+
+// AddAdmitQueued counts one connection that waited in the bounded admission
+// queue for a session slot (whether or not it was eventually admitted).
+func (m *Metrics) AddAdmitQueued() {
+	m.mu.Lock()
+	m.admitQueued++
+	m.mu.Unlock()
+}
+
+// AddWritev observes one coalesced vectored write covering the given number
+// of batch frames. frames/calls is the live coalescing factor: 1.0 means
+// every frame paid its own syscall.
+func (m *Metrics) AddWritev(frames int) {
+	m.mu.Lock()
+	m.writevCalls++
+	m.writevFrames += int64(frames)
+	m.mu.Unlock()
+}
+
 // HedgeStats is the /metrics hedge block: speculative shard requests served
 // by this node.
 type HedgeStats struct {
@@ -160,6 +191,7 @@ type SessionMetrics struct {
 	mu          sync.Mutex
 	id          int
 	name        string
+	tenant      string
 	rank, world int
 	connectedAt time.Time
 
@@ -229,6 +261,7 @@ func (s *SessionMetrics) AddDelay(d time.Duration) {
 type SessionSnapshot struct {
 	ID            int     `json:"id"`
 	Name          string  `json:"name"`
+	Tenant        string  `json:"tenant,omitempty"`
 	Rank          int     `json:"rank"`
 	World         int     `json:"world"`
 	ConnectedSecs float64 `json:"connected_s"`
@@ -251,6 +284,7 @@ func (s *SessionMetrics) snapshot(now time.Time) SessionSnapshot {
 	out := SessionSnapshot{
 		ID:            s.id,
 		Name:          s.name,
+		Tenant:        s.tenant,
 		Rank:          s.rank,
 		World:         s.world,
 		ConnectedSecs: now.Sub(s.connectedAt).Seconds(),
@@ -288,6 +322,23 @@ type MetricsSnapshot struct {
 	BatchesSent    int64   `json:"batches_sent"`
 	BytesSent      int64   `json:"bytes_sent"`
 	TraceRecords   int64   `json:"trace_records"`
+	// Admission-control counters: connections turned away busy and
+	// connections that waited in the bounded admission queue.
+	BusyRejections int64 `json:"busy_rejections"`
+	AdmitQueued    int64 `json:"admit_queued"`
+	// Write-coalescing counters: vectored writes issued and batch frames
+	// they covered (frames/calls = coalescing factor).
+	WritevCalls  int64 `json:"writev_calls"`
+	WritevFrames int64 `json:"writev_frames"`
+	// LogSuppressed counts per-session log lines dropped by the server's
+	// log rate limiter (filled by the server, not this registry).
+	LogSuppressed int64 `json:"log_suppressed"`
+	// Shared epoch-plan cache counters (filled by the server).
+	PlanBuilds int64 `json:"plan_builds"`
+	PlanHits   int64 `json:"plan_hits"`
+	// Runtime footprint gauges from runtime/metrics (filled by the server).
+	Goroutines int64 `json:"goroutines"`
+	HeapBytes  int64 `json:"heap_bytes"`
 	// Cache carries the materialized-batch cache counters (hits, misses,
 	// singleflight waits, evictions, bytes); nil when the cache is disabled.
 	Cache *BatchCacheStats `json:"cache,omitempty"`
@@ -303,7 +354,10 @@ type MetricsSnapshot struct {
 	Hedge *HedgeStats `json:"hedge,omitempty"`
 	// Control carries the autotuner's current knob settings and actuation
 	// history; nil when autotuning is disabled.
-	Control  *ControlStats     `json:"control,omitempty"`
+	Control *ControlStats `json:"control,omitempty"`
+	// Tenants carries one QoS accounting row per tenant seen so far; empty
+	// when QoS is disabled.
+	Tenants  []TenantSnapshot  `json:"tenants,omitempty"`
 	Sessions []SessionSnapshot `json:"sessions"`
 }
 
@@ -321,6 +375,10 @@ func (m *Metrics) Snapshot(now time.Time, traceRecords int64) MetricsSnapshot {
 		BatchesSent:    m.batchesSent,
 		BytesSent:      m.bytesSent,
 		TraceRecords:   traceRecords,
+		BusyRejections: m.busyRejections,
+		AdmitQueued:    m.admitQueued,
+		WritevCalls:    m.writevCalls,
+		WritevFrames:   m.writevFrames,
 	}
 	if m.hedgeRequests > 0 {
 		out.Hedge = &HedgeStats{Requests: m.hedgeRequests, Batches: m.hedgeBatches}

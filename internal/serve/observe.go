@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"runtime/metrics"
 	"time"
 
 	"lotus/internal/core/trace"
@@ -12,10 +14,12 @@ import (
 
 // startHTTP brings up the observability sidecar:
 //
-//	GET /healthz  liveness + drain state
-//	GET /metrics  MetricsSnapshot JSON (server totals + per-session rows)
-//	GET /trace    Chrome Trace JSON of the live ring (?granularity=fine for
-//	              per-op spans)
+//	GET /healthz      liveness + drain state
+//	GET /metrics      MetricsSnapshot JSON (server totals + per-session rows)
+//	GET /trace        Chrome Trace JSON of the live ring (?granularity=fine
+//	                  for per-op spans)
+//	GET /debug/pprof  standard pprof handlers (Config.Pprof only), for
+//	                  diagnosing footprint regressions at high session counts
 func (s *Server) startHTTP(addr string) error {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
@@ -30,6 +34,13 @@ func (s *Server) startHTTP(addr string) error {
 		mux.HandleFunc("/cluster", func(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusOK, s.cfg.ClusterInfo())
 		})
+	}
+	if s.cfg.Pprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
 	s.httpSrv = srv
@@ -52,8 +63,11 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	snap := s.metrics.Snapshot(time.Now(), s.ring.Total())
+// Snapshot composes the full /metrics document: the counter registry plus
+// every optional block the server owns (caches, control, QoS tenants, log
+// suppression, plan-cache stats, runtime footprint gauges).
+func (s *Server) Snapshot(now time.Time) MetricsSnapshot {
+	snap := s.metrics.Snapshot(now, s.ring.Total())
 	if st, ok := s.CacheStats(); ok {
 		snap.Cache = &st
 	}
@@ -66,7 +80,37 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if st, ok := s.ControlStats(); ok {
 		snap.Control = &st
 	}
-	writeJSON(w, http.StatusOK, snap)
+	if s.qos != nil {
+		snap.Tenants = s.qos.snapshot()
+	}
+	if s.slog != nil {
+		snap.LogSuppressed = s.slog.suppressed.Load()
+	}
+	snap.PlanBuilds, snap.PlanHits = s.plans.stats()
+	snap.Goroutines, snap.HeapBytes = runtimeGauges()
+	return snap
+}
+
+// runtimeGauges reads the live goroutine count and heap footprint from
+// runtime/metrics — the cheap always-on view of per-session cost; full
+// profiles hide behind Config.Pprof.
+func runtimeGauges() (goroutines, heapBytes int64) {
+	samples := []metrics.Sample{
+		{Name: "/sched/goroutines:goroutines"},
+		{Name: "/memory/classes/heap/objects:bytes"},
+	}
+	metrics.Read(samples)
+	if samples[0].Value.Kind() == metrics.KindUint64 {
+		goroutines = int64(samples[0].Value.Uint64())
+	}
+	if samples[1].Value.Kind() == metrics.KindUint64 {
+		heapBytes = int64(samples[1].Value.Uint64())
+	}
+	return goroutines, heapBytes
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Snapshot(time.Now()))
 }
 
 func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,599 @@
+package serve
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Per-tenant quality of service. A tenant (Hello.Tenant) is the paying
+// principal behind some set of sessions — one trainer job, one team, one
+// product — and the unit of fairness once O(1000) sessions contend for the
+// shared preprocessing tiers. Two mechanisms compose:
+//
+//   - Token buckets (TenantLimit.BytesPerSec / BatchesPerSec) cap a tenant's
+//     absolute service rate. They pace the write loop of every session the
+//     tenant owns, so the cap holds across however many connections the
+//     tenant opens.
+//   - A deficit-weighted-fair gate (fairGate) arbitrates the shared
+//     contention points — concurrent producing pipelines and in-flight batch
+//     writes — so that when demand exceeds capacity, tenants progress in
+//     proportion to their weights regardless of how many sessions each one
+//     runs. This is the tf.data-service multi-consumer model: one greedy
+//     trainer cannot starve the rest.
+//   - A fair-share pacer (fairPacer) bounds relative progress on the wire:
+//     no tenant's weighted served bytes may run more than a fixed lead ahead
+//     of the slowest *active* tenant. The gates arbitrate only when their
+//     slots saturate; the pacer is what keeps tenants fair when the true
+//     bottleneck is elsewhere (CPU, the shared cache, the kernel), because a
+//     tenant that buys extra throughput with extra sessions runs straight
+//     into its lead bound and is paced until its peers catch up. Idle
+//     tenants age out of the active set, so the pacer is work conserving.
+//
+// QoS is pure schedule, never content: it delays or reorders work *across*
+// sessions, but within a session frames still stream in plan order and the
+// bytes are untouched, so byte-identity versus a clients=1 run holds by
+// construction under any limit configuration.
+
+// TenantLimit bounds one tenant's share of the server. The zero value means
+// unlimited rate with weight 1.
+type TenantLimit struct {
+	// BytesPerSec caps the tenant's aggregate served wire bytes per second
+	// across all its sessions (token bucket). <= 0 means unlimited.
+	BytesPerSec int64
+	// BatchesPerSec caps the tenant's aggregate served batches per second.
+	// <= 0 means unlimited.
+	BatchesPerSec int64
+	// BurstBytes / BurstBatches are the bucket depths; 0 defaults to one
+	// second's worth of the corresponding rate.
+	BurstBytes   int64
+	BurstBatches int64
+	// Weight is the tenant's share under deficit-weighted-fair contention
+	// (default 1). A weight-2 tenant drains twice the bytes per scheduling
+	// round of a weight-1 tenant when both have work queued.
+	Weight int
+}
+
+// errQoSCanceled reports that a gate wait or throttle sleep was cut short by
+// the caller's cancel channel (epoch abort, server teardown).
+var errQoSCanceled = errors.New("serve: qos wait canceled")
+
+// ---------------------------------------------------------------------------
+// Token bucket
+// ---------------------------------------------------------------------------
+
+// tokenBucket is a standard leaky token bucket with debt: take always
+// succeeds and returns how long the caller must pace before proceeding, which
+// keeps the arithmetic deterministic for an injected clock.
+type tokenBucket struct {
+	mu     sync.Mutex
+	rate   float64 // tokens per second
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newTokenBucket(rate, burst float64, now time.Time) *tokenBucket {
+	if burst <= 0 {
+		burst = rate
+	}
+	if burst < 1 {
+		burst = 1
+	}
+	return &tokenBucket{rate: rate, burst: burst, tokens: burst, last: now}
+}
+
+// take removes n tokens (the balance may go negative) and returns the delay
+// until the debt is repaid; 0 means proceed immediately.
+func (b *tokenBucket) take(n float64, now time.Time) time.Duration {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if now.After(b.last) {
+		b.tokens += now.Sub(b.last).Seconds() * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+	}
+	b.tokens -= n
+	if b.tokens >= 0 {
+		return 0
+	}
+	return time.Duration(-b.tokens / b.rate * float64(time.Second))
+}
+
+// ---------------------------------------------------------------------------
+// Deficit-weighted-fair gate
+// ---------------------------------------------------------------------------
+
+// fairGate arbitrates a fixed pool of concurrency slots between tenants with
+// deficit round robin: each queued tenant accumulates quantum*weight of
+// byte-denominated credit per scheduling round and its head waiter is granted
+// a slot once the credit covers the waiter's cost. When the gate is
+// uncontended (no queue), acquisition is a lock-plus-decrement fast path, so
+// the fair scheduler costs nothing until it is needed (work conserving).
+type fairGate struct {
+	mu      sync.Mutex
+	free    int
+	quantum int64
+	queues  map[string]*gateQueue
+	ring    []*gateQueue // round-robin order over queues with waiters
+	idx     int
+	waiting int // live (non-canceled) queued waiters
+
+	grants int64
+	queued int64
+}
+
+type gateQueue struct {
+	name    string
+	weight  int64
+	deficit int64
+	// credited marks that this queue already received its quantum for the
+	// current round-robin visit. Dispatch runs incrementally — it returns
+	// whenever slots run out and resumes on the next release — so without
+	// the flag every resume would re-credit the queue it left off on,
+	// inflating that tenant's share.
+	credited bool
+	q        []*gateWaiter
+}
+
+type gateWaiter struct {
+	cost     int64
+	ready    chan struct{}
+	granted  bool
+	canceled bool
+}
+
+func newFairGate(slots int, quantum int64) *fairGate {
+	if slots < 1 {
+		slots = 1
+	}
+	if quantum < 1 {
+		quantum = 256 << 10
+	}
+	return &fairGate{free: slots, quantum: quantum, queues: make(map[string]*gateQueue)}
+}
+
+// acquire blocks until the caller holds one slot, charged cost units of the
+// tenant's deficit, or cancel fires. Every successful acquire must be paired
+// with exactly one release.
+func (g *fairGate) acquire(tenant string, weight int, cost int64, cancel <-chan struct{}) error {
+	if cost < 1 {
+		cost = 1
+	}
+	g.mu.Lock()
+	if g.waiting == 0 && g.free > 0 {
+		g.free--
+		g.grants++
+		g.mu.Unlock()
+		return nil
+	}
+	q := g.queues[tenant]
+	if q == nil {
+		w := int64(weight)
+		if w < 1 {
+			w = 1
+		}
+		q = &gateQueue{name: tenant, weight: w}
+		g.queues[tenant] = q
+	}
+	if len(q.q) == 0 {
+		g.ring = append(g.ring, q)
+	}
+	w := &gateWaiter{cost: cost, ready: make(chan struct{})}
+	q.q = append(q.q, w)
+	g.waiting++
+	g.queued++
+	g.dispatchLocked()
+	g.mu.Unlock()
+
+	select {
+	case <-w.ready:
+		return nil
+	case <-cancel:
+		g.mu.Lock()
+		if w.granted {
+			// The grant raced the cancel; the caller owns the slot and its
+			// normal release path runs.
+			g.mu.Unlock()
+			return nil
+		}
+		w.canceled = true
+		g.waiting--
+		g.mu.Unlock()
+		return errQoSCanceled
+	}
+}
+
+// release returns one slot and wakes whatever the scheduler grants next.
+func (g *fairGate) release() {
+	g.mu.Lock()
+	g.free++
+	g.dispatchLocked()
+	g.mu.Unlock()
+}
+
+// dispatchLocked runs deficit round robin until slots or waiters run out.
+// Each round-robin visit credits the queue exactly once; the loop terminates
+// because every full ring cycle grows each queue's deficit by at least
+// quantum while head costs are finite, so a grant (which shrinks waiting) is
+// always a bounded number of cycles away while free > 0. When slots run out
+// mid-service, dispatch returns with the ring pointer parked on the current
+// queue (its visit credit already spent, not re-issued), so the next release
+// resumes that queue's remaining deficit instead of starting a fresh visit —
+// without this, sequential single-slot operation would collapse weighted
+// shares to plain round robin.
+func (g *fairGate) dispatchLocked() {
+	for g.free > 0 && g.waiting > 0 {
+		if len(g.ring) == 0 {
+			return
+		}
+		if g.idx >= len(g.ring) {
+			g.idx = 0
+		}
+		q := g.ring[g.idx]
+		for len(q.q) > 0 && q.q[0].canceled {
+			q.q = q.q[1:]
+		}
+		if len(q.q) == 0 {
+			// Idle queues forfeit banked credit (standard DRR), so a tenant
+			// cannot save up during quiet periods and burst past its share.
+			q.deficit = 0
+			q.credited = false
+			g.ring = append(g.ring[:g.idx], g.ring[g.idx+1:]...)
+			continue
+		}
+		if !q.credited {
+			q.deficit += g.quantum * q.weight
+			q.credited = true
+		}
+		for g.free > 0 && len(q.q) > 0 {
+			w := q.q[0]
+			if w.canceled {
+				q.q = q.q[1:]
+				continue
+			}
+			if q.deficit < w.cost {
+				break
+			}
+			q.deficit -= w.cost
+			q.q = q.q[1:]
+			g.free--
+			g.waiting--
+			g.grants++
+			w.granted = true
+			close(w.ready)
+		}
+		if len(q.q) == 0 {
+			q.deficit = 0
+			q.credited = false
+			g.ring = append(g.ring[:g.idx], g.ring[g.idx+1:]...)
+			continue
+		}
+		if g.free == 0 {
+			return // resume this queue's visit on the next release
+		}
+		// Deficit exhausted for this visit: move on, next visit re-credits.
+		q.credited = false
+		g.idx++
+	}
+}
+
+func (g *fairGate) stats() (grants, queued int64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.grants, g.queued
+}
+
+// ---------------------------------------------------------------------------
+// Fair-share pacer
+// ---------------------------------------------------------------------------
+
+// pacerScale is the fixed-point factor for weight-normalized virtual time:
+// a tenant's vtime advances by cost*pacerScale/weight per charge, so integer
+// division never loses more than 1/pacerScale of a byte per frame.
+const pacerScale = 256
+
+// fairPacer implements bounded-lead fair sharing over served wire bytes.
+// Each tenant carries a virtual time — cumulative served bytes divided by its
+// weight — and admit refuses to charge a tenant whose vtime would run more
+// than maxLead ahead of the slowest active peer. The slowest active tenant is
+// never paced (its lead is <= 0), so some tenant always progresses and the
+// rest are dragged along within the lead bound: weighted service rates
+// equalize without the pacer ever needing to know the server's capacity.
+// Tenants idle longer than window drop out of the active set and stop
+// constraining their peers; a joining (or rejoining) tenant starts at the
+// active minimum, so it gets no retroactive catch-up burst and owes no debt.
+type fairPacer struct {
+	mu      sync.Mutex
+	maxLead int64 // in vtime units (bytes*pacerScale per unit weight)
+	window  time.Duration
+	step    time.Duration // recheck interval while paced
+	entries map[string]*pacerEntry
+
+	paced int64 // admits that had to wait at least once (stats)
+}
+
+type pacerEntry struct {
+	vtime      int64
+	lastActive time.Time
+}
+
+func newFairPacer(leadBytes int64, window, step time.Duration) *fairPacer {
+	if leadBytes < 1 {
+		leadBytes = 1 << 20
+	}
+	if window <= 0 {
+		window = 100 * time.Millisecond
+	}
+	if step <= 0 {
+		step = time.Millisecond
+	}
+	return &fairPacer{
+		maxLead: leadBytes * pacerScale,
+		window:  window,
+		step:    step,
+		entries: make(map[string]*pacerEntry),
+	}
+}
+
+// admit asks to charge cost bytes to the tenant. It returns 0 and applies the
+// charge if the tenant is within its lead bound, or a pause after which the
+// caller should retry — peers may have advanced, or the laggards holding the
+// tenant back may have idled out of the active set by then.
+func (p *fairPacer) admit(tenant string, weight int, cost int64, now time.Time) time.Duration {
+	if weight < 1 {
+		weight = 1
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	e := p.entries[tenant]
+	fresh := e == nil
+	if fresh {
+		e = &pacerEntry{}
+		p.entries[tenant] = e
+	}
+	// The floor is the slowest *other* tenant still inside the active window.
+	// The requester itself is active by definition and never its own floor:
+	// with no active peers its lead is 0 and it proceeds at full rate.
+	minActive := int64(-1)
+	hasPeer := false
+	for name, o := range p.entries {
+		if name == tenant || now.Sub(o.lastActive) > p.window {
+			continue
+		}
+		if !hasPeer || o.vtime < minActive {
+			minActive = o.vtime
+			hasPeer = true
+		}
+	}
+	if hasPeer && (fresh || now.Sub(e.lastActive) > p.window) {
+		// New or returning tenant: fast-forward to the current floor (never
+		// backward) so idle time is neither banked as catch-up credit nor
+		// held against it.
+		if e.vtime < minActive {
+			e.vtime = minActive
+		}
+	}
+	if hasPeer && e.vtime-minActive > p.maxLead {
+		p.paced++
+		return p.step
+	}
+	e.vtime += cost * pacerScale / int64(weight)
+	e.lastActive = now
+	return 0
+}
+
+func (p *fairPacer) stats() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.paced
+}
+
+// ---------------------------------------------------------------------------
+// Tenant registry
+// ---------------------------------------------------------------------------
+
+// tenantState is one tenant's live QoS state and counters.
+type tenantState struct {
+	name  string
+	limit TenantLimit
+	bytes *tokenBucket // nil = unlimited
+	batch *tokenBucket // nil = unlimited
+
+	mu         sync.Mutex
+	sessions   int
+	batchesSrv int64
+	bytesSrv   int64
+	throttled  time.Duration
+	paced      time.Duration
+}
+
+func (t *tenantState) weight() int {
+	if t.limit.Weight < 1 {
+		return 1
+	}
+	return t.limit.Weight
+}
+
+// addBatch credits one served frame to the tenant totals.
+func (t *tenantState) addBatch(bytes int) {
+	t.mu.Lock()
+	t.batchesSrv++
+	t.bytesSrv += int64(bytes)
+	t.mu.Unlock()
+}
+
+// qosState is the server's QoS root: the tenant registry plus the two shared
+// fair gates. now and sleep are injectable for deterministic tests.
+type qosState struct {
+	mu      sync.Mutex
+	limits  map[string]TenantLimit
+	def     TenantLimit
+	tenants map[string]*tenantState
+
+	write   *fairGate  // in-flight batch writes, cost = frame bytes
+	compute *fairGate  // producing pipelines, cost = claimed batches
+	pacer   *fairPacer // bounded-lead byte pacing, nil when disabled
+
+	now   func() time.Time
+	sleep func(d time.Duration, cancel <-chan struct{}) bool
+}
+
+func newQoSState(limits map[string]TenantLimit, def TenantLimit, writeSlots, computeSlots int, leadBytes int64) *qosState {
+	qs := &qosState{
+		limits:  limits,
+		def:     def,
+		tenants: make(map[string]*tenantState),
+		write:   newFairGate(writeSlots, 256<<10),
+		compute: newFairGate(computeSlots, 1),
+		now:     time.Now,
+		sleep:   sleepInterruptible,
+	}
+	if leadBytes >= 0 {
+		qs.pacer = newFairPacer(leadBytes, 0, 0)
+	}
+	return qs
+}
+
+func sleepInterruptible(d time.Duration, cancel <-chan struct{}) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-cancel:
+		return false
+	}
+}
+
+// tenant interns the named tenant's state, creating it with the configured
+// (or default) limits on first sight.
+func (qs *qosState) tenant(name string) *tenantState {
+	qs.mu.Lock()
+	defer qs.mu.Unlock()
+	t := qs.tenants[name]
+	if t != nil {
+		return t
+	}
+	limit, ok := qs.limits[name]
+	if !ok {
+		limit = qs.def
+	}
+	t = &tenantState{name: name, limit: limit}
+	now := qs.now()
+	if limit.BytesPerSec > 0 {
+		t.bytes = newTokenBucket(float64(limit.BytesPerSec), float64(limit.BurstBytes), now)
+	}
+	if limit.BatchesPerSec > 0 {
+		t.batch = newTokenBucket(float64(limit.BatchesPerSec), float64(limit.BurstBatches), now)
+	}
+	qs.tenants[name] = t
+	return t
+}
+
+// throttle paces one outgoing frame of wireBytes against the tenant's rate
+// limits, sleeping out any bucket debt. It returns errQoSCanceled if cancel
+// fires mid-sleep.
+func (qs *qosState) throttle(t *tenantState, wireBytes int, cancel <-chan struct{}) error {
+	if t == nil || (t.bytes == nil && t.batch == nil) {
+		return nil
+	}
+	now := qs.now()
+	var d time.Duration
+	if t.bytes != nil {
+		d = t.bytes.take(float64(wireBytes), now)
+	}
+	if t.batch != nil {
+		if bd := t.batch.take(1, now); bd > d {
+			d = bd
+		}
+	}
+	if d <= 0 {
+		return nil
+	}
+	t.mu.Lock()
+	t.throttled += d
+	t.mu.Unlock()
+	if !qs.sleep(d, cancel) {
+		return errQoSCanceled
+	}
+	return nil
+}
+
+// pace holds one outgoing frame of wireBytes inside the tenant's fair-share
+// lead bound, sleeping in pacer steps until the charge is admitted. It
+// returns errQoSCanceled if cancel fires mid-pause.
+func (qs *qosState) pace(t *tenantState, wireBytes int, cancel <-chan struct{}) error {
+	if qs.pacer == nil || t == nil {
+		return nil
+	}
+	for {
+		wait := qs.pacer.admit(t.name, t.weight(), int64(wireBytes), qs.now())
+		if wait <= 0 {
+			return nil
+		}
+		t.mu.Lock()
+		t.paced += wait
+		t.mu.Unlock()
+		if !qs.sleep(wait, cancel) {
+			return errQoSCanceled
+		}
+	}
+}
+
+// TenantSnapshot is the JSON form of one tenant's counters on /metrics.
+type TenantSnapshot struct {
+	Tenant      string  `json:"tenant"`
+	Weight      int     `json:"weight"`
+	Sessions    int     `json:"sessions"`
+	Batches     int64   `json:"batches_sent"`
+	Bytes       int64   `json:"bytes_sent"`
+	ThrottledMs float64 `json:"throttled_ms"`
+	PacedMs     float64 `json:"paced_ms"`
+}
+
+// snapshot returns per-tenant rows sorted by name.
+func (qs *qosState) snapshot() []TenantSnapshot {
+	qs.mu.Lock()
+	states := make([]*tenantState, 0, len(qs.tenants))
+	for _, t := range qs.tenants {
+		states = append(states, t)
+	}
+	qs.mu.Unlock()
+	out := make([]TenantSnapshot, 0, len(states))
+	for _, t := range states {
+		t.mu.Lock()
+		out = append(out, TenantSnapshot{
+			Tenant:      t.name,
+			Weight:      t.weight(),
+			Sessions:    t.sessions,
+			Batches:     t.batchesSrv,
+			Bytes:       t.bytesSrv,
+			ThrottledMs: float64(t.throttled.Microseconds()) / 1000,
+			PacedMs:     float64(t.paced.Microseconds()) / 1000,
+		})
+		t.mu.Unlock()
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}
+
+// JainIndex computes Jain's fairness index over per-tenant throughput values:
+// (Σx)² / (n·Σx²), 1.0 when perfectly fair, 1/n when one tenant takes all.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	var sum, sq float64
+	for _, x := range xs {
+		sum += x
+		sq += x * x
+	}
+	if sq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sq)
+}

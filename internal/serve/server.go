@@ -9,6 +9,7 @@ import (
 	"hash/fnv"
 	"io"
 	"net"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -94,6 +95,70 @@ type Config struct {
 	// and consulted per outgoing batch frame for wire faults (drop, truncate,
 	// corrupt). Production servers leave it nil.
 	Faults *faultinject.Injector
+	// MaxSessions bounds concurrently admitted sessions (0 = unlimited).
+	// Over-limit handshakes wait in a bounded admission queue for a slot and
+	// are otherwise turned away with a retryable ErrServerBusy Error frame
+	// (CodeBusy), so overload degrades to fast rejection plus client backoff
+	// instead of unbounded goroutine and buffer growth.
+	MaxSessions int
+	// AdmitQueue is how many over-limit handshakes may wait for a session
+	// slot (default 16; < 0 disables queueing, rejecting immediately).
+	AdmitQueue int
+	// AdmitWait bounds how long a queued handshake waits for a slot before
+	// it is turned away busy (default 2s).
+	AdmitWait time.Duration
+	// Tenants maps tenant names (Hello.Tenant) to explicit QoS limits;
+	// TenantDefault applies to tenants not listed (its zero value means
+	// unlimited rate, weight 1). A non-empty Tenants map — or QoS — enables
+	// the per-tenant scheduler.
+	Tenants       map[string]TenantLimit
+	TenantDefault TenantLimit
+	// QoS force-enables per-tenant fair scheduling even with no explicit
+	// limits configured: tenants then share the write and compute gates by
+	// deficit-weighted round robin with equal weights.
+	QoS bool
+	// QoSWriteSlots bounds concurrently in-flight batch writes across all
+	// sessions when QoS is on (default 16); the slots are granted in
+	// deficit-weighted-fair order, costed by frame bytes.
+	QoSWriteSlots int
+	// QoSComputeSlots bounds concurrently producing pipelines when QoS is on
+	// (default max(4, 2×GOMAXPROCS)), granted fairly, costed by claimed
+	// batch count.
+	QoSComputeSlots int
+	// QoSLeadBytes bounds how many weighted wire bytes any tenant may run
+	// ahead of the slowest active tenant before its writes are paced — the
+	// mechanism that keeps tenants fair when the bottleneck is CPU or cache
+	// rather than the gated slots, since extra sessions cannot buy service
+	// past the lead bound. Default 1 MiB; < 0 disables lead pacing.
+	QoSLeadBytes int64
+	// CoalesceBytes / CoalesceFrames / CoalesceWindow bound connection-level
+	// write coalescing: consecutive already-ready frames of one session are
+	// batched into a single vectored write up to CoalesceBytes pending
+	// payload (default 64 KiB) or CoalesceFrames frames (default 8), with
+	// CoalesceWindow (default 1ms) as the hard latency bound on a pending
+	// partial batch. CoalesceFrames < 0 disables coalescing (one vectored
+	// write per frame, the pre-coalescing behavior); the server forces that
+	// mode while a fault injector is active so wire-fault seams stay
+	// frame-granular.
+	CoalesceBytes  int
+	CoalesceFrames int
+	CoalesceWindow time.Duration
+	// TracePIDStride spaces the private trace-pid ranges of streaming
+	// sessions (default 1000). It is validated against the widest pid span a
+	// session pipeline can use — main proc plus every worker the spec or the
+	// autotuner's bound allows — and silently raised when too small, so two
+	// sessions' pipelines can never alias in the shared trace ring.
+	TracePIDStride int
+	// LogLinesPerSec rate-limits per-session log lines (handshake rejects,
+	// epoch errors, session opens) so a 1000-session churn storm cannot
+	// serialize every connection goroutine on the logger (default 50 lines/s
+	// with a 2s burst; < 0 disables limiting). Suppressed lines are counted
+	// on /metrics.
+	LogLinesPerSec float64
+	// Pprof registers net/http/pprof handlers on the HTTP sidecar under
+	// /debug/pprof/, so goroutine and heap footprint at high session counts
+	// is diagnosable in production.
+	Pprof bool
 	// AutoTune enables the closed-loop controller: at every completed epoch
 	// the server observes its own T2 wait records, prefetch-queue fill, and
 	// cache counters, and actuates the pipeline worker count (including live
@@ -141,10 +206,21 @@ type Server struct {
 	cancel   context.CancelFunc
 	draining atomic.Bool
 
+	// Admission control: admitSem holds one token per admitted session when
+	// MaxSessions > 0; admitWaiters counts handshakes parked in the bounded
+	// queue.
+	admitSem     chan struct{}
+	admitWaiters atomic.Int32
+
+	qos   *qosState // nil when per-tenant QoS is disabled
+	slog  *logLimiter
+	plans planCache // shared epoch plans (spec-fingerprint identical by construction)
+
 	wg         sync.WaitGroup
 	mu         sync.Mutex
 	conns      map[net.Conn]struct{}
 	sessionSeq int
+	streamSeq  int // sessions that have streamed; allocates trace-pid bases lazily
 }
 
 // httpCloser is the slice of *http.Server the Server needs; an interface so
@@ -172,6 +248,41 @@ func New(cfg Config) *Server {
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.AdmitQueue == 0 {
+		cfg.AdmitQueue = 16
+	}
+	if cfg.AdmitWait <= 0 {
+		cfg.AdmitWait = 2 * time.Second
+	}
+	// The trace-pid stride must clear the widest pid span one session's
+	// pipeline can occupy: MainPID..MainPID+workers, where workers may be
+	// raised to the autotuner's bound while an epoch streams. A stride that
+	// small would alias the next session's range in the shared ring, so it
+	// is raised, never trusted.
+	maxWorkers := cfg.Spec.NumWorkers
+	if maxWorkers <= 0 {
+		maxWorkers = pipeline.DefaultAutoWorkers
+	}
+	if cfg.AutoTune {
+		tunerMax := cfg.AutoTuneControl.MaxWorkers
+		if tunerMax <= 0 {
+			tunerMax = 16 // control.Config's default bound
+		}
+		if tunerMax > maxWorkers {
+			maxWorkers = tunerMax
+		}
+	}
+	if cfg.TracePIDStride <= 0 {
+		cfg.TracePIDStride = 1000
+	}
+	if min := maxWorkers + 2; cfg.TracePIDStride < min {
+		cfg.Logf("lotus-serve: trace-pid stride %d cannot hold %d workers; raised to %d",
+			cfg.TracePIDStride, maxWorkers, min)
+		cfg.TracePIDStride = min
+	}
+	if cfg.LogLinesPerSec == 0 {
+		cfg.LogLinesPerSec = 50
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
@@ -203,8 +314,165 @@ func New(cfg Config) *Server {
 	if cfg.AutoTune {
 		s.tuner = newTuner(s, cfg.AutoTuneControl, cfg.AutoTuneLongWait)
 	}
+	if cfg.MaxSessions > 0 {
+		s.admitSem = make(chan struct{}, cfg.MaxSessions)
+	}
+	if cfg.QoS || len(cfg.Tenants) > 0 {
+		writeSlots := cfg.QoSWriteSlots
+		if writeSlots <= 0 {
+			writeSlots = 16
+		}
+		computeSlots := cfg.QoSComputeSlots
+		if computeSlots <= 0 {
+			computeSlots = 2 * runtime.GOMAXPROCS(0)
+			if computeSlots < 4 {
+				computeSlots = 4
+			}
+		}
+		s.qos = newQoSState(cfg.Tenants, cfg.TenantDefault, writeSlots, computeSlots, cfg.QoSLeadBytes)
+	}
+	s.slog = newLogLimiter(cfg.LogLinesPerSec, cfg.Logf)
 	return s
 }
+
+// slogf is the rate-limited log path for per-session lines; lifecycle lines
+// (start, drain) keep the unthrottled cfg.Logf.
+func (s *Server) slogf(format string, args ...any) { s.slog.Logf(format, args...) }
+
+// logLimiter throttles high-cardinality log lines behind a token bucket so
+// a session churn storm cannot serialize a thousand connection goroutines on
+// the logger. Suppressed lines are counted, not silently lost.
+type logLimiter struct {
+	mu         sync.Mutex
+	rate       float64 // lines per second; <= 0 means unlimited
+	burst      float64
+	tokens     float64
+	last       time.Time
+	logf       func(string, ...any)
+	suppressed atomic.Int64
+}
+
+func newLogLimiter(rate float64, logf func(string, ...any)) *logLimiter {
+	if rate < 0 {
+		rate = 0 // unlimited
+	}
+	return &logLimiter{rate: rate, burst: 2 * rate, tokens: 2 * rate, last: time.Now(), logf: logf}
+}
+
+func (l *logLimiter) Logf(format string, args ...any) {
+	if l.rate <= 0 {
+		l.logf(format, args...)
+		return
+	}
+	now := time.Now()
+	l.mu.Lock()
+	l.tokens += now.Sub(l.last).Seconds() * l.rate
+	if l.tokens > l.burst {
+		l.tokens = l.burst
+	}
+	l.last = now
+	if l.tokens < 1 {
+		l.mu.Unlock()
+		l.suppressed.Add(1)
+		return
+	}
+	l.tokens--
+	l.mu.Unlock()
+	l.logf(format, args...)
+}
+
+// planCache shares built epoch plans across every session of the server. The
+// spec fingerprint is identical for all sessions by construction (one Server
+// owns one spec), and BuildEpochPlan is deterministic, so a plan built once
+// per epoch serves all O(1000) sessions — previously each session rebuilt
+// the full O(dataset) plan on every epoch and shard request.
+type planCache struct {
+	mu     sync.Mutex
+	epochs map[int][]PlanBatch
+	order  []int // FIFO of cached epochs
+	builds int64
+	hits   int64
+}
+
+// planCacheEpochs bounds the retained plans; concurrent sessions cluster on
+// a few adjacent epochs, so a small window gets all the reuse.
+const planCacheEpochs = 4
+
+// epochPlan returns the (shared, read-only) plan for one epoch.
+func (s *Server) epochPlan(epoch int) []PlanBatch {
+	pc := &s.plans
+	pc.mu.Lock()
+	if p, ok := pc.epochs[epoch]; ok {
+		pc.hits++
+		pc.mu.Unlock()
+		return p
+	}
+	pc.mu.Unlock()
+	spec := s.cfg.Spec
+	plan := BuildEpochPlan(s.datasetLen, spec.BatchSize, spec.Shuffle, false, spec.Seed, epoch)
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if p, ok := pc.epochs[epoch]; ok { // raced another builder; identical plan
+		pc.hits++
+		return p
+	}
+	pc.builds++
+	if pc.epochs == nil {
+		pc.epochs = make(map[int][]PlanBatch)
+	}
+	pc.epochs[epoch] = plan
+	pc.order = append(pc.order, epoch)
+	if len(pc.order) > planCacheEpochs {
+		delete(pc.epochs, pc.order[0])
+		pc.order = pc.order[1:]
+	}
+	return plan
+}
+
+func (pc *planCache) stats() (builds, hits int64) {
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return pc.builds, pc.hits
+}
+
+// ErrServerBusy is the admission-control rejection: the server is at
+// MaxSessions and the bounded queue is full (or timed out). It travels the
+// wire as an Error frame with CodeBusy, which clients treat as transient and
+// retry with their jittered backoff.
+var ErrServerBusy = errors.New("server busy: session limit reached")
+
+// admit reserves one session slot, waiting in the bounded admission queue
+// when the server is full. The returned release function frees the slot.
+func (s *Server) admit() (release func(), err error) {
+	if s.admitSem == nil {
+		return func() {}, nil
+	}
+	select {
+	case s.admitSem <- struct{}{}:
+		return s.releaseSlot, nil
+	default:
+	}
+	if n := s.admitWaiters.Add(1); int(n) > s.cfg.AdmitQueue {
+		s.admitWaiters.Add(-1)
+		s.metrics.AddBusy()
+		return nil, ErrServerBusy
+	}
+	defer s.admitWaiters.Add(-1)
+	s.metrics.AddAdmitQueued()
+	t := time.NewTimer(s.cfg.AdmitWait)
+	defer t.Stop()
+	select {
+	case s.admitSem <- struct{}{}:
+		return s.releaseSlot, nil
+	case <-t.C:
+		s.metrics.AddBusy()
+		return nil, ErrServerBusy
+	case <-s.ctx.Done():
+		return nil, ErrServerBusy
+	}
+}
+
+func (s *Server) releaseSlot() { <-s.admitSem }
 
 // CacheStats reports the materialized-batch cache counters; ok is false when
 // the cache is disabled.
@@ -395,11 +663,17 @@ func (s *Server) closeConns() {
 	s.mu.Unlock()
 }
 
-// sendError writes a best-effort Error frame before the caller closes the
-// connection.
+// sendError writes a best-effort fatal Error frame before the caller closes
+// the connection.
 func (s *Server) sendError(conn net.Conn, msg string) {
+	s.sendErrorCode(conn, msg, CodeFatal)
+}
+
+// sendErrorCode is sendError with an explicit error code (CodeBusy for
+// retryable admission rejections).
+func (s *Server) sendErrorCode(conn net.Conn, msg string, code byte) {
 	conn.SetWriteDeadline(time.Now().Add(2 * time.Second))
-	WriteFrame(conn, EncodeError(ErrorMsg{Message: msg}))
+	WriteFrame(conn, EncodeError(ErrorMsg{Message: msg, Code: code}))
 	conn.SetWriteDeadline(time.Time{})
 }
 
@@ -414,14 +688,21 @@ func (s *Server) handleConn(conn net.Conn) {
 
 	hello, err := s.readHello(conn)
 	if err != nil {
-		s.cfg.Logf("lotus-serve: %s: rejected: %v", conn.RemoteAddr(), err)
+		s.slogf("lotus-serve: %s: rejected: %v", conn.RemoteAddr(), err)
 		s.sendError(conn, err.Error())
 		return
 	}
+	release, err := s.admit()
+	if err != nil {
+		s.slogf("lotus-serve: %s: turned away: %v", conn.RemoteAddr(), err)
+		s.sendErrorCode(conn, err.Error(), CodeBusy)
+		return
+	}
+	defer release()
 	sess := s.newSession(conn, hello)
-	defer s.metrics.CloseSession(sess.id)
-	s.cfg.Logf("lotus-serve: session %d: %s rank %d/%d (%q)",
-		sess.id, conn.RemoteAddr(), hello.Rank, hello.World, hello.Name)
+	defer sess.close()
+	s.slogf("lotus-serve: session %d: %s rank %d/%d (%q tenant %q)",
+		sess.id, conn.RemoteAddr(), hello.Rank, hello.World, hello.Name, hello.Tenant)
 
 	ack := HelloAck{
 		Version:      ProtocolVersion,
@@ -467,7 +748,7 @@ func (s *Server) handleConn(conn net.Conn) {
 			if err := sess.streamEpoch(m.Epoch); err != nil {
 				sess.sm.AddEpochAbort()
 				s.metrics.AddEpochAbort()
-				s.cfg.Logf("lotus-serve: session %d: epoch %d: %v", sess.id, m.Epoch, err)
+				s.slogf("lotus-serve: session %d: epoch %d: %v", sess.id, m.Epoch, err)
 				return
 			}
 		case ShardReq:
@@ -485,7 +766,7 @@ func (s *Server) handleConn(conn net.Conn) {
 			if err := sess.streamShardReq(m); err != nil {
 				sess.sm.AddEpochAbort()
 				s.metrics.AddEpochAbort()
-				s.cfg.Logf("lotus-serve: session %d: epoch %d shard: %v", sess.id, m.Epoch, err)
+				s.slogf("lotus-serve: session %d: epoch %d shard: %v", sess.id, m.Epoch, err)
 				return
 			}
 		case Bye:
@@ -519,16 +800,23 @@ func (s *Server) readHello(conn net.Conn) (Hello, error) {
 	return hello, nil
 }
 
-// session is one connected client's server-side state.
+// session is one connected client's server-side state. An idle session —
+// connected, handshaken, not yet streaming — holds only this struct, its
+// connection goroutine, and a metrics row; the pipeline-facing state
+// (engine, hooks, dataset view, trace-pid range) is materialized lazily by
+// ensurePipeline on the first epoch request, which is what keeps O(1000)
+// mostly-idle sessions cheap.
 type session struct {
 	srv         *Server
 	id          int
 	conn        net.Conn
 	rank, world int
+	tenant      *tenantState // nil when QoS is disabled
 	sm          *SessionMetrics
 	engine      *native.Engine
 	ds          pipeline.Dataset
 	hks         *pipeline.Hooks
+	pidBase     int // private trace-pid range base; 0 until first stream
 
 	// Epoch-scoped state read by the trace hooks: the current shard maps the
 	// DataLoader's positional batch ids back to epoch-global ids, preEnd
@@ -547,29 +835,64 @@ func (s *Server) newSession(conn net.Conn, hello Hello) *session {
 	id := s.sessionSeq
 	s.mu.Unlock()
 	ss := &session{
-		srv:    s,
-		id:     id,
-		conn:   conn,
-		rank:   hello.Rank,
-		world:  hello.World,
-		sm:     s.metrics.OpenSession(id, hello.Name, hello.Rank, hello.World, time.Now()),
-		preEnd: make(map[int]time.Time),
+		srv:   s,
+		id:    id,
+		conn:  conn,
+		rank:  hello.Rank,
+		world: hello.World,
+		sm:    s.metrics.OpenSession(id, hello.Name, hello.Tenant, hello.Rank, hello.World, time.Now()),
 	}
+	if s.qos != nil {
+		ss.tenant = s.qos.tenant(hello.Tenant)
+		ss.tenant.mu.Lock()
+		ss.tenant.sessions++
+		ss.tenant.mu.Unlock()
+	}
+	return ss
+}
+
+// close releases the session's registry state (metrics row, tenant count).
+func (ss *session) close() {
+	ss.srv.metrics.CloseSession(ss.id)
+	if ss.tenant != nil {
+		ss.tenant.mu.Lock()
+		ss.tenant.sessions--
+		ss.tenant.mu.Unlock()
+	}
+}
+
+// ensurePipeline lazily materializes the session's streaming state on the
+// first epoch request: the native engine, the trace hooks, the session's
+// dataset view, and the private trace-pid base. Idle sessions never pay for
+// any of it.
+func (ss *session) ensurePipeline() {
+	if ss.hks != nil {
+		return
+	}
+	s := ss.srv
+	s.mu.Lock()
+	s.streamSeq++
+	ss.pidBase = s.streamSeq * s.cfg.TracePIDStride
+	s.mu.Unlock()
 	if s.cfg.Mode != pipeline.RealData {
 		ss.engine = native.NewEngine(s.cfg.Spec.Arch, native.DefaultCPU())
 	}
+	ss.preEnd = make(map[int]time.Time)
 	ss.hks = ss.hooks()
 	// Each session materializes its own dataset view so its Compose chain
 	// carries the session's hooks; the synthetic records are deterministic,
 	// so every session sees identical data, and a shared PageCache (if the
 	// spec sets one) still deduplicates I/O across sessions.
 	ss.ds = s.cfg.Spec.Dataset(ss.hks)
-	return ss
 }
 
 // pid offsets a pipeline pid into this session's private pid range so
-// concurrent sessions stay distinguishable in the shared trace ring.
-func (ss *session) pid(pid int) int { return pid + ss.id*1000 }
+// concurrent sessions stay distinguishable in the shared trace ring. Bases
+// are multiples of the validated TracePIDStride (> the pipeline's worker
+// span), assigned in streaming order, and pipeline pids start at
+// pipeline.MainPID — far above the reserved controlPID — so ranges never
+// alias each other or the controller's records.
+func (ss *session) pid(pid int) int { return pid + ss.pidBase }
 
 // traceBatchID maps a DataLoader positional batch id to a globally unique
 // trace id: epoch * planLen + the batch's epoch-global plan position.
@@ -637,8 +960,7 @@ func (ss *session) hooks() *pipeline.Hooks {
 // streamEpoch runs the session's rank/world shard of one epoch through a
 // DataLoader and streams the batches.
 func (ss *session) streamEpoch(epoch int) error {
-	spec := ss.srv.cfg.Spec
-	plan := BuildEpochPlan(ss.srv.datasetLen, spec.BatchSize, spec.Shuffle, false, spec.Seed, epoch)
+	plan := ss.srv.epochPlan(epoch)
 	return ss.streamShard(epoch, len(plan), Shard(plan, ss.rank, ss.world))
 }
 
@@ -647,8 +969,7 @@ func (ss *session) streamEpoch(epoch int) error {
 // the session — defines the work, so a cluster router can hand any subset to
 // any node and still get frames byte-identical to a rank/world session's.
 func (ss *session) streamShardReq(req ShardReq) error {
-	spec := ss.srv.cfg.Spec
-	plan := BuildEpochPlan(ss.srv.datasetLen, spec.BatchSize, spec.Shuffle, false, spec.Seed, req.Epoch)
+	plan := ss.srv.epochPlan(req.Epoch)
 	shard := make([]PlanBatch, len(req.IDs))
 	seen := make(map[int]bool, len(req.IDs))
 	for i, id := range req.IDs {
@@ -687,6 +1008,7 @@ func (ss *session) cacheKey(epoch, globalID int) BatchKey {
 // the epoch seed and the plan's indices, not on which session or worker
 // produced them — so N concurrent ranks cost one preprocessing pass, not N.
 func (ss *session) streamShard(epoch, planLen int, shard []PlanBatch) error {
+	ss.ensurePipeline()
 	cache := ss.srv.cache
 
 	sum := fnv.New64a()
@@ -731,38 +1053,64 @@ func (ss *session) streamShard(epoch, planLen int, shard []PlanBatch) error {
 	frames := make(chan *Frame, ss.srv.cfg.Prefetch)
 	ss.sm.SetQueueGauge(func() int { return len(frames) })
 	defer ss.sm.SetQueueGauge(nil)
+	fw := ss.newFrameWriter()
+	defer fw.close()
 
 	prodErr := make(chan error, 1)
 	go ss.produceClaimed(ctx, epoch, claimed, frames, prodErr)
 
+	// The write loop coalesces only frames that are already available: before
+	// any wait that could block — the producer's channel empty, or a foreign
+	// slot not ready in the cache — pending frames are flushed, so batching
+	// trades syscalls, never adds first-frame latency.
 	var werr error
 	sent := 0
 	for i := 0; i < len(shard) && werr == nil; i++ {
 		var f *Frame
 		if mine[i] {
 			var ok bool
-			f, ok = <-frames
+			select {
+			case f, ok = <-frames:
+			default:
+				if werr = fw.flush(ctx.Done()); werr != nil {
+					cancelEpoch()
+					break
+				}
+				f, ok = <-frames
+			}
 			if !ok {
 				break // producer ended early; prodErr explains why
 			}
 		} else {
-			var err error
 			pb := shard[i]
-			f, err = cache.Acquire(ss.cacheKey(epoch, pb.GlobalID), ss.id,
-				ctx.Done(), ss.srv.cfg.CacheWaitTimeout,
-				func() (*Frame, error) { return ss.computeBatchFrame(epoch, pb) })
-			if err != nil {
-				werr = fmt.Errorf("batch %d: %w", pb.GlobalID, err)
-				cancelEpoch()
-				break
+			key := ss.cacheKey(epoch, pb.GlobalID)
+			if f = cache.TryGet(key); f == nil {
+				if werr = fw.flush(ctx.Done()); werr != nil {
+					cancelEpoch()
+					break
+				}
+				var err error
+				f, err = cache.Acquire(key, ss.id,
+					ctx.Done(), ss.srv.cfg.CacheWaitTimeout,
+					func() (*Frame, error) { return ss.computeBatchFrame(epoch, pb) })
+				if err != nil {
+					werr = fmt.Errorf("batch %d: %w", pb.GlobalID, err)
+					cancelEpoch()
+					break
+				}
 			}
 		}
-		if werr = ss.writeBatchFrame(f, sum); werr == nil {
+		if werr = ss.writeBatchFrame(fw, f, sum, ctx.Done()); werr == nil {
 			sent++
 		} else {
 			cancelEpoch()
 		}
 		f.Release()
+	}
+	if werr == nil {
+		if werr = fw.flush(ctx.Done()); werr != nil {
+			cancelEpoch()
+		}
 	}
 	// Whatever ended the loop, release everything the producer still emits so
 	// it never blocks forever, then collect its verdict.
@@ -856,6 +1204,20 @@ func (ss *session) produceClaimed(ctx context.Context, epoch int, claimed []Plan
 		return // fully cached shard: nothing to produce
 	}
 
+	// QoS compute gate: each producer run holds one compute slot, charged
+	// the number of claimed batches against the tenant's deficit, so a
+	// tenant fanning out many sessions cannot monopolize the pipeline
+	// dispatch tier. Scheduling only — once granted, the run produces its
+	// exact claimed set, so bytes are untouched.
+	if q := ss.srv.qos; q != nil && ss.tenant != nil {
+		if err := q.compute.acquire(ss.tenant.name, ss.tenant.weight(),
+			int64(len(claimed)), ctx.Done()); err != nil {
+			perr = err
+			return // defer abandons every claim
+		}
+		defer q.compute.release()
+	}
+
 	batchPlan := make([][]int, len(claimed))
 	for i, pb := range claimed {
 		batchPlan[i] = pb.Indices
@@ -945,15 +1307,48 @@ func (ss *session) produceClaimed(ctx context.Context, epoch int, claimed []Plan
 	})
 }
 
-// writeBatchFrame pushes one encoded batch frame through the wire-fault seam
-// and onto the connection, folding the stream checksum and crediting metrics
-// on success. The checksum always folds the CLEAN payload — wire faults
-// model the network mangling bytes after the server produced them correctly
-// — and the corrupt fault copies the payload before flipping a bit, so a
-// cached frame other sessions are concurrently streaming is never damaged:
-// faults land per-connection, not in shared cache bytes.
-func (ss *session) writeBatchFrame(f *Frame, sum hash.Hash64) error {
+// newFrameWriter builds the session's pooled write coalescer, wired to the
+// tenant's fair write gate (when QoS is on) and the coalescing metrics. An
+// active fault injector forces immediate mode so the wire-fault seams keep
+// their one-write-per-frame semantics.
+func (ss *session) newFrameWriter() *frameWriter {
+	cfg := &ss.srv.cfg
+	maxFrames := cfg.CoalesceFrames
+	if cfg.Faults != nil || maxFrames < 0 {
+		maxFrames = 1
+	}
+	fw := newFrameWriter(ss.conn, cfg.CoalesceBytes, maxFrames, cfg.CoalesceWindow)
+	if q := ss.srv.qos; q != nil && ss.tenant != nil {
+		fw.gate = q.write
+		fw.tenant = ss.tenant.name
+		fw.weight = ss.tenant.weight()
+	}
+	m := ss.srv.metrics
+	fw.onFlush = func(frames int) { m.AddWritev(frames) }
+	return fw
+}
+
+// writeBatchFrame pushes one encoded batch frame through the tenant rate
+// limiter, the wire-fault seam, and the coalescing writer, folding the
+// stream checksum and crediting metrics. The checksum always folds the CLEAN
+// payload — wire faults model the network mangling bytes after the server
+// produced them correctly — and the corrupt fault copies the payload before
+// flipping a bit, so a cached frame other sessions are concurrently
+// streaming is never damaged: faults land per-connection, not in shared
+// cache bytes. QoS is schedule only: throttling delays the write and the
+// fair gate orders flushes across tenants, but bytes and per-session order
+// are untouched.
+func (ss *session) writeBatchFrame(fw *frameWriter, f *Frame, sum hash.Hash64, cancel <-chan struct{}) error {
 	payload := f.Bytes()
+	wireBytes := len(payload) + 4
+	if q := ss.srv.qos; q != nil {
+		if err := q.throttle(ss.tenant, wireBytes, cancel); err != nil {
+			return err
+		}
+		if err := q.pace(ss.tenant, wireBytes, cancel); err != nil {
+			return err
+		}
+	}
 	switch ss.srv.cfg.Faults.NextWireAction() {
 	case faultinject.WireDrop:
 		ss.conn.Close()
@@ -972,14 +1367,16 @@ func (ss *session) writeBatchFrame(f *Frame, sum hash.Hash64) error {
 			return err
 		}
 	default:
-		if err := WriteFrame(ss.conn, payload); err != nil {
+		if err := fw.add(f, cancel); err != nil {
 			return err
 		}
 	}
 	sum.Write(payload)
-	wireBytes := len(payload) + 4
 	ss.sm.AddBatch(wireBytes)
 	ss.srv.metrics.AddBatch(wireBytes)
+	if ss.tenant != nil {
+		ss.tenant.addBatch(wireBytes)
+	}
 	return nil
 }
 

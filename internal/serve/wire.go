@@ -104,6 +104,12 @@ type Hello struct {
 	Rank, World int
 	// Name labels the session in metrics.
 	Name string
+	// Tenant identifies the paying principal the session belongs to, for
+	// per-tenant QoS (rate limits and weighted-fair scheduling). Empty means
+	// the default tenant. Like the ShardReq hedge byte, the field is an
+	// additive trailing string inside the same message (every Hello peer in
+	// this codebase emits and expects it).
+	Tenant string
 }
 
 // HelloAck is the server's session acceptance.
@@ -173,10 +179,21 @@ type EpochEnd struct {
 	Checksum uint64
 }
 
-// ErrorMsg carries a fatal server-side error; the server closes the session
-// after sending it.
+// Error codes carried by ErrorMsg.Code. CodeFatal is the zero value every
+// pre-existing error site uses; CodeBusy marks an admission-control rejection
+// the client should retry with backoff rather than treat as fatal.
+const (
+	CodeFatal byte = 0
+	CodeBusy  byte = 1
+)
+
+// ErrorMsg carries a server-side error; the server closes the session after
+// sending it. Code distinguishes retryable overload (CodeBusy) from fatal
+// protocol or pipeline failures (CodeFatal); it is an additive trailing byte
+// in the same message (the ShardReq hedge-byte precedent).
 type ErrorMsg struct {
 	Message string
+	Code    byte
 }
 
 // Bye is the client's clean goodbye.
@@ -250,7 +267,8 @@ func EncodeHello(h Hello) []byte {
 	b = appendU16(b, uint16(h.Version))
 	b = appendU32(b, uint32(h.Rank))
 	b = appendU32(b, uint32(h.World))
-	return appendStr(b, h.Name)
+	b = appendStr(b, h.Name)
+	return appendStr(b, h.Tenant)
 }
 
 // EncodeHelloAck renders a HelloAck frame payload.
@@ -357,7 +375,8 @@ func EncodeEpochEnd(e EpochEnd) []byte {
 // EncodeError renders an Error frame payload.
 func EncodeError(e ErrorMsg) []byte {
 	b := []byte{byte(MsgError)}
-	return appendStr(b, e.Message)
+	b = appendStr(b, e.Message)
+	return append(b, e.Code)
 }
 
 // EncodeBye renders a Bye frame payload.
@@ -515,6 +534,7 @@ func DecodeMessage(payload []byte) (any, error) {
 		h.Rank = int(d.u32())
 		h.World = int(d.u32())
 		h.Name = d.str()
+		h.Tenant = d.str()
 		if err := d.done(); err != nil {
 			return nil, err
 		}
@@ -574,6 +594,7 @@ func DecodeMessage(payload []byte) (any, error) {
 		return e, nil
 	case MsgError:
 		e := ErrorMsg{Message: d.str()}
+		e.Code = d.u8()
 		if err := d.done(); err != nil {
 			return nil, err
 		}

@@ -38,6 +38,7 @@ func TestMessageRoundTrips(t *testing.T) {
 	msgs := []any{
 		Hello{Version: 1, Rank: 2, World: 5, Name: "trainer-a"},
 		Hello{Version: 1, Rank: 0, World: 1, Name: ""},
+		Hello{Version: 1, Rank: 1, World: 4, Name: "trainer-b", Tenant: "team-vision"},
 		HelloAck{Version: 1, DatasetLen: 5120, BatchSize: 128, PlanBatches: 40, ShardBatches: 20, Mode: 1, Workload: "IC"},
 		EpochReq{Epoch: 3},
 		ShardReq{Epoch: 4, IDs: []int{7, 0, 3}},
@@ -51,6 +52,7 @@ func TestMessageRoundTrips(t *testing.T) {
 			Dtype: tensor.Float32, Shape: []int{2, 2}, F32: []float32{0.5, -1.25, 3e8, 0}},
 		EpochEnd{Epoch: 2, Batches: 20, Checksum: 0xdeadbeefcafef00d},
 		ErrorMsg{Message: "server draining"},
+		ErrorMsg{Message: "server busy: session limit reached", Code: CodeBusy},
 		Bye{},
 	}
 	for _, msg := range msgs {

@@ -2,7 +2,7 @@
 # bench.sh — run the headline microbenchmarks behind the PRs' performance
 # claims and capture benchstat-ready output plus JSON summaries.
 #
-# Usage: scripts/bench.sh [pr1-out.json] [pr2-out.json] [pr4-out.json] [pr5-out.json] [pr6-out.json] [pr7-out.json] [pr8-out.json] [pr9-out.json]
+# Usage: scripts/bench.sh [pr1-out.json] [pr2-out.json] [pr4-out.json] [pr5-out.json] [pr6-out.json] [pr7-out.json] [pr8-out.json] [pr9-out.json] [pr10-out.json]
 # Stage 1: the four PR-1 hot-path microbenchmarks -> BENCH_PR1.json.
 # Stage 2: the PR-2 service-throughput benchmark (batches/sec at 1, 2, and
 # 4 clients over loopback TCP) -> BENCH_PR2.json.
@@ -27,6 +27,12 @@
 # an imbalanced 3-node emulate cluster whose busiest node pays ~3x per
 # batch, autotune off vs on) -> BENCH_PR9.json, plus a check that the
 # balancer lifts throughput at least 1.5x.
+# Stage 9: the PR-10 multi-tenancy scalability suite -> BENCH_PR10.json:
+# per-session footprint (bytes and goroutines, idle and streaming), aggregate
+# cache-served throughput at 8/64/256/1024 concurrent sessions, and tenant
+# fairness with one adversarial greedy tenant (Jain index, worst per-tenant
+# p99). Gates: clients=256 aggregate >= 0.8x the clients=8 baseline, and
+# Jain >= 0.9 under the greedy tenant.
 # The raw `go test -bench` output (6 repetitions, suitable for feeding to
 # benchstat old.txt new.txt) is written next to each JSON as <outfile>.txt.
 set -euo pipefail
@@ -67,6 +73,8 @@ STRAG_JSON="${7:-BENCH_PR8.json}"
 STRAG_TXT="${STRAG_JSON%.json}.txt"
 TUNE_JSON="${8:-BENCH_PR9.json}"
 TUNE_TXT="${TUNE_JSON%.json}.txt"
+MT_JSON="${9:-BENCH_PR10.json}"
+MT_TXT="${MT_JSON%.json}.txt"
 
 BENCHES='BenchmarkBilinearResize|BenchmarkSJPGDecode|BenchmarkUntracedEpoch|BenchmarkTracerEmit'
 
@@ -448,3 +456,73 @@ END {
     printf "autotune imbalance: off %.1f batches/sec, on %.1f batches/sec (%.2fx)\n", off, on, on / off
     if (!(on >= 1.5 * off)) { print "FAIL: the balancer does not lift imbalanced-cluster throughput 1.5x" > "/dev/stderr"; exit 1 }
 }' "$TUNE_JSON"
+
+echo "running: session-scalability suite (3 reps) ..."
+# Footprint: 128 idle (or streaming) sessions per iteration, reporting heap
+# bytes and goroutines per session. Scaling: every client holds a live
+# session and re-fetches a cache-served epoch concurrently; clients=1024 is
+# the O(1000)-session headline. Fairness: three polite tenants at 4 sessions
+# each against one greedy tenant at 12; the worst per-iteration Jain index
+# over per-tenant served batches is the fairness claim.
+go test -run '^$' -bench 'BenchmarkSessionFootprint|BenchmarkSessionScaling|BenchmarkTenantFairness' \
+    -benchtime 3x -count=3 -timeout 30m ./internal/serve | tee "$MT_TXT"
+require_bench "$MT_TXT" "stage 9"
+
+awk '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    if (!(name in seen)) { seen[name] = 1; order[++n_names] = name }
+    ns[name] = ns[name] " " $3
+    for (i = 4; i <= NF; i++) {
+        if ($(i+1) == "batches/sec")        bps[name]  = bps[name] " " $i
+        if ($(i+1) == "bytes/session")      bpsn[name] = bpsn[name] " " $i
+        if ($(i+1) == "goroutines/session") gpsn[name] = gpsn[name] " " $i
+        if ($(i+1) == "jain")               jain[name] = jain[name] " " $i
+        if ($(i+1) == "p99-us")             p99[name]  = p99[name] " " $i
+    }
+}
+function median(s,   a, n, i, j, t) {
+    n = split(s, a, " ")
+    for (i = 2; i <= n; i++) {
+        t = a[i] + 0
+        for (j = i - 1; j >= 1 && a[j] + 0 > t; j--) a[j+1] = a[j]
+        a[j+1] = t
+    }
+    if (n % 2) return a[(n+1)/2]
+    return (a[n/2] + a[n/2+1]) / 2
+}
+END {
+    printf "{\n"
+    for (i = 1; i <= n_names; i++) {
+        name = order[i]
+        printf "  \"%s\": {\"ns_op\": %s", name, median(ns[name])
+        if (bps[name]  != "") printf ", \"batches_per_sec\": %s", median(bps[name])
+        if (bpsn[name] != "") printf ", \"bytes_per_session\": %s", median(bpsn[name])
+        if (gpsn[name] != "") printf ", \"goroutines_per_session\": %s", median(gpsn[name])
+        if (jain[name] != "") printf ", \"jain\": %s", median(jain[name])
+        if (p99[name]  != "") printf ", \"p99_us\": %s", median(p99[name])
+        printf "}%s\n", (i < n_names ? "," : "")
+    }
+    printf "}\n"
+}' "$MT_TXT" > "$MT_JSON"
+
+echo "summary written to $MT_JSON (raw benchstat input: $MT_TXT)"
+
+# Acceptance checks: the PR-10 headline claims. Scaling must be flat — the
+# 256-session aggregate holds at least 0.8x the 8-session baseline (and the
+# 1024-session series must exist: the benchmark fails internally if sessions
+# die). Fairness: Jain >= 0.9 with the greedy tenant over-subscribed 3x.
+# Byte-identity under concurrency is asserted inside the soak/chaos tests.
+awk -F'[:,}]' '
+/"BenchmarkSessionScaling\/clients=8"/    { for (i = 1; i <= NF; i++) if ($i ~ /batches_per_sec/)  base = $(i+1) + 0 }
+/"BenchmarkSessionScaling\/clients=256"/  { for (i = 1; i <= NF; i++) if ($i ~ /batches_per_sec/)  mid  = $(i+1) + 0 }
+/"BenchmarkSessionScaling\/clients=1024"/ { for (i = 1; i <= NF; i++) if ($i ~ /batches_per_sec/)  big  = $(i+1) + 0 }
+/"BenchmarkTenantFairness"/               { for (i = 1; i <= NF; i++) if ($i ~ /"jain"/)           j    = $(i+1) + 0 }
+END {
+    printf "session scaling: clients=8 %.0f, clients=256 %.0f (%.2fx), clients=1024 %.0f batches/sec; jain %.3f\n", \
+        base, mid, mid / base, big, j
+    if (big <= 0)            { print "FAIL: the 1024-session series produced no throughput" > "/dev/stderr"; exit 1 }
+    if (!(mid >= 0.8 * base)) { print "FAIL: 256-session aggregate fell below 0.8x the 8-session baseline" > "/dev/stderr"; exit 1 }
+    if (!(j >= 0.9))          { print "FAIL: Jain fairness below 0.9 under the greedy tenant" > "/dev/stderr"; exit 1 }
+}' "$MT_JSON"
